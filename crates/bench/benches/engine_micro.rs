@@ -1,0 +1,169 @@
+//! Criterion micro-benchmarks of the engine's hot paths: these measure
+//! the *simulator's real execution cost* (how fast RecoBench runs), which
+//! bounds how large a campaign is practical.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use recobench_engine::catalog::IndexDef;
+use recobench_engine::redo::{decode_stream, RedoOp, RedoRecord};
+use recobench_engine::row::{encode_key, Row, Value};
+use recobench_engine::page::BlockImage;
+use recobench_engine::types::{FileNo, ObjectId, RowId, Scn, TxnId};
+use recobench_engine::{DbServer, DiskLayout, InstanceConfig};
+use recobench_sim::SimClock;
+
+fn sample_row() -> Row {
+    Row::new(vec![
+        Value::U64(42),
+        Value::U64(7),
+        Value::I64(-1234),
+        Value::from("CUSTOMERLASTNAME"),
+        Value::from("some-filler-data-some-filler-data-some-filler-data"),
+    ])
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codec");
+    let row = sample_row();
+    let encoded = row.encode();
+    g.throughput(Throughput::Bytes(encoded.len() as u64));
+    g.bench_function("row_encode", |b| b.iter(|| std::hint::black_box(row.encode())));
+    g.bench_function("row_decode", |b| {
+        b.iter(|| Row::decode(std::hint::black_box(encoded.clone())).unwrap())
+    });
+    g.bench_function("key_encode", |b| {
+        b.iter(|| encode_key(std::hint::black_box(&[Value::U64(1), Value::U64(2), Value::U64(3)])))
+    });
+
+    let rec = RedoRecord {
+        scn: Scn(99),
+        txn: Some(TxnId(7)),
+        op: RedoOp::Update {
+            obj: ObjectId(3),
+            rid: RowId { file: FileNo(1), block: 9, slot: 4 },
+            before: sample_row(),
+            after: sample_row(),
+        },
+    };
+    let rec_bytes = rec.encode();
+    g.throughput(Throughput::Bytes(rec_bytes.len() as u64));
+    g.bench_function("redo_record_encode", |b| b.iter(|| std::hint::black_box(rec.encode())));
+    g.bench_function("redo_stream_decode_100", |b| {
+        let mut seg = Vec::new();
+        for _ in 0..100 {
+            seg.extend_from_slice(&rec.encode());
+        }
+        let segs = vec![bytes_from(seg)];
+        b.iter(|| decode_stream(std::hint::black_box(&segs), 640).unwrap())
+    });
+
+    let mut img = BlockImage::empty();
+    for slot in 0..20 {
+        img.put(slot, sample_row(), Scn(slot as u64));
+    }
+    let img_bytes = img.encode();
+    g.throughput(Throughput::Bytes(img_bytes.len() as u64));
+    g.bench_function("block_encode_20rows", |b| b.iter(|| std::hint::black_box(img.encode())));
+    g.bench_function("block_decode_20rows", |b| {
+        b.iter(|| BlockImage::decode(std::hint::black_box(img_bytes.clone())).unwrap())
+    });
+    g.finish();
+}
+
+fn bytes_from(v: Vec<u8>) -> bytes::Bytes {
+    bytes::Bytes::from(v)
+}
+
+fn loaded_server() -> (DbServer, ObjectId) {
+    let cfg = InstanceConfig::builder()
+        .redo_file_bytes(4 * 1024 * 1024)
+        .redo_groups(3)
+        .checkpoint_timeout_secs(60)
+        .archive_mode(true)
+        .cache_blocks(128)
+        .build();
+    let mut srv = DbServer::on_fresh_disks("BENCH", SimClock::shared(), DiskLayout::four_disk(), cfg);
+    srv.create_database().unwrap();
+    srv.create_user("b").unwrap();
+    srv.create_tablespace("B", 2, 4096).unwrap();
+    let t = srv
+        .create_table("KV", "b", "B", vec![IndexDef { name: "PK".into(), cols: vec![0], unique: true }])
+        .unwrap();
+    (srv, t)
+}
+
+fn bench_transactions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.bench_function("insert_commit", |b| {
+        let (mut srv, t) = loaded_server();
+        let mut k = 0u64;
+        b.iter(|| {
+            k += 1;
+            let txn = srv.begin().unwrap();
+            srv.insert(txn, t, Row::new(vec![Value::U64(k), Value::from("payload")])).unwrap();
+            srv.commit(txn).unwrap();
+        })
+    });
+    g.bench_function("read_by_pk", |b| {
+        let (mut srv, t) = loaded_server();
+        for k in 0..500u64 {
+            let txn = srv.begin().unwrap();
+            srv.insert(txn, t, Row::new(vec![Value::U64(k), Value::from("payload")])).unwrap();
+            srv.commit(txn).unwrap();
+        }
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 17) % 500;
+            let rid = srv.lookup(t, 0, &[Value::U64(k)]).unwrap()[0];
+            std::hint::black_box(srv.get_row(t, rid).unwrap());
+        })
+    });
+    g.finish();
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut g = c.benchmark_group("recovery");
+    g.sample_size(10);
+    g.bench_function("crash_recovery_2000_txns", |b| {
+        b.iter_batched(
+            || {
+                let (mut srv, t) = loaded_server();
+                for k in 0..2000u64 {
+                    let txn = srv.begin().unwrap();
+                    srv.insert(txn, t, Row::new(vec![Value::U64(k), Value::from("payload")]))
+                        .unwrap();
+                    srv.commit(txn).unwrap();
+                }
+                srv.shutdown_abort().unwrap();
+                srv
+            },
+            |mut srv| {
+                srv.startup().unwrap();
+                srv
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("cold_backup", |b| {
+        b.iter_batched(
+            || {
+                let (mut srv, t) = loaded_server();
+                for k in 0..500u64 {
+                    let txn = srv.begin().unwrap();
+                    srv.insert(txn, t, Row::new(vec![Value::U64(k), Value::from("payload")]))
+                        .unwrap();
+                    srv.commit(txn).unwrap();
+                }
+                srv
+            },
+            |mut srv| {
+                srv.take_cold_backup().unwrap();
+                srv
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_codecs, bench_transactions, bench_recovery);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion benchmarks of whole benchmark experiments — one per paper
+//! artifact family. Each runs a shortened experiment of the same *kind*
+//! as the corresponding table/figure, measuring the simulator's real
+//! execution cost per experiment (the campaign budget planner).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use recobench_core::{Experiment, RecoveryConfig};
+use recobench_faults::FaultType;
+use recobench_tpcc::TpccScale;
+
+fn quick(config: &str) -> recobench_core::ExperimentBuilder {
+    Experiment::builder(RecoveryConfig::named(config).unwrap())
+        .duration_secs(120)
+        .scale(TpccScale::tiny())
+        .seed(42)
+}
+
+fn bench_experiments(c: &mut Criterion) {
+    let mut g = c.benchmark_group("experiment");
+    g.sample_size(10);
+
+    // Table 3 / Figure 4 baseline: fault-free throughput run.
+    g.bench_function("table3_baseline_run", |b| {
+        b.iter(|| quick("F10G3T5").archive_logs(false).run().unwrap())
+    });
+    // Figure 4: crash + recovery.
+    g.bench_function("fig4_shutdown_abort_run", |b| {
+        b.iter(|| quick("F10G3T5").archive_logs(false).fault(FaultType::ShutdownAbort, 60).run().unwrap())
+    });
+    // Figure 5: archiving on.
+    g.bench_function("fig5_archive_run", |b| b.iter(|| quick("F10G3T5").run().unwrap()));
+    // Table 5: media recovery of one datafile.
+    g.bench_function("table5_delete_datafile_run", |b| {
+        b.iter(|| quick("F10G3T5").fault(FaultType::DeleteDatafile, 60).run().unwrap())
+    });
+    // Table 4: incomplete (point-in-time) recovery.
+    g.bench_function("table4_drop_table_run", |b| {
+        b.iter(|| quick("F10G3T5").fault(FaultType::DeleteUsersObject, 60).run().unwrap())
+    });
+    // Figures 6/7: stand-by fail-over.
+    g.bench_function("fig6_fig7_standby_run", |b| {
+        b.iter(|| quick("F1G3T1").standby(true).fault(FaultType::ShutdownAbort, 60).run().unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_experiments);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Calibration probe: runs fault-free experiments across Table 3 and
+//! prints the emergent quantities (tpmC, redo rate, log switches) next to
+//! the paper's references, so the cost-model constants can be tuned.
+
+use recobench_bench::{unwrap_outcome, Cli};
+use recobench_core::report::Table;
+use recobench_core::{run_campaign, Experiment, RecoveryConfig};
+
+fn main() {
+    let cli = Cli::parse();
+    let configs = if cli.quick {
+        vec![
+            RecoveryConfig::named("F400G3T20").unwrap(),
+            RecoveryConfig::named("F40G3T10").unwrap(),
+            RecoveryConfig::named("F1G3T1").unwrap(),
+        ]
+    } else {
+        RecoveryConfig::table3()
+    };
+    let experiments: Vec<Experiment> = configs
+        .iter()
+        .map(|c| {
+            Experiment::builder(c.clone())
+                .archive_logs(false)
+                .duration_secs(cli.duration())
+                .seed(cli.seed)
+                .build()
+        })
+        .collect();
+    let results = run_campaign(experiments, cli.threads);
+
+    let mut table = Table::new(vec![
+        "Config",
+        "tpmC",
+        "redo MB",
+        "redo MB/s",
+        "switches",
+        "paper #CKPT",
+        "commits",
+        "errors",
+    ])
+    .title("Calibration: fault-free runs (archive off)");
+    for (config, r) in configs.iter().zip(results) {
+        let o = unwrap_outcome(r);
+        let m = &o.measures;
+        let secs = cli.duration() as f64;
+        table.row(vec![
+            o.config_name.clone(),
+            format!("{:.0}", m.tpmc),
+            format!("{:.1}", m.redo_mb),
+            format!("{:.3}", m.redo_mb / secs),
+            format!("{}", m.log_switches),
+            config.paper_checkpoints().map_or("-".into(), |v| v.to_string()),
+            format!("{}", m.total_commits),
+            format!("{}", m.client_errors),
+        ]);
+    }
+    println!("{}", table.render());
+}

@@ -1,0 +1,49 @@
+//! Regenerates **Figure 5** of the paper: baseline tpmC with and without
+//! the archive-log mechanism, for the configurations that actually start
+//! archiving within one experiment (F40G3T10 … F1G2T1).
+//!
+//! Expected shape (paper §5.2): a *moderate* performance impact — "the
+//! archive log option must always be activated".
+
+use recobench_bench::{perf_experiment, unwrap_outcome, Cli};
+use recobench_core::report::{bar, Table};
+use recobench_core::{run_campaign, Experiment};
+
+fn main() {
+    let cli = Cli::parse();
+    let configs = cli.archive_configs();
+    let mut experiments: Vec<Experiment> = Vec::new();
+    for c in &configs {
+        experiments.push(perf_experiment(&cli, c, false));
+        experiments.push(perf_experiment(&cli, c, true));
+    }
+    let results = run_campaign(experiments, cli.threads);
+
+    let mut table = Table::new(vec![
+        "Config",
+        "tpmC (no archive)",
+        "tpmC (archive)",
+        "impact %",
+        "archive bar",
+    ])
+    .title("Figure 5 — performance with and without archive logs");
+    let mut max_tpmc: f64 = 1.0;
+    let pairs: Vec<_> = results
+        .chunks(2)
+        .map(|ch| (unwrap_outcome(ch[0].clone()), unwrap_outcome(ch[1].clone())))
+        .collect();
+    for (off, _) in &pairs {
+        max_tpmc = max_tpmc.max(off.measures.tpmc);
+    }
+    for (c, (off, on)) in configs.iter().zip(&pairs) {
+        let impact = 100.0 * (off.measures.tpmc - on.measures.tpmc) / off.measures.tpmc.max(1.0);
+        table.row(vec![
+            c.name.clone(),
+            format!("{:.0}", off.measures.tpmc),
+            format!("{:.0}", on.measures.tpmc),
+            format!("{impact:.1}"),
+            bar(on.measures.tpmc, max_tpmc, 24),
+        ]);
+    }
+    println!("{}", table.render());
+}

@@ -1,0 +1,31 @@
+//! Regenerates **Table 2** of the paper: the concrete operator fault
+//! types for the (simulated) Oracle-8i-class DBMS, with their class and
+//! portability rating, plus which of the six injected types represents
+//! each in the experiments.
+
+use recobench_core::report::Table;
+use recobench_faults::{FaultClass, FaultType, OperatorFaultType};
+
+fn main() {
+    let mut table =
+        Table::new(vec!["Class", "Type of operator fault", "Other DBMS", "Injected as"])
+            .title("Table 2 — concrete types of DBMS operator faults");
+    for class in FaultClass::all() {
+        for t in OperatorFaultType::all().into_iter().filter(|t| t.class() == class) {
+            table.row(vec![
+                class.to_string(),
+                t.description().to_string(),
+                t.portability().to_string(),
+                t.representative().map_or("-".to_string(), |f| f.to_string()),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+
+    let mut summary = Table::new(vec!["Injected fault type", "Class", "Recovery kind"])
+        .title("The six injected fault types (paper section 4)");
+    for f in FaultType::all() {
+        summary.row(vec![f.to_string(), f.class().to_string(), format!("{:?}", f.recovery_kind())]);
+    }
+    println!("{}", summary.render());
+}

@@ -1,0 +1,80 @@
+//! Campaign execution: many independent experiments, in parallel.
+//!
+//! The paper injects 146 faults across its configurations; RecoBench runs
+//! each `(configuration, fault, trigger)` cell as an isolated experiment
+//! (own clock, own disks) so campaigns parallelize perfectly across
+//! threads.
+
+use crossbeam::thread;
+
+use crate::experiment::{Experiment, ExperimentOutcome};
+
+/// Runs every experiment, in order, using up to `threads` worker threads
+/// (0 = one per available core). Results come back in input order; an
+/// experiment whose *setup* failed is reported as an `Err` string in its
+/// slot.
+pub fn run_campaign(experiments: Vec<Experiment>, threads: usize) -> Vec<Result<ExperimentOutcome, String>> {
+    let workers = if threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    } else {
+        threads
+    };
+    let n = experiments.len();
+    let mut results: Vec<Option<Result<ExperimentOutcome, String>>> = Vec::new();
+    results.resize_with(n, || None);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots: Vec<std::sync::Mutex<Option<Result<ExperimentOutcome, String>>>> =
+        (0..n).map(|_| std::sync::Mutex::new(None)).collect();
+
+    thread::scope(|scope| {
+        for _ in 0..workers.min(n.max(1)) {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let outcome = experiments[i].run().map_err(|e| e.to_string());
+                *slots[i].lock().unwrap() = Some(outcome);
+            });
+        }
+    })
+    .expect("campaign worker panicked");
+
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().unwrap().expect("every slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::configs::RecoveryConfig;
+    use recobench_faults::FaultType;
+    use recobench_tpcc::TpccScale;
+
+    #[test]
+    fn campaign_preserves_order_and_runs_all() {
+        let mk = |cfg: &str, fault: Option<FaultType>| {
+            let mut b = Experiment::builder(RecoveryConfig::named(cfg).unwrap())
+                .duration_secs(150)
+                .scale(TpccScale::tiny())
+                .seed(3);
+            if let Some(f) = fault {
+                b = b.fault(f, 60);
+            }
+            b.build()
+        };
+        let exps = vec![
+            mk("F10G3T5", None),
+            mk("F1G3T1", Some(FaultType::ShutdownAbort)),
+            mk("F40G3T10", None),
+        ];
+        let results = run_campaign(exps, 2);
+        assert_eq!(results.len(), 3);
+        let names: Vec<_> =
+            results.iter().map(|r| r.as_ref().unwrap().config_name.clone()).collect();
+        assert_eq!(names, vec!["F10G3T5", "F1G3T1", "F40G3T10"]);
+        assert!(results[1].as_ref().unwrap().measures.recovery_time_secs.is_some());
+    }
+}

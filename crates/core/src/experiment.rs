@@ -1,0 +1,424 @@
+//! One benchmark experiment: the paper's §4 procedure.
+//!
+//! Setup (database creation, TPC-C load, cold backup, optional stand-by
+//! instantiation) happens before the workload timer starts; the fault
+//! triggers at its offset from workload start; the recovery procedure runs
+//! immediately after the (constant, small) detection time; the driver
+//! keeps submitting transactions until the 20 simulated minutes are over;
+//! then the measures are evaluated.
+
+use recobench_engine::{DbResult, DbServer, DiskLayout, StandbyServer};
+use recobench_faults::{FaultInjector, FaultPlan, FaultType};
+use recobench_sim::{SimClock, SimDuration, SimRng, SimTime};
+use recobench_tpcc::{check_consistency, create_schema, load_database, DriverConfig, TpccDriver, TpccScale};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+use crate::configs::RecoveryConfig;
+use crate::measures::Measures;
+
+/// A fully specified experiment, ready to run.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    config: RecoveryConfig,
+    archive: bool,
+    standby: bool,
+    fault: Option<FaultPlan>,
+    duration: SimDuration,
+    seed: u64,
+    scale: TpccScale,
+    driver_cfg: DriverConfig,
+    datafiles: u32,
+    blocks_per_file: u64,
+    layout: DiskLayout,
+}
+
+/// Builder for [`Experiment`].
+#[derive(Debug, Clone)]
+pub struct ExperimentBuilder {
+    exp: Experiment,
+}
+
+/// Everything one experiment produced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentOutcome {
+    /// Configuration name (paper scheme).
+    pub config_name: String,
+    /// Whether ARCHIVELOG mode was on.
+    pub archive: bool,
+    /// Whether a stand-by database was used.
+    pub standby: bool,
+    /// The injected fault, if any.
+    pub fault: Option<FaultType>,
+    /// Trigger offset in seconds, if a fault was injected.
+    pub trigger_secs: Option<u64>,
+    /// The measures.
+    pub measures: Measures,
+    /// Redo records re-applied by the recovery procedure.
+    pub recovery_records_applied: u64,
+    /// Archive files the recovery procedure processed.
+    pub recovery_archives: u64,
+    /// Whether the recovery procedure itself failed (the configuration
+    /// cannot tolerate this fault — e.g. no archives, no backup).
+    pub unrecoverable: bool,
+}
+
+impl Experiment {
+    /// Starts building an experiment on `config`.
+    pub fn builder(config: RecoveryConfig) -> ExperimentBuilder {
+        ExperimentBuilder {
+            exp: Experiment {
+                config,
+                archive: true,
+                standby: false,
+                fault: None,
+                duration: SimDuration::from_secs(1_200),
+                seed: 1,
+                scale: TpccScale::mini(),
+                driver_cfg: DriverConfig::default(),
+                datafiles: 8,
+                blocks_per_file: 768,
+                layout: DiskLayout::four_disk(),
+            },
+        }
+    }
+
+    /// The configuration under test.
+    pub fn config(&self) -> &RecoveryConfig {
+        &self.config
+    }
+
+    /// Runs the experiment to completion.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on *setup* problems (the benchmark itself is
+    /// misconfigured); faults and failed recoveries are results, not
+    /// errors.
+    pub fn run(&self) -> DbResult<ExperimentOutcome> {
+        let clock = SimClock::shared();
+        let icfg = self.config.to_instance_config(self.archive);
+        let mut primary = DbServer::on_fresh_disks(
+            "PRIMARY",
+            Arc::clone(&clock),
+            self.layout.clone(),
+            icfg.clone(),
+        );
+        primary.create_database()?;
+        let mut rng = SimRng::seed_from(self.seed);
+        let schema = create_schema(&mut primary, self.scale, self.datafiles, self.blocks_per_file)?;
+        let mut load_rng = rng.fork(1);
+        load_database(&mut primary, &schema, &mut load_rng)?;
+        primary.take_cold_backup()?;
+        let mut standby = if self.standby {
+            Some(StandbyServer::instantiate(
+                &primary,
+                "STANDBY",
+                Arc::clone(&clock),
+                DiskLayout::four_disk(),
+                icfg,
+            )?)
+        } else {
+            None
+        };
+
+        let t0 = clock.now();
+        let end = t0 + self.duration;
+        let mut driver = TpccDriver::new(schema, self.driver_cfg, rng.fork(2), t0);
+        let stats0 = primary.stats();
+
+        let injector = self.fault.clone().map(FaultInjector::new);
+        let mut fault_time: Option<SimTime> = None;
+        let mut recovery_ready: Option<SimTime> = None;
+        let mut records_applied = 0u64;
+        let mut archives_processed = 0u64;
+        let mut unrecoverable = false;
+        let mut using_standby = false;
+        let mut injected = false;
+        // Rolling (time, SCN) trail so time-based incomplete recovery can
+        // stop a margin before the fault, as a real `UNTIL TIME` would.
+        let mut scn_trail: Vec<(SimTime, recobench_engine::Scn)> = Vec::new();
+
+        loop {
+            let now = clock.now();
+            if now >= end {
+                break;
+            }
+            // Inject the fault the moment its trigger time is the next
+            // event on the timeline.
+            if let Some(inj) = &injector {
+                if !injected {
+                    let tt = inj.trigger_time(t0);
+                    if tt <= driver.next_ready() && tt <= end {
+                        clock.advance_to(tt);
+                        if let Some(sb) = standby.as_mut() {
+                            let _ = sb.sync(&primary);
+                        }
+                        let mut record = inj.inject(&mut primary)?;
+                        fault_time = Some(record.injected_at);
+                        // Time-based recovery imprecision: stop at the SCN
+                        // in force `pitr_margin` before the fault.
+                        let margin_cutoff = SimTime::from_micros(
+                            record
+                                .injected_at
+                                .as_micros()
+                                .saturating_sub(inj.plan().pitr_margin.as_micros()),
+                        );
+                        if let Some((_, scn)) =
+                            scn_trail.iter().rev().find(|(t, _)| *t <= margin_cutoff)
+                        {
+                            record.scn_before = (*scn).min(record.scn_before);
+                        }
+                        injected = true;
+                        if let Some(sb) = standby.as_mut() {
+                            // Fail over to the stand-by, whatever the fault.
+                            let _ = sb.sync(&primary);
+                            match sb.activate() {
+                                Ok(ready) => {
+                                    using_standby = true;
+                                    recovery_ready = Some(ready);
+                                    records_applied = sb.records_applied;
+                                }
+                                Err(_) => unrecoverable = true,
+                            }
+                        } else {
+                            match inj.recover(&mut primary, &record) {
+                                Ok(out) => {
+                                    recovery_ready = Some(out.recovery_finished_at);
+                                    records_applied = out.records_applied;
+                                    archives_processed = out.archives_processed;
+                                }
+                                Err(_) => unrecoverable = true,
+                            }
+                        }
+                        continue;
+                    }
+                }
+            }
+            if driver.next_ready() >= end {
+                clock.advance_to(end);
+                break;
+            }
+            if using_standby {
+                let sb = standby.as_mut().expect("stand-by present when in use");
+                driver.step(sb.server_mut());
+            } else {
+                driver.step(&mut primary);
+                if !injected {
+                    match scn_trail.last() {
+                        Some((_, last)) if *last == primary.current_scn() => {}
+                        _ => scn_trail.push((clock.now(), primary.current_scn())),
+                    }
+                }
+                if let Some(sb) = standby.as_mut() {
+                    let _ = sb.sync(&primary);
+                }
+            }
+        }
+
+        // ---- Evaluate the measures -----------------------------------
+        let active: &DbServer = if using_standby {
+            standby.as_ref().expect("stand-by present when in use").server()
+        } else {
+            &primary
+        };
+        let warm_up = SimDuration::from_secs(60).min(self.duration / 10);
+        let perf_end = fault_time.unwrap_or(end).min(end);
+        let tpmc = driver.tpmc(t0 + warm_up, perf_end);
+
+        let (recovery_time_secs, recovered_within_run) = match (fault_time, recovery_ready) {
+            (Some(ft), Some(ready)) => match driver.first_success_after(ready) {
+                Some(restored) => (Some(restored.saturating_since(ft).as_secs_f64()), true),
+                None => (None, false),
+            },
+            (Some(_), None) => (None, false),
+            (None, _) => (None, true),
+        };
+
+        let (lost, violations) = if active.is_open() {
+            let lost = driver.audit_lost_orders(active).unwrap_or(0);
+            let violations = check_consistency(active, &schema)
+                .map(|r| r.violation_count())
+                .unwrap_or(u64::MAX);
+            (lost, violations)
+        } else {
+            (0, 0)
+        };
+
+        let window = primary.stats().since(&stats0);
+        let measures = Measures {
+            tpmc,
+            recovery_time_secs,
+            recovered_within_run,
+            lost_transactions: lost,
+            integrity_violations: violations,
+            checkpoints: window.log_switches,
+            log_switches: window.log_switches,
+            redo_mb: window.redo_bytes as f64 / (1024.0 * 1024.0),
+            client_errors: driver.error_count(),
+            total_commits: window.commits,
+        };
+        Ok(ExperimentOutcome {
+            config_name: self.config.name.clone(),
+            archive: self.archive,
+            standby: self.standby,
+            fault: self.fault.as_ref().map(|p| p.fault),
+            trigger_secs: self.fault.as_ref().map(|p| p.trigger_after.as_micros() / 1_000_000),
+            measures,
+            recovery_records_applied: records_applied,
+            recovery_archives: archives_processed,
+            unrecoverable,
+        })
+    }
+}
+
+impl ExperimentBuilder {
+    /// Injects `fault` at `trigger_after_secs` after workload start.
+    pub fn fault(mut self, fault: FaultType, trigger_after_secs: u64) -> Self {
+        self.exp.fault = Some(FaultPlan::new(fault, trigger_after_secs));
+        self
+    }
+
+    /// Injects a fully customized fault plan.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.exp.fault = Some(plan);
+        self
+    }
+
+    /// Enables or disables ARCHIVELOG mode (default: on).
+    pub fn archive_logs(mut self, on: bool) -> Self {
+        self.exp.archive = on;
+        self
+    }
+
+    /// Adds a stand-by database that takes over on the fault.
+    pub fn standby(mut self, on: bool) -> Self {
+        self.exp.standby = on;
+        self
+    }
+
+    /// Experiment duration in simulated seconds (paper: 1 200).
+    pub fn duration_secs(mut self, secs: u64) -> Self {
+        self.exp.duration = SimDuration::from_secs(secs);
+        self
+    }
+
+    /// RNG seed for the whole experiment.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.exp.seed = seed;
+        self
+    }
+
+    /// TPC-C scale (default [`TpccScale::mini`]).
+    pub fn scale(mut self, scale: TpccScale) -> Self {
+        self.exp.scale = scale;
+        self
+    }
+
+    /// Terminal-driver configuration.
+    pub fn driver(mut self, cfg: DriverConfig) -> Self {
+        self.exp.driver_cfg = cfg;
+        self
+    }
+
+    /// Storage provisioning for the TPC-C tablespace.
+    pub fn storage(mut self, datafiles: u32, blocks_per_file: u64) -> Self {
+        self.exp.datafiles = datafiles;
+        self.exp.blocks_per_file = blocks_per_file;
+        self
+    }
+
+    /// Disk layout for the primary server (default: the paper's four-disk
+    /// layout). [`DiskLayout::single_disk`] reproduces the "incorrect
+    /// distribution of files through disks" operator-fault class as a
+    /// standing misconfiguration.
+    pub fn layout(mut self, layout: DiskLayout) -> Self {
+        self.exp.layout = layout;
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> Experiment {
+        self.exp
+    }
+
+    /// Builds and runs in one call.
+    ///
+    /// # Errors
+    ///
+    /// See [`Experiment::run`].
+    pub fn run(self) -> DbResult<ExperimentOutcome> {
+        self.exp.run()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(config: &str) -> ExperimentBuilder {
+        Experiment::builder(RecoveryConfig::named(config).unwrap())
+            .duration_secs(180)
+            .scale(TpccScale::tiny())
+            .seed(7)
+    }
+
+    #[test]
+    fn fault_free_run_measures_throughput() {
+        let out = quick("F10G3T5").run().unwrap();
+        assert!(out.measures.tpmc > 0.0, "tpmC must be positive, got {}", out.measures.tpmc);
+        assert!(out.measures.recovery_time_secs.is_none());
+        assert_eq!(out.measures.integrity_violations, 0);
+        assert_eq!(out.measures.lost_transactions, 0);
+        assert_eq!(out.measures.client_errors, 0);
+        assert!(!out.unrecoverable);
+    }
+
+    #[test]
+    fn shutdown_abort_recovers_completely() {
+        let out = quick("F10G3T5").fault(FaultType::ShutdownAbort, 60).run().unwrap();
+        let rt = out.measures.recovery_time_secs.expect("service must return");
+        assert!(rt > 5.0, "instance restart takes at least the startup cost, got {rt}");
+        assert!(rt < 120.0, "crash recovery is fast, got {rt}");
+        assert_eq!(out.measures.lost_transactions, 0, "complete recovery");
+        assert_eq!(out.measures.integrity_violations, 0);
+        assert!(rt > 10.0, "recovery time includes detection + instance startup, got {rt}");
+    }
+
+    #[test]
+    fn drop_table_loses_the_tail_but_stays_consistent() {
+        let out = quick("F10G3T5").duration_secs(600).fault(FaultType::DeleteUsersObject, 60).run().unwrap();
+        assert!(out.measures.recovery_time_secs.is_some(), "PITR must complete in 540 s");
+        assert!(out.measures.integrity_violations == 0);
+        // Detection takes a second; a few transactions commit between the
+        // stop SCN and the service stopping.
+        assert!(out.measures.lost_transactions > 0, "incomplete recovery loses the tail");
+        assert!(out.recovery_records_applied > 0);
+    }
+
+    #[test]
+    fn standby_failover_bounds_recovery_time() {
+        let out = quick("F1G3T1")
+            .duration_secs(420)
+            .standby(true)
+            .fault(FaultType::ShutdownAbort, 120)
+            .run()
+            .unwrap();
+        assert!(out.standby);
+        let rt = out.measures.recovery_time_secs.expect("failover completes");
+        assert!(rt < 90.0, "standby activation is fast, got {rt}");
+        assert_eq!(out.measures.integrity_violations, 0);
+    }
+
+    #[test]
+    fn noarchivelog_cannot_recover_deleted_datafile_after_reuse() {
+        let out = quick("F1G3T1")
+            .archive_logs(false)
+            .duration_secs(300)
+            .fault(FaultType::DeleteDatafile, 120)
+            .run()
+            .unwrap();
+        assert!(out.unrecoverable, "1 MB logs cycle well before 120 s; redo is gone");
+        assert!(!out.measures.recovered_within_run);
+    }
+}

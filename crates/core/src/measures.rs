@@ -1,0 +1,79 @@
+//! The benchmark's measures: performance plus the paper's three
+//! dependability extensions.
+
+use serde::{Deserialize, Serialize};
+
+/// Measures of one experiment, taken from the end-user point of view.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Measures {
+    /// Committed New-Order transactions per minute over the measurement
+    /// window (up to the fault, or the whole run when fault-free).
+    pub tpmc: f64,
+    /// Recovery time in seconds: from fault activation until transaction
+    /// execution is re-established at the client. `None` for fault-free
+    /// runs; also `None` when the run ended before service returned (the
+    /// paper reports those cells as "> 600").
+    pub recovery_time_secs: Option<f64>,
+    /// Whether service returned before the experiment ended.
+    pub recovered_within_run: bool,
+    /// Committed-and-acknowledged transactions whose effects are missing
+    /// after recovery.
+    pub lost_transactions: u64,
+    /// TPC-C consistency violations detected after recovery.
+    pub integrity_violations: u64,
+    /// Log-switch (full) checkpoints during the run — Table 3's
+    /// "#CKPT per Experiment" column.
+    pub checkpoints: u64,
+    /// Log switches during the run.
+    pub log_switches: u64,
+    /// Redo generated during the run, in MB (change vectors included).
+    pub redo_mb: f64,
+    /// Transaction attempts that failed with an error.
+    pub client_errors: u64,
+    /// Committed transactions of all five profiles.
+    pub total_commits: u64,
+}
+
+impl Measures {
+    /// Renders the recovery time the way the paper's tables do:
+    /// seconds, or `> <cap>` when service did not return within the run.
+    pub fn recovery_cell(&self, cap_secs: u64) -> String {
+        match (self.recovery_time_secs, self.recovered_within_run) {
+            (Some(rt), true) => format!("{rt:.0}"),
+            (_, false) => format!(">{cap_secs}"),
+            (None, true) => "-".to_string(),
+        }
+    }
+}
+
+impl Default for Measures {
+    fn default() -> Self {
+        Measures {
+            tpmc: 0.0,
+            recovery_time_secs: None,
+            recovered_within_run: true,
+            lost_transactions: 0,
+            integrity_violations: 0,
+            checkpoints: 0,
+            log_switches: 0,
+            redo_mb: 0.0,
+            client_errors: 0,
+            total_commits: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovery_cell_formats_like_the_paper() {
+        let mut m = Measures { recovery_time_secs: Some(34.4), ..Default::default() };
+        assert_eq!(m.recovery_cell(600), "34");
+        m.recovered_within_run = false;
+        assert_eq!(m.recovery_cell(600), ">600");
+        let fault_free = Measures::default();
+        assert_eq!(fault_free.recovery_cell(600), "-");
+    }
+}

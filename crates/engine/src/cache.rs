@@ -1,0 +1,341 @@
+//! The buffer cache: decoded block frames with LRU replacement and dirty
+//! tracking.
+//!
+//! The cache is deliberately small relative to the working set (see
+//! DESIGN.md §6): the paper's database is far larger than its SGA, and the
+//! foreground read misses that result are what make checkpoint write
+//! bursts visible in the tpmC curve.
+
+use std::collections::{BTreeMap, HashMap};
+
+use recobench_sim::SimTime;
+
+use crate::page::BlockImage;
+use crate::types::{FileNo, RedoAddr};
+
+/// Cache key: datafile number and block index.
+pub type BlockKey = (FileNo, u32);
+
+/// Dirty bookkeeping for a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DirtyInfo {
+    /// Redo address of the first unwritten change to this block.
+    pub first_addr: RedoAddr,
+    /// Instant of the first unwritten change.
+    pub first_time: SimTime,
+    /// Redo address of the last change (WAL: must be flushed before the
+    /// block may be written).
+    pub last_addr: RedoAddr,
+}
+
+#[derive(Debug)]
+struct Frame {
+    img: BlockImage,
+    dirty: Option<DirtyInfo>,
+    stamp: u64,
+}
+
+/// A frame evicted to make room, handed back to the caller who must write
+/// it out if dirty.
+#[derive(Debug)]
+pub struct Evicted {
+    /// Which block this was.
+    pub key: BlockKey,
+    /// The block image to write back.
+    pub img: BlockImage,
+    /// Dirty bookkeeping, if the frame had unwritten changes.
+    pub dirty: Option<DirtyInfo>,
+}
+
+/// Cache hit/miss counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups satisfied from memory.
+    pub hits: u64,
+    /// Lookups requiring a disk read.
+    pub misses: u64,
+    /// Frames written back on eviction.
+    pub dirty_evictions: u64,
+}
+
+/// The buffer cache.
+#[derive(Debug)]
+pub struct BufferCache {
+    capacity: usize,
+    frames: HashMap<BlockKey, Frame>,
+    lru: BTreeMap<u64, BlockKey>,
+    next_stamp: u64,
+    stats: CacheStats,
+}
+
+impl BufferCache {
+    /// Creates a cache holding at most `capacity` blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        BufferCache {
+            capacity,
+            frames: HashMap::with_capacity(capacity),
+            lru: BTreeMap::new(),
+            next_stamp: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    fn touch(&mut self, key: BlockKey) {
+        if let Some(f) = self.frames.get_mut(&key) {
+            self.lru.remove(&f.stamp);
+            self.next_stamp += 1;
+            f.stamp = self.next_stamp;
+            self.lru.insert(f.stamp, key);
+        }
+    }
+
+    /// Looks up a block, bumping its recency. Records a hit or miss.
+    pub fn get(&mut self, key: BlockKey) -> Option<&BlockImage> {
+        if self.frames.contains_key(&key) {
+            self.stats.hits += 1;
+            self.touch(key);
+            self.frames.get(&key).map(|f| &f.img)
+        } else {
+            self.stats.misses += 1;
+            None
+        }
+    }
+
+    /// Whether the block is resident (no recency bump, no stats).
+    pub fn contains(&self, key: BlockKey) -> bool {
+        self.frames.contains_key(&key)
+    }
+
+    /// Read-only view of a resident block without touching recency or
+    /// hit/miss counters (zero-cost inspection paths).
+    pub fn peek(&self, key: BlockKey) -> Option<&BlockImage> {
+        self.frames.get(&key).map(|f| &f.img)
+    }
+
+    /// Mutable access to a *resident* block (no hit/miss accounting; use
+    /// after [`BufferCache::get`] or [`BufferCache::insert`]).
+    pub fn get_mut(&mut self, key: BlockKey) -> Option<&mut BlockImage> {
+        self.touch(key);
+        self.frames.get_mut(&key).map(|f| &mut f.img)
+    }
+
+    /// Inserts a block image read from disk. If the cache is full, the
+    /// least-recently-used frame is returned for the caller to write back.
+    pub fn insert(&mut self, key: BlockKey, img: BlockImage) -> Option<Evicted> {
+        let evicted = if self.frames.len() >= self.capacity && !self.frames.contains_key(&key) {
+            self.evict_lru()
+        } else {
+            None
+        };
+        self.next_stamp += 1;
+        let stamp = self.next_stamp;
+        if let Some(old) = self.frames.insert(key, Frame { img, dirty: None, stamp }) {
+            self.lru.remove(&old.stamp);
+        }
+        self.lru.insert(stamp, key);
+        evicted
+    }
+
+    fn evict_lru(&mut self) -> Option<Evicted> {
+        let (&stamp, &key) = self.lru.iter().next()?;
+        self.lru.remove(&stamp);
+        let frame = self.frames.remove(&key)?;
+        if frame.dirty.is_some() {
+            self.stats.dirty_evictions += 1;
+        }
+        Some(Evicted { key, img: frame.img, dirty: frame.dirty })
+    }
+
+    /// Marks a resident block dirty after a change at `addr`/`now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is not resident (changes always go through a
+    /// resident frame).
+    pub fn mark_dirty(&mut self, key: BlockKey, addr: RedoAddr, now: SimTime) {
+        let f = self.frames.get_mut(&key).expect("dirtied block must be resident");
+        match &mut f.dirty {
+            Some(d) => d.last_addr = d.last_addr.max(addr),
+            None => f.dirty = Some(DirtyInfo { first_addr: addr, first_time: now, last_addr: addr }),
+        }
+    }
+
+    /// The oldest first-change redo address among dirty frames — the
+    /// incremental checkpoint position (callers substitute the log tail
+    /// when this returns `None`).
+    pub fn min_dirty_addr(&self) -> Option<RedoAddr> {
+        self.frames.values().filter_map(|f| f.dirty.map(|d| d.first_addr)).min()
+    }
+
+    /// Drains and returns every dirty frame matching `pred` (the caller
+    /// writes them out and they become clean).
+    pub fn take_dirty<F>(&mut self, mut pred: F) -> Vec<(BlockKey, BlockImage, DirtyInfo)>
+    where
+        F: FnMut(BlockKey, &DirtyInfo) -> bool,
+    {
+        let mut out = Vec::new();
+        for (key, frame) in self.frames.iter_mut() {
+            if let Some(d) = frame.dirty {
+                if pred(*key, &d) {
+                    out.push((*key, frame.img.clone(), d));
+                    frame.dirty = None;
+                }
+            }
+        }
+        out.sort_by_key(|(k, _, _)| *k);
+        out
+    }
+
+    /// Number of dirty frames.
+    pub fn dirty_count(&self) -> usize {
+        self.frames.values().filter(|f| f.dirty.is_some()).count()
+    }
+
+    /// Number of resident frames.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Drops every frame belonging to `file` without writing (used when a
+    /// datafile is dropped or restored underneath the cache).
+    pub fn invalidate_file(&mut self, file: FileNo) {
+        let keys: Vec<BlockKey> =
+            self.frames.keys().filter(|(f, _)| *f == file).copied().collect();
+        for k in keys {
+            if let Some(frame) = self.frames.remove(&k) {
+                self.lru.remove(&frame.stamp);
+            }
+        }
+    }
+
+    /// Hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// The latest unwritten change address among dirty frames (everything
+    /// at or below must be flushed before a full checkpoint's writes are
+    /// WAL-safe).
+    pub fn max_dirty_last_addr(&self) -> Option<RedoAddr> {
+        self.frames.values().filter_map(|f| f.dirty.map(|d| d.last_addr)).max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row::{Row, Value};
+    use crate::types::Scn;
+
+    fn key(n: u32) -> BlockKey {
+        (FileNo(1), n)
+    }
+
+    fn addr(o: u64) -> RedoAddr {
+        RedoAddr { seq: 1, offset: o }
+    }
+
+    fn img_with_row(n: u64) -> BlockImage {
+        let mut img = BlockImage::empty();
+        img.put(0, Row::new(vec![Value::U64(n)]), Scn(n));
+        img
+    }
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let mut c = BufferCache::new(2);
+        assert!(c.get(key(1)).is_none());
+        c.insert(key(1), BlockImage::empty());
+        assert!(c.get(key(1)).is_some());
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = BufferCache::new(2);
+        c.insert(key(1), img_with_row(1));
+        c.insert(key(2), img_with_row(2));
+        c.get(key(1)); // make 2 the LRU
+        let ev = c.insert(key(3), img_with_row(3)).expect("eviction");
+        assert_eq!(ev.key, key(2));
+        assert!(c.contains(key(1)) && c.contains(key(3)));
+    }
+
+    #[test]
+    fn dirty_tracking_first_and_last() {
+        let mut c = BufferCache::new(2);
+        c.insert(key(1), BlockImage::empty());
+        c.mark_dirty(key(1), addr(100), SimTime::from_secs(1));
+        c.mark_dirty(key(1), addr(300), SimTime::from_secs(3));
+        let dirty = c.take_dirty(|_, _| true);
+        assert_eq!(dirty.len(), 1);
+        let d = dirty[0].2;
+        assert_eq!(d.first_addr, addr(100));
+        assert_eq!(d.last_addr, addr(300));
+        assert_eq!(d.first_time, SimTime::from_secs(1));
+        assert_eq!(c.dirty_count(), 0);
+    }
+
+    #[test]
+    fn min_dirty_addr_is_checkpoint_position() {
+        let mut c = BufferCache::new(4);
+        c.insert(key(1), BlockImage::empty());
+        c.insert(key(2), BlockImage::empty());
+        c.mark_dirty(key(1), addr(500), SimTime::ZERO);
+        c.mark_dirty(key(2), addr(200), SimTime::ZERO);
+        assert_eq!(c.min_dirty_addr(), Some(addr(200)));
+        // Writing the older one advances the position.
+        let taken = c.take_dirty(|_, d| d.first_addr <= addr(200));
+        assert_eq!(taken.len(), 1);
+        assert_eq!(c.min_dirty_addr(), Some(addr(500)));
+    }
+
+    #[test]
+    fn dirty_eviction_returns_payload() {
+        let mut c = BufferCache::new(1);
+        c.insert(key(1), img_with_row(7));
+        c.mark_dirty(key(1), addr(10), SimTime::ZERO);
+        let ev = c.insert(key(2), BlockImage::empty()).expect("eviction");
+        assert_eq!(ev.key, key(1));
+        assert!(ev.dirty.is_some());
+        assert_eq!(ev.img.row(0).unwrap().get(0).unwrap().as_u64(), Some(7));
+        assert_eq!(c.stats().dirty_evictions, 1);
+    }
+
+    #[test]
+    fn invalidate_file_drops_frames() {
+        let mut c = BufferCache::new(4);
+        c.insert((FileNo(1), 0), BlockImage::empty());
+        c.insert((FileNo(2), 0), BlockImage::empty());
+        c.invalidate_file(FileNo(1));
+        assert!(!c.contains((FileNo(1), 0)));
+        assert!(c.contains((FileNo(2), 0)));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn reinsert_same_key_does_not_evict() {
+        let mut c = BufferCache::new(1);
+        c.insert(key(1), img_with_row(1));
+        assert!(c.insert(key(1), img_with_row(2)).is_none());
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "resident")]
+    fn mark_dirty_nonresident_panics() {
+        let mut c = BufferCache::new(1);
+        c.mark_dirty(key(9), addr(1), SimTime::ZERO);
+    }
+}

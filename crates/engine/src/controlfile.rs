@@ -1,0 +1,296 @@
+//! The control file: the database's persistent metadata root.
+//!
+//! In the simulation the control file survives instance crashes because it
+//! belongs to the [`DbServer`](crate::server::DbServer) (the *machine*),
+//! while everything volatile belongs to the
+//! [`Instance`](crate::instance::Instance) that a crash destroys.
+//!
+//! State transitions that complete asynchronously (checkpoints, archiving)
+//! are stored as *timestamped facts*: a checkpoint record carries the
+//! instant its writes finished, and a crash at time `T` only honours
+//! records completed by `T`. This is how the simulation gets crash
+//! semantics right without replaying I/O.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use recobench_sim::SimTime;
+use recobench_vfs::FileId;
+
+use crate::catalog::Catalog;
+use crate::types::{FileNo, RedoAddr, Scn, TablespaceId};
+
+/// One online redo log group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogGroup {
+    /// Path of the group's (single-member) log file.
+    pub path: String,
+    /// Filesystem handle.
+    pub vfs_id: FileId,
+}
+
+/// Where a log sequence lives and when it stops being needed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeqLocation {
+    /// Online group still holding this sequence, if not yet overwritten.
+    pub group: Option<usize>,
+    /// Archive file holding a copy, if archived.
+    pub archive: Option<FileId>,
+    /// When the archive copy completed.
+    pub archive_done_at: Option<SimTime>,
+    /// When the checkpoint triggered by switching *out* of this sequence
+    /// completed (after which the sequence's redo is no longer needed for
+    /// crash recovery).
+    pub released_at: Option<SimTime>,
+    /// Size of the sequence when it was closed (padding included); `None`
+    /// while it is still being written.
+    pub end_offset: Option<u64>,
+}
+
+/// A completed (or completing) checkpoint.
+#[derive(Debug, Clone)]
+pub struct CkptRecord {
+    /// Redo address recovery may start from once this checkpoint holds.
+    pub position: RedoAddr,
+    /// SCN at the time the checkpoint was taken.
+    pub scn: Scn,
+    /// Instant the checkpoint's datafile writes completed.
+    pub complete_at: SimTime,
+    /// Dictionary snapshot consistent with `position`.
+    pub catalog: Arc<Catalog>,
+}
+
+/// Runtime (non-dictionary) state of a datafile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FileRuntime {
+    /// Whether the file is offline (operator action or damage).
+    pub offline: bool,
+    /// If media recovery is needed to bring the file online, the redo
+    /// address to recover from.
+    pub recover_from: Option<RedoAddr>,
+}
+
+/// The control file.
+#[derive(Debug, Clone)]
+pub struct ControlFile {
+    /// Database name.
+    pub db_name: String,
+    /// Online redo log groups, in order.
+    pub groups: Vec<LogGroup>,
+    /// Group currently being written.
+    pub current_group: usize,
+    /// Sequence currently being written.
+    pub current_seq: u64,
+    /// Bytes flushed into the current sequence (padding included).
+    pub current_flushed: u64,
+    /// Location and lifecycle of every known sequence.
+    pub seqs: BTreeMap<u64, SeqLocation>,
+    /// Checkpoint history, oldest first.
+    pub checkpoints: Vec<CkptRecord>,
+    /// Per-datafile runtime state (offline flags).
+    pub file_states: BTreeMap<FileNo, FileRuntime>,
+    /// Offline tablespaces.
+    pub ts_offline: Vec<TablespaceId>,
+    /// Whether the last shutdown was clean.
+    pub clean_shutdown: bool,
+    /// Instant the last instance terminated (crash or shutdown).
+    pub stopped_at: Option<SimTime>,
+    /// Highest SCN known durable (updated at checkpoints and shutdown).
+    pub last_scn: Scn,
+    /// Incarnation number; bumped by every `open resetlogs`.
+    pub incarnation: u32,
+}
+
+impl ControlFile {
+    /// Creates the control file for a fresh database.
+    pub fn new(db_name: &str, groups: Vec<LogGroup>, initial_catalog: Arc<Catalog>) -> Self {
+        let mut seqs = BTreeMap::new();
+        seqs.insert(
+            1,
+            SeqLocation {
+                group: Some(0),
+                archive: None,
+                archive_done_at: None,
+                released_at: None,
+                end_offset: None,
+            },
+        );
+        ControlFile {
+            db_name: db_name.to_string(),
+            groups,
+            current_group: 0,
+            current_seq: 1,
+            current_flushed: 0,
+            seqs,
+            checkpoints: vec![CkptRecord {
+                position: RedoAddr::start_of(1),
+                scn: Scn::ZERO,
+                complete_at: SimTime::ZERO,
+                catalog: initial_catalog,
+            }],
+            file_states: BTreeMap::new(),
+            ts_offline: Vec::new(),
+            clean_shutdown: true,
+            stopped_at: None,
+            last_scn: Scn::ZERO,
+            incarnation: 1,
+        }
+    }
+
+    /// The checkpoint in force at instant `at`: the completed record with
+    /// the greatest position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no checkpoint has completed by `at` (impossible: database
+    /// creation seeds one at time zero).
+    pub fn effective_checkpoint(&self, at: SimTime) -> &CkptRecord {
+        self.checkpoints
+            .iter()
+            .filter(|c| c.complete_at <= at)
+            .max_by_key(|c| c.position)
+            .expect("database creation seeds a checkpoint at time zero")
+    }
+
+    /// Records a checkpoint and prunes history that can never be effective
+    /// again (dominated records older than the newest completed one).
+    pub fn add_checkpoint(&mut self, rec: CkptRecord) {
+        self.checkpoints.push(rec);
+        // Keep records that could still be the effective one for some
+        // crash instant: the latest fully-completed record plus anything
+        // newer or still in flight. A generous bound keeps this simple.
+        if self.checkpoints.len() > 64 {
+            let keep_from = self.checkpoints.len() - 32;
+            self.checkpoints.drain(..keep_from);
+        }
+    }
+
+    /// Runtime state of a datafile (default: online).
+    pub fn file_state(&self, file: FileNo) -> FileRuntime {
+        self.file_states.get(&file).copied().unwrap_or_default()
+    }
+
+    /// Mutable runtime state of a datafile.
+    pub fn file_state_mut(&mut self, file: FileNo) -> &mut FileRuntime {
+        self.file_states.entry(file).or_default()
+    }
+
+    /// Whether a tablespace is offline.
+    pub fn is_ts_offline(&self, ts: TablespaceId) -> bool {
+        self.ts_offline.contains(&ts)
+    }
+
+    /// The location entry for sequence `seq`.
+    pub fn seq(&self, seq: u64) -> Option<&SeqLocation> {
+        self.seqs.get(&seq)
+    }
+
+    /// Whether the redo for `seq` is readable at time `at` (still online,
+    /// or archived by then).
+    pub fn seq_available(&self, seq: u64, at: SimTime) -> bool {
+        match self.seqs.get(&seq) {
+            None => false,
+            Some(loc) => {
+                loc.group.is_some()
+                    || matches!(loc.archive_done_at, Some(t) if t <= at && loc.archive.is_some())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cf() -> ControlFile {
+        ControlFile::new(
+            "TEST",
+            vec![
+                LogGroup { path: "/u03/redo01.log".into(), vfs_id: FileId(1) },
+                LogGroup { path: "/u03/redo02.log".into(), vfs_id: FileId(2) },
+            ],
+            Arc::new(Catalog::new()),
+        )
+    }
+
+    fn ckpt(seq: u64, complete_secs: u64) -> CkptRecord {
+        CkptRecord {
+            position: RedoAddr::start_of(seq),
+            scn: Scn(seq * 100),
+            complete_at: SimTime::from_secs(complete_secs),
+            catalog: Arc::new(Catalog::new()),
+        }
+    }
+
+    #[test]
+    fn new_controlfile_seeds_seq_and_checkpoint() {
+        let c = cf();
+        assert_eq!(c.current_seq, 1);
+        assert!(c.seqs.contains_key(&1));
+        assert_eq!(c.effective_checkpoint(SimTime::ZERO).position, RedoAddr::start_of(1));
+    }
+
+    #[test]
+    fn effective_checkpoint_honours_completion_time() {
+        let mut c = cf();
+        c.add_checkpoint(ckpt(2, 100));
+        c.add_checkpoint(ckpt(3, 200));
+        // A crash at t=150 only sees the checkpoint completed at t=100.
+        assert_eq!(c.effective_checkpoint(SimTime::from_secs(150)).position, RedoAddr::start_of(2));
+        assert_eq!(c.effective_checkpoint(SimTime::from_secs(250)).position, RedoAddr::start_of(3));
+    }
+
+    #[test]
+    fn effective_checkpoint_takes_max_position_not_latest_time() {
+        let mut c = cf();
+        c.add_checkpoint(ckpt(5, 100));
+        // An incremental record with an older position completes later.
+        c.add_checkpoint(ckpt(4, 120));
+        assert_eq!(c.effective_checkpoint(SimTime::from_secs(130)).position, RedoAddr::start_of(5));
+    }
+
+    #[test]
+    fn seq_availability() {
+        let mut c = cf();
+        // Seq 1 is online.
+        assert!(c.seq_available(1, SimTime::ZERO));
+        // Unknown seq is not available.
+        assert!(!c.seq_available(9, SimTime::ZERO));
+        // An archived-but-overwritten seq is available only after the
+        // archive copy completes.
+        c.seqs.insert(
+            2,
+            SeqLocation {
+                group: None,
+                archive: Some(FileId(7)),
+                archive_done_at: Some(SimTime::from_secs(50)),
+                released_at: None,
+                end_offset: Some(1000),
+            },
+        );
+        assert!(!c.seq_available(2, SimTime::from_secs(49)));
+        assert!(c.seq_available(2, SimTime::from_secs(50)));
+    }
+
+    #[test]
+    fn file_state_defaults_online() {
+        let mut c = cf();
+        assert!(!c.file_state(FileNo(3)).offline);
+        c.file_state_mut(FileNo(3)).offline = true;
+        assert!(c.file_state(FileNo(3)).offline);
+    }
+
+    #[test]
+    fn checkpoint_history_is_pruned() {
+        let mut c = cf();
+        for i in 0..200 {
+            c.add_checkpoint(ckpt(i + 2, i));
+        }
+        assert!(c.checkpoints.len() <= 64);
+        // The newest record survives pruning.
+        assert_eq!(
+            c.effective_checkpoint(SimTime::from_secs(10_000)).position,
+            RedoAddr::start_of(201)
+        );
+    }
+}

@@ -1,0 +1,130 @@
+//! Engine error type.
+
+use std::error::Error;
+use std::fmt;
+
+use recobench_vfs::VfsError;
+
+use crate::types::{ObjectId, RowId, TxnId};
+
+/// Result alias for engine operations.
+pub type DbResult<T> = Result<T, DbError>;
+
+/// Errors surfaced by the database server.
+///
+/// The workload driver treats most of these the way a TPC-C client treats
+/// an ORA- error: the transaction failed, decide whether to retry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// The instance is not open (shut down, crashed, or still mounting).
+    InstanceDown,
+    /// The instance is already running.
+    AlreadyOpen,
+    /// A named entity (user, tablespace, table, index, datafile) is unknown.
+    NotFound(String),
+    /// An entity with this name already exists.
+    AlreadyExists(String),
+    /// The tablespace holding the addressed data is offline.
+    TablespaceOffline(String),
+    /// The datafile holding the addressed data is offline.
+    DatafileOffline(u32),
+    /// The addressed row does not exist.
+    NoSuchRow(RowId),
+    /// The object was dropped or never existed.
+    NoSuchObject(ObjectId),
+    /// A lock could not be granted (held by the blocking transaction).
+    LockConflict { holder: TxnId },
+    /// The transaction is not active (already committed or rolled back).
+    TxnNotActive(TxnId),
+    /// An underlying storage failure (the usual symptom of an operator
+    /// fault: a deleted or corrupted file).
+    Media(VfsError),
+    /// The database needs recovery before it can be opened.
+    RecoveryRequired(String),
+    /// The requested recovery is impossible with the available logs and
+    /// backups (e.g. archive mode was off).
+    Unrecoverable(String),
+    /// An administrative command was used in the wrong state.
+    BadAdminCommand(String),
+    /// A uniqueness constraint was violated on an index insert.
+    DuplicateKey { index: String },
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::InstanceDown => write!(f, "instance is not open"),
+            DbError::AlreadyOpen => write!(f, "instance is already open"),
+            DbError::NotFound(what) => write!(f, "not found: {what}"),
+            DbError::AlreadyExists(what) => write!(f, "already exists: {what}"),
+            DbError::TablespaceOffline(name) => write!(f, "tablespace {name} is offline"),
+            DbError::DatafileOffline(n) => write!(f, "datafile {n} is offline"),
+            DbError::NoSuchRow(rid) => write!(f, "no such row: {rid}"),
+            DbError::NoSuchObject(o) => write!(f, "no such object: {o}"),
+            DbError::LockConflict { holder } => write!(f, "row is locked by {holder}"),
+            DbError::TxnNotActive(t) => write!(f, "transaction {t} is not active"),
+            DbError::Media(e) => write!(f, "media failure: {e}"),
+            DbError::RecoveryRequired(what) => write!(f, "recovery required: {what}"),
+            DbError::Unrecoverable(why) => write!(f, "unrecoverable: {why}"),
+            DbError::BadAdminCommand(why) => write!(f, "invalid administrative command: {why}"),
+            DbError::DuplicateKey { index } => write!(f, "duplicate key in index {index}"),
+        }
+    }
+}
+
+impl Error for DbError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DbError::Media(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<VfsError> for DbError {
+    fn from(e: VfsError) -> Self {
+        DbError::Media(e)
+    }
+}
+
+impl DbError {
+    /// Whether this error indicates the whole service is unavailable (the
+    /// client should wait for recovery) rather than a single statement
+    /// failing.
+    pub fn is_service_loss(&self) -> bool {
+        matches!(
+            self,
+            DbError::InstanceDown | DbError::RecoveryRequired(_) | DbError::Unrecoverable(_)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_lowercase_and_informative() {
+        assert_eq!(DbError::InstanceDown.to_string(), "instance is not open");
+        assert!(DbError::LockConflict { holder: TxnId(3) }.to_string().contains("txn#3"));
+    }
+
+    #[test]
+    fn media_error_chains_source() {
+        let e = DbError::Media(VfsError::Deleted("/u02/a.dbf".into()));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn service_loss_classification() {
+        assert!(DbError::InstanceDown.is_service_loss());
+        assert!(!DbError::NoSuchRow(RowId { file: crate::types::FileNo(1), block: 0, slot: 0 })
+            .is_service_loss());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Send + Sync + 'static>() {}
+        assert_bounds::<DbError>();
+    }
+}

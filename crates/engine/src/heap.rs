@@ -1,0 +1,188 @@
+//! Heap placement: where the next row of a table goes.
+//!
+//! Each open table has a [`PlacementCursor`] walking its segment's blocks
+//! in order; when the segment is exhausted a new extent is planned with
+//! [`plan_extent`] (round-robin over the tablespace's datafiles, at each
+//! file's allocation high-water mark).
+
+use crate::catalog::{Catalog, Extent, Segment};
+use crate::error::{DbError, DbResult};
+use crate::types::{FileNo, ObjectId};
+
+/// Number of blocks allocated per extent.
+pub const EXTENT_BLOCKS: u32 = 64;
+
+/// A table's insert position within its segment.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlacementCursor {
+    extent: usize,
+    offset: u32,
+}
+
+impl PlacementCursor {
+    /// A cursor at the start of the segment.
+    pub fn new() -> Self {
+        PlacementCursor::default()
+    }
+
+    /// The block the cursor points at, or `None` if the segment is
+    /// exhausted.
+    pub fn current(&self, seg: &Segment) -> Option<(FileNo, u32)> {
+        let e = seg.extents.get(self.extent)?;
+        if self.offset < e.len {
+            Some((e.file, e.start + self.offset))
+        } else {
+            None
+        }
+    }
+
+    /// Moves to the next block in the segment. Returns `false` when the
+    /// segment is exhausted.
+    pub fn advance(&mut self, seg: &Segment) -> bool {
+        match seg.extents.get(self.extent) {
+            None => false,
+            Some(e) => {
+                self.offset += 1;
+                if self.offset >= e.len {
+                    self.extent += 1;
+                    self.offset = 0;
+                }
+                self.extent < seg.extents.len()
+            }
+        }
+    }
+
+    /// Positions the cursor at the last extent (used after reopening a
+    /// table so inserts resume near the end rather than rescanning).
+    pub fn seek_last_extent(&mut self, seg: &Segment) {
+        self.extent = seg.extents.len().saturating_sub(1);
+        self.offset = 0;
+    }
+}
+
+/// Plans the next extent for `table`: picks the tablespace datafile with
+/// the fewest blocks allocated (round-robin effect) and carves
+/// [`EXTENT_BLOCKS`] blocks at its high-water mark.
+///
+/// # Errors
+///
+/// Fails if the table or its tablespace is gone, if the tablespace has no
+/// datafiles, or if every datafile is full (the "let the storage run out
+/// of space" operator-fault class).
+pub fn plan_extent(catalog: &Catalog, table: ObjectId) -> DbResult<Extent> {
+    let tdef = catalog.table(table)?;
+    let ts = catalog
+        .tablespaces
+        .get(&tdef.tablespace)
+        .ok_or_else(|| DbError::NotFound(format!("tablespace of {}", tdef.name)))?;
+    if ts.files.is_empty() {
+        return Err(DbError::NotFound(format!("datafiles in tablespace {}", ts.name)));
+    }
+    let mut best: Option<(FileNo, u32, u64)> = None; // (file, high_water, free)
+    for &f in &ts.files {
+        let df = match catalog.datafiles.get(&f) {
+            Some(d) => d,
+            None => continue,
+        };
+        let hw = catalog.file_high_water.get(&f).copied().unwrap_or(0);
+        let free = df.blocks.saturating_sub(hw as u64);
+        if free >= EXTENT_BLOCKS as u64 {
+            let better = match best {
+                None => true,
+                Some((_, bhw, _)) => hw < bhw,
+            };
+            if better {
+                best = Some((f, hw, free));
+            }
+        }
+    }
+    let (file, hw, _) = best.ok_or_else(|| {
+        DbError::BadAdminCommand(format!("tablespace {} is out of space", ts.name))
+    })?;
+    Ok(Extent { file, start: hw, len: EXTENT_BLOCKS })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{CatalogChange, DatafileDef, IndexDef};
+    use crate::types::{TablespaceId, UserId};
+    use recobench_vfs::FileId;
+
+    fn catalog_with_files(blocks_per_file: u64, nfiles: u32) -> Catalog {
+        let mut c = Catalog::new();
+        c.apply(&CatalogChange::CreateTablespace { id: TablespaceId(1), name: "TPCC".into() });
+        for i in 1..=nfiles {
+            c.apply(&CatalogChange::AddDatafile {
+                file_no: FileNo(i),
+                def: DatafileDef {
+                    path: format!("/u0{}/t{}.dbf", i % 2 + 1, i),
+                    vfs_id: FileId(i as u64),
+                    tablespace: TablespaceId(1),
+                    blocks: blocks_per_file,
+                },
+            });
+        }
+        c.apply(&CatalogChange::CreateTable {
+            id: ObjectId(1),
+            name: "T".into(),
+            owner: UserId(1),
+            tablespace: TablespaceId(1),
+            indexes: vec![IndexDef { name: "PK".into(), cols: vec![0], unique: true }],
+        });
+        c
+    }
+
+    #[test]
+    fn cursor_walks_segment_in_order() {
+        let seg = Segment {
+            extents: vec![
+                Extent { file: FileNo(1), start: 0, len: 2 },
+                Extent { file: FileNo(2), start: 4, len: 1 },
+            ],
+        };
+        let mut cur = PlacementCursor::new();
+        let mut seen = vec![cur.current(&seg).unwrap()];
+        while cur.advance(&seg) {
+            seen.push(cur.current(&seg).unwrap());
+        }
+        assert_eq!(seen, vec![(FileNo(1), 0), (FileNo(1), 1), (FileNo(2), 4)]);
+        assert_eq!(cur.current(&seg), None);
+    }
+
+    #[test]
+    fn plan_extent_round_robins_files() {
+        let mut c = catalog_with_files(1024, 2);
+        let e1 = plan_extent(&c, ObjectId(1)).unwrap();
+        c.apply(&CatalogChange::AllocExtent { table: ObjectId(1), extent: e1 });
+        let e2 = plan_extent(&c, ObjectId(1)).unwrap();
+        c.apply(&CatalogChange::AllocExtent { table: ObjectId(1), extent: e2 });
+        assert_ne!(e1.file, e2.file, "extents alternate over datafiles");
+        assert_eq!(e1.start, 0);
+        assert_eq!(e2.start, 0);
+        let e3 = plan_extent(&c, ObjectId(1)).unwrap();
+        assert_eq!(e3.start, EXTENT_BLOCKS, "third extent stacks on the emptier file");
+    }
+
+    #[test]
+    fn plan_extent_fails_when_full() {
+        let mut c = catalog_with_files(EXTENT_BLOCKS as u64, 1);
+        let e = plan_extent(&c, ObjectId(1)).unwrap();
+        c.apply(&CatalogChange::AllocExtent { table: ObjectId(1), extent: e });
+        let err = plan_extent(&c, ObjectId(1)).unwrap_err();
+        assert!(matches!(err, DbError::BadAdminCommand(_)));
+    }
+
+    #[test]
+    fn seek_last_extent_positions_cursor() {
+        let seg = Segment {
+            extents: vec![
+                Extent { file: FileNo(1), start: 0, len: 4 },
+                Extent { file: FileNo(1), start: 4, len: 4 },
+            ],
+        };
+        let mut cur = PlacementCursor::new();
+        cur.seek_last_extent(&seg);
+        assert_eq!(cur.current(&seg), Some((FileNo(1), 4)));
+    }
+}

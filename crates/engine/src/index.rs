@@ -1,0 +1,182 @@
+//! In-memory indexes over heap rows.
+//!
+//! Indexes are maintained transactionally during normal operation and
+//! rebuilt from the heap when an instance (re)opens. Their I/O is not
+//! separately modelled: conceptually index blocks live in the same
+//! datafiles as the heap (see DESIGN.md §2 for this simplification).
+
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+use crate::catalog::IndexDef;
+use crate::error::{DbError, DbResult};
+use crate::row::{encode_key, Row, Value};
+use crate::types::RowId;
+
+/// One index: an ordered map from encoded key to row addresses.
+#[derive(Debug, Clone)]
+pub struct Index {
+    def: IndexDef,
+    map: BTreeMap<Vec<u8>, Vec<RowId>>,
+}
+
+impl Index {
+    /// Creates an empty index for `def`.
+    pub fn new(def: IndexDef) -> Self {
+        Index { def, map: BTreeMap::new() }
+    }
+
+    /// The definition this index implements.
+    pub fn def(&self) -> &IndexDef {
+        &self.def
+    }
+
+    /// Extracts this index's key from a row.
+    ///
+    /// Missing columns index as `Null` (rows shorter than the key spec).
+    pub fn key_of(&self, row: &Row) -> Vec<u8> {
+        let values: Vec<Value> =
+            self.def.cols.iter().map(|&c| row.get(c).cloned().unwrap_or(Value::Null)).collect();
+        encode_key(&values)
+    }
+
+    /// Adds `rid` under the row's key.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`DbError::DuplicateKey`] on a unique index whose key is
+    /// already mapped to a different row.
+    pub fn insert(&mut self, row: &Row, rid: RowId) -> DbResult<()> {
+        let key = self.key_of(row);
+        let entry = self.map.entry(key).or_default();
+        if entry.contains(&rid) {
+            return Ok(());
+        }
+        if self.def.unique && !entry.is_empty() {
+            return Err(DbError::DuplicateKey { index: self.def.name.clone() });
+        }
+        entry.push(rid);
+        Ok(())
+    }
+
+    /// Removes `rid` from under the row's key.
+    pub fn remove(&mut self, row: &Row, rid: RowId) {
+        let key = self.key_of(row);
+        if let Some(entry) = self.map.get_mut(&key) {
+            entry.retain(|r| *r != rid);
+            if entry.is_empty() {
+                self.map.remove(&key);
+            }
+        }
+    }
+
+    /// Row addresses with exactly the given key values.
+    pub fn lookup(&self, key_values: &[Value]) -> Vec<RowId> {
+        self.map.get(&encode_key(key_values)).cloned().unwrap_or_default()
+    }
+
+    /// Row addresses whose keys start with the given prefix values, in key
+    /// order.
+    pub fn prefix_scan(&self, prefix_values: &[Value]) -> Vec<RowId> {
+        let lo = encode_key(prefix_values);
+        let mut hi = lo.clone();
+        hi.push(0xFF);
+        self.map
+            .range((Bound::Included(lo), Bound::Excluded(hi)))
+            .flat_map(|(_, rids)| rids.iter().copied())
+            .collect()
+    }
+
+    /// The greatest key with the given prefix and its rows, if any
+    /// (e.g. "latest order of this customer").
+    pub fn last_under_prefix(&self, prefix_values: &[Value]) -> Option<(&[u8], &[RowId])> {
+        let lo = encode_key(prefix_values);
+        let mut hi = lo.clone();
+        hi.push(0xFF);
+        self.map
+            .range((Bound::Included(lo), Bound::Excluded(hi)))
+            .next_back()
+            .map(|(k, v)| (k.as_slice(), v.as_slice()))
+    }
+
+    /// Number of distinct keys.
+    pub fn key_count(&self) -> usize {
+        self.map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::FileNo;
+
+    fn def(unique: bool) -> IndexDef {
+        IndexDef { name: "IX".into(), cols: vec![0, 1], unique }
+    }
+
+    fn rid(b: u32) -> RowId {
+        RowId { file: FileNo(1), block: b, slot: 0 }
+    }
+
+    fn row(a: u64, b: u64) -> Row {
+        Row::new(vec![Value::U64(a), Value::U64(b), Value::from("payload")])
+    }
+
+    #[test]
+    fn insert_lookup_remove() {
+        let mut ix = Index::new(def(true));
+        ix.insert(&row(1, 2), rid(0)).unwrap();
+        assert_eq!(ix.lookup(&[Value::U64(1), Value::U64(2)]), vec![rid(0)]);
+        ix.remove(&row(1, 2), rid(0));
+        assert!(ix.lookup(&[Value::U64(1), Value::U64(2)]).is_empty());
+        assert_eq!(ix.key_count(), 0);
+    }
+
+    #[test]
+    fn unique_index_rejects_duplicates() {
+        let mut ix = Index::new(def(true));
+        ix.insert(&row(1, 2), rid(0)).unwrap();
+        let err = ix.insert(&row(1, 2), rid(1)).unwrap_err();
+        assert!(matches!(err, DbError::DuplicateKey { .. }));
+        // Re-inserting the same rid is idempotent (recovery replays).
+        ix.insert(&row(1, 2), rid(0)).unwrap();
+        assert_eq!(ix.lookup(&[Value::U64(1), Value::U64(2)]).len(), 1);
+    }
+
+    #[test]
+    fn non_unique_index_accumulates() {
+        let mut ix = Index::new(def(false));
+        ix.insert(&row(1, 2), rid(0)).unwrap();
+        ix.insert(&row(1, 2), rid(1)).unwrap();
+        assert_eq!(ix.lookup(&[Value::U64(1), Value::U64(2)]).len(), 2);
+    }
+
+    #[test]
+    fn prefix_scan_is_ordered_and_bounded() {
+        let mut ix = Index::new(def(false));
+        ix.insert(&row(1, 3), rid(3)).unwrap();
+        ix.insert(&row(1, 1), rid(1)).unwrap();
+        ix.insert(&row(1, 2), rid(2)).unwrap();
+        ix.insert(&row(2, 1), rid(9)).unwrap();
+        assert_eq!(ix.prefix_scan(&[Value::U64(1)]), vec![rid(1), rid(2), rid(3)]);
+    }
+
+    #[test]
+    fn last_under_prefix_finds_max() {
+        let mut ix = Index::new(def(false));
+        ix.insert(&row(7, 10), rid(1)).unwrap();
+        ix.insert(&row(7, 42), rid(2)).unwrap();
+        ix.insert(&row(8, 99), rid(3)).unwrap();
+        let (_, rids) = ix.last_under_prefix(&[Value::U64(7)]).unwrap();
+        assert_eq!(rids, &[rid(2)]);
+        assert!(ix.last_under_prefix(&[Value::U64(9)]).is_none());
+    }
+
+    #[test]
+    fn short_rows_key_as_null() {
+        let mut ix = Index::new(def(false));
+        let short = Row::new(vec![Value::U64(5)]);
+        ix.insert(&short, rid(0)).unwrap();
+        assert_eq!(ix.lookup(&[Value::U64(5), Value::Null]), vec![rid(0)]);
+    }
+}

@@ -1,0 +1,215 @@
+//! Slotted block images.
+//!
+//! A datafile block holds a set of rows addressed by slot number, plus the
+//! SCN of the last change applied to it. The SCN is what makes redo
+//! application idempotent: a record is re-applied only if it is newer than
+//! the block image it targets.
+
+use std::collections::BTreeMap;
+
+use bytes::Bytes;
+
+use crate::codec::{DecodeResult, Reader, Writer};
+use crate::row::Row;
+use crate::types::Scn;
+
+/// Decoded image of one datafile block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockImage {
+    /// SCN of the last change applied to this block.
+    pub last_scn: Scn,
+    rows: BTreeMap<u16, Row>,
+    used_bytes: usize,
+}
+
+impl BlockImage {
+    /// Per-row bookkeeping overhead (slot id + length prefix).
+    const ROW_OVERHEAD: usize = 8;
+    /// Block header size.
+    const HEADER: usize = 16;
+
+    /// An empty block.
+    pub fn empty() -> Self {
+        BlockImage { last_scn: Scn::ZERO, rows: BTreeMap::new(), used_bytes: Self::HEADER }
+    }
+
+    /// Number of rows stored.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Bytes used by the current contents (header + rows).
+    pub fn used_bytes(&self) -> usize {
+        self.used_bytes
+    }
+
+    /// Whether a row of `len` encoded bytes fits in a block of
+    /// `block_size` bytes.
+    pub fn fits(&self, len: usize, block_size: u32) -> bool {
+        self.used_bytes + len + Self::ROW_OVERHEAD <= block_size as usize
+    }
+
+    /// The row at `slot`, if present.
+    pub fn row(&self, slot: u16) -> Option<&Row> {
+        self.rows.get(&slot)
+    }
+
+    /// Iterates over `(slot, row)` pairs in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = (u16, &Row)> {
+        self.rows.iter().map(|(s, r)| (*s, r))
+    }
+
+    /// The lowest unoccupied slot number.
+    pub fn next_free_slot(&self) -> u16 {
+        let mut slot = 0u16;
+        for &s in self.rows.keys() {
+            if s != slot {
+                break;
+            }
+            slot += 1;
+        }
+        slot
+    }
+
+    /// Inserts or replaces the row at `slot`, stamping the block with
+    /// `scn`. Returns the previous row, if any.
+    pub fn put(&mut self, slot: u16, row: Row, scn: Scn) -> Option<Row> {
+        let add = row.encoded_len() + Self::ROW_OVERHEAD;
+        let prev = self.rows.insert(slot, row);
+        if let Some(p) = &prev {
+            self.used_bytes -= p.encoded_len() + Self::ROW_OVERHEAD;
+        }
+        self.used_bytes += add;
+        self.last_scn = self.last_scn.max(scn);
+        prev
+    }
+
+    /// Removes the row at `slot`, stamping the block with `scn`.
+    pub fn remove(&mut self, slot: u16, scn: Scn) -> Option<Row> {
+        let prev = self.rows.remove(&slot);
+        if let Some(p) = &prev {
+            self.used_bytes -= p.encoded_len() + Self::ROW_OVERHEAD;
+        }
+        self.last_scn = self.last_scn.max(scn);
+        prev
+    }
+
+    /// Encodes the block for storage.
+    pub fn encode(&self) -> Bytes {
+        let mut w = Writer::new();
+        w.put_u64(self.last_scn.0);
+        w.put_u32(self.rows.len() as u32);
+        for (slot, row) in &self.rows {
+            w.put_u16(*slot);
+            w.put_bytes(&row.encode());
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes a stored block image. An all-zero (never written) image
+    /// decodes as an empty block.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed bytes.
+    pub fn decode(buf: Bytes) -> DecodeResult<BlockImage> {
+        if buf.is_empty() || buf.iter().all(|&b| b == 0) {
+            return Ok(BlockImage::empty());
+        }
+        let mut r = Reader::new(buf);
+        let last_scn = Scn(r.get_u64("block scn")?);
+        let n = r.get_u32("block row count")?;
+        let mut img = BlockImage::empty();
+        for _ in 0..n {
+            let slot = r.get_u16("slot id")?;
+            let row_bytes = r.get_bytes("row image")?;
+            let row = Row::decode(row_bytes)?;
+            img.put(slot, row, last_scn);
+        }
+        img.last_scn = last_scn;
+        Ok(img)
+    }
+}
+
+impl Default for BlockImage {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row::Value;
+
+    fn row(n: u64) -> Row {
+        Row::new(vec![Value::U64(n), Value::from("payload")])
+    }
+
+    #[test]
+    fn put_get_remove() {
+        let mut b = BlockImage::empty();
+        assert!(b.put(0, row(1), Scn(5)).is_none());
+        assert_eq!(b.row(0).unwrap().get(0).unwrap().as_u64(), Some(1));
+        assert_eq!(b.last_scn, Scn(5));
+        let old = b.remove(0, Scn(6)).unwrap();
+        assert_eq!(old, row(1));
+        assert_eq!(b.row_count(), 0);
+        assert_eq!(b.last_scn, Scn(6));
+    }
+
+    #[test]
+    fn replace_updates_accounting() {
+        let mut b = BlockImage::empty();
+        b.put(3, row(1), Scn(1));
+        let before = b.used_bytes();
+        b.put(3, row(2), Scn(2));
+        assert_eq!(b.used_bytes(), before, "same-size replace keeps usage");
+        assert_eq!(b.row_count(), 1);
+    }
+
+    #[test]
+    fn next_free_slot_finds_gap() {
+        let mut b = BlockImage::empty();
+        b.put(0, row(0), Scn(1));
+        b.put(1, row(1), Scn(1));
+        b.put(3, row(3), Scn(1));
+        assert_eq!(b.next_free_slot(), 2);
+        b.put(2, row(2), Scn(1));
+        assert_eq!(b.next_free_slot(), 4);
+    }
+
+    #[test]
+    fn fits_respects_block_size() {
+        let b = BlockImage::empty();
+        assert!(b.fits(100, 8192));
+        assert!(!b.fits(9000, 8192));
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let mut b = BlockImage::empty();
+        b.put(0, row(10), Scn(7));
+        b.put(5, row(20), Scn(9));
+        let decoded = BlockImage::decode(b.encode()).unwrap();
+        assert_eq!(decoded.last_scn, Scn(9));
+        assert_eq!(decoded.row(0), b.row(0));
+        assert_eq!(decoded.row(5), b.row(5));
+        assert_eq!(decoded.row_count(), 2);
+    }
+
+    #[test]
+    fn zero_image_decodes_empty() {
+        let b = BlockImage::decode(Bytes::from(vec![0u8; 8192])).unwrap();
+        assert_eq!(b.row_count(), 0);
+        assert_eq!(b.last_scn, Scn::ZERO);
+    }
+
+    #[test]
+    fn scn_never_regresses() {
+        let mut b = BlockImage::empty();
+        b.put(0, row(1), Scn(10));
+        b.put(1, row(2), Scn(4));
+        assert_eq!(b.last_scn, Scn(10));
+    }
+}

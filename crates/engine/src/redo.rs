@@ -1,0 +1,388 @@
+//! Redo records and the volatile redo-log state (log buffer, current
+//! group/sequence/offset).
+//!
+//! The persistent side of logging — which sequence lives in which group,
+//! archive locations, checkpoint history — lives in the
+//! [control file](crate::controlfile); the I/O choreography (LGWR flushes,
+//! log switches, the checkpoints and archiving they trigger) is driven by
+//! [`DbServer`](crate::server::DbServer).
+
+use bytes::Bytes;
+
+use crate::catalog::CatalogChange;
+use crate::codec::{DecodeError, DecodeResult, Reader, Writer};
+use crate::row::Row;
+use crate::types::{FileNo, ObjectId, RedoAddr, RowId, Scn, TxnId};
+
+/// The operation described by a redo record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RedoOp {
+    /// Row inserted (after-image).
+    Insert {
+        /// Target table.
+        obj: ObjectId,
+        /// Physical address the row was placed at.
+        rid: RowId,
+        /// The inserted row.
+        row: Row,
+    },
+    /// Row updated (both images, so recovery can also undo).
+    Update {
+        /// Target table.
+        obj: ObjectId,
+        /// Physical address of the row.
+        rid: RowId,
+        /// Image before the change.
+        before: Row,
+        /// Image after the change.
+        after: Row,
+    },
+    /// Row deleted (before-image retained for undo).
+    Delete {
+        /// Target table.
+        obj: ObjectId,
+        /// Physical address the row was removed from.
+        rid: RowId,
+        /// Image before the delete.
+        before: Row,
+    },
+    /// Transaction committed.
+    Commit,
+    /// Transaction rolled back (its compensating records precede this).
+    Rollback,
+    /// Data-dictionary change (DDL, extent allocation). Always committed.
+    Catalog(CatalogChange),
+}
+
+/// One entry in the redo stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RedoRecord {
+    /// System change number of the change.
+    pub scn: Scn,
+    /// Owning transaction, if any (DDL records have none).
+    pub txn: Option<TxnId>,
+    /// The described operation.
+    pub op: RedoOp,
+}
+
+impl RedoRecord {
+    /// Encodes the record for the log.
+    pub fn encode(&self) -> Bytes {
+        let mut w = Writer::new();
+        w.put_u64(self.scn.0);
+        w.put_u64(self.txn.map_or(0, |t| t.0));
+        match &self.op {
+            RedoOp::Insert { obj, rid, row } => {
+                w.put_u8(1);
+                w.put_u32(obj.0);
+                encode_rid(&mut w, rid);
+                w.put_bytes(&row.encode());
+            }
+            RedoOp::Update { obj, rid, before, after } => {
+                w.put_u8(2);
+                w.put_u32(obj.0);
+                encode_rid(&mut w, rid);
+                w.put_bytes(&before.encode());
+                w.put_bytes(&after.encode());
+            }
+            RedoOp::Delete { obj, rid, before } => {
+                w.put_u8(3);
+                w.put_u32(obj.0);
+                encode_rid(&mut w, rid);
+                w.put_bytes(&before.encode());
+            }
+            RedoOp::Commit => w.put_u8(4),
+            RedoOp::Rollback => w.put_u8(5),
+            RedoOp::Catalog(change) => {
+                w.put_u8(6);
+                change.encode(&mut w);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes one record from a reader positioned at a record boundary.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed bytes.
+    pub fn decode_from(r: &mut Reader) -> DecodeResult<RedoRecord> {
+        let scn = Scn(r.get_u64("record scn")?);
+        let txn_raw = r.get_u64("record txn")?;
+        let txn = if txn_raw == 0 { None } else { Some(TxnId(txn_raw)) };
+        let tag = r.get_u8("record op tag")?;
+        let op = match tag {
+            1 => RedoOp::Insert {
+                obj: ObjectId(r.get_u32("insert obj")?),
+                rid: decode_rid(r)?,
+                row: Row::decode(r.get_bytes("insert row")?)?,
+            },
+            2 => RedoOp::Update {
+                obj: ObjectId(r.get_u32("update obj")?),
+                rid: decode_rid(r)?,
+                before: Row::decode(r.get_bytes("update before")?)?,
+                after: Row::decode(r.get_bytes("update after")?)?,
+            },
+            3 => RedoOp::Delete {
+                obj: ObjectId(r.get_u32("delete obj")?),
+                rid: decode_rid(r)?,
+                before: Row::decode(r.get_bytes("delete before")?)?,
+            },
+            4 => RedoOp::Commit,
+            5 => RedoOp::Rollback,
+            6 => RedoOp::Catalog(CatalogChange::decode(r)?),
+            _ => return Err(DecodeError { context: "record op tag" }),
+        };
+        Ok(RedoRecord { scn, txn, op })
+    }
+
+    /// The datafile this record's change lands in, if it is a row change.
+    pub fn target_file(&self) -> Option<FileNo> {
+        match &self.op {
+            RedoOp::Insert { rid, .. } | RedoOp::Update { rid, .. } | RedoOp::Delete { rid, .. } => {
+                Some(rid.file)
+            }
+            _ => None,
+        }
+    }
+}
+
+fn encode_rid(w: &mut Writer, rid: &RowId) {
+    w.put_u32(rid.file.0);
+    w.put_u32(rid.block);
+    w.put_u16(rid.slot);
+}
+
+fn decode_rid(r: &mut Reader) -> DecodeResult<RowId> {
+    Ok(RowId {
+        file: FileNo(r.get_u32("rid file")?),
+        block: r.get_u32("rid block")?,
+        slot: r.get_u16("rid slot")?,
+    })
+}
+
+/// Decodes every record in a sequence's byte segments (as returned by the
+/// filesystem), together with each record's starting offset within the
+/// sequence. `overhead` is the per-record padding the log writer charged.
+///
+/// # Errors
+///
+/// Fails on malformed bytes.
+pub fn decode_stream(segments: &[Bytes], overhead: u64) -> DecodeResult<Vec<(u64, RedoRecord)>> {
+    let mut out = Vec::new();
+    let mut offset = 0u64;
+    for seg in segments {
+        let mut r = Reader::new(seg.clone());
+        while r.remaining() > 0 {
+            let before = r.remaining();
+            let rec = RedoRecord::decode_from(&mut r)?;
+            let consumed = (before - r.remaining()) as u64;
+            out.push((offset, rec));
+            offset += consumed + overhead;
+        }
+    }
+    Ok(out)
+}
+
+/// Volatile state of the redo subsystem: the log buffer and the write
+/// position. Recreated at instance startup from the control file.
+#[derive(Debug)]
+pub struct RedoState {
+    /// Index of the group currently being written.
+    pub current_group: usize,
+    /// Sequence number currently being written.
+    pub current_seq: u64,
+    /// Logical end of the log (flushed + buffered), including padding.
+    pub current_offset: u64,
+    /// Offset up to which records have been flushed to the online log.
+    pub flushed_offset: u64,
+    /// Encoded records not yet flushed.
+    buffer: Vec<Bytes>,
+    buffer_pad: u64,
+    /// Per-record padding (change-vector overhead).
+    pub overhead: u64,
+}
+
+impl RedoState {
+    /// Creates the state for an instance resuming at `(group, seq)` with
+    /// `flushed` bytes already in the current log.
+    pub fn new(current_group: usize, current_seq: u64, flushed: u64, overhead: u64) -> Self {
+        RedoState {
+            current_group,
+            current_seq,
+            current_offset: flushed,
+            flushed_offset: flushed,
+            buffer: Vec::new(),
+            buffer_pad: 0,
+            overhead,
+        }
+    }
+
+    /// The address the *next* record will receive.
+    pub fn tail(&self) -> RedoAddr {
+        RedoAddr { seq: self.current_seq, offset: self.current_offset }
+    }
+
+    /// Padded size the record would occupy in the log.
+    pub fn record_cost(&self, encoded_len: usize) -> u64 {
+        encoded_len as u64 + self.overhead
+    }
+
+    /// Whether appending `cost` more bytes would overflow a log of
+    /// `group_bytes` (and therefore requires a switch first).
+    pub fn would_overflow(&self, cost: u64, group_bytes: u64) -> bool {
+        self.current_offset + cost > group_bytes
+    }
+
+    /// Buffers an encoded record and returns its assigned address.
+    pub fn buffer_record(&mut self, encoded: Bytes) -> RedoAddr {
+        let addr = self.tail();
+        let cost = self.record_cost(encoded.len());
+        self.current_offset += cost;
+        self.buffer_pad += self.overhead;
+        self.buffer.push(encoded);
+        addr
+    }
+
+    /// Whether any records await flushing.
+    pub fn has_unflushed(&self) -> bool {
+        !self.buffer.is_empty()
+    }
+
+    /// Takes the buffered records for a flush: the concatenated payload,
+    /// the accounting-only pad, and the new flushed offset.
+    pub fn take_buffer(&mut self) -> (Bytes, u64, u64) {
+        let total: usize = self.buffer.iter().map(Bytes::len).sum();
+        let mut payload = Vec::with_capacity(total);
+        for b in self.buffer.drain(..) {
+            payload.extend_from_slice(&b);
+        }
+        let pad = self.buffer_pad;
+        self.buffer_pad = 0;
+        self.flushed_offset = self.current_offset;
+        (Bytes::from(payload), pad, self.flushed_offset)
+    }
+
+    /// Moves the write position to the start of the next sequence in
+    /// `group`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if unflushed records remain (the caller must flush first).
+    pub fn switch_to(&mut self, group: usize, seq: u64) {
+        assert!(self.buffer.is_empty(), "cannot switch with unflushed redo");
+        self.current_group = group;
+        self.current_seq = seq;
+        self.current_offset = 0;
+        self.flushed_offset = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row::Value;
+
+    fn row(n: u64) -> Row {
+        Row::new(vec![Value::U64(n)])
+    }
+
+    fn rid() -> RowId {
+        RowId { file: FileNo(2), block: 7, slot: 1 }
+    }
+
+    #[test]
+    fn record_codec_round_trips_all_ops() {
+        let records = vec![
+            RedoRecord {
+                scn: Scn(1),
+                txn: Some(TxnId(9)),
+                op: RedoOp::Insert { obj: ObjectId(1), rid: rid(), row: row(5) },
+            },
+            RedoRecord {
+                scn: Scn(2),
+                txn: Some(TxnId(9)),
+                op: RedoOp::Update { obj: ObjectId(1), rid: rid(), before: row(5), after: row(6) },
+            },
+            RedoRecord {
+                scn: Scn(3),
+                txn: Some(TxnId(9)),
+                op: RedoOp::Delete { obj: ObjectId(1), rid: rid(), before: row(6) },
+            },
+            RedoRecord { scn: Scn(4), txn: Some(TxnId(9)), op: RedoOp::Commit },
+            RedoRecord { scn: Scn(5), txn: Some(TxnId(9)), op: RedoOp::Rollback },
+            RedoRecord {
+                scn: Scn(6),
+                txn: None,
+                op: RedoOp::Catalog(CatalogChange::DropTable { id: ObjectId(3) }),
+            },
+        ];
+        for rec in records {
+            let mut r = Reader::new(rec.encode());
+            assert_eq!(RedoRecord::decode_from(&mut r).unwrap(), rec);
+            assert_eq!(r.remaining(), 0);
+        }
+    }
+
+    #[test]
+    fn target_file_only_for_row_changes() {
+        let ins = RedoRecord {
+            scn: Scn(1),
+            txn: Some(TxnId(1)),
+            op: RedoOp::Insert { obj: ObjectId(1), rid: rid(), row: row(1) },
+        };
+        assert_eq!(ins.target_file(), Some(FileNo(2)));
+        let commit = RedoRecord { scn: Scn(2), txn: Some(TxnId(1)), op: RedoOp::Commit };
+        assert_eq!(commit.target_file(), None);
+    }
+
+    #[test]
+    fn decode_stream_tracks_offsets_with_overhead() {
+        let a = RedoRecord { scn: Scn(1), txn: Some(TxnId(1)), op: RedoOp::Commit };
+        let b = RedoRecord { scn: Scn(2), txn: Some(TxnId(2)), op: RedoOp::Commit };
+        let ea = a.encode();
+        let len_a = ea.len() as u64;
+        let mut seg = ea.to_vec();
+        seg.extend_from_slice(&b.encode());
+        let recs = decode_stream(&[Bytes::from(seg)], 100).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].0, 0);
+        assert_eq!(recs[1].0, len_a + 100);
+        assert_eq!(recs[1].1, b);
+    }
+
+    #[test]
+    fn state_assigns_monotone_addresses() {
+        let mut s = RedoState::new(0, 1, 0, 100);
+        let a1 = s.buffer_record(Bytes::from_static(b"0123456789"));
+        let a2 = s.buffer_record(Bytes::from_static(b"0123456789"));
+        assert_eq!(a1, RedoAddr { seq: 1, offset: 0 });
+        assert_eq!(a2, RedoAddr { seq: 1, offset: 110 });
+        assert!(s.has_unflushed());
+        let (payload, pad, flushed) = s.take_buffer();
+        assert_eq!(payload.len(), 20);
+        assert_eq!(pad, 200);
+        assert_eq!(flushed, 220);
+        assert!(!s.has_unflushed());
+    }
+
+    #[test]
+    fn overflow_check_and_switch() {
+        let mut s = RedoState::new(0, 1, 0, 0);
+        s.buffer_record(Bytes::from(vec![0u8; 900]));
+        assert!(s.would_overflow(200, 1000));
+        assert!(!s.would_overflow(100, 1000));
+        s.take_buffer();
+        s.switch_to(1, 2);
+        assert_eq!(s.tail(), RedoAddr { seq: 2, offset: 0 });
+        assert_eq!(s.current_group, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unflushed")]
+    fn switch_with_unflushed_redo_panics() {
+        let mut s = RedoState::new(0, 1, 0, 0);
+        s.buffer_record(Bytes::from_static(b"x"));
+        s.switch_to(1, 2);
+    }
+}

@@ -1,0 +1,1742 @@
+//! The database server: one machine running (at most) one instance.
+//!
+//! [`DbServer`] owns the persistent world — the simulated filesystem, the
+//! control file, backups — and the volatile [`Instance`]. Its methods are
+//! the union of the interfaces the paper's experiment needs:
+//!
+//! * the **client** surface (transactions and DML) used by the TPC-C
+//!   driver;
+//! * the **administrator** surface (DDL, startup/shutdown, online/offline,
+//!   backup, recovery) used both for legitimate administration and — via
+//!   the fault injector — for reproducing operator mistakes;
+//! * the **OS** surface (deleting files by path) for mistakes made outside
+//!   the DBMS.
+//!
+//! Every operation advances the shared simulated clock by the CPU and I/O
+//! it costs, so the workload driver measures throughput and recovery time
+//! simply by reading the clock.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use recobench_sim::{SimClock, SimTime};
+use recobench_vfs::{FileKind, SharedFs, VfsError};
+
+use crate::backup::BackupSet;
+use crate::cache::BufferCache;
+use crate::catalog::{Catalog, CatalogChange, DatafileDef, IndexDef};
+use crate::checkpoint;
+use crate::config::InstanceConfig;
+use crate::controlfile::{CkptRecord, ControlFile, LogGroup, SeqLocation};
+use crate::error::{DbError, DbResult};
+use crate::heap::{plan_extent, PlacementCursor};
+use crate::instance::Instance;
+use crate::layout::DiskLayout;
+use crate::page::BlockImage;
+use crate::redo::{RedoOp, RedoRecord, RedoState};
+use crate::row::{Row, Value};
+use crate::stats::EngineStats;
+use crate::trace::{Trace, TraceEvent};
+use crate::txn::{TxnTable, UndoOp};
+use crate::types::{FileNo, ObjectId, RedoAddr, RowId, Scn, TablespaceId, TxnId, UserId};
+
+/// Cache key alias re-used across the engine.
+pub(crate) type BlockKey = (FileNo, u32);
+
+/// A database server (one simulated machine).
+#[derive(Debug)]
+pub struct DbServer {
+    pub(crate) name: String,
+    pub(crate) clock: Arc<SimClock>,
+    pub(crate) fs: SharedFs,
+    pub(crate) layout: DiskLayout,
+    pub(crate) config: InstanceConfig,
+    pub(crate) control: Option<ControlFile>,
+    pub(crate) inst: Option<Instance>,
+    pub(crate) backup: Option<BackupSet>,
+    pub(crate) stats: EngineStats,
+    pub(crate) next_dbwr_tick: SimTime,
+    /// True while this server is a stand-by in managed recovery: DML is
+    /// rejected and redo arrives only through archive application.
+    pub(crate) managed_recovery: bool,
+    pub(crate) datafile_total: usize,
+    /// Highest transaction id ever issued, so restarts never reuse one
+    /// (reuse would confuse replay-time transaction tracking).
+    pub(crate) txn_floor: u64,
+    pub(crate) backups_taken: u32,
+    pub(crate) trace: Trace,
+}
+
+impl DbServer {
+    /// Creates a server on `fs` with no database yet.
+    pub fn new(
+        name: &str,
+        clock: Arc<SimClock>,
+        fs: SharedFs,
+        layout: DiskLayout,
+        config: InstanceConfig,
+    ) -> Self {
+        DbServer {
+            name: name.to_string(),
+            clock,
+            fs,
+            layout,
+            config,
+            control: None,
+            inst: None,
+            backup: None,
+            stats: EngineStats::default(),
+            next_dbwr_tick: SimTime::MAX,
+            managed_recovery: false,
+            datafile_total: 0,
+            txn_floor: 0,
+            backups_taken: 0,
+            trace: Trace::new(4096),
+        }
+    }
+
+    /// Convenience constructor: builds the filesystem from the layout.
+    pub fn on_fresh_disks(
+        name: &str,
+        clock: Arc<SimClock>,
+        layout: DiskLayout,
+        config: InstanceConfig,
+    ) -> Self {
+        let fs = recobench_vfs::fs::shared(layout.build_fs(recobench_sim::DiskProfile::server_2000()));
+        Self::new(name, clock, fs, layout, config)
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The shared simulation clock.
+    pub fn clock(&self) -> &Arc<SimClock> {
+        &self.clock
+    }
+
+    /// The shared filesystem.
+    pub fn fs(&self) -> &SharedFs {
+        &self.fs
+    }
+
+    /// The instance configuration.
+    pub fn config(&self) -> &InstanceConfig {
+        &self.config
+    }
+
+    /// Whether the instance is open for work.
+    pub fn is_open(&self) -> bool {
+        self.inst.is_some() && !self.managed_recovery
+    }
+
+    /// Cumulative engine counters.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// The current SCN (zero when the instance is down).
+    pub fn current_scn(&self) -> Scn {
+        self.inst.as_ref().map_or(Scn::ZERO, |i| i.scn)
+    }
+
+    /// The most recent backup, if one was taken.
+    pub fn backup(&self) -> Option<&BackupSet> {
+        self.backup.as_ref()
+    }
+
+    /// The engine event trace (log switches, stalls, checkpoints,
+    /// archiving, instance lifecycle).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Clears the engine event trace (e.g. at the start of a measurement
+    /// window).
+    pub fn clear_trace(&mut self) {
+        self.trace.clear();
+    }
+
+    fn inst_ref(&self) -> DbResult<&Instance> {
+        if self.managed_recovery {
+            return Err(DbError::InstanceDown);
+        }
+        self.inst.as_ref().ok_or(DbError::InstanceDown)
+    }
+
+    fn inst_mut(&mut self) -> DbResult<&mut Instance> {
+        if self.managed_recovery {
+            return Err(DbError::InstanceDown);
+        }
+        self.inst.as_mut().ok_or(DbError::InstanceDown)
+    }
+
+    pub(crate) fn control_ref(&self) -> DbResult<&ControlFile> {
+        self.control.as_ref().ok_or_else(|| DbError::NotFound("database".into()))
+    }
+
+    pub(crate) fn control_mut(&mut self) -> DbResult<&mut ControlFile> {
+        self.control.as_mut().ok_or_else(|| DbError::NotFound("database".into()))
+    }
+
+    // ------------------------------------------------------------------
+    // Database creation and lifecycle
+    // ------------------------------------------------------------------
+
+    /// Creates a brand-new database (control file, online redo log groups)
+    /// and opens a fresh instance over an empty dictionary.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a database already exists on this server.
+    pub fn create_database(&mut self) -> DbResult<()> {
+        if self.control.is_some() {
+            return Err(DbError::AlreadyExists(format!("database {}", self.name)));
+        }
+        let mut groups = Vec::new();
+        {
+            let mut fs = self.fs.lock();
+            for i in 0..self.config.redo_groups {
+                let path = format!("/u03/{}_redo{:02}.log", self.name, i + 1);
+                let id = fs.create_append_file(&path, self.layout.redo_disk, FileKind::Redo)?;
+                groups.push(LogGroup { path, vfs_id: id });
+            }
+        }
+        let catalog = Catalog::new();
+        let mut control = ControlFile::new(&self.name, groups, Arc::new(catalog.clone()));
+        control.clean_shutdown = false;
+        self.control = Some(control);
+        self.inst = Some(self.fresh_instance(catalog, Scn::ZERO, 0, 1, 0));
+        self.clock.advance(self.config.costs.mount_open);
+        self.next_dbwr_tick = self.clock.now() + self.config.dbwr_tick;
+        Ok(())
+    }
+
+    pub(crate) fn fresh_instance(
+        &self,
+        catalog: Catalog,
+        scn: Scn,
+        group: usize,
+        seq: u64,
+        flushed: u64,
+    ) -> Instance {
+        let mut txns = TxnTable::new();
+        txns.bump_past(self.txn_floor);
+        Instance {
+            catalog,
+            cache: BufferCache::new(self.config.cache_blocks),
+            txns,
+            locks: crate::txn::LockTable::new(),
+            indexes: HashMap::new(),
+            redo: RedoState::new(group, seq, flushed, self.config.costs.redo_overhead_bytes),
+            cursors: HashMap::new(),
+            scn,
+            opened_at: self.clock.now(),
+        }
+    }
+
+    /// `SHUTDOWN ABORT` / instance kill: drop everything volatile without
+    /// writing a byte. Committed work is protected by the flushed redo.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the instance is already down.
+    pub fn shutdown_abort(&mut self) -> DbResult<()> {
+        if self.inst.is_none() {
+            return Err(DbError::InstanceDown);
+        }
+        let now = self.clock.now();
+        let control = self.control_mut()?;
+        control.stopped_at = Some(now);
+        control.clean_shutdown = false;
+        self.inst = None;
+        self.managed_recovery = false;
+        self.next_dbwr_tick = SimTime::MAX;
+        self.trace.record(now, TraceEvent::InstanceStopped { clean: false });
+        Ok(())
+    }
+
+    /// Orderly shutdown: flush redo, take a full checkpoint, mark the
+    /// database clean.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the instance is down.
+    pub fn shutdown_normal(&mut self) -> DbResult<()> {
+        self.inst_ref()?;
+        self.flush_redo()?;
+        let done = self.full_checkpoint()?;
+        self.clock.advance_to(done);
+        let now = self.clock.now();
+        let scn = self.current_scn();
+        let control = self.control_mut()?;
+        control.stopped_at = Some(now);
+        control.clean_shutdown = true;
+        control.last_scn = scn;
+        self.inst = None;
+        self.next_dbwr_tick = SimTime::MAX;
+        self.trace.record(now, TraceEvent::InstanceStopped { clean: true });
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Background work (DBWR incremental checkpointing)
+    // ------------------------------------------------------------------
+
+    /// Runs any background work due by the current clock. Called
+    /// automatically at the start of every foreground operation; the
+    /// workload driver also calls it across think-time gaps.
+    pub fn poll(&mut self) {
+        while self.inst.is_some() && !self.managed_recovery && self.next_dbwr_tick <= self.clock.now()
+        {
+            let t = self.next_dbwr_tick;
+            self.next_dbwr_tick = t + self.config.dbwr_tick;
+            // Incremental checkpointing failures are impossible in normal
+            // operation; if storage is damaged the write helper skips the
+            // affected blocks.
+            let _ = self.incremental_eval(t);
+        }
+    }
+
+    fn incremental_eval(&mut self, tick: SimTime) -> DbResult<()> {
+        let timeout = self.config.checkpoint_timeout;
+        if tick.as_micros() < timeout.as_micros() {
+            return Ok(());
+        }
+        let cutoff = SimTime::from_micros(tick.as_micros() - timeout.as_micros());
+        let has_old = {
+            let inst = match self.inst.as_ref() {
+                Some(i) => i,
+                None => return Ok(()),
+            };
+            inst.cache.dirty_count() > 0
+        };
+        let mut complete_at = tick;
+        let mut wrote = false;
+        if has_old {
+            self.flush_redo()?;
+            let mut fs = self.fs.lock();
+            let inst = self.inst.as_mut().ok_or(DbError::InstanceDown)?;
+            let out = checkpoint::write_dirty(&mut fs, &inst.catalog, &mut inst.cache, tick, |_, d| {
+                d.first_time <= cutoff
+            });
+            if out.blocks > 0 {
+                wrote = true;
+                complete_at = out.complete_at;
+                self.stats.blocks_written += out.blocks;
+            }
+        }
+        if !wrote {
+            return Ok(());
+        }
+        let inst = self.inst.as_ref().ok_or(DbError::InstanceDown)?;
+        let position = inst.cache.min_dirty_addr().unwrap_or(inst.redo.tail());
+        let scn = inst.scn;
+        let snapshot = Arc::new(inst.catalog.clone());
+        let control = self.control_mut()?;
+        let best = control
+            .checkpoints
+            .iter()
+            .map(|c| c.position)
+            .max()
+            .unwrap_or(RedoAddr::ZERO);
+        if position > best {
+            control.add_checkpoint(CkptRecord { position, scn, complete_at, catalog: snapshot });
+            self.stats.incremental_advances += 1;
+            self.trace.record(tick, TraceEvent::IncrementalAdvance { blocks: 0 });
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Redo plumbing
+    // ------------------------------------------------------------------
+
+    pub(crate) fn append_record(&mut self, rec: &RedoRecord) -> DbResult<RedoAddr> {
+        let encoded = rec.encode();
+        let cost = {
+            let inst = self.inst.as_ref().ok_or(DbError::InstanceDown)?;
+            inst.redo.record_cost(encoded.len())
+        };
+        let overflow = {
+            let inst = self.inst.as_ref().ok_or(DbError::InstanceDown)?;
+            inst.redo.would_overflow(cost, self.config.redo_file_bytes)
+        };
+        if overflow {
+            self.log_switch()?;
+        }
+        let inst = self.inst.as_mut().ok_or(DbError::InstanceDown)?;
+        let addr = inst.redo.buffer_record(encoded);
+        self.stats.redo_records += 1;
+        self.stats.redo_bytes += cost;
+        Ok(addr)
+    }
+
+    /// Flushes the redo log buffer to the current online log (LGWR). The
+    /// calling foreground operation waits for the write — this is the
+    /// commit latency.
+    pub(crate) fn flush_redo(&mut self) -> DbResult<()> {
+        let now = self.clock.now();
+        let (payload, pad, flushed, group_vfs) = {
+            let inst = self.inst.as_mut().ok_or(DbError::InstanceDown)?;
+            if !inst.redo.has_unflushed() {
+                return Ok(());
+            }
+            let group = inst.redo.current_group;
+            let (payload, pad, flushed) = inst.redo.take_buffer();
+            let control = self.control.as_ref().ok_or_else(|| DbError::NotFound("database".into()))?;
+            (payload, pad, flushed, control.groups[group].vfs_id)
+        };
+        let done = {
+            let mut fs = self.fs.lock();
+            let (done, ()) = fs.append_padded(group_vfs, payload, pad, now)?;
+            done
+        };
+        self.clock.advance_to(done);
+        let control = self.control_mut()?;
+        control.current_flushed = flushed;
+        self.stats.log_flushes += 1;
+        Ok(())
+    }
+
+    /// Performs a log switch: archive the filled sequence, move to the
+    /// next group (stalling until it is reusable), and trigger the
+    /// switch checkpoint.
+    pub(crate) fn log_switch(&mut self) -> DbResult<()> {
+        self.flush_redo()?;
+        let now = self.clock.now();
+        let (old_seq, old_group, old_offset) = {
+            let inst = self.inst.as_ref().ok_or(DbError::InstanceDown)?;
+            (inst.redo.current_seq, inst.redo.current_group, inst.redo.current_offset)
+        };
+        let archive_mode = self.config.archive_mode;
+        // Close the old sequence and archive it.
+        {
+            let archive_disk = self.layout.archive_disk;
+            if let Some(loc) = self.control_mut()?.seqs.get_mut(&old_seq) {
+                loc.end_offset = Some(old_offset);
+            }
+            if archive_mode {
+                let fs = Arc::clone(&self.fs);
+                let mut fs = fs.lock();
+                let control = self.control_mut()?;
+                let done = crate::archiver::archive_seq(&mut fs, control, archive_disk, old_seq, now)?;
+                self.stats.archives_created += 1;
+                drop(fs);
+                self.trace.record(now, TraceEvent::Archived { seq: old_seq, complete_at: done });
+            }
+        }
+        // Find the next group and stall until it is reusable.
+        let ngroups = self.control_ref()?.groups.len();
+        let ng = (old_group + 1) % ngroups;
+        let prev_in_ng: Option<(u64, SimTime)> = {
+            let control = self.control_ref()?;
+            control
+                .seqs
+                .iter()
+                .filter(|(seq, loc)| loc.group == Some(ng) && **seq != old_seq)
+                .map(|(seq, loc)| {
+                    let mut ready = loc.released_at.unwrap_or(now);
+                    if archive_mode {
+                        ready = ready.max(loc.archive_done_at.unwrap_or(now));
+                    }
+                    (*seq, ready)
+                })
+                .next_back()
+        };
+        if let Some((prev_seq, ready)) = prev_in_ng {
+            if ready > now {
+                let stall = ready.saturating_since(now).as_micros();
+                self.stats.switch_stall_micros += stall;
+                self.trace.record(now, TraceEvent::SwitchStall { seq: old_seq + 1, micros: stall });
+                self.clock.advance_to(ready);
+            }
+            let control = self.control_mut()?;
+            if let Some(loc) = control.seqs.get_mut(&prev_seq) {
+                loc.group = None;
+            }
+        }
+        // Reuse the group for the new sequence.
+        let new_seq = old_seq + 1;
+        {
+            let vfs_id = self.control_ref()?.groups[ng].vfs_id;
+            self.fs.lock().truncate(vfs_id)?;
+            let control = self.control_mut()?;
+            control.current_group = ng;
+            control.current_seq = new_seq;
+            control.current_flushed = 0;
+            control.seqs.insert(
+                new_seq,
+                SeqLocation {
+                    group: Some(ng),
+                    archive: None,
+                    archive_done_at: None,
+                    released_at: None,
+                    end_offset: None,
+                },
+            );
+        }
+        {
+            let inst = self.inst.as_mut().ok_or(DbError::InstanceDown)?;
+            inst.redo.switch_to(ng, new_seq);
+        }
+        self.trace.record(self.clock.now(), TraceEvent::LogSwitch { seq: new_seq, group: ng });
+        // Switch checkpoint: write every dirty block; once it completes the
+        // old sequence is released for reuse.
+        let done = self.full_checkpoint()?;
+        let control = self.control_mut()?;
+        if let Some(loc) = control.seqs.get_mut(&old_seq) {
+            loc.released_at = Some(done);
+        }
+        self.stats.log_switches += 1;
+        Ok(())
+    }
+
+    /// Writes all dirty blocks and records a checkpoint at the current log
+    /// position. Returns the completion instant (the caller decides whether
+    /// to wait on it).
+    pub(crate) fn full_checkpoint(&mut self) -> DbResult<SimTime> {
+        self.flush_redo()?;
+        let now = self.clock.now();
+        let (out, position, scn, snapshot) = {
+            let mut fs = self.fs.lock();
+            let inst = self.inst.as_mut().ok_or(DbError::InstanceDown)?;
+            let out = checkpoint::write_dirty(&mut fs, &inst.catalog, &mut inst.cache, now, |_, _| true);
+            let position = RedoAddr { seq: inst.redo.current_seq, offset: 0 };
+            (out, position, inst.scn, Arc::new(inst.catalog.clone()))
+        };
+        self.stats.full_checkpoints += 1;
+        self.stats.blocks_written += out.blocks;
+        self.trace
+            .record(now, TraceEvent::Checkpoint { blocks: out.blocks, complete_at: out.complete_at });
+        let control = self.control_mut()?;
+        control.add_checkpoint(CkptRecord {
+            position,
+            scn,
+            complete_at: out.complete_at,
+            catalog: snapshot,
+        });
+        control.last_scn = scn;
+        Ok(out.complete_at)
+    }
+
+    /// `ALTER SYSTEM CHECKPOINT`: full checkpoint, waiting for completion.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the instance is down.
+    pub fn checkpoint_now(&mut self) -> DbResult<()> {
+        self.poll();
+        let done = self.full_checkpoint()?;
+        self.clock.advance_to(done);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Block access
+    // ------------------------------------------------------------------
+
+    fn datafile_info(&self, file: FileNo) -> DbResult<(recobench_vfs::FileId, TablespaceId, String)> {
+        let inst = self.inst.as_ref().ok_or(DbError::InstanceDown)?;
+        let df = inst
+            .catalog
+            .datafiles
+            .get(&file)
+            .ok_or_else(|| DbError::NotFound(format!("datafile {}", file.0)))?;
+        Ok((df.vfs_id, df.tablespace, df.path.clone()))
+    }
+
+    /// Brings a block into the cache (charging the read on a miss) after
+    /// checking availability.
+    pub(crate) fn ensure_resident(&mut self, key: BlockKey) -> DbResult<()> {
+        let (_, ts, _) = self.datafile_info(key.0)?;
+        {
+            let control = self.control_ref()?;
+            if control.file_state(key.0).offline {
+                return Err(DbError::DatafileOffline(key.0 .0));
+            }
+            if control.is_ts_offline(ts) {
+                let inst = self.inst.as_ref().ok_or(DbError::InstanceDown)?;
+                let name =
+                    inst.catalog.tablespaces.get(&ts).map_or_else(String::new, |t| t.name.clone());
+                return Err(DbError::TablespaceOffline(name));
+            }
+        }
+        self.ensure_resident_raw(key)
+    }
+
+    /// Residency without online/offline checks — recovery applies redo to
+    /// files that are administratively offline.
+    pub(crate) fn ensure_resident_raw(&mut self, key: BlockKey) -> DbResult<()> {
+        let (vfs_id, _, path) = self.datafile_info(key.0)?;
+        {
+            let inst = self.inst.as_mut().ok_or(DbError::InstanceDown)?;
+            if inst.cache.get(key).is_some() {
+                return Ok(());
+            }
+        }
+        // Miss: read from disk.
+        let now = self.clock.now();
+        let bytes = {
+            let mut fs = self.fs.lock();
+            let (done, bytes) = fs.read_block(vfs_id, key.1 as u64, now)?;
+            drop(fs);
+            self.clock.advance_to(done);
+            bytes
+        };
+        let img = BlockImage::decode(bytes).map_err(|_| DbError::Media(VfsError::Corrupt(path)))?;
+        let evicted = {
+            let inst = self.inst.as_mut().ok_or(DbError::InstanceDown)?;
+            inst.cache.insert(key, img)
+        };
+        if let Some(ev) = evicted {
+            if ev.dirty.is_some() {
+                self.flush_redo()?;
+                if let Ok((ev_vfs, _, _)) = self.datafile_info(ev.key.0) {
+                    let now = self.clock.now();
+                    let mut fs = self.fs.lock();
+                    if let Ok((done, ())) = fs.write_block(ev_vfs, ev.key.1 as u64, ev.img.encode(), now)
+                    {
+                        drop(fs);
+                        self.clock.advance_to(done);
+                        self.stats.blocks_written += 1;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    pub(crate) fn with_block<R>(
+        &mut self,
+        key: BlockKey,
+        f: impl FnOnce(&mut BlockImage) -> R,
+    ) -> DbResult<R> {
+        self.ensure_resident(key)?;
+        let inst = self.inst.as_mut().ok_or(DbError::InstanceDown)?;
+        let img = inst.cache.get_mut(key).expect("block resident after ensure_resident");
+        Ok(f(img))
+    }
+
+    /// Block access for recovery code paths: ignores offline state.
+    pub(crate) fn with_block_for_recovery<R>(
+        &mut self,
+        key: BlockKey,
+        f: impl FnOnce(&mut BlockImage) -> R,
+    ) -> DbResult<R> {
+        self.ensure_resident_raw(key)?;
+        let inst = self.inst.as_mut().ok_or(DbError::InstanceDown)?;
+        let img = inst.cache.get_mut(key).expect("block resident after ensure_resident_raw");
+        Ok(f(img))
+    }
+
+    // ------------------------------------------------------------------
+    // DDL
+    // ------------------------------------------------------------------
+
+    pub(crate) fn ddl(&mut self, change: CatalogChange) -> DbResult<()> {
+        self.poll();
+        let scn = self.inst_mut()?.next_scn();
+        let rec = RedoRecord { scn, txn: None, op: RedoOp::Catalog(change.clone()) };
+        self.append_record(&rec)?;
+        self.inst_mut()?.catalog.apply(&change);
+        self.flush_redo()?;
+        Ok(())
+    }
+
+    /// Creates a user.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the name is taken or the instance is down.
+    pub fn create_user(&mut self, name: &str) -> DbResult<UserId> {
+        if self.inst_ref()?.catalog.user_by_name(name).is_ok() {
+            return Err(DbError::AlreadyExists(format!("user {name}")));
+        }
+        let id = self.inst_mut()?.catalog.next_user_id();
+        self.ddl(CatalogChange::CreateUser { id, name: name.to_string() })?;
+        Ok(id)
+    }
+
+    /// Drops a user (their objects are dropped by the caller first; this
+    /// engine does not cascade).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the user does not exist.
+    pub fn drop_user(&mut self, name: &str) -> DbResult<()> {
+        let id = self.inst_ref()?.catalog.user_by_name(name)?;
+        self.ddl(CatalogChange::DropUser { id })
+    }
+
+    /// Creates a tablespace with `nfiles` datafiles of `blocks_per_file`
+    /// blocks each, placed round-robin over the data disks.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the name is taken or file creation fails.
+    pub fn create_tablespace(
+        &mut self,
+        name: &str,
+        nfiles: u32,
+        blocks_per_file: u64,
+    ) -> DbResult<TablespaceId> {
+        if self.inst_ref()?.catalog.tablespace_by_name(name).is_ok() {
+            return Err(DbError::AlreadyExists(format!("tablespace {name}")));
+        }
+        let id = self.inst_mut()?.catalog.next_tablespace_id();
+        self.ddl(CatalogChange::CreateTablespace { id, name: name.to_string() })?;
+        for i in 0..nfiles {
+            self.add_datafile_to(id, name, i, blocks_per_file)?;
+        }
+        Ok(id)
+    }
+
+    fn add_datafile_to(
+        &mut self,
+        ts: TablespaceId,
+        ts_name: &str,
+        index: u32,
+        blocks: u64,
+    ) -> DbResult<()> {
+        let disk = self.layout.data_disk_for(self.datafile_total);
+        let path = format!("/u0{}/{}_{:02}.dbf", disk.0 + 1, ts_name.to_lowercase(), index + 1);
+        let block_size = self.config.block_size;
+        let vfs_id = {
+            let mut fs = self.fs.lock();
+            fs.create_block_file(&path, disk, FileKind::Data, block_size, blocks)?
+        };
+        self.datafile_total += 1;
+        let file_no = self.inst_mut()?.catalog.next_file_no();
+        self.ddl(CatalogChange::AddDatafile {
+            file_no,
+            def: DatafileDef { path, vfs_id, tablespace: ts, blocks },
+        })
+    }
+
+    /// Creates a table with its indexes (index 0 is the primary key).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the table name is taken, or the user/tablespace is unknown.
+    pub fn create_table(
+        &mut self,
+        name: &str,
+        owner: &str,
+        tablespace: &str,
+        indexes: Vec<IndexDef>,
+    ) -> DbResult<ObjectId> {
+        let (owner, ts) = {
+            let cat = &self.inst_ref()?.catalog;
+            if cat.table_by_name(name).is_ok() {
+                return Err(DbError::AlreadyExists(format!("table {name}")));
+            }
+            (cat.user_by_name(owner)?, cat.tablespace_by_name(tablespace)?)
+        };
+        let id = self.inst_mut()?.catalog.next_object_id();
+        self.ddl(CatalogChange::CreateTable {
+            id,
+            name: name.to_string(),
+            owner,
+            tablespace: ts,
+            indexes: indexes.clone(),
+        })?;
+        let inst = self.inst_mut()?;
+        inst.indexes.insert(id, indexes.into_iter().map(crate::index::Index::new).collect());
+        inst.cursors.insert(id, PlacementCursor::new());
+        Ok(id)
+    }
+
+    /// Drops a table — the "delete user's database object" operator fault
+    /// when issued by mistake.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the table does not exist.
+    pub fn drop_table(&mut self, name: &str) -> DbResult<ObjectId> {
+        let id = self.inst_ref()?.catalog.table_by_name(name)?;
+        self.ddl(CatalogChange::DropTable { id })?;
+        let inst = self.inst_mut()?;
+        inst.indexes.remove(&id);
+        inst.cursors.remove(&id);
+        Ok(id)
+    }
+
+    /// Drops a tablespace *including contents and datafiles* — the "delete
+    /// a tablespace" operator fault when aimed at the wrong target.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the tablespace does not exist.
+    pub fn drop_tablespace(&mut self, name: &str) -> DbResult<()> {
+        let (id, files, tables): (TablespaceId, Vec<(FileNo, String)>, Vec<ObjectId>) = {
+            let cat = &self.inst_ref()?.catalog;
+            let id = cat.tablespace_by_name(name)?;
+            let files = cat
+                .datafiles
+                .iter()
+                .filter(|(_, d)| d.tablespace == id)
+                .map(|(no, d)| (*no, d.path.clone()))
+                .collect();
+            let tables =
+                cat.tables.iter().filter(|(_, t)| t.tablespace == id).map(|(o, _)| *o).collect();
+            (id, files, tables)
+        };
+        self.ddl(CatalogChange::DropTablespace { id })?;
+        let inst = self.inst_mut()?;
+        for t in &tables {
+            inst.indexes.remove(t);
+            inst.cursors.remove(t);
+        }
+        for (no, _) in &files {
+            inst.cache.invalidate_file(*no);
+        }
+        let mut fs = self.fs.lock();
+        for (_, path) in &files {
+            // The files may already be damaged; dropping is best-effort.
+            let _ = fs.delete_path(path);
+        }
+        self.clock.advance(self.config.costs.admin_command);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // DML
+    // ------------------------------------------------------------------
+
+    /// Starts a transaction.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the instance is down.
+    pub fn begin(&mut self) -> DbResult<TxnId> {
+        self.poll();
+        let id = self.inst_mut()?.txns.begin();
+        self.txn_floor = self.txn_floor.max(id.0);
+        Ok(id)
+    }
+
+    fn check_unique(&self, obj: ObjectId, row: &Row, exclude: Option<RowId>) -> DbResult<()> {
+        let inst = self.inst_ref()?;
+        if let Some(indexes) = inst.indexes.get(&obj) {
+            for ix in indexes {
+                if !ix.def().unique {
+                    continue;
+                }
+                let key_values: Vec<Value> = ix
+                    .def()
+                    .cols
+                    .iter()
+                    .map(|&c| row.get(c).cloned().unwrap_or(Value::Null))
+                    .collect();
+                let existing = ix.lookup(&key_values);
+                if existing.iter().any(|r| Some(*r) != exclude) {
+                    return Err(DbError::DuplicateKey { index: ix.def().name.clone() });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn find_insert_slot(&mut self, obj: ObjectId, row_len: usize) -> DbResult<BlockKey> {
+        let block_size = self.config.block_size;
+        loop {
+            let cand = {
+                let inst = self.inst_ref()?;
+                let seg = &inst.catalog.table(obj)?.segment;
+                inst.cursors.get(&obj).copied().unwrap_or_default().current(seg)
+            };
+            match cand {
+                Some((file, block)) => {
+                    let key = (file, block);
+                    let fits = self.with_block(key, |img| img.fits(row_len, block_size))?;
+                    if fits {
+                        return Ok(key);
+                    }
+                    let inst = self.inst_mut()?;
+                    let seg = inst.catalog.table(obj)?.segment.clone();
+                    inst.cursors.entry(obj).or_default().advance(&seg);
+                }
+                None => {
+                    // Segment exhausted: allocate an extent.
+                    let extent = {
+                        let inst = self.inst_ref()?;
+                        plan_extent(&inst.catalog, obj)?
+                    };
+                    self.ddl_extent(obj, extent)?;
+                    let inst = self.inst_mut()?;
+                    let seg = &inst.catalog.table(obj)?.segment;
+                    inst.cursors.entry(obj).or_default().seek_last_extent(seg);
+                }
+            }
+        }
+    }
+
+    fn ddl_extent(&mut self, obj: ObjectId, extent: crate::catalog::Extent) -> DbResult<()> {
+        // Extent allocation is a recursive (auto-committed) dictionary
+        // change, logged but not flushed eagerly: the owning transaction's
+        // commit flush covers it.
+        let scn = self.inst_mut()?.next_scn();
+        let change = CatalogChange::AllocExtent { table: obj, extent };
+        let rec = RedoRecord { scn, txn: None, op: RedoOp::Catalog(change.clone()) };
+        self.append_record(&rec)?;
+        self.inst_mut()?.catalog.apply(&change);
+        Ok(())
+    }
+
+    /// Inserts a row, returning its physical address.
+    ///
+    /// # Errors
+    ///
+    /// Fails on duplicate keys, storage exhaustion, offline storage, media
+    /// damage, or a dead transaction.
+    pub fn insert(&mut self, txn: TxnId, obj: ObjectId, row: Row) -> DbResult<RowId> {
+        self.poll();
+        if !self.inst_ref()?.txns.is_active(txn) {
+            return Err(DbError::TxnNotActive(txn));
+        }
+        self.inst_ref()?.catalog.table(obj)?;
+        self.check_unique(obj, &row, None)?;
+        let key = self.find_insert_slot(obj, row.encoded_len())?;
+        let slot = self.with_block(key, |img| img.next_free_slot())?;
+        let rid = RowId { file: key.0, block: key.1, slot };
+        {
+            let inst = self.inst_mut()?;
+            inst.locks.lock_row(txn, obj, rid)?;
+            let st = inst.txns.get_mut(txn)?;
+            st.locks.push((obj, rid));
+            st.undo.push(UndoOp::UndoInsert { obj, rid });
+        }
+        let scn = self.inst_mut()?.next_scn();
+        let rec = RedoRecord { scn, txn: Some(txn), op: RedoOp::Insert { obj, rid, row: row.clone() } };
+        let addr = self.append_record(&rec)?;
+        let now = self.clock.now();
+        self.with_block(key, |img| {
+            img.put(slot, row.clone(), scn);
+        })?;
+        {
+            let inst = self.inst_mut()?;
+            inst.cache.mark_dirty(key, addr, now);
+            if let Some(indexes) = inst.indexes.get_mut(&obj) {
+                for ix in indexes {
+                    ix.insert(&row, rid)?;
+                }
+            }
+        }
+        self.clock.advance(self.config.costs.cpu_per_dml);
+        Ok(rid)
+    }
+
+    /// Replaces the row at `rid`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the row does not exist, is locked elsewhere, or storage is
+    /// unavailable.
+    pub fn update(&mut self, txn: TxnId, obj: ObjectId, rid: RowId, row: Row) -> DbResult<()> {
+        self.poll();
+        if !self.inst_ref()?.txns.is_active(txn) {
+            return Err(DbError::TxnNotActive(txn));
+        }
+        let key = (rid.file, rid.block);
+        let before =
+            self.with_block(key, |img| img.row(rid.slot).cloned())?.ok_or(DbError::NoSuchRow(rid))?;
+        self.check_unique(obj, &row, Some(rid))?;
+        {
+            let inst = self.inst_mut()?;
+            if inst.locks.lock_row(txn, obj, rid)? {
+                inst.txns.get_mut(txn)?.locks.push((obj, rid));
+            }
+            inst.txns.get_mut(txn)?.undo.push(UndoOp::UndoUpdate { obj, rid, before: before.clone() });
+        }
+        let scn = self.inst_mut()?.next_scn();
+        let rec = RedoRecord {
+            scn,
+            txn: Some(txn),
+            op: RedoOp::Update { obj, rid, before: before.clone(), after: row.clone() },
+        };
+        let addr = self.append_record(&rec)?;
+        let now = self.clock.now();
+        self.with_block(key, |img| {
+            img.put(rid.slot, row.clone(), scn);
+        })?;
+        {
+            let inst = self.inst_mut()?;
+            inst.cache.mark_dirty(key, addr, now);
+            if let Some(indexes) = inst.indexes.get_mut(&obj) {
+                for ix in indexes {
+                    ix.remove(&before, rid);
+                    ix.insert(&row, rid)?;
+                }
+            }
+        }
+        self.clock.advance(self.config.costs.cpu_per_dml);
+        Ok(())
+    }
+
+    /// Deletes the row at `rid`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the row does not exist, is locked elsewhere, or storage is
+    /// unavailable.
+    pub fn delete(&mut self, txn: TxnId, obj: ObjectId, rid: RowId) -> DbResult<()> {
+        self.poll();
+        if !self.inst_ref()?.txns.is_active(txn) {
+            return Err(DbError::TxnNotActive(txn));
+        }
+        let key = (rid.file, rid.block);
+        let before =
+            self.with_block(key, |img| img.row(rid.slot).cloned())?.ok_or(DbError::NoSuchRow(rid))?;
+        {
+            let inst = self.inst_mut()?;
+            if inst.locks.lock_row(txn, obj, rid)? {
+                inst.txns.get_mut(txn)?.locks.push((obj, rid));
+            }
+            inst.txns.get_mut(txn)?.undo.push(UndoOp::UndoDelete { obj, rid, before: before.clone() });
+        }
+        let scn = self.inst_mut()?.next_scn();
+        let rec =
+            RedoRecord { scn, txn: Some(txn), op: RedoOp::Delete { obj, rid, before: before.clone() } };
+        let addr = self.append_record(&rec)?;
+        let now = self.clock.now();
+        self.with_block(key, |img| {
+            img.remove(rid.slot, scn);
+        })?;
+        {
+            let inst = self.inst_mut()?;
+            inst.cache.mark_dirty(key, addr, now);
+            if let Some(indexes) = inst.indexes.get_mut(&obj) {
+                for ix in indexes {
+                    ix.remove(&before, rid);
+                }
+            }
+        }
+        self.clock.advance(self.config.costs.cpu_per_dml);
+        Ok(())
+    }
+
+    /// Reads the row at `rid`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the row does not exist or storage is unavailable.
+    pub fn get_row(&mut self, obj: ObjectId, rid: RowId) -> DbResult<Row> {
+        self.poll();
+        self.inst_ref()?.catalog.table(obj)?;
+        let key = (rid.file, rid.block);
+        let row =
+            self.with_block(key, |img| img.row(rid.slot).cloned())?.ok_or(DbError::NoSuchRow(rid))?;
+        self.clock.advance(self.config.costs.cpu_per_read);
+        Ok(row)
+    }
+
+    /// Exact-match index lookup.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the table or index is unknown.
+    pub fn lookup(&mut self, obj: ObjectId, index: usize, key: &[Value]) -> DbResult<Vec<RowId>> {
+        self.poll();
+        self.clock.advance(self.config.costs.cpu_per_read);
+        let inst = self.inst_ref()?;
+        let ix = inst
+            .indexes
+            .get(&obj)
+            .and_then(|v| v.get(index))
+            .ok_or_else(|| DbError::NotFound(format!("index {index} of {obj}")))?;
+        Ok(ix.lookup(key))
+    }
+
+    /// Index prefix scan (ordered).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the table or index is unknown.
+    pub fn prefix_scan(&mut self, obj: ObjectId, index: usize, prefix: &[Value]) -> DbResult<Vec<RowId>> {
+        self.poll();
+        self.clock.advance(self.config.costs.cpu_per_read);
+        let inst = self.inst_ref()?;
+        let ix = inst
+            .indexes
+            .get(&obj)
+            .and_then(|v| v.get(index))
+            .ok_or_else(|| DbError::NotFound(format!("index {index} of {obj}")))?;
+        Ok(ix.prefix_scan(prefix))
+    }
+
+    /// Rows under the greatest key with the given prefix (e.g. a
+    /// customer's most recent order).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the table or index is unknown.
+    pub fn last_under_prefix(
+        &mut self,
+        obj: ObjectId,
+        index: usize,
+        prefix: &[Value],
+    ) -> DbResult<Vec<RowId>> {
+        self.poll();
+        self.clock.advance(self.config.costs.cpu_per_read);
+        let inst = self.inst_ref()?;
+        let ix = inst
+            .indexes
+            .get(&obj)
+            .and_then(|v| v.get(index))
+            .ok_or_else(|| DbError::NotFound(format!("index {index} of {obj}")))?;
+        Ok(ix.last_under_prefix(prefix).map(|(_, rids)| rids.to_vec()).unwrap_or_default())
+    }
+
+    /// Commits: the commit record is written and the log buffer flushed —
+    /// the caller waits out the log write, which is the durability
+    /// guarantee.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the transaction is not active or the log write fails.
+    pub fn commit(&mut self, txn: TxnId) -> DbResult<()> {
+        self.poll();
+        if !self.inst_ref()?.txns.is_active(txn) {
+            return Err(DbError::TxnNotActive(txn));
+        }
+        let scn = self.inst_mut()?.next_scn();
+        let rec = RedoRecord { scn, txn: Some(txn), op: RedoOp::Commit };
+        self.append_record(&rec)?;
+        self.flush_redo()?;
+        let inst = self.inst_mut()?;
+        let st = inst.txns.finish(txn)?;
+        inst.locks.release_all(txn, &st.locks);
+        self.stats.commits += 1;
+        self.clock.advance(self.config.costs.cpu_commit);
+        Ok(())
+    }
+
+    /// Rolls back: undoes the transaction's changes (writing compensating
+    /// redo) and releases its locks. Changes to storage that has since
+    /// become unreadable are skipped — recovery of that storage will
+    /// discard them anyway.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the transaction is not active.
+    pub fn rollback(&mut self, txn: TxnId) -> DbResult<()> {
+        self.poll();
+        let st = self.inst_mut()?.txns.finish(txn)?;
+        for op in st.undo.iter().rev() {
+            // Best-effort: damaged blocks are skipped.
+            let _ = self.apply_undo_logged(txn, op);
+        }
+        let scn = self.inst_mut()?.next_scn();
+        let rec = RedoRecord { scn, txn: Some(txn), op: RedoOp::Rollback };
+        self.append_record(&rec)?;
+        self.flush_redo()?;
+        let inst = self.inst_mut()?;
+        inst.locks.release_all(txn, &st.locks);
+        self.stats.rollbacks += 1;
+        self.clock.advance(self.config.costs.cpu_commit);
+        Ok(())
+    }
+
+    fn apply_undo_logged(&mut self, txn: TxnId, op: &UndoOp) -> DbResult<()> {
+        match op {
+            UndoOp::UndoInsert { obj, rid } => {
+                let key = (rid.file, rid.block);
+                let before = self.with_block(key, |img| img.row(rid.slot).cloned())?;
+                let Some(before) = before else { return Ok(()) };
+                let scn = self.inst_mut()?.next_scn();
+                let rec = RedoRecord {
+                    scn,
+                    txn: Some(txn),
+                    op: RedoOp::Delete { obj: *obj, rid: *rid, before: before.clone() },
+                };
+                let addr = self.append_record(&rec)?;
+                let now = self.clock.now();
+                self.with_block(key, |img| {
+                    img.remove(rid.slot, scn);
+                })?;
+                let inst = self.inst_mut()?;
+                inst.cache.mark_dirty(key, addr, now);
+                if let Some(indexes) = inst.indexes.get_mut(obj) {
+                    for ix in indexes {
+                        ix.remove(&before, *rid);
+                    }
+                }
+            }
+            UndoOp::UndoUpdate { obj, rid, before } | UndoOp::UndoDelete { obj, rid, before } => {
+                let key = (rid.file, rid.block);
+                let current = self.with_block(key, |img| img.row(rid.slot).cloned())?;
+                let scn = self.inst_mut()?.next_scn();
+                let rec = RedoRecord {
+                    scn,
+                    txn: Some(txn),
+                    op: match &current {
+                        Some(cur) => RedoOp::Update {
+                            obj: *obj,
+                            rid: *rid,
+                            before: cur.clone(),
+                            after: before.clone(),
+                        },
+                        None => RedoOp::Insert { obj: *obj, rid: *rid, row: before.clone() },
+                    },
+                };
+                let addr = self.append_record(&rec)?;
+                let now = self.clock.now();
+                let restored = before.clone();
+                self.with_block(key, |img| {
+                    img.put(rid.slot, restored, scn);
+                })?;
+                let inst = self.inst_mut()?;
+                inst.cache.mark_dirty(key, addr, now);
+                if let Some(indexes) = inst.indexes.get_mut(obj) {
+                    for ix in indexes {
+                        if let Some(cur) = &current {
+                            ix.remove(cur, *rid);
+                        }
+                        let _ = ix.insert(before, *rid);
+                    }
+                }
+            }
+        }
+        self.clock.advance(self.config.costs.cpu_per_dml);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Bulk load (direct path)
+    // ------------------------------------------------------------------
+
+    /// Direct-path load: writes rows without redo logging (like
+    /// `SQL*Loader direct`). The caller must checkpoint (or back up)
+    /// afterwards to make the data durable — exactly Oracle's rule for
+    /// NOLOGGING loads.
+    ///
+    /// # Errors
+    ///
+    /// Fails on storage exhaustion or duplicate keys.
+    pub fn bulk_load(&mut self, obj: ObjectId, rows: Vec<Row>) -> DbResult<u64> {
+        self.poll();
+        let mut n = 0u64;
+        for row in rows {
+            self.check_unique(obj, &row, None)?;
+            let key = self.find_insert_slot(obj, row.encoded_len())?;
+            let slot = self.with_block(key, |img| img.next_free_slot())?;
+            let rid = RowId { file: key.0, block: key.1, slot };
+            let scn = self.inst_mut()?.next_scn();
+            let addr = self.inst_ref()?.redo.tail();
+            let now = self.clock.now();
+            self.with_block(key, |img| {
+                img.put(slot, row.clone(), scn);
+            })?;
+            let inst = self.inst_mut()?;
+            inst.cache.mark_dirty(key, addr, now);
+            if let Some(indexes) = inst.indexes.get_mut(&obj) {
+                for ix in indexes {
+                    ix.insert(&row, rid)?;
+                }
+            }
+            n += 1;
+            self.clock.advance(self.config.costs.cpu_per_dml / 5);
+        }
+        Ok(n)
+    }
+
+    // ------------------------------------------------------------------
+    // Zero-cost inspection (analysis tooling)
+    // ------------------------------------------------------------------
+
+    /// Scans a table without charging simulated I/O — for integrity
+    /// checkers and lost-transaction audits that must not perturb timing.
+    /// Cached (possibly dirty) images take precedence over disk contents.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the table is unknown or its storage unreadable.
+    pub fn peek_scan(&self, obj: ObjectId) -> DbResult<Vec<(RowId, Row)>> {
+        let inst = self.inst.as_ref().ok_or(DbError::InstanceDown)?;
+        let table = inst.catalog.table(obj)?;
+        let fs = self.fs.lock();
+        let mut out = Vec::new();
+        for (file, block) in table.segment.blocks() {
+            let key = (file, block);
+            let img_owned;
+            let img: &BlockImage = if let Some(frame) = inst.cache_peek(key) {
+                frame
+            } else {
+                let df = inst
+                    .catalog
+                    .datafiles
+                    .get(&file)
+                    .ok_or_else(|| DbError::NotFound(format!("datafile {}", file.0)))?;
+                let bytes = fs.peek_block(df.vfs_id, block as u64)?;
+                img_owned = BlockImage::decode(bytes)
+                    .map_err(|_| DbError::Media(VfsError::Corrupt(df.path.clone())))?;
+                &img_owned
+            };
+            for (slot, row) in img.iter() {
+                out.push((RowId { file, block, slot }, row.clone()));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Reads one row without charging simulated time (analysis only).
+    /// Cached images take precedence over disk contents.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the table or its storage is unreadable.
+    pub fn peek_row(&self, obj: ObjectId, rid: RowId) -> DbResult<Option<Row>> {
+        let inst = self.inst.as_ref().ok_or(DbError::InstanceDown)?;
+        inst.catalog.table(obj)?;
+        let key = (rid.file, rid.block);
+        if let Some(img) = inst.cache_peek(key) {
+            return Ok(img.row(rid.slot).cloned());
+        }
+        let df = inst
+            .catalog
+            .datafiles
+            .get(&rid.file)
+            .ok_or_else(|| DbError::NotFound(format!("datafile {}", rid.file.0)))?;
+        let fs = self.fs.lock();
+        let bytes = fs.peek_block(df.vfs_id, rid.block as u64)?;
+        let img = BlockImage::decode(bytes)
+            .map_err(|_| DbError::Media(VfsError::Corrupt(df.path.clone())))?;
+        Ok(img.row(rid.slot).cloned())
+    }
+
+    /// Index lookup without charging simulated time (analysis only).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the table or index is unknown.
+    pub fn peek_lookup(&self, obj: ObjectId, index: usize, key: &[Value]) -> DbResult<Vec<RowId>> {
+        let inst = self.inst.as_ref().ok_or(DbError::InstanceDown)?;
+        let ix = inst
+            .indexes
+            .get(&obj)
+            .and_then(|v| v.get(index))
+            .ok_or_else(|| DbError::NotFound(format!("index {index} of {obj}")))?;
+        Ok(ix.lookup(key))
+    }
+
+    /// Resolves a table by name (analysis and driver setup).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the instance is down or the table is unknown.
+    pub fn table_id(&self, name: &str) -> DbResult<ObjectId> {
+        let inst = self.inst.as_ref().ok_or(DbError::InstanceDown)?;
+        inst.catalog.table_by_name(name)
+    }
+
+    // ------------------------------------------------------------------
+    // Administrative / operator surface
+    // ------------------------------------------------------------------
+
+    /// Takes a cold (consistent) backup: checkpoint, then copy every
+    /// datafile to the backup disk together with the dictionary snapshot
+    /// and redo position needed to roll forward from it.
+    ///
+    /// Restore time is dominated by the *nominal* database size (the
+    /// paper's full-scale database), charged alongside the real bytes.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the instance is down or a copy fails.
+    pub fn take_cold_backup(&mut self) -> DbResult<()> {
+        self.poll();
+        self.checkpoint_now()?;
+        let now = self.clock.now();
+        let (files, position, scn, snapshot) = {
+            let inst = self.inst.as_ref().ok_or(DbError::InstanceDown)?;
+            let files: Vec<(FileNo, recobench_vfs::FileId)> =
+                inst.catalog.datafiles.iter().map(|(no, d)| (*no, d.vfs_id)).collect();
+            (files, inst.redo.tail(), inst.scn, Arc::new(inst.catalog.clone()))
+        };
+        if files.is_empty() {
+            return Err(DbError::BadAdminCommand("nothing to back up".into()));
+        }
+        let nominal_per_file = self.config.costs.nominal_db_bytes / files.len() as u64;
+        let backup_disk = self.layout.backup_disk;
+        self.backups_taken += 1;
+        let tag = self.backups_taken;
+        let mut pieces = std::collections::BTreeMap::new();
+        let mut last = now;
+        {
+            let mut fs = self.fs.lock();
+            for (no, vfs_id) in &files {
+                let path = format!("/backup/{}_b{}_f{:02}.bak", self.name, tag, no.0);
+                let (done, piece) = fs.copy_file(*vfs_id, &path, backup_disk, FileKind::Backup, now)?;
+                let src_disk = fs.meta(*vfs_id)?.disk;
+                let d1 = fs.charge_io(src_disk, recobench_vfs::IoKind::Read, nominal_per_file, now)?;
+                let d2 =
+                    fs.charge_io(backup_disk, recobench_vfs::IoKind::Write, nominal_per_file, now)?;
+                last = last.max(done).max(d1).max(d2);
+                pieces.insert(*no, piece);
+            }
+        }
+        self.clock.advance_to(last);
+        self.backup = Some(BackupSet {
+            taken_at: self.clock.now(),
+            position,
+            scn,
+            catalog: snapshot,
+            pieces,
+            nominal_bytes_per_file: nominal_per_file,
+        });
+        Ok(())
+    }
+
+    /// Paths of every archived log currently on disk (fault targeting:
+    /// "delete a archive log file").
+    pub fn archive_paths(&self) -> Vec<String> {
+        let fs = self.fs.lock();
+        fs.list(FileKind::Archive)
+            .into_iter()
+            .filter(|m| !m.deleted)
+            .map(|m| m.path)
+            .collect()
+    }
+
+    /// Forgets the registered backup — the "backups missing to allow
+    /// recovery" operator fault. The backup pieces are also deleted at the
+    /// OS level, as an operator reclaiming "unused" space would.
+    pub fn discard_backup(&mut self) {
+        if let Some(b) = self.backup.take() {
+            let mut fs = self.fs.lock();
+            for piece in b.pieces.values() {
+                if let Ok(meta) = fs.meta(*piece) {
+                    let _ = fs.delete_path(&meta.path);
+                }
+            }
+        }
+    }
+
+    /// Deletes a file by path at the OS level — the injector's way of
+    /// reproducing `rm /u02/tpcc_03.dbf`. The engine only notices when it
+    /// next touches the file.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no live file has this path.
+    pub fn os_delete_file(&mut self, path: &str) -> DbResult<()> {
+        self.fs.lock().delete_path(path)?;
+        Ok(())
+    }
+
+    /// Takes a datafile offline (`ALTER DATABASE DATAFILE ... OFFLINE`).
+    /// In ARCHIVELOG mode the file needs media recovery from the current
+    /// checkpoint position to come back.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the file is unknown or the instance is down.
+    pub fn offline_datafile(&mut self, path: &str) -> DbResult<FileNo> {
+        self.poll();
+        let file_no = self.inst_ref()?.catalog.datafile_by_path(path)?;
+        let now = self.clock.now();
+        let position = self.control_ref()?.effective_checkpoint(now).position;
+        let st = self.control_mut()?.file_state_mut(file_no);
+        st.offline = true;
+        st.recover_from = Some(position);
+        self.clock.advance(self.config.costs.admin_command);
+        Ok(file_no)
+    }
+
+    /// Takes a tablespace offline (normal): its dirty blocks are
+    /// checkpointed first, so it comes back online without recovery.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the tablespace is unknown or the instance is down.
+    pub fn offline_tablespace(&mut self, name: &str) -> DbResult<TablespaceId> {
+        self.poll();
+        self.flush_redo()?;
+        let ts = self.inst_ref()?.catalog.tablespace_by_name(name)?;
+        let done = {
+            let mut fs = self.fs.lock();
+            let inst = self.inst.as_mut().ok_or(DbError::InstanceDown)?;
+            let files: Vec<FileNo> = inst
+                .catalog
+                .datafiles
+                .iter()
+                .filter(|(_, d)| d.tablespace == ts)
+                .map(|(no, _)| *no)
+                .collect();
+            let now = self.clock.now();
+            let out = checkpoint::write_dirty(&mut fs, &inst.catalog, &mut inst.cache, now, |k, _| {
+                files.contains(&k.0)
+            });
+            self.stats.blocks_written += out.blocks;
+            out.complete_at
+        };
+        self.clock.advance_to(done);
+        let control = self.control_mut()?;
+        if !control.ts_offline.contains(&ts) {
+            control.ts_offline.push(ts);
+        }
+        self.clock.advance(self.config.costs.admin_command);
+        Ok(ts)
+    }
+
+    /// Brings a cleanly offlined tablespace back online.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the tablespace is unknown.
+    pub fn online_tablespace(&mut self, name: &str) -> DbResult<()> {
+        self.poll();
+        let ts = self.inst_ref()?.catalog.tablespace_by_name(name)?;
+        self.control_mut()?.ts_offline.retain(|t| *t != ts);
+        self.clock.advance(self.config.costs.admin_command);
+        Ok(())
+    }
+
+    /// Lists the paths of the datafiles of a tablespace (fault targeting).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the tablespace is unknown or the instance is down.
+    pub fn datafile_paths(&self, tablespace: &str) -> DbResult<Vec<String>> {
+        let inst = self.inst.as_ref().ok_or(DbError::InstanceDown)?;
+        let ts = inst.catalog.tablespace_by_name(tablespace)?;
+        Ok(inst
+            .catalog
+            .datafiles
+            .values()
+            .filter(|d| d.tablespace == ts)
+            .map(|d| d.path.clone())
+            .collect())
+    }
+}
+
+impl Instance {
+    /// Read-only view of a cached block, if resident (no stats, no LRU
+    /// effect) — used by the zero-cost inspection paths.
+    pub(crate) fn cache_peek(&self, key: BlockKey) -> Option<&BlockImage> {
+        // `contains` + `get` would bump stats; peek goes around them.
+        self.cache.peek(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn test_server(config: InstanceConfig) -> DbServer {
+        let clock = SimClock::shared();
+        let layout = DiskLayout::four_disk();
+        let mut srv = DbServer::on_fresh_disks("TEST", clock, layout, config);
+        srv.create_database().unwrap();
+        srv
+    }
+
+    pub(crate) fn small_config() -> InstanceConfig {
+        InstanceConfig::builder()
+            .redo_file_bytes(64 * 1024)
+            .redo_groups(3)
+            .checkpoint_timeout_secs(60)
+            .archive_mode(true)
+            .cache_blocks(64)
+            .build()
+    }
+
+    fn setup_table(srv: &mut DbServer) -> ObjectId {
+        srv.create_user("tpcc").unwrap();
+        srv.create_tablespace("TPCC", 2, 256).unwrap();
+        srv.create_table(
+            "T",
+            "tpcc",
+            "TPCC",
+            vec![IndexDef { name: "PK".into(), cols: vec![0], unique: true }],
+        )
+        .unwrap()
+    }
+
+    fn row(k: u64, v: &str) -> Row {
+        Row::new(vec![Value::U64(k), Value::from(v)])
+    }
+
+    #[test]
+    fn insert_commit_read_back() {
+        let mut srv = test_server(small_config());
+        let t = setup_table(&mut srv);
+        let txn = srv.begin().unwrap();
+        let rid = srv.insert(txn, t, row(1, "hello")).unwrap();
+        srv.commit(txn).unwrap();
+        assert_eq!(srv.get_row(t, rid).unwrap(), row(1, "hello"));
+        assert_eq!(srv.lookup(t, 0, &[Value::U64(1)]).unwrap(), vec![rid]);
+        assert_eq!(srv.stats().commits, 1);
+    }
+
+    #[test]
+    fn rollback_restores_prior_state() {
+        let mut srv = test_server(small_config());
+        let t = setup_table(&mut srv);
+        let txn = srv.begin().unwrap();
+        let rid = srv.insert(txn, t, row(1, "a")).unwrap();
+        srv.commit(txn).unwrap();
+
+        let txn2 = srv.begin().unwrap();
+        srv.update(txn2, t, rid, row(1, "changed")).unwrap();
+        let rid2 = srv.insert(txn2, t, row(2, "new")).unwrap();
+        srv.delete(txn2, t, rid).unwrap();
+        srv.rollback(txn2).unwrap();
+
+        assert_eq!(srv.get_row(t, rid).unwrap(), row(1, "a"));
+        assert!(matches!(srv.get_row(t, rid2), Err(DbError::NoSuchRow(_))));
+        assert!(srv.lookup(t, 0, &[Value::U64(2)]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn duplicate_key_rejected_without_side_effects() {
+        let mut srv = test_server(small_config());
+        let t = setup_table(&mut srv);
+        let txn = srv.begin().unwrap();
+        srv.insert(txn, t, row(1, "a")).unwrap();
+        let err = srv.insert(txn, t, row(1, "dup")).unwrap_err();
+        assert!(matches!(err, DbError::DuplicateKey { .. }));
+        srv.commit(txn).unwrap();
+        assert_eq!(srv.peek_scan(t).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn log_switches_and_checkpoints_happen() {
+        let mut srv = test_server(small_config());
+        let t = setup_table(&mut srv);
+        // 64 KiB logs with ~700-byte records: a few hundred inserts switch
+        // several times.
+        for i in 0..200 {
+            let txn = srv.begin().unwrap();
+            srv.insert(txn, t, row(i, "payload-payload-payload")).unwrap();
+            srv.commit(txn).unwrap();
+        }
+        let s = srv.stats();
+        assert!(s.log_switches >= 2, "expected switches, got {}", s.log_switches);
+        assert!(s.full_checkpoints >= s.log_switches);
+        assert!(s.archives_created >= s.log_switches, "archive mode copies every filled log");
+        assert!(s.redo_bytes > 64 * 1024);
+    }
+
+    #[test]
+    fn archive_off_reuses_groups_without_archives() {
+        let mut cfg = small_config();
+        cfg.archive_mode = false;
+        let mut srv = test_server(cfg);
+        let t = setup_table(&mut srv);
+        for i in 0..200 {
+            let txn = srv.begin().unwrap();
+            srv.insert(txn, t, row(i, "payload-payload-payload")).unwrap();
+            srv.commit(txn).unwrap();
+        }
+        let s = srv.stats();
+        assert!(s.log_switches >= 2);
+        assert_eq!(s.archives_created, 0);
+    }
+
+    #[test]
+    fn offline_tablespace_blocks_dml_then_online_restores() {
+        let mut srv = test_server(small_config());
+        let t = setup_table(&mut srv);
+        let txn = srv.begin().unwrap();
+        let rid = srv.insert(txn, t, row(1, "a")).unwrap();
+        srv.commit(txn).unwrap();
+
+        srv.offline_tablespace("TPCC").unwrap();
+        assert!(matches!(srv.get_row(t, rid), Err(DbError::TablespaceOffline(_))));
+        let txn2 = srv.begin().unwrap();
+        assert!(srv.insert(txn2, t, row(2, "b")).is_err());
+        srv.rollback(txn2).ok();
+
+        srv.online_tablespace("TPCC").unwrap();
+        assert_eq!(srv.get_row(t, rid).unwrap(), row(1, "a"));
+    }
+
+    #[test]
+    fn os_delete_surfaces_as_media_error_on_miss() {
+        let mut cfg = small_config();
+        cfg.cache_blocks = 2; // tiny cache: the block falls out quickly
+        let mut srv = test_server(cfg);
+        let t = setup_table(&mut srv);
+        let txn = srv.begin().unwrap();
+        let rid = srv.insert(txn, t, row(1, "a")).unwrap();
+        srv.commit(txn).unwrap();
+        let path = {
+            let inst = srv.inst.as_ref().unwrap();
+            inst.catalog.datafiles[&rid.file].path.clone()
+        };
+        srv.os_delete_file(&path).unwrap();
+        // While the block stays cached the engine is oblivious — exactly
+        // like Oracle serving reads from the SGA after an `rm`.
+        assert_eq!(srv.get_row(t, rid).unwrap(), row(1, "a"));
+        // Once the block leaves the cache, the next touch hits the OS error.
+        srv.inst.as_mut().unwrap().cache.invalidate_file(rid.file);
+        let err = srv.get_row(t, rid);
+        assert!(
+            matches!(err, Err(DbError::Media(_))),
+            "read of a deleted file must fail once uncached, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn drop_table_makes_object_unknown() {
+        let mut srv = test_server(small_config());
+        let t = setup_table(&mut srv);
+        let txn = srv.begin().unwrap();
+        srv.insert(txn, t, row(1, "a")).unwrap();
+        srv.commit(txn).unwrap();
+        srv.drop_table("T").unwrap();
+        assert!(matches!(srv.get_row(t, RowId { file: FileNo(1), block: 0, slot: 0 }), Err(_)));
+        assert!(srv.table_id("T").is_err());
+    }
+
+    #[test]
+    fn drop_tablespace_removes_files() {
+        let mut srv = test_server(small_config());
+        let _t = setup_table(&mut srv);
+        let paths = srv.datafile_paths("TPCC").unwrap();
+        assert_eq!(paths.len(), 2);
+        srv.drop_tablespace("TPCC").unwrap();
+        let fs = srv.fs.lock();
+        for p in paths {
+            assert!(fs.lookup(&p).is_err(), "datafile {p} should be gone");
+        }
+    }
+
+    #[test]
+    fn clean_shutdown_and_restart_preserves_data() {
+        let mut srv = test_server(small_config());
+        let t = setup_table(&mut srv);
+        let txn = srv.begin().unwrap();
+        let rid = srv.insert(txn, t, row(7, "persist")).unwrap();
+        srv.commit(txn).unwrap();
+        srv.shutdown_normal().unwrap();
+        assert!(!srv.is_open());
+        srv.startup().unwrap();
+        assert_eq!(srv.get_row(t, rid).unwrap(), row(7, "persist"));
+        assert_eq!(srv.lookup(t, 0, &[Value::U64(7)]).unwrap(), vec![rid]);
+    }
+
+    #[test]
+    fn bulk_load_then_checkpoint_is_durable_across_crash() {
+        let mut srv = test_server(small_config());
+        let t = setup_table(&mut srv);
+        let rows: Vec<Row> = (0..50).map(|i| row(i, "loaded")).collect();
+        assert_eq!(srv.bulk_load(t, rows).unwrap(), 50);
+        srv.checkpoint_now().unwrap();
+        srv.shutdown_abort().unwrap();
+        srv.startup().unwrap();
+        assert_eq!(srv.peek_scan(t).unwrap().len(), 50);
+    }
+
+    #[test]
+    fn dml_rejected_while_down() {
+        let mut srv = test_server(small_config());
+        let t = setup_table(&mut srv);
+        srv.shutdown_abort().unwrap();
+        assert!(matches!(srv.begin(), Err(DbError::InstanceDown)));
+        assert!(matches!(srv.get_row(t, RowId { file: FileNo(1), block: 0, slot: 0 }),
+            Err(DbError::InstanceDown)));
+    }
+}

@@ -1,0 +1,169 @@
+//! Engine event tracing: a timestamped record of the mechanisms at work.
+//!
+//! The benchmark's headline numbers are aggregates; the trace shows *why*
+//! they came out that way — when the log switched, how long the switch
+//! stalled, when checkpoints completed, what recovery did. The report
+//! binaries and tests read it; it costs a few hundred bytes per event.
+
+use recobench_sim::SimTime;
+
+/// One traced engine event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// The log switched to a new sequence in `group`.
+    LogSwitch {
+        /// New sequence number.
+        seq: u64,
+        /// Group now being written.
+        group: usize,
+    },
+    /// A log switch stalled waiting for the next group to become reusable.
+    SwitchStall {
+        /// Sequence that could not start immediately.
+        seq: u64,
+        /// Stall length in microseconds.
+        micros: u64,
+    },
+    /// A full checkpoint completed.
+    Checkpoint {
+        /// Blocks written.
+        blocks: u64,
+        /// Completion instant.
+        complete_at: SimTime,
+    },
+    /// The incremental checkpoint position advanced (DBWR tick).
+    IncrementalAdvance {
+        /// Blocks written by the tick.
+        blocks: u64,
+    },
+    /// A filled sequence was archived.
+    Archived {
+        /// Sequence number.
+        seq: u64,
+        /// Copy completion instant.
+        complete_at: SimTime,
+    },
+    /// The instance terminated (cleanly or not).
+    InstanceStopped {
+        /// Whether it was a clean shutdown.
+        clean: bool,
+    },
+    /// The instance opened (with or without crash recovery).
+    InstanceOpened {
+        /// Redo records applied during crash recovery (0 for clean opens).
+        recovered_records: u64,
+    },
+}
+
+/// A bounded in-memory trace.
+#[derive(Debug, Default)]
+pub struct Trace {
+    events: Vec<(SimTime, TraceEvent)>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Trace {
+    /// Creates a trace bounded to `capacity` events (oldest dropped first).
+    pub fn new(capacity: usize) -> Self {
+        Trace { events: Vec::new(), capacity, dropped: 0 }
+    }
+
+    /// Records an event at instant `at`.
+    pub fn record(&mut self, at: SimTime, event: TraceEvent) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.events.len() >= self.capacity {
+            self.events.remove(0);
+            self.dropped += 1;
+        }
+        self.events.push((at, event));
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> &[(SimTime, TraceEvent)] {
+        &self.events
+    }
+
+    /// Events dropped because of the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Retained events in `[from, to)`.
+    pub fn window(&self, from: SimTime, to: SimTime) -> Vec<&(SimTime, TraceEvent)> {
+        self.events.iter().filter(|(t, _)| *t >= from && *t < to).collect()
+    }
+
+    /// Count of retained events matching `pred`.
+    pub fn count<F: Fn(&TraceEvent) -> bool>(&self, pred: F) -> usize {
+        self.events.iter().filter(|(_, e)| pred(e)).count()
+    }
+
+    /// Drops everything.
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.dropped = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(seq: u64) -> TraceEvent {
+        TraceEvent::LogSwitch { seq, group: 0 }
+    }
+
+    #[test]
+    fn records_in_order_within_capacity() {
+        let mut t = Trace::new(8);
+        for i in 0..5 {
+            t.record(SimTime::from_secs(i), ev(i));
+        }
+        assert_eq!(t.events().len(), 5);
+        assert_eq!(t.dropped(), 0);
+        assert_eq!(t.events()[0].1, ev(0));
+        assert_eq!(t.events()[4].1, ev(4));
+    }
+
+    #[test]
+    fn capacity_bound_drops_oldest() {
+        let mut t = Trace::new(3);
+        for i in 0..10 {
+            t.record(SimTime::from_secs(i), ev(i));
+        }
+        assert_eq!(t.events().len(), 3);
+        assert_eq!(t.dropped(), 7);
+        assert_eq!(t.events()[0].1, ev(7), "oldest retained is #7");
+    }
+
+    #[test]
+    fn window_and_count_filter() {
+        let mut t = Trace::new(16);
+        t.record(SimTime::from_secs(1), ev(1));
+        t.record(SimTime::from_secs(5), TraceEvent::Checkpoint { blocks: 3, complete_at: SimTime::from_secs(6) });
+        t.record(SimTime::from_secs(9), ev(2));
+        assert_eq!(t.window(SimTime::from_secs(2), SimTime::from_secs(9)).len(), 1);
+        assert_eq!(t.count(|e| matches!(e, TraceEvent::LogSwitch { .. })), 2);
+    }
+
+    #[test]
+    fn zero_capacity_counts_everything_as_dropped() {
+        let mut t = Trace::new(0);
+        t.record(SimTime::ZERO, ev(1));
+        assert!(t.events().is_empty());
+        assert_eq!(t.dropped(), 1);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut t = Trace::new(4);
+        t.record(SimTime::ZERO, ev(1));
+        t.clear();
+        assert!(t.events().is_empty());
+        assert_eq!(t.dropped(), 0);
+    }
+}

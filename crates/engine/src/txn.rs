@@ -1,0 +1,223 @@
+//! Transactions, undo and row locks.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::error::{DbError, DbResult};
+use crate::row::Row;
+use crate::types::{ObjectId, RowId, TxnId};
+
+/// The logical inverse of one change, retained until commit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UndoOp {
+    /// Undo an insert by deleting the row.
+    UndoInsert {
+        /// Table changed.
+        obj: ObjectId,
+        /// Row inserted.
+        rid: RowId,
+    },
+    /// Undo an update by restoring the before-image.
+    UndoUpdate {
+        /// Table changed.
+        obj: ObjectId,
+        /// Row updated.
+        rid: RowId,
+        /// Image to restore.
+        before: Row,
+    },
+    /// Undo a delete by re-inserting the before-image.
+    UndoDelete {
+        /// Table changed.
+        obj: ObjectId,
+        /// Row deleted.
+        rid: RowId,
+        /// Image to restore.
+        before: Row,
+    },
+}
+
+/// Per-transaction state.
+#[derive(Debug, Default)]
+pub struct TxnState {
+    /// Undo records in application order (rolled back in reverse).
+    pub undo: Vec<UndoOp>,
+    /// Row locks held.
+    pub locks: Vec<(ObjectId, RowId)>,
+}
+
+/// The table of active transactions.
+#[derive(Debug, Default)]
+pub struct TxnTable {
+    active: BTreeMap<TxnId, TxnState>,
+    next: u64,
+}
+
+impl TxnTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        TxnTable::default()
+    }
+
+    /// Starts a transaction.
+    pub fn begin(&mut self) -> TxnId {
+        self.next += 1;
+        let id = TxnId(self.next);
+        self.active.insert(id, TxnState::default());
+        id
+    }
+
+    /// Mutable state of an active transaction.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the transaction is not active.
+    pub fn get_mut(&mut self, txn: TxnId) -> DbResult<&mut TxnState> {
+        self.active.get_mut(&txn).ok_or(DbError::TxnNotActive(txn))
+    }
+
+    /// Whether the transaction is active.
+    pub fn is_active(&self, txn: TxnId) -> bool {
+        self.active.contains_key(&txn)
+    }
+
+    /// Ends a transaction, returning its state (for lock release or undo).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the transaction is not active.
+    pub fn finish(&mut self, txn: TxnId) -> DbResult<TxnState> {
+        self.active.remove(&txn).ok_or(DbError::TxnNotActive(txn))
+    }
+
+    /// Number of active transactions.
+    pub fn active_count(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Ids of all active transactions.
+    pub fn active_ids(&self) -> Vec<TxnId> {
+        self.active.keys().copied().collect()
+    }
+
+    /// Advances the id allocator past `floor` (used after recovery so new
+    /// transactions never reuse a replayed id).
+    pub fn bump_past(&mut self, floor: u64) {
+        self.next = self.next.max(floor);
+    }
+}
+
+/// Exclusive row locks.
+#[derive(Debug, Default)]
+pub struct LockTable {
+    rows: HashMap<(ObjectId, RowId), TxnId>,
+}
+
+impl LockTable {
+    /// Creates an empty lock table.
+    pub fn new() -> Self {
+        LockTable::default()
+    }
+
+    /// Acquires an exclusive lock on `(obj, rid)` for `txn`. Re-acquiring
+    /// one's own lock succeeds.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`DbError::LockConflict`] if another transaction holds it.
+    pub fn lock_row(&mut self, txn: TxnId, obj: ObjectId, rid: RowId) -> DbResult<bool> {
+        match self.rows.get(&(obj, rid)) {
+            Some(&holder) if holder == txn => Ok(false),
+            Some(&holder) => Err(DbError::LockConflict { holder }),
+            None => {
+                self.rows.insert((obj, rid), txn);
+                Ok(true)
+            }
+        }
+    }
+
+    /// Releases every lock in `locks` held by `txn`.
+    pub fn release_all(&mut self, txn: TxnId, locks: &[(ObjectId, RowId)]) {
+        for &(obj, rid) in locks {
+            if self.rows.get(&(obj, rid)) == Some(&txn) {
+                self.rows.remove(&(obj, rid));
+            }
+        }
+    }
+
+    /// Number of held locks.
+    pub fn held(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::FileNo;
+
+    fn rid(b: u32) -> RowId {
+        RowId { file: FileNo(1), block: b, slot: 0 }
+    }
+
+    #[test]
+    fn begin_finish_lifecycle() {
+        let mut t = TxnTable::new();
+        let a = t.begin();
+        let b = t.begin();
+        assert_ne!(a, b);
+        assert_eq!(t.active_count(), 2);
+        assert!(t.is_active(a));
+        t.finish(a).unwrap();
+        assert!(!t.is_active(a));
+        assert!(matches!(t.finish(a), Err(DbError::TxnNotActive(_))));
+    }
+
+    #[test]
+    fn undo_accumulates_in_order() {
+        let mut t = TxnTable::new();
+        let a = t.begin();
+        t.get_mut(a).unwrap().undo.push(UndoOp::UndoInsert { obj: ObjectId(1), rid: rid(0) });
+        t.get_mut(a)
+            .unwrap()
+            .undo
+            .push(UndoOp::UndoDelete { obj: ObjectId(1), rid: rid(1), before: Row::new(vec![]) });
+        let st = t.finish(a).unwrap();
+        assert_eq!(st.undo.len(), 2);
+        assert!(matches!(st.undo[0], UndoOp::UndoInsert { .. }));
+    }
+
+    #[test]
+    fn lock_conflict_and_reentrancy() {
+        let mut locks = LockTable::new();
+        let mut t = TxnTable::new();
+        let a = t.begin();
+        let b = t.begin();
+        assert!(locks.lock_row(a, ObjectId(1), rid(0)).unwrap());
+        // Re-acquire by the same transaction: ok, not newly acquired.
+        assert!(!locks.lock_row(a, ObjectId(1), rid(0)).unwrap());
+        let err = locks.lock_row(b, ObjectId(1), rid(0)).unwrap_err();
+        assert_eq!(err, DbError::LockConflict { holder: a });
+    }
+
+    #[test]
+    fn release_frees_only_own_locks() {
+        let mut locks = LockTable::new();
+        let mut t = TxnTable::new();
+        let a = t.begin();
+        let b = t.begin();
+        locks.lock_row(a, ObjectId(1), rid(0)).unwrap();
+        locks.lock_row(b, ObjectId(1), rid(1)).unwrap();
+        // Releasing a's view of both rows must not free b's lock.
+        locks.release_all(a, &[(ObjectId(1), rid(0)), (ObjectId(1), rid(1))]);
+        assert_eq!(locks.held(), 1);
+        assert!(locks.lock_row(a, ObjectId(1), rid(0)).is_ok());
+        assert!(locks.lock_row(a, ObjectId(1), rid(1)).is_err());
+    }
+
+    #[test]
+    fn bump_past_prevents_id_reuse() {
+        let mut t = TxnTable::new();
+        t.bump_past(100);
+        assert_eq!(t.begin(), TxnId(101));
+    }
+}

@@ -1,0 +1,108 @@
+//! Integration tests of the engine event trace and the log-switch stall
+//! mechanics (the feedback loop that throttles the paper's F1G2T1
+//! configuration).
+
+use recobench_engine::catalog::IndexDef;
+use recobench_engine::row::{Row, Value};
+use recobench_engine::trace::TraceEvent;
+use recobench_engine::{DbServer, DiskLayout, InstanceConfig};
+use recobench_sim::SimClock;
+
+fn server(groups: u32, redo_kb: u64, archive: bool) -> DbServer {
+    let cfg = InstanceConfig::builder()
+        .redo_file_bytes(redo_kb * 1024)
+        .redo_groups(groups)
+        .checkpoint_timeout_secs(60)
+        .archive_mode(archive)
+        .cache_blocks(64)
+        .build();
+    let mut srv = DbServer::on_fresh_disks("TRC", SimClock::shared(), DiskLayout::four_disk(), cfg);
+    srv.create_database().unwrap();
+    srv.create_user("u").unwrap();
+    srv.create_tablespace("D", 2, 1024).unwrap();
+    srv.create_table("T", "u", "D", vec![IndexDef { name: "PK".into(), cols: vec![0], unique: true }])
+        .unwrap();
+    srv
+}
+
+fn churn_from(srv: &mut DbServer, start: u64, n: u64) {
+    let t = srv.table_id("T").unwrap();
+    for i in start..start + n {
+        let txn = srv.begin().unwrap();
+        srv.insert(txn, t, Row::new(vec![Value::U64(i), Value::from("some-payload-bytes-here")]))
+            .unwrap();
+        srv.commit(txn).unwrap();
+    }
+}
+
+fn churn(srv: &mut DbServer, n: u64) {
+    churn_from(srv, 0, n);
+}
+
+#[test]
+fn trace_captures_switches_checkpoints_and_archives() {
+    let mut srv = server(3, 48, true);
+    churn(&mut srv, 300);
+    let trace = srv.trace();
+    let switches = trace.count(|e| matches!(e, TraceEvent::LogSwitch { .. }));
+    let checkpoints = trace.count(|e| matches!(e, TraceEvent::Checkpoint { .. }));
+    let archives = trace.count(|e| matches!(e, TraceEvent::Archived { .. }));
+    assert!(switches >= 2, "expected several switches, saw {switches}");
+    assert!(checkpoints >= switches, "every switch checkpoints");
+    assert_eq!(archives, switches, "archive mode copies every filled sequence");
+    // Timestamps are non-decreasing.
+    let mut last = recobench_sim::SimTime::ZERO;
+    for (t, _) in trace.events() {
+        assert!(*t >= last);
+        last = *t;
+    }
+}
+
+#[test]
+fn trace_records_instance_lifecycle() {
+    let mut srv = server(3, 64, true);
+    churn(&mut srv, 20);
+    srv.shutdown_abort().unwrap();
+    srv.startup().unwrap();
+    srv.shutdown_normal().unwrap();
+    let trace = srv.trace();
+    assert_eq!(trace.count(|e| matches!(e, TraceEvent::InstanceStopped { clean: false })), 1);
+    assert_eq!(trace.count(|e| matches!(e, TraceEvent::InstanceStopped { clean: true })), 1);
+    assert!(trace.count(
+        |e| matches!(e, TraceEvent::InstanceOpened { recovered_records } if *recovered_records > 0)
+    ) >= 1, "the restart after the crash replayed redo");
+}
+
+#[test]
+fn two_groups_stall_more_than_six_groups() {
+    // With only two tiny groups, a switch routinely waits for the previous
+    // sequence's checkpoint/archive; with six there is always a free group.
+    let mut two = server(2, 16, true);
+    churn(&mut two, 400);
+    let mut six = server(6, 16, true);
+    churn(&mut six, 400);
+    let stall2 = two.stats().switch_stall_micros;
+    let stall6 = six.stats().switch_stall_micros;
+    assert!(
+        stall2 >= stall6,
+        "fewer groups cannot stall less: two-group {stall2}µs vs six-group {stall6}µs"
+    );
+    let trace_stalls =
+        two.trace().count(|e| matches!(e, TraceEvent::SwitchStall { .. }));
+    assert_eq!(
+        trace_stalls > 0,
+        stall2 > 0,
+        "trace and counters must agree about stalling"
+    );
+}
+
+#[test]
+fn clear_trace_starts_a_fresh_window() {
+    let mut srv = server(3, 48, true);
+    churn(&mut srv, 150);
+    assert!(!srv.trace().events().is_empty());
+    srv.clear_trace();
+    assert!(srv.trace().events().is_empty());
+    churn_from(&mut srv, 1_000, 150);
+    assert!(srv.trace().count(|e| matches!(e, TraceEvent::LogSwitch { .. })) > 0);
+}

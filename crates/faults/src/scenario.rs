@@ -1,0 +1,232 @@
+//! Double-fault scenarios: recovery-mechanism sabotage followed by a
+//! storage fault.
+//!
+//! The paper excludes the "recovery mechanisms administration" fault class
+//! from its experiments because "after a first fault affecting the
+//! recovery mechanisms we would need a second fault of other type to
+//! activate the recovery and reveal the effects of the first" (§4). This
+//! module implements exactly that two-step experiment: a silent *sabotage*
+//! of the recovery apparatus, then one of the ordinary injected faults —
+//! whose recovery now fails or degrades, exposing the first mistake.
+
+use recobench_engine::{DbResult, DbServer};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::injector::{FaultInjector, FaultOutcome, FaultPlan};
+
+/// A recovery-mechanism-administration mistake (paper Table 2, last
+/// class). Silent on its own: performance and service are unaffected
+/// until recovery is needed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Sabotage {
+    /// `rm /arch/*` — "delete a archive log file" (all of them, the worst
+    /// case).
+    DeleteArchiveLogs,
+    /// Backup pieces reclaimed as "unused space" — "backups missing to
+    /// allow recovery".
+    DiscardBackups,
+    /// Both at once (an operator "cleaning up" the tertiary storage).
+    DeleteArchivesAndBackups,
+}
+
+impl Sabotage {
+    /// All sabotage variants.
+    pub fn all() -> [Sabotage; 3] {
+        [Sabotage::DeleteArchiveLogs, Sabotage::DiscardBackups, Sabotage::DeleteArchivesAndBackups]
+    }
+
+    /// Performs the sabotage. Returns how many files were destroyed.
+    ///
+    /// # Errors
+    ///
+    /// Never fails on a healthy server; storage errors propagate.
+    pub fn perform(self, server: &mut DbServer) -> DbResult<u64> {
+        let mut destroyed = 0u64;
+        if matches!(self, Sabotage::DeleteArchiveLogs | Sabotage::DeleteArchivesAndBackups) {
+            for path in server.archive_paths() {
+                server.os_delete_file(&path)?;
+                destroyed += 1;
+            }
+        }
+        if matches!(self, Sabotage::DiscardBackups | Sabotage::DeleteArchivesAndBackups) {
+            if server.backup().is_some() {
+                server.discard_backup();
+                destroyed += 1;
+            }
+        }
+        Ok(destroyed)
+    }
+}
+
+impl fmt::Display for Sabotage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Sabotage::DeleteArchiveLogs => "delete archive logs",
+            Sabotage::DiscardBackups => "discard backups",
+            Sabotage::DeleteArchivesAndBackups => "delete archives + backups",
+        })
+    }
+}
+
+/// A two-fault scenario: sabotage now, visible fault later.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DoubleFaultPlan {
+    /// The silent first fault.
+    pub sabotage: Sabotage,
+    /// The second, visible fault (with its own trigger and recovery
+    /// procedure).
+    pub fault: FaultPlan,
+}
+
+/// What a double-fault scenario produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DoubleFaultOutcome {
+    /// Files destroyed by the sabotage.
+    pub destroyed: u64,
+    /// The second fault's recovery outcome, or `None` if recovery failed —
+    /// which is precisely the first fault becoming visible.
+    pub recovery: Option<FaultOutcome>,
+    /// The recovery error message when recovery failed.
+    pub recovery_error: Option<String>,
+}
+
+impl DoubleFaultPlan {
+    /// Runs the scenario against `server`: sabotage immediately, inject
+    /// the second fault, attempt its recovery.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if the *injection* itself is impossible (mis-planned
+    /// experiment); a failed recovery is the expected result, not an
+    /// error.
+    pub fn execute(&self, server: &mut DbServer) -> DbResult<DoubleFaultOutcome> {
+        let destroyed = self.sabotage.perform(server)?;
+        let injector = FaultInjector::new(self.fault.clone());
+        let record = injector.inject(server)?;
+        match injector.recover(server, &record) {
+            Ok(outcome) => {
+                Ok(DoubleFaultOutcome { destroyed, recovery: Some(outcome), recovery_error: None })
+            }
+            Err(e) => Ok(DoubleFaultOutcome {
+                destroyed,
+                recovery: None,
+                recovery_error: Some(e.to_string()),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::taxonomy::FaultType;
+    use recobench_engine::catalog::IndexDef;
+    use recobench_engine::row::{Row, Value};
+    use recobench_engine::{DiskLayout, InstanceConfig};
+    use recobench_sim::SimClock;
+
+    fn server_with_archives() -> DbServer {
+        let cfg = InstanceConfig::builder()
+            .redo_file_bytes(32 * 1024)
+            .redo_groups(3)
+            .checkpoint_timeout_secs(60)
+            .archive_mode(true)
+            .cache_blocks(64)
+            .build();
+        let mut srv =
+            DbServer::on_fresh_disks("DBL", SimClock::shared(), DiskLayout::four_disk(), cfg);
+        srv.create_database().unwrap();
+        srv.create_user("u").unwrap();
+        srv.create_tablespace("TPCC", 2, 512).unwrap();
+        srv.create_table(
+            "STOCK",
+            "u",
+            "TPCC",
+            vec![IndexDef { name: "PK".into(), cols: vec![0], unique: true }],
+        )
+        .unwrap();
+        let t = srv.table_id("STOCK").unwrap();
+        for i in 0..20 {
+            let txn = srv.begin().unwrap();
+            srv.insert(txn, t, Row::new(vec![Value::U64(i), Value::from("pre-backup")])).unwrap();
+            srv.commit(txn).unwrap();
+        }
+        srv.take_cold_backup().unwrap();
+        for i in 20..160 {
+            let txn = srv.begin().unwrap();
+            srv.insert(txn, t, Row::new(vec![Value::U64(i), Value::from("post-backup-payload")]))
+                .unwrap();
+            srv.commit(txn).unwrap();
+        }
+        assert!(srv.stats().archives_created > 0, "archives exist to sabotage");
+        srv
+    }
+
+    #[test]
+    fn sabotage_alone_is_silent() {
+        let mut srv = server_with_archives();
+        let destroyed = Sabotage::DeleteArchivesAndBackups.perform(&mut srv).unwrap();
+        assert!(destroyed > 1);
+        // Service is untouched: the first fault is invisible.
+        let t = srv.table_id("STOCK").unwrap();
+        let txn = srv.begin().unwrap();
+        srv.insert(txn, t, Row::new(vec![Value::U64(999), Value::from("still fine")])).unwrap();
+        srv.commit(txn).unwrap();
+        assert!(srv.is_open());
+    }
+
+    #[test]
+    fn archive_sabotage_turns_media_recovery_unrecoverable() {
+        // Without sabotage the same second fault recovers fine...
+        let mut healthy = server_with_archives();
+        let plan = DoubleFaultPlan {
+            sabotage: Sabotage::DeleteArchiveLogs,
+            fault: FaultPlan::new(FaultType::DeleteDatafile, 0),
+        };
+        let control = FaultInjector::new(plan.fault.clone());
+        let rec = control.inject(&mut healthy).unwrap();
+        assert!(control.recover(&mut healthy, &rec).is_ok(), "baseline must recover");
+
+        // ...but with the archives gone it cannot.
+        let mut sabotaged = server_with_archives();
+        let outcome = plan.execute(&mut sabotaged).unwrap();
+        assert!(outcome.destroyed > 0);
+        assert!(outcome.recovery.is_none(), "the first fault must surface here");
+        let err = outcome.recovery_error.unwrap();
+        assert!(
+            err.contains("unrecoverable") || err.contains("deleted"),
+            "error must name the missing redo: {err}"
+        );
+    }
+
+    #[test]
+    fn backup_sabotage_blocks_incomplete_recovery() {
+        let mut srv = server_with_archives();
+        let plan = DoubleFaultPlan {
+            sabotage: Sabotage::DiscardBackups,
+            fault: FaultPlan::new(FaultType::DeleteUsersObject, 0),
+        };
+        let outcome = plan.execute(&mut srv).unwrap();
+        assert!(outcome.recovery.is_none(), "point-in-time recovery needs the backup");
+    }
+
+    #[test]
+    fn shutdown_abort_survives_any_sabotage() {
+        // Crash recovery needs only the online logs: the sabotage stays
+        // invisible even through the second fault.
+        for sabotage in Sabotage::all() {
+            let mut srv = server_with_archives();
+            let plan = DoubleFaultPlan {
+                sabotage,
+                fault: FaultPlan::new(FaultType::ShutdownAbort, 0),
+            };
+            let outcome = plan.execute(&mut srv).unwrap();
+            assert!(
+                outcome.recovery.is_some(),
+                "{sabotage}: crash recovery must still work (online redo only)"
+            );
+            assert!(srv.is_open());
+        }
+    }
+}

@@ -1,0 +1,431 @@
+//! The operator-fault classification (paper Tables 1 and 2).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The five classes of DBMS operator faults (paper Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultClass {
+    /// Mistakes in the administration of processes and memory structures
+    /// (wrong SGA parameters, accidental shutdown, killed sessions).
+    MemoryAndProcesses,
+    /// Mistakes in passwords, privileges, quotas and profiles.
+    SecurityManagement,
+    /// Mistakes in the administration of physical and logical storage
+    /// (removed or corrupted files, bad file distribution, space
+    /// exhaustion).
+    StorageAdministration,
+    /// Errors in the management of user objects (dropped tables, wrong
+    /// storage or optimization settings).
+    DatabaseObjectAdministration,
+    /// Mistakes in the configuration of the recovery mechanisms (missing
+    /// backups, lost log or archive files).
+    RecoveryMechanismsAdministration,
+}
+
+impl FaultClass {
+    /// All five classes, in the paper's order.
+    pub fn all() -> [FaultClass; 5] {
+        [
+            FaultClass::MemoryAndProcesses,
+            FaultClass::SecurityManagement,
+            FaultClass::StorageAdministration,
+            FaultClass::DatabaseObjectAdministration,
+            FaultClass::RecoveryMechanismsAdministration,
+        ]
+    }
+
+    /// The paper's description of the class.
+    pub fn description(self) -> &'static str {
+        match self {
+            FaultClass::MemoryAndProcesses => {
+                "mistakes in the administration of processes and memory structures"
+            }
+            FaultClass::SecurityManagement => {
+                "mistakes in the attribution of passwords, access privileges and disk space"
+            }
+            FaultClass::StorageAdministration => {
+                "mistakes in the administration of the physical and logical storage structures"
+            }
+            FaultClass::DatabaseObjectAdministration => {
+                "errors related to the management of the user objects"
+            }
+            FaultClass::RecoveryMechanismsAdministration => {
+                "mistakes in the configuration and administration of the recovery mechanisms"
+            }
+        }
+    }
+}
+
+impl fmt::Display for FaultClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            FaultClass::MemoryAndProcesses => "Memory & processes admin.",
+            FaultClass::SecurityManagement => "Security management",
+            FaultClass::StorageAdministration => "Storage administration",
+            FaultClass::DatabaseObjectAdministration => "Database object admin.",
+            FaultClass::RecoveryMechanismsAdministration => "Recovery mechanisms admin.",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Portability of a concrete fault type to DBMS other than Oracle 8i
+/// (the right-hand column of the paper's Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Portability {
+    /// Exactly the same fault exists in other DBMS.
+    Yes,
+    /// A fault with equivalent effects exists after translation.
+    Equivalent,
+    /// Specific to Oracle 8i.
+    OracleSpecific,
+}
+
+impl fmt::Display for Portability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Portability::Yes => "Yes",
+            Portability::Equivalent => "Equivalent",
+            Portability::OracleSpecific => "Oracle",
+        })
+    }
+}
+
+/// The concrete operator fault types of the paper's Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)] // the names are the documentation; see `description`
+pub enum OperatorFaultType {
+    InstanceShutdown,
+    RemoveInitializationFile,
+    MisconfigureSgaParameters,
+    MisconfigureMaxUserSessions,
+    KillUserSession,
+    DatabaseAccessLevelFault,
+    IncorrectPrivileges,
+    IncorrectDiskQuotas,
+    IncorrectProfiles,
+    IncorrectTablespaceAttribution,
+    DeleteControlfileTablespaceOrRollbackSegment,
+    DeleteDatafile,
+    IncorrectDatafileDistribution,
+    InsufficientRollbackSegments,
+    SetTablespaceOffline,
+    SetDatafileOffline,
+    SetRollbackSegmentOffline,
+    TablespaceOutOfSpace,
+    RollbackSegmentOutOfSpace,
+    DeleteDatabaseUser,
+    DeleteUsersObject,
+    IncorrectObjectStorageParameters,
+    SetNologgingOnTables,
+    IncorrectOptimizationStructures,
+    DeleteRedoLogFileOrGroup,
+    RedoLogMembersOnSameDisk,
+    InsufficientRedoLogGroups,
+    NoArchiveLogs,
+    DeleteArchiveLogFile,
+    ArchiveFilesOnDataDisk,
+    MissingBackups,
+}
+
+impl OperatorFaultType {
+    /// Every type, in the paper's Table 2 order.
+    pub fn all() -> Vec<OperatorFaultType> {
+        use OperatorFaultType::*;
+        vec![
+            InstanceShutdown,
+            RemoveInitializationFile,
+            MisconfigureSgaParameters,
+            MisconfigureMaxUserSessions,
+            KillUserSession,
+            DatabaseAccessLevelFault,
+            IncorrectPrivileges,
+            IncorrectDiskQuotas,
+            IncorrectProfiles,
+            IncorrectTablespaceAttribution,
+            DeleteControlfileTablespaceOrRollbackSegment,
+            DeleteDatafile,
+            IncorrectDatafileDistribution,
+            InsufficientRollbackSegments,
+            SetTablespaceOffline,
+            SetDatafileOffline,
+            SetRollbackSegmentOffline,
+            TablespaceOutOfSpace,
+            RollbackSegmentOutOfSpace,
+            DeleteDatabaseUser,
+            DeleteUsersObject,
+            IncorrectObjectStorageParameters,
+            SetNologgingOnTables,
+            IncorrectOptimizationStructures,
+            DeleteRedoLogFileOrGroup,
+            RedoLogMembersOnSameDisk,
+            InsufficientRedoLogGroups,
+            NoArchiveLogs,
+            DeleteArchiveLogFile,
+            ArchiveFilesOnDataDisk,
+            MissingBackups,
+        ]
+    }
+
+    /// The class the type belongs to.
+    pub fn class(self) -> FaultClass {
+        use OperatorFaultType::*;
+        match self {
+            InstanceShutdown | RemoveInitializationFile | MisconfigureSgaParameters
+            | MisconfigureMaxUserSessions | KillUserSession => FaultClass::MemoryAndProcesses,
+            DatabaseAccessLevelFault | IncorrectPrivileges | IncorrectDiskQuotas
+            | IncorrectProfiles | IncorrectTablespaceAttribution => FaultClass::SecurityManagement,
+            DeleteControlfileTablespaceOrRollbackSegment
+            | DeleteDatafile
+            | IncorrectDatafileDistribution
+            | InsufficientRollbackSegments
+            | SetTablespaceOffline
+            | SetDatafileOffline
+            | SetRollbackSegmentOffline
+            | TablespaceOutOfSpace
+            | RollbackSegmentOutOfSpace => FaultClass::StorageAdministration,
+            DeleteDatabaseUser | DeleteUsersObject | IncorrectObjectStorageParameters
+            | SetNologgingOnTables | IncorrectOptimizationStructures => {
+                FaultClass::DatabaseObjectAdministration
+            }
+            DeleteRedoLogFileOrGroup | RedoLogMembersOnSameDisk | InsufficientRedoLogGroups
+            | NoArchiveLogs | DeleteArchiveLogFile | ArchiveFilesOnDataDisk | MissingBackups => {
+                FaultClass::RecoveryMechanismsAdministration
+            }
+        }
+    }
+
+    /// Portability rating from the paper's Table 2.
+    pub fn portability(self) -> Portability {
+        use OperatorFaultType::*;
+        match self {
+            InstanceShutdown | RemoveInitializationFile | MisconfigureSgaParameters
+            | MisconfigureMaxUserSessions | KillUserSession | DatabaseAccessLevelFault
+            | IncorrectDatafileDistribution | DeleteDatabaseUser | DeleteUsersObject
+            | IncorrectOptimizationStructures => Portability::Yes,
+            IncorrectPrivileges | IncorrectDiskQuotas | IncorrectProfiles | DeleteDatafile
+            | SetDatafileOffline | IncorrectObjectStorageParameters | DeleteRedoLogFileOrGroup
+            | RedoLogMembersOnSameDisk | InsufficientRedoLogGroups | NoArchiveLogs
+            | DeleteArchiveLogFile | ArchiveFilesOnDataDisk | MissingBackups => {
+                Portability::Equivalent
+            }
+            IncorrectTablespaceAttribution
+            | DeleteControlfileTablespaceOrRollbackSegment
+            | InsufficientRollbackSegments
+            | SetTablespaceOffline
+            | SetRollbackSegmentOffline
+            | TablespaceOutOfSpace
+            | RollbackSegmentOutOfSpace
+            | SetNologgingOnTables => Portability::OracleSpecific,
+        }
+    }
+
+    /// Human-readable description (the Table 2 row text).
+    pub fn description(self) -> &'static str {
+        use OperatorFaultType::*;
+        match self {
+            InstanceShutdown => "making a database instance shutdown",
+            RemoveInitializationFile => "removing or corrupting the initialization file",
+            MisconfigureSgaParameters => "incorrect configuration of the SGA parameters",
+            MisconfigureMaxUserSessions => "incorrect config. max. number of user sessions",
+            KillUserSession => "killing a user session",
+            DatabaseAccessLevelFault => "database access level faults (passwords)",
+            IncorrectPrivileges => "incorrect attribution of system and object privileges",
+            IncorrectDiskQuotas => "attribution of incorrect disk quotas to users",
+            IncorrectProfiles => "attribution of incorrect profiles to users",
+            IncorrectTablespaceAttribution => "incorrect attribution of tablespaces to users",
+            DeleteControlfileTablespaceOrRollbackSegment => {
+                "delete a controlfile, tablespace or rollback segment"
+            }
+            DeleteDatafile => "delete a datafile",
+            IncorrectDatafileDistribution => "incorrect distribution of datafiles through disks",
+            InsufficientRollbackSegments => "insufficient number of rollback segments",
+            SetTablespaceOffline => "set a tablespace offline",
+            SetDatafileOffline => "set a datafile offline",
+            SetRollbackSegmentOffline => "set a rollback segment offline",
+            TablespaceOutOfSpace => "allow a tablespace to run out of space",
+            RollbackSegmentOutOfSpace => "allow a rollback segment to run out of space",
+            DeleteDatabaseUser => "delete a database user",
+            DeleteUsersObject => "delete any user's database object",
+            IncorrectObjectStorageParameters => "incorrect config. object's storage parameters",
+            SetNologgingOnTables => "set the NOLOGGING option in tables",
+            IncorrectOptimizationStructures => "incorrect use of optimization structures",
+            DeleteRedoLogFileOrGroup => "delete a redo log file or group",
+            RedoLogMembersOnSameDisk => "store all redo log group members in same disk",
+            InsufficientRedoLogGroups => "insufficient redo log groups to support archive",
+            NoArchiveLogs => "inexistence of archive logs",
+            DeleteArchiveLogFile => "delete a archive log file",
+            ArchiveFilesOnDataDisk => "store archive files in the same disk as data files",
+            MissingBackups => "backups missing to allow recovery",
+        }
+    }
+
+    /// The injectable subset this type is represented by in the
+    /// experiments, if any (paper §4: six types chosen to cover the
+    /// effects of the others).
+    pub fn representative(self) -> Option<FaultType> {
+        use OperatorFaultType::*;
+        match self {
+            InstanceShutdown | KillUserSession | RemoveInitializationFile => {
+                Some(FaultType::ShutdownAbort)
+            }
+            DeleteDatafile => Some(FaultType::DeleteDatafile),
+            DeleteControlfileTablespaceOrRollbackSegment => Some(FaultType::DeleteTablespace),
+            SetDatafileOffline => Some(FaultType::SetDatafileOffline),
+            SetTablespaceOffline => Some(FaultType::SetTablespaceOffline),
+            DeleteUsersObject | DeleteDatabaseUser => Some(FaultType::DeleteUsersObject),
+            _ => None,
+        }
+    }
+}
+
+/// Whether a fault leads to *complete* recovery (no committed work lost —
+/// paper Table 5) or *incomplete* recovery (the tail of history is
+/// sacrificed — paper Table 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RecoveryKind {
+    /// All committed transactions survive.
+    Complete,
+    /// Committed transactions after the recovery stop point are lost.
+    Incomplete,
+}
+
+/// The six fault types injected in the paper's experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultType {
+    /// `SHUTDOWN ABORT` of the instance.
+    ShutdownAbort,
+    /// OS-level deletion of a datafile.
+    DeleteDatafile,
+    /// Dropping a whole tablespace including contents and datafiles.
+    DeleteTablespace,
+    /// Taking a datafile offline.
+    SetDatafileOffline,
+    /// Taking a tablespace offline.
+    SetTablespaceOffline,
+    /// Dropping a user table.
+    DeleteUsersObject,
+}
+
+impl FaultType {
+    /// All six, in the paper's order.
+    pub fn all() -> [FaultType; 6] {
+        [
+            FaultType::ShutdownAbort,
+            FaultType::DeleteDatafile,
+            FaultType::DeleteTablespace,
+            FaultType::SetDatafileOffline,
+            FaultType::SetTablespaceOffline,
+            FaultType::DeleteUsersObject,
+        ]
+    }
+
+    /// Which recovery the fault requires (the paper's Table 4 / Table 5
+    /// split).
+    pub fn recovery_kind(self) -> RecoveryKind {
+        match self {
+            FaultType::DeleteTablespace | FaultType::DeleteUsersObject => RecoveryKind::Incomplete,
+            _ => RecoveryKind::Complete,
+        }
+    }
+
+    /// The class the fault belongs to.
+    pub fn class(self) -> FaultClass {
+        match self {
+            FaultType::ShutdownAbort => FaultClass::MemoryAndProcesses,
+            FaultType::DeleteDatafile
+            | FaultType::DeleteTablespace
+            | FaultType::SetDatafileOffline
+            | FaultType::SetTablespaceOffline => FaultClass::StorageAdministration,
+            FaultType::DeleteUsersObject => FaultClass::DatabaseObjectAdministration,
+        }
+    }
+}
+
+impl fmt::Display for FaultType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FaultType::ShutdownAbort => "Shutdown abort",
+            FaultType::DeleteDatafile => "Delete datafile",
+            FaultType::DeleteTablespace => "Delete tablespace",
+            FaultType::SetDatafileOffline => "Set datafile offline",
+            FaultType::SetTablespaceOffline => "Set tablespace offline",
+            FaultType::DeleteUsersObject => "Delete user's object",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_has_31_rows_in_5_classes() {
+        let all = OperatorFaultType::all();
+        assert_eq!(all.len(), 31);
+        for class in FaultClass::all() {
+            assert!(
+                all.iter().any(|t| t.class() == class),
+                "class {class} has no concrete type"
+            );
+        }
+    }
+
+    #[test]
+    fn portability_matches_paper_examples() {
+        assert_eq!(OperatorFaultType::InstanceShutdown.portability(), Portability::Yes);
+        assert_eq!(OperatorFaultType::DeleteDatafile.portability(), Portability::Equivalent);
+        assert_eq!(
+            OperatorFaultType::SetTablespaceOffline.portability(),
+            Portability::OracleSpecific
+        );
+        assert_eq!(OperatorFaultType::MissingBackups.portability(), Portability::Equivalent);
+    }
+
+    #[test]
+    fn six_injectable_types_cover_three_classes() {
+        let classes: std::collections::HashSet<_> =
+            FaultType::all().iter().map(|f| f.class()).collect();
+        assert_eq!(classes.len(), 3, "the experiments cover three fault classes");
+        assert!(!classes.contains(&FaultClass::SecurityManagement));
+        assert!(!classes.contains(&FaultClass::RecoveryMechanismsAdministration));
+    }
+
+    #[test]
+    fn recovery_kind_split_matches_tables_4_and_5() {
+        use FaultType::*;
+        assert_eq!(DeleteUsersObject.recovery_kind(), RecoveryKind::Incomplete);
+        assert_eq!(DeleteTablespace.recovery_kind(), RecoveryKind::Incomplete);
+        for f in [ShutdownAbort, DeleteDatafile, SetDatafileOffline, SetTablespaceOffline] {
+            assert_eq!(f.recovery_kind(), RecoveryKind::Complete);
+        }
+    }
+
+    #[test]
+    fn representatives_point_into_the_injectable_set() {
+        for t in OperatorFaultType::all() {
+            if let Some(rep) = t.representative() {
+                assert!(FaultType::all().contains(&rep));
+            }
+        }
+        assert_eq!(
+            OperatorFaultType::KillUserSession.representative(),
+            Some(FaultType::ShutdownAbort)
+        );
+    }
+
+    #[test]
+    fn descriptions_and_display_are_nonempty() {
+        for t in OperatorFaultType::all() {
+            assert!(!t.description().is_empty());
+        }
+        for f in FaultType::all() {
+            assert!(!f.to_string().is_empty());
+        }
+        for c in FaultClass::all() {
+            assert!(!c.to_string().is_empty());
+            assert!(!c.description().is_empty());
+        }
+    }
+}

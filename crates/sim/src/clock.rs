@@ -1,0 +1,88 @@
+//! The shared simulation clock.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::time::{SimDuration, SimTime};
+
+/// A monotonically advancing simulated clock, shareable across the engine,
+/// the workload driver and the fault injector.
+///
+/// The clock only moves forward: [`SimClock::advance_to`] with an earlier
+/// instant is a no-op. This makes it safe for several cooperating
+/// components to report completion times out of order.
+///
+/// ```
+/// use recobench_sim::{SimClock, SimDuration, SimTime};
+///
+/// let clock = SimClock::new();
+/// clock.advance(SimDuration::from_secs(5));
+/// clock.advance_to(SimTime::from_secs(3)); // ignored: time never rewinds
+/// assert_eq!(clock.now(), SimTime::from_secs(5));
+/// ```
+#[derive(Debug, Default)]
+pub struct SimClock {
+    now_micros: AtomicU64,
+}
+
+impl SimClock {
+    /// Creates a clock at the origin of the timeline.
+    pub fn new() -> Self {
+        SimClock { now_micros: AtomicU64::new(0) }
+    }
+
+    /// Creates a shareable clock at the origin.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::new())
+    }
+
+    /// The current simulated instant.
+    pub fn now(&self) -> SimTime {
+        SimTime::from_micros(self.now_micros.load(Ordering::Relaxed))
+    }
+
+    /// Moves the clock forward to `t`; does nothing if `t` is in the past.
+    pub fn advance_to(&self, t: SimTime) {
+        self.now_micros.fetch_max(t.as_micros(), Ordering::Relaxed);
+    }
+
+    /// Moves the clock forward by `d`.
+    pub fn advance(&self, d: SimDuration) {
+        let target = self.now() + d;
+        self.advance_to(target);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_starts_at_zero() {
+        assert_eq!(SimClock::new().now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn clock_never_rewinds() {
+        let c = SimClock::new();
+        c.advance_to(SimTime::from_secs(10));
+        c.advance_to(SimTime::from_secs(4));
+        assert_eq!(c.now(), SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn advance_accumulates() {
+        let c = SimClock::new();
+        c.advance(SimDuration::from_millis(300));
+        c.advance(SimDuration::from_millis(700));
+        assert_eq!(c.now(), SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn shared_clock_is_visible_across_handles() {
+        let c = SimClock::shared();
+        let c2 = Arc::clone(&c);
+        c.advance_to(SimTime::from_secs(2));
+        assert_eq!(c2.now(), SimTime::from_secs(2));
+    }
+}

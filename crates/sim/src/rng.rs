@@ -1,0 +1,122 @@
+//! Seeded random number generation for reproducible campaigns.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A deterministic random source.
+///
+/// Every experiment derives all of its randomness (workload parameters,
+/// data generation, latency jitter) from one `SimRng` so a campaign replays
+/// bit-identically for a given seed. Sub-streams created with
+/// [`SimRng::fork`] are independent of later draws from the parent, which
+/// keeps component randomness decoupled (e.g. adding a draw to the TPC-C
+/// loader does not perturb the fault-trigger jitter).
+///
+/// ```
+/// use recobench_sim::SimRng;
+///
+/// let mut a = SimRng::seed_from(7);
+/// let mut b = SimRng::seed_from(7);
+/// assert_eq!(a.gen_range(0..100), b.gen_range(0..100));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from(seed: u64) -> Self {
+        SimRng { inner: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Derives an independent sub-stream labelled by `stream`.
+    ///
+    /// Forking consumes one draw from the parent; two forks with different
+    /// labels are statistically independent.
+    pub fn fork(&mut self, stream: u64) -> SimRng {
+        let base = self.inner.next_u64();
+        SimRng::seed_from(base ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Uniform draw from `range` (half-open, like [`rand::Rng::gen_range`]).
+    pub fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: rand::distributions::uniform::SampleUniform,
+        R: rand::distributions::uniform::SampleRange<T>,
+    {
+        self.inner.gen_range(range)
+    }
+
+    /// A uniform draw in `[0, 1)`.
+    pub fn gen_f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Bernoulli draw with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `[0, 1]`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.inner.gen_bool(p)
+    }
+
+    /// A raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Chooses a uniformly random element of `slice`.
+    ///
+    /// Returns `None` when the slice is empty.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        if slice.is_empty() {
+            None
+        } else {
+            let i = self.gen_range(0..slice.len());
+            Some(&slice[i])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from(123);
+        let mut b = SimRng::seed_from(123);
+        let va: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        assert_eq!(va, vb);
+    }
+
+    #[test]
+    fn forks_differ_by_label() {
+        let mut root = SimRng::seed_from(1);
+        // Forks must come from identically-positioned parents to compare
+        // labels alone.
+        let mut root2 = SimRng::seed_from(1);
+        let mut f1 = root.fork(1);
+        let mut f2 = root2.fork(2);
+        assert_ne!(f1.next_u64(), f2.next_u64());
+    }
+
+    #[test]
+    fn choose_handles_empty_and_nonempty() {
+        let mut rng = SimRng::seed_from(9);
+        let empty: [u8; 0] = [];
+        assert_eq!(rng.choose(&empty), None);
+        let one = [42u8];
+        assert_eq!(rng.choose(&one), Some(&42));
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = SimRng::seed_from(4);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+}

@@ -1,0 +1,254 @@
+//! Simulated time: microsecond-resolution instants and durations.
+//!
+//! [`SimTime`] is an absolute instant on the simulation timeline (micros
+//! since experiment start) and [`SimDuration`] is a span between instants.
+//! Both are plain `u64` newtypes: cheap to copy, totally ordered, and immune
+//! to the accidental unit confusion that plagues raw-integer timestamps.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// An absolute instant on the simulated timeline.
+///
+/// Instants are measured in microseconds since the start of the experiment.
+///
+/// ```
+/// use recobench_sim::{SimDuration, SimTime};
+///
+/// let t = SimTime::ZERO + SimDuration::from_secs(150);
+/// assert_eq!(t.as_secs_f64(), 150.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(u64);
+
+/// A span of simulated time, in microseconds.
+///
+/// ```
+/// use recobench_sim::SimDuration;
+///
+/// let d = SimDuration::from_millis(8) + SimDuration::from_micros(500);
+/// assert_eq!(d.as_micros(), 8_500);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The origin of the simulated timeline.
+    pub const ZERO: SimTime = SimTime(0);
+    /// A time later than every instant reachable in practice.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates an instant `micros` microseconds after the origin.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimTime(micros)
+    }
+
+    /// Creates an instant `millis` milliseconds after the origin.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimTime(millis * 1_000)
+    }
+
+    /// Creates an instant `secs` seconds after the origin.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs * 1_000_000)
+    }
+
+    /// Microseconds since the origin.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since the origin, as a float (for reporting).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// The span from `earlier` to `self`, saturating to zero if `earlier`
+    /// is actually later.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The later of two instants.
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+
+    /// The earlier of two instants.
+    pub fn min(self, other: SimTime) -> SimTime {
+        SimTime(self.0.min(other.0))
+    }
+}
+
+impl SimDuration {
+    /// The empty span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a span of `micros` microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimDuration(micros)
+    }
+
+    /// Creates a span of `millis` milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimDuration(millis * 1_000)
+    }
+
+    /// Creates a span of `secs` seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration(secs * 1_000_000)
+    }
+
+    /// Creates a span from a float number of seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(secs.is_finite() && secs >= 0.0, "duration must be finite and non-negative");
+        SimDuration((secs * 1e6).round() as u64)
+    }
+
+    /// The span in whole microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// The span in seconds, as a float (for reporting).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Whether this span is empty.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction of two spans.
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self`; use
+    /// [`SimTime::saturating_since`] when order is not guaranteed.
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        debug_assert!(self >= rhs, "SimTime subtraction went negative");
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_arithmetic_round_trips() {
+        let t = SimTime::from_secs(3) + SimDuration::from_millis(250);
+        assert_eq!(t.as_micros(), 3_250_000);
+        assert_eq!((t - SimTime::from_secs(3)).as_micros(), 250_000);
+    }
+
+    #[test]
+    fn saturating_since_clamps_to_zero() {
+        let early = SimTime::from_secs(1);
+        let late = SimTime::from_secs(2);
+        assert_eq!(early.saturating_since(late), SimDuration::ZERO);
+        assert_eq!(late.saturating_since(early), SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn duration_from_secs_f64_rounds() {
+        assert_eq!(SimDuration::from_secs_f64(0.0000015).as_micros(), 2);
+        assert_eq!(SimDuration::from_secs_f64(1.5).as_micros(), 1_500_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn duration_from_secs_f64_rejects_negative() {
+        let _ = SimDuration::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    fn min_max_order() {
+        let a = SimTime::from_secs(1);
+        let b = SimTime::from_secs(2);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(format!("{}", SimTime::from_millis(1500)), "1.500s");
+        assert_eq!(format!("{}", SimDuration::from_millis(8)), "0.008s");
+    }
+
+    #[test]
+    fn duration_scalar_ops() {
+        let d = SimDuration::from_secs(10);
+        assert_eq!(d * 3, SimDuration::from_secs(30));
+        assert_eq!(d / 4, SimDuration::from_millis(2500));
+        assert_eq!(d.saturating_sub(SimDuration::from_secs(20)), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based tests of the simulation kernel's invariants.
+
+use proptest::prelude::*;
+use recobench_sim::disk::IoKind;
+use recobench_sim::{Disk, DiskProfile, EventQueue, SimClock, SimDuration, SimRng, SimTime};
+
+proptest! {
+    #[test]
+    fn event_queue_pops_in_nondecreasing_time_order(
+        times in proptest::collection::vec(0u64..1_000_000, 1..200)
+    ) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_micros(t), i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut n = 0;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last, "events must pop in time order");
+            last = t;
+            n += 1;
+        }
+        prop_assert_eq!(n, times.len());
+    }
+
+    #[test]
+    fn event_queue_is_fifo_within_a_timestamp(
+        count in 1usize..100
+    ) {
+        let mut q = EventQueue::new();
+        for i in 0..count {
+            q.push(SimTime::from_secs(5), i);
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        prop_assert_eq!(order, (0..count).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn disk_completions_are_monotone_regardless_of_arrival_pattern(
+        requests in proptest::collection::vec((0u64..10_000_000, 0u64..1_000_000), 1..100)
+    ) {
+        // Requests submitted with nondecreasing arrival times complete in
+        // nondecreasing order (single-server FIFO).
+        let mut reqs = requests;
+        reqs.sort_by_key(|(at, _)| *at);
+        let mut disk = Disk::new(DiskProfile::server_2000());
+        let mut last_done = SimTime::ZERO;
+        for (at, bytes) in reqs {
+            let done = disk.submit(SimTime::from_micros(at), IoKind::Read, bytes, false);
+            prop_assert!(done >= SimTime::from_micros(at), "no time travel");
+            prop_assert!(done >= last_done, "FIFO service order");
+            last_done = done;
+        }
+    }
+
+    #[test]
+    fn disk_busy_time_never_exceeds_span(
+        requests in proptest::collection::vec(0u64..100_000, 1..50)
+    ) {
+        // Total busy time can never exceed the makespan of the schedule.
+        let mut disk = Disk::new(DiskProfile::server_2000());
+        for bytes in &requests {
+            disk.submit(SimTime::ZERO, IoKind::Write, *bytes, true);
+        }
+        let stats = disk.stats();
+        prop_assert_eq!(
+            stats.busy_micros,
+            disk.busy_until().as_micros(),
+            "back-to-back submissions keep the disk saturated"
+        );
+    }
+
+    #[test]
+    fn clock_is_monotone_under_arbitrary_advances(
+        targets in proptest::collection::vec(0u64..1_000_000, 1..100)
+    ) {
+        let clock = SimClock::new();
+        let mut high_water = SimTime::ZERO;
+        for t in targets {
+            clock.advance_to(SimTime::from_micros(t));
+            high_water = high_water.max(SimTime::from_micros(t));
+            prop_assert_eq!(clock.now(), high_water);
+        }
+    }
+
+    #[test]
+    fn duration_arithmetic_is_consistent(
+        a in 0u64..1_000_000_000,
+        b in 0u64..1_000_000_000,
+    ) {
+        let da = SimDuration::from_micros(a);
+        let db = SimDuration::from_micros(b);
+        prop_assert_eq!((da + db).as_micros(), a + b);
+        let t = SimTime::from_micros(a) + db;
+        prop_assert_eq!(t.saturating_since(SimTime::from_micros(a)), db);
+    }
+
+    #[test]
+    fn rng_streams_are_reproducible_and_fork_stable(
+        seed in any::<u64>(),
+        stream in any::<u64>(),
+    ) {
+        let mut a = SimRng::seed_from(seed);
+        let mut b = SimRng::seed_from(seed);
+        let mut fa = a.fork(stream);
+        let mut fb = b.fork(stream);
+        for _ in 0..16 {
+            prop_assert_eq!(fa.next_u64(), fb.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_is_in_bounds(
+        seed in any::<u64>(),
+        lo in 0u64..1000,
+        span in 1u64..1000,
+    ) {
+        let mut rng = SimRng::seed_from(seed);
+        for _ in 0..64 {
+            let v = rng.gen_range(lo..lo + span);
+            prop_assert!((lo..lo + span).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! The TPC-C workload for RecoBench.
+//!
+//! A scaled-down but structurally faithful TPC-C implementation over the
+//! `recobench-engine` storage engine:
+//!
+//! * the nine-table **schema** with its primary and secondary indexes;
+//! * a deterministic **loader** (NURand, last-name syllables, filler data);
+//! * the five **transaction profiles** (New-Order, Payment, Order-Status,
+//!   Delivery, Stock-Level) with the standard 45/43/4/4/4 mix and the 1 %
+//!   deliberately-rolled-back New-Order;
+//! * a closed-loop **terminal driver** that measures tpmC, records every
+//!   commit acknowledgement in a client-side audit log (the basis of the
+//!   paper's *lost transactions* measure), and tracks service loss and
+//!   restoration from the end-user point of view (the basis of the
+//!   *recovery time* measure);
+//! * the TPC-C **consistency conditions**, used as the *data integrity*
+//!   oracle after every recovery.
+
+pub mod consistency;
+pub mod driver;
+pub mod gen;
+pub mod schema;
+pub mod tx;
+
+pub use consistency::{check_consistency, ConsistencyReport};
+pub use driver::{DriverConfig, StepEvent, TpccDriver};
+pub use gen::load_database;
+pub use schema::{create_schema, TpccScale, TpccSchema};
+pub use tx::TxnKind;

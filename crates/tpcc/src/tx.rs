@@ -1,0 +1,655 @@
+//! The five TPC-C transaction profiles.
+//!
+//! Each profile generates its own inputs (clause 2 of the specification,
+//! with ranges adapted to the configured scale), runs against the engine,
+//! and either commits or rolls back. Any storage error triggers a
+//! best-effort rollback and propagates to the driver, which treats it the
+//! way a real terminal treats an ORA- error.
+
+use recobench_engine::row::{Row, Value};
+use recobench_engine::{DbError, DbResult, DbServer, RowId, TxnId};
+use recobench_sim::SimRng;
+use serde::{Deserialize, Serialize};
+
+use crate::gen::{last_name, nurand};
+use crate::schema::{self, ix, TpccSchema};
+
+/// The transaction mix classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TxnKind {
+    /// New-Order (45 % of the mix; the tpmC-counted class).
+    NewOrder,
+    /// Payment (43 %).
+    Payment,
+    /// Order-Status (4 %, read-only).
+    OrderStatus,
+    /// Delivery (4 %).
+    Delivery,
+    /// Stock-Level (4 %, read-only).
+    StockLevel,
+}
+
+impl TxnKind {
+    /// Draws a kind with the standard 45/43/4/4/4 weights.
+    pub fn draw(rng: &mut SimRng) -> TxnKind {
+        let p = rng.gen_range(0..100u32);
+        match p {
+            0..=44 => TxnKind::NewOrder,
+            45..=87 => TxnKind::Payment,
+            88..=91 => TxnKind::OrderStatus,
+            92..=95 => TxnKind::Delivery,
+            _ => TxnKind::StockLevel,
+        }
+    }
+}
+
+/// What a committed transaction left behind, for the driver's audit log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Audit {
+    /// A New-Order commit created order `(w, d, o)` with the given entry
+    /// timestamp (which disambiguates an order id reused after incomplete
+    /// recovery rolled the id allocator back).
+    Order {
+        /// Warehouse.
+        w: u64,
+        /// District.
+        d: u64,
+        /// Order id.
+        o: u64,
+        /// `O_ENTRY_D` as written into the row.
+        entry: u64,
+    },
+    /// No durably auditable key (read-only or non-order transaction).
+    None,
+}
+
+/// Outcome of one executed transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxnOutcome {
+    /// Which profile ran.
+    pub kind: TxnKind,
+    /// Whether it committed (`false` = the 1 % deliberate rollback).
+    pub committed: bool,
+    /// Audit record for lost-transaction analysis.
+    pub audit: Audit,
+}
+
+// NURand C constants (fixed per run, as the spec's C-Load).
+const C_CUSTOMER: u64 = 123;
+const C_ITEM: u64 = 777;
+const C_LASTNAME: u64 = 173;
+
+fn col_u64(row: &Row, col: usize) -> DbResult<u64> {
+    row.get(col).and_then(Value::as_u64).ok_or_else(|| DbError::NotFound(format!("u64 col {col}")))
+}
+
+fn col_i64(row: &Row, col: usize) -> DbResult<i64> {
+    row.get(col).and_then(Value::as_i64).ok_or_else(|| DbError::NotFound(format!("i64 col {col}")))
+}
+
+fn one_rid(rids: Vec<RowId>, what: &str) -> DbResult<RowId> {
+    rids.into_iter().next().ok_or_else(|| DbError::NotFound(what.to_string()))
+}
+
+fn with_txn<F>(server: &mut DbServer, body: F) -> DbResult<(TxnId, bool)>
+where
+    F: FnOnce(&mut DbServer, TxnId) -> DbResult<bool>,
+{
+    let txn = server.begin()?;
+    match body(server, txn) {
+        Ok(commit) => {
+            if commit {
+                server.commit(txn)?;
+            } else {
+                server.rollback(txn)?;
+            }
+            Ok((txn, commit))
+        }
+        Err(e) => {
+            let _ = server.rollback(txn);
+            Err(e)
+        }
+    }
+}
+
+/// Executes one New-Order transaction (clause 2.4).
+///
+/// # Errors
+///
+/// Propagates storage errors after rolling the transaction back.
+pub fn new_order(server: &mut DbServer, schema: &TpccSchema, rng: &mut SimRng) -> DbResult<TxnOutcome> {
+    let scale = schema.scale;
+    let w = rng.gen_range(1..=scale.warehouses);
+    let d = rng.gen_range(1..=scale.districts_per_warehouse);
+    let c = nurand(rng, 1023, C_CUSTOMER, 1, scale.customers_per_district);
+    let ol_cnt = rng.gen_range(5..=15u64);
+    let deliberate_rollback = rng.gen_bool(0.01);
+    let now_micros = server.clock().now().as_micros();
+    // Pre-draw the items so the RNG stream is independent of data layout.
+    let items: Vec<(u64, u64, u64)> = (0..ol_cnt)
+        .map(|idx| {
+            let mut i_id = nurand(rng, 8191, C_ITEM, 1, scale.items);
+            if deliberate_rollback && idx == ol_cnt - 1 {
+                i_id = scale.items + 1; // unused item number → rollback
+            }
+            let supply_w = if scale.warehouses > 1 && rng.gen_bool(0.01) {
+                let mut s = rng.gen_range(1..=scale.warehouses);
+                if s == w {
+                    s = s % scale.warehouses + 1;
+                }
+                s
+            } else {
+                w
+            };
+            (i_id, supply_w, rng.gen_range(1..=10u64))
+        })
+        .collect();
+
+    let mut o_id_out = 0u64;
+    let (_txn, committed) = with_txn(server, |srv, txn| {
+        // Warehouse (tax read).
+        let w_rid = one_rid(srv.lookup(schema.warehouse, ix::PK, &[Value::U64(w)])?, "warehouse")?;
+        let _wrow = srv.get_row(schema.warehouse, w_rid)?;
+        // District: allocate the order id.
+        let d_rid = one_rid(
+            srv.lookup(schema.district, ix::PK, &[Value::U64(w), Value::U64(d)])?,
+            "district",
+        )?;
+        let mut drow = srv.get_row(schema.district, d_rid)?;
+        let o_id = col_u64(&drow, schema::district::D_NEXT_O_ID)?;
+        drow.0[schema::district::D_NEXT_O_ID] = Value::U64(o_id + 1);
+        srv.update(txn, schema.district, d_rid, drow)?;
+        // Customer read.
+        let c_rid = one_rid(
+            srv.lookup(schema.customer, ix::PK, &[Value::U64(w), Value::U64(d), Value::U64(c)])?,
+            "customer",
+        )?;
+        let _crow = srv.get_row(schema.customer, c_rid)?;
+        // ORDERS and NEW_ORDER rows.
+        srv.insert(
+            txn,
+            schema.orders,
+            Row::new(vec![
+                Value::U64(w),
+                Value::U64(d),
+                Value::U64(o_id),
+                Value::U64(c),
+                Value::U64(now_micros),
+                Value::U64(0),
+                Value::U64(ol_cnt),
+            ]),
+        )?;
+        srv.insert(
+            txn,
+            schema.new_order,
+            Row::new(vec![Value::U64(w), Value::U64(d), Value::U64(o_id)]),
+        )?;
+        // Order lines.
+        for (number, (i_id, supply_w, qty)) in items.iter().enumerate() {
+            let item_rids = srv.lookup(schema.item, ix::PK, &[Value::U64(*i_id)])?;
+            let Some(item_rid) = item_rids.into_iter().next() else {
+                // Unused item number: the spec's deliberate rollback path.
+                return Ok(false);
+            };
+            let irow = srv.get_row(schema.item, item_rid)?;
+            let price = col_i64(&irow, schema::item::I_PRICE)?;
+            let s_rid = one_rid(
+                srv.lookup(schema.stock, ix::PK, &[Value::U64(*supply_w), Value::U64(*i_id)])?,
+                "stock",
+            )?;
+            let mut srow = srv.get_row(schema.stock, s_rid)?;
+            let mut quantity = col_i64(&srow, schema::stock::S_QUANTITY)?;
+            quantity = if quantity >= *qty as i64 + 10 {
+                quantity - *qty as i64
+            } else {
+                quantity - *qty as i64 + 91
+            };
+            srow.0[schema::stock::S_QUANTITY] = Value::I64(quantity);
+            srow.0[schema::stock::S_YTD] =
+                Value::U64(col_u64(&srow, schema::stock::S_YTD)? + qty);
+            srow.0[schema::stock::S_ORDER_CNT] =
+                Value::U64(col_u64(&srow, schema::stock::S_ORDER_CNT)? + 1);
+            if *supply_w != w {
+                srow.0[schema::stock::S_REMOTE_CNT] =
+                    Value::U64(col_u64(&srow, schema::stock::S_REMOTE_CNT)? + 1);
+            }
+            srv.update(txn, schema.stock, s_rid, srow)?;
+            srv.insert(
+                txn,
+                schema.order_line,
+                Row::new(vec![
+                    Value::U64(w),
+                    Value::U64(d),
+                    Value::U64(o_id),
+                    Value::U64(number as u64 + 1),
+                    Value::U64(*i_id),
+                    Value::U64(*supply_w),
+                    Value::U64(*qty),
+                    Value::I64(price * *qty as i64),
+                    Value::U64(0),
+                ]),
+            )?;
+        }
+        o_id_out = o_id;
+        Ok(true)
+    })?;
+    Ok(TxnOutcome {
+        kind: TxnKind::NewOrder,
+        committed,
+        audit: if committed {
+            Audit::Order { w, d, o: o_id_out, entry: now_micros }
+        } else {
+            Audit::None
+        },
+    })
+}
+
+/// Executes one Payment transaction (clause 2.5).
+///
+/// # Errors
+///
+/// Propagates storage errors after rolling the transaction back.
+pub fn payment(server: &mut DbServer, schema: &TpccSchema, rng: &mut SimRng) -> DbResult<TxnOutcome> {
+    let scale = schema.scale;
+    let w = rng.gen_range(1..=scale.warehouses);
+    let d = rng.gen_range(1..=scale.districts_per_warehouse);
+    // 15 % of payments are for a customer of another district/warehouse.
+    let (c_w, c_d) = if rng.gen_bool(0.15) {
+        if scale.warehouses > 1 {
+            let mut ow = rng.gen_range(1..=scale.warehouses);
+            if ow == w {
+                ow = ow % scale.warehouses + 1;
+            }
+            (ow, rng.gen_range(1..=scale.districts_per_warehouse))
+        } else {
+            (w, rng.gen_range(1..=scale.districts_per_warehouse))
+        }
+    } else {
+        (w, d)
+    };
+    let by_last_name = rng.gen_bool(0.60);
+    let c_last = last_name(nurand(rng, 255, C_LASTNAME, 0, 999));
+    let c_id = nurand(rng, 1023, C_CUSTOMER, 1, scale.customers_per_district);
+    let amount = rng.gen_range(100..=500_000i64);
+
+    let (_txn, committed) = with_txn(server, |srv, txn| {
+        // Warehouse YTD.
+        let w_rid = one_rid(srv.lookup(schema.warehouse, ix::PK, &[Value::U64(w)])?, "warehouse")?;
+        let mut wrow = srv.get_row(schema.warehouse, w_rid)?;
+        wrow.0[schema::warehouse::W_YTD] =
+            Value::I64(col_i64(&wrow, schema::warehouse::W_YTD)? + amount);
+        srv.update(txn, schema.warehouse, w_rid, wrow)?;
+        // District YTD.
+        let d_rid = one_rid(
+            srv.lookup(schema.district, ix::PK, &[Value::U64(w), Value::U64(d)])?,
+            "district",
+        )?;
+        let mut drow = srv.get_row(schema.district, d_rid)?;
+        drow.0[schema::district::D_YTD] =
+            Value::I64(col_i64(&drow, schema::district::D_YTD)? + amount);
+        srv.update(txn, schema.district, d_rid, drow)?;
+        // Customer: by last name (median match) or by id.
+        let c_rid = if by_last_name {
+            let matches = srv.prefix_scan(
+                schema.customer,
+                ix::CUSTOMER_BY_LAST,
+                &[Value::U64(c_w), Value::U64(c_d), Value::Str(c_last.clone())],
+            )?;
+            if matches.is_empty() {
+                one_rid(
+                    srv.lookup(
+                        schema.customer,
+                        ix::PK,
+                        &[Value::U64(c_w), Value::U64(c_d), Value::U64(c_id)],
+                    )?,
+                    "customer",
+                )?
+            } else {
+                matches[matches.len() / 2]
+            }
+        } else {
+            one_rid(
+                srv.lookup(
+                    schema.customer,
+                    ix::PK,
+                    &[Value::U64(c_w), Value::U64(c_d), Value::U64(c_id)],
+                )?,
+                "customer",
+            )?
+        };
+        let mut crow = srv.get_row(schema.customer, c_rid)?;
+        let real_c_id = col_u64(&crow, schema::customer::C_ID)?;
+        crow.0[schema::customer::C_BALANCE] =
+            Value::I64(col_i64(&crow, schema::customer::C_BALANCE)? - amount);
+        crow.0[schema::customer::C_YTD_PAYMENT] =
+            Value::I64(col_i64(&crow, schema::customer::C_YTD_PAYMENT)? + amount);
+        crow.0[schema::customer::C_PAYMENT_CNT] =
+            Value::U64(col_u64(&crow, schema::customer::C_PAYMENT_CNT)? + 1);
+        srv.update(txn, schema.customer, c_rid, crow)?;
+        // History row.
+        srv.insert(
+            txn,
+            schema.history,
+            Row::new(vec![
+                Value::U64(c_w),
+                Value::U64(c_d),
+                Value::U64(real_c_id),
+                Value::I64(amount),
+                Value::Str(format!("payment at w{w} d{d}")),
+            ]),
+        )?;
+        Ok(true)
+    })?;
+    Ok(TxnOutcome { kind: TxnKind::Payment, committed, audit: Audit::None })
+}
+
+/// Executes one Order-Status transaction (clause 2.6, read-only).
+///
+/// # Errors
+///
+/// Propagates storage errors after rolling the transaction back.
+pub fn order_status(
+    server: &mut DbServer,
+    schema: &TpccSchema,
+    rng: &mut SimRng,
+) -> DbResult<TxnOutcome> {
+    let scale = schema.scale;
+    let w = rng.gen_range(1..=scale.warehouses);
+    let d = rng.gen_range(1..=scale.districts_per_warehouse);
+    let by_last_name = rng.gen_bool(0.60);
+    let c_last = last_name(nurand(rng, 255, C_LASTNAME, 0, 999));
+    let c_id = nurand(rng, 1023, C_CUSTOMER, 1, scale.customers_per_district);
+
+    let (_txn, committed) = with_txn(server, |srv, txn| {
+        let _ = txn;
+        let c_rid = if by_last_name {
+            let matches = srv.prefix_scan(
+                schema.customer,
+                ix::CUSTOMER_BY_LAST,
+                &[Value::U64(w), Value::U64(d), Value::Str(c_last.clone())],
+            )?;
+            match matches.get(matches.len() / 2) {
+                Some(r) => *r,
+                None => one_rid(
+                    srv.lookup(
+                        schema.customer,
+                        ix::PK,
+                        &[Value::U64(w), Value::U64(d), Value::U64(c_id)],
+                    )?,
+                    "customer",
+                )?,
+            }
+        } else {
+            one_rid(
+                srv.lookup(schema.customer, ix::PK, &[Value::U64(w), Value::U64(d), Value::U64(c_id)])?,
+                "customer",
+            )?
+        };
+        let crow = srv.get_row(schema.customer, c_rid)?;
+        let real_c = col_u64(&crow, schema::customer::C_ID)?;
+        // The customer's most recent order, if any.
+        let last = srv.last_under_prefix(
+            schema.orders,
+            ix::ORDERS_BY_CUSTOMER,
+            &[Value::U64(w), Value::U64(d), Value::U64(real_c)],
+        )?;
+        if let Some(o_rid) = last.first() {
+            let orow = srv.get_row(schema.orders, *o_rid)?;
+            let o_id = col_u64(&orow, schema::orders::O_ID)?;
+            let lines = srv.prefix_scan(
+                schema.order_line,
+                ix::PK,
+                &[Value::U64(w), Value::U64(d), Value::U64(o_id)],
+            )?;
+            for rid in lines {
+                let _ = srv.get_row(schema.order_line, rid)?;
+            }
+        }
+        Ok(true)
+    })?;
+    Ok(TxnOutcome { kind: TxnKind::OrderStatus, committed, audit: Audit::None })
+}
+
+/// Executes one Delivery transaction (clause 2.7): delivers the oldest
+/// undelivered order of every district of one warehouse.
+///
+/// # Errors
+///
+/// Propagates storage errors after rolling the transaction back.
+pub fn delivery(server: &mut DbServer, schema: &TpccSchema, rng: &mut SimRng) -> DbResult<TxnOutcome> {
+    let scale = schema.scale;
+    let w = rng.gen_range(1..=scale.warehouses);
+    let carrier = rng.gen_range(1..=10u64);
+    let now_micros = server.clock().now().as_micros();
+
+    let (_txn, committed) = with_txn(server, |srv, txn| {
+        for d in 1..=scale.districts_per_warehouse {
+            let pending =
+                srv.prefix_scan(schema.new_order, ix::PK, &[Value::U64(w), Value::U64(d)])?;
+            let Some(no_rid) = pending.first().copied() else { continue };
+            let no_row = srv.get_row(schema.new_order, no_rid)?;
+            let o_id = col_u64(&no_row, schema::new_order::NO_O_ID)?;
+            srv.delete(txn, schema.new_order, no_rid)?;
+            // The order itself.
+            let o_rid = one_rid(
+                srv.lookup(
+                    schema.orders,
+                    ix::PK,
+                    &[Value::U64(w), Value::U64(d), Value::U64(o_id)],
+                )?,
+                "order",
+            )?;
+            let mut orow = srv.get_row(schema.orders, o_rid)?;
+            let c_id = col_u64(&orow, schema::orders::O_C_ID)?;
+            orow.0[schema::orders::O_CARRIER_ID] = Value::U64(carrier);
+            srv.update(txn, schema.orders, o_rid, orow)?;
+            // Its lines: stamp delivery time and total the amounts.
+            let lines = srv.prefix_scan(
+                schema.order_line,
+                ix::PK,
+                &[Value::U64(w), Value::U64(d), Value::U64(o_id)],
+            )?;
+            let mut total = 0i64;
+            for rid in lines {
+                let mut lrow = srv.get_row(schema.order_line, rid)?;
+                total += col_i64(&lrow, schema::order_line::OL_AMOUNT)?;
+                lrow.0[schema::order_line::OL_DELIVERY_D] = Value::U64(now_micros);
+                srv.update(txn, schema.order_line, rid, lrow)?;
+            }
+            // Credit the customer.
+            let c_rid = one_rid(
+                srv.lookup(schema.customer, ix::PK, &[Value::U64(w), Value::U64(d), Value::U64(c_id)])?,
+                "customer",
+            )?;
+            let mut crow = srv.get_row(schema.customer, c_rid)?;
+            crow.0[schema::customer::C_BALANCE] =
+                Value::I64(col_i64(&crow, schema::customer::C_BALANCE)? + total);
+            crow.0[schema::customer::C_DELIVERY_CNT] =
+                Value::U64(col_u64(&crow, schema::customer::C_DELIVERY_CNT)? + 1);
+            srv.update(txn, schema.customer, c_rid, crow)?;
+        }
+        Ok(true)
+    })?;
+    Ok(TxnOutcome { kind: TxnKind::Delivery, committed, audit: Audit::None })
+}
+
+/// Executes one Stock-Level transaction (clause 2.8, read-only).
+///
+/// # Errors
+///
+/// Propagates storage errors after rolling the transaction back.
+pub fn stock_level(
+    server: &mut DbServer,
+    schema: &TpccSchema,
+    rng: &mut SimRng,
+) -> DbResult<TxnOutcome> {
+    let scale = schema.scale;
+    let w = rng.gen_range(1..=scale.warehouses);
+    let d = rng.gen_range(1..=scale.districts_per_warehouse);
+    let threshold = rng.gen_range(10..=20i64);
+
+    let (_txn, committed) = with_txn(server, |srv, txn| {
+        let _ = txn;
+        let d_rid = one_rid(
+            srv.lookup(schema.district, ix::PK, &[Value::U64(w), Value::U64(d)])?,
+            "district",
+        )?;
+        let drow = srv.get_row(schema.district, d_rid)?;
+        let next_o = col_u64(&drow, schema::district::D_NEXT_O_ID)?;
+        let from = next_o.saturating_sub(20).max(1);
+        let mut items = std::collections::BTreeSet::new();
+        for o in from..next_o {
+            let lines = srv.prefix_scan(
+                schema.order_line,
+                ix::PK,
+                &[Value::U64(w), Value::U64(d), Value::U64(o)],
+            )?;
+            for rid in lines {
+                let lrow = srv.get_row(schema.order_line, rid)?;
+                items.insert(col_u64(&lrow, schema::order_line::OL_I_ID)?);
+            }
+        }
+        let mut low = 0u64;
+        for i_id in items {
+            let s_rid = one_rid(
+                srv.lookup(schema.stock, ix::PK, &[Value::U64(w), Value::U64(i_id)])?,
+                "stock",
+            )?;
+            let srow = srv.get_row(schema.stock, s_rid)?;
+            if col_i64(&srow, schema::stock::S_QUANTITY)? < threshold {
+                low += 1;
+            }
+        }
+        let _ = low;
+        Ok(true)
+    })?;
+    Ok(TxnOutcome { kind: TxnKind::StockLevel, committed, audit: Audit::None })
+}
+
+/// Dispatches one transaction of the given kind.
+///
+/// # Errors
+///
+/// Propagates storage errors after rolling the transaction back.
+pub fn execute(
+    server: &mut DbServer,
+    schema: &TpccSchema,
+    rng: &mut SimRng,
+    kind: TxnKind,
+) -> DbResult<TxnOutcome> {
+    match kind {
+        TxnKind::NewOrder => new_order(server, schema, rng),
+        TxnKind::Payment => payment(server, schema, rng),
+        TxnKind::OrderStatus => order_status(server, schema, rng),
+        TxnKind::Delivery => delivery(server, schema, rng),
+        TxnKind::StockLevel => stock_level(server, schema, rng),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::load_database;
+    use crate::schema::{create_schema, TpccScale};
+    use recobench_engine::{DiskLayout, InstanceConfig};
+    use recobench_sim::SimClock;
+
+    fn loaded() -> (DbServer, TpccSchema, SimRng) {
+        let mut srv = DbServer::on_fresh_disks(
+            "TX",
+            SimClock::shared(),
+            DiskLayout::four_disk(),
+            InstanceConfig::default(),
+        );
+        srv.create_database().unwrap();
+        let schema = create_schema(&mut srv, TpccScale::tiny(), 4, 2_048).unwrap();
+        let mut rng = SimRng::seed_from(11);
+        load_database(&mut srv, &schema, &mut rng).unwrap();
+        (srv, schema, rng.fork(99))
+    }
+
+    #[test]
+    fn new_order_commits_and_creates_rows() {
+        let (mut srv, schema, mut rng) = loaded();
+        let before = srv.peek_scan(schema.orders).unwrap().len();
+        let mut committed = 0;
+        for _ in 0..20 {
+            let out = new_order(&mut srv, &schema, &mut rng).unwrap();
+            if out.committed {
+                committed += 1;
+                assert!(matches!(out.audit, Audit::Order { .. }));
+            }
+        }
+        assert!(committed >= 15, "most new-orders commit");
+        let after = srv.peek_scan(schema.orders).unwrap().len();
+        assert_eq!(after - before, committed);
+        assert_eq!(srv.peek_scan(schema.new_order).unwrap().len(), committed);
+    }
+
+    #[test]
+    fn payment_moves_money_consistently() {
+        let (mut srv, schema, mut rng) = loaded();
+        for _ in 0..20 {
+            payment(&mut srv, &schema, &mut rng).unwrap();
+        }
+        // W_YTD still equals the sum of its districts' D_YTD.
+        let report = crate::consistency::check_consistency(&srv, &schema).unwrap();
+        assert!(report.is_consistent(), "violations: {:?}", report.violations);
+        assert_eq!(srv.peek_scan(schema.history).unwrap().len(), 20);
+    }
+
+    #[test]
+    fn delivery_clears_new_orders() {
+        let (mut srv, schema, mut rng) = loaded();
+        for _ in 0..30 {
+            new_order(&mut srv, &schema, &mut rng).unwrap();
+        }
+        let pending_before = srv.peek_scan(schema.new_order).unwrap().len();
+        assert!(pending_before > 0);
+        for _ in 0..40 {
+            delivery(&mut srv, &schema, &mut rng).unwrap();
+        }
+        let pending_after = srv.peek_scan(schema.new_order).unwrap().len();
+        assert_eq!(pending_after, 0, "all pending orders delivered");
+    }
+
+    #[test]
+    fn read_only_profiles_change_nothing() {
+        let (mut srv, schema, mut rng) = loaded();
+        for _ in 0..10 {
+            new_order(&mut srv, &schema, &mut rng).unwrap();
+        }
+        let orders = srv.peek_scan(schema.orders).unwrap();
+        let stock = srv.peek_scan(schema.stock).unwrap();
+        for _ in 0..10 {
+            order_status(&mut srv, &schema, &mut rng).unwrap();
+            stock_level(&mut srv, &schema, &mut rng).unwrap();
+        }
+        assert_eq!(srv.peek_scan(schema.orders).unwrap(), orders);
+        assert_eq!(srv.peek_scan(schema.stock).unwrap(), stock);
+    }
+
+    #[test]
+    fn mix_draw_is_weighted() {
+        let mut rng = SimRng::seed_from(5);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..10_000 {
+            *counts.entry(TxnKind::draw(&mut rng)).or_insert(0u32) += 1;
+        }
+        let no = counts[&TxnKind::NewOrder] as f64 / 10_000.0;
+        let pay = counts[&TxnKind::Payment] as f64 / 10_000.0;
+        assert!((0.42..0.48).contains(&no), "new-order fraction {no}");
+        assert!((0.40..0.46).contains(&pay), "payment fraction {pay}");
+    }
+
+    #[test]
+    fn consistency_holds_after_a_mixed_burst() {
+        let (mut srv, schema, mut rng) = loaded();
+        for _ in 0..150 {
+            let kind = TxnKind::draw(&mut rng);
+            execute(&mut srv, &schema, &mut rng, kind).unwrap();
+        }
+        let report = crate::consistency::check_consistency(&srv, &schema).unwrap();
+        assert!(report.is_consistent(), "violations: {:?}", report.violations);
+    }
+}

@@ -1,0 +1,820 @@
+//! The simulated filesystem: disks and files.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use recobench_sim::disk::IoKind;
+use recobench_sim::{Disk, DiskProfile, DiskStats, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::error::{VfsError, VfsResult};
+
+/// Identifies one of the simulated spindles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DiskId(pub usize);
+
+/// Stable handle to a file, valid until the file is purged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FileId(pub u64);
+
+/// What role a file plays; used for reporting and for targeting faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FileKind {
+    /// A database datafile (block-addressed).
+    Data,
+    /// A control file (block-addressed).
+    Control,
+    /// An online redo log member (append-only).
+    Redo,
+    /// An archived redo log (append-only).
+    Archive,
+    /// A backup piece (append-only).
+    Backup,
+}
+
+/// Metadata snapshot for a file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileMeta {
+    /// Handle of the file.
+    pub id: FileId,
+    /// Path-like unique name, e.g. `/u02/tpcc_data01.dbf`.
+    pub path: String,
+    /// Owning disk.
+    pub disk: DiskId,
+    /// Role of the file.
+    pub kind: FileKind,
+    /// Logical size in bytes (blocks × block size, or appended length).
+    pub size_bytes: u64,
+    /// Whether the file has been deleted by an operator action.
+    pub deleted: bool,
+    /// Whether the file has been corrupted by an operator action.
+    pub corrupt: bool,
+}
+
+#[derive(Debug, Clone)]
+enum Content {
+    /// Sparse block store; absent entries read back as all-zero blocks.
+    Blocks { block_size: u32, nblocks: u64, data: BTreeMap<u64, Bytes> },
+    /// Append-only byte stream, stored as a list of appended segments.
+    Append { segments: Vec<Bytes>, len: u64 },
+}
+
+#[derive(Debug, Clone)]
+struct FileEntry {
+    path: String,
+    disk: DiskId,
+    kind: FileKind,
+    deleted: bool,
+    corrupt: bool,
+    content: Content,
+}
+
+impl FileEntry {
+    fn check_readable(&self) -> VfsResult<()> {
+        if self.deleted {
+            return Err(VfsError::Deleted(self.path.clone()));
+        }
+        if self.corrupt {
+            return Err(VfsError::Corrupt(self.path.clone()));
+        }
+        Ok(())
+    }
+
+    fn size_bytes(&self) -> u64 {
+        match &self.content {
+            Content::Blocks { block_size, nblocks, .. } => *nblocks * *block_size as u64,
+            Content::Append { len, .. } => *len,
+        }
+    }
+}
+
+/// The simulated filesystem: a set of disks and the files on them.
+///
+/// ```
+/// use recobench_sim::{DiskProfile, SimTime};
+/// use recobench_vfs::{FileKind, SimFs};
+///
+/// let mut fs = SimFs::new(vec![DiskProfile::server_2000()]);
+/// let disk = fs.disk_ids()[0];
+/// let f = fs.create_block_file("/u01/system01.dbf", disk, FileKind::Data, 8192, 16)?;
+/// let (done, _) = fs.write_block(f, 3, vec![7u8; 8192].into(), SimTime::ZERO)?;
+/// let (_, img) = fs.read_block(f, 3, done)?;
+/// assert_eq!(img[0], 7);
+/// # Ok::<(), recobench_vfs::VfsError>(())
+/// ```
+#[derive(Debug)]
+pub struct SimFs {
+    disks: Vec<Disk>,
+    files: BTreeMap<FileId, FileEntry>,
+    next_id: u64,
+}
+
+impl SimFs {
+    /// Creates a filesystem with one disk per profile.
+    pub fn new(profiles: Vec<DiskProfile>) -> Self {
+        SimFs {
+            disks: profiles.into_iter().map(Disk::new).collect(),
+            files: BTreeMap::new(),
+            next_id: 1,
+        }
+    }
+
+    /// Handles of all disks, in creation order.
+    pub fn disk_ids(&self) -> Vec<DiskId> {
+        (0..self.disks.len()).map(DiskId).collect()
+    }
+
+    /// Cumulative I/O counters for `disk`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `disk` does not exist.
+    pub fn disk_stats(&self, disk: DiskId) -> VfsResult<DiskStats> {
+        self.disks.get(disk.0).map(|d| d.stats()).ok_or(VfsError::DiskUnavailable(disk.0))
+    }
+
+    fn disk_mut(&mut self, disk: DiskId) -> VfsResult<&mut Disk> {
+        self.disks.get_mut(disk.0).ok_or(VfsError::DiskUnavailable(disk.0))
+    }
+
+    fn alloc_id(&mut self) -> FileId {
+        let id = FileId(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    fn entry(&self, id: FileId) -> VfsResult<&FileEntry> {
+        self.files.get(&id).ok_or_else(|| VfsError::NotFound(format!("file #{}", id.0)))
+    }
+
+    fn entry_mut(&mut self, id: FileId) -> VfsResult<&mut FileEntry> {
+        self.files.get_mut(&id).ok_or_else(|| VfsError::NotFound(format!("file #{}", id.0)))
+    }
+
+    fn check_path_free(&self, path: &str) -> VfsResult<()> {
+        let exists = self.files.values().any(|f| f.path == path && !f.deleted);
+        if exists {
+            Err(VfsError::AlreadyExists(path.to_string()))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Creates a block-addressed file of `nblocks` blocks of `block_size`
+    /// bytes. Blocks read back as zeroes until written.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the path is taken or the disk does not exist.
+    pub fn create_block_file(
+        &mut self,
+        path: &str,
+        disk: DiskId,
+        kind: FileKind,
+        block_size: u32,
+        nblocks: u64,
+    ) -> VfsResult<FileId> {
+        self.check_path_free(path)?;
+        if disk.0 >= self.disks.len() {
+            return Err(VfsError::DiskUnavailable(disk.0));
+        }
+        let id = self.alloc_id();
+        self.files.insert(
+            id,
+            FileEntry {
+                path: path.to_string(),
+                disk,
+                kind,
+                deleted: false,
+                corrupt: false,
+                content: Content::Blocks { block_size, nblocks, data: BTreeMap::new() },
+            },
+        );
+        Ok(id)
+    }
+
+    /// Creates an empty append-only file.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the path is taken or the disk does not exist.
+    pub fn create_append_file(&mut self, path: &str, disk: DiskId, kind: FileKind) -> VfsResult<FileId> {
+        self.check_path_free(path)?;
+        if disk.0 >= self.disks.len() {
+            return Err(VfsError::DiskUnavailable(disk.0));
+        }
+        let id = self.alloc_id();
+        self.files.insert(
+            id,
+            FileEntry {
+                path: path.to_string(),
+                disk,
+                kind,
+                deleted: false,
+                corrupt: false,
+                content: Content::Append { segments: Vec::new(), len: 0 },
+            },
+        );
+        Ok(id)
+    }
+
+    /// Reads one block. Returns the completion instant and the block image.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the file is missing, deleted, corrupt, not block-addressed,
+    /// or the index is out of range.
+    pub fn read_block(&mut self, id: FileId, block: u64, now: SimTime) -> VfsResult<(SimTime, Bytes)> {
+        let (disk, bytes, img) = {
+            let e = self.entry(id)?;
+            e.check_readable()?;
+            match &e.content {
+                Content::Blocks { block_size, nblocks, data } => {
+                    if block >= *nblocks {
+                        return Err(VfsError::OutOfRange {
+                            file: e.path.clone(),
+                            block,
+                            blocks: *nblocks,
+                        });
+                    }
+                    let img = data
+                        .get(&block)
+                        .cloned()
+                        .unwrap_or_else(|| Bytes::from(vec![0u8; *block_size as usize]));
+                    (e.disk, *block_size as u64, img)
+                }
+                Content::Append { .. } => return Err(VfsError::WrongAccessStyle(e.path.clone())),
+            }
+        };
+        let done = self.disk_mut(disk)?.submit(now, IoKind::Read, bytes, false);
+        Ok((done, img))
+    }
+
+    /// Writes one block. Returns the completion instant.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the file is missing, deleted, corrupt, not block-addressed,
+    /// or the index is out of range.
+    pub fn write_block(
+        &mut self,
+        id: FileId,
+        block: u64,
+        image: Bytes,
+        now: SimTime,
+    ) -> VfsResult<(SimTime, ())> {
+        let (disk, bytes) = {
+            let e = self.entry_mut(id)?;
+            if e.deleted {
+                return Err(VfsError::Deleted(e.path.clone()));
+            }
+            match &mut e.content {
+                Content::Blocks { block_size, nblocks, data } => {
+                    if block >= *nblocks {
+                        return Err(VfsError::OutOfRange {
+                            file: e.path.clone(),
+                            block,
+                            blocks: *nblocks,
+                        });
+                    }
+                    data.insert(block, image);
+                    (e.disk, *block_size as u64)
+                }
+                Content::Append { .. } => return Err(VfsError::WrongAccessStyle(e.path.clone())),
+            }
+        };
+        let done = self.disk_mut(disk)?.submit(now, IoKind::Write, bytes, false);
+        Ok((done, ()))
+    }
+
+    /// Appends `data` to an append-only file (sequential write).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the file is missing, deleted or not append-only.
+    pub fn append(&mut self, id: FileId, data: Bytes, now: SimTime) -> VfsResult<(SimTime, ())> {
+        self.append_padded(id, data, 0, now)
+    }
+
+    /// Appends `data` plus `pad` additional accounting-only bytes.
+    ///
+    /// The pad inflates the file's logical length and the charged I/O time
+    /// but carries no information (the engine uses it to model block-level
+    /// redo change vectors without materialising filler). Reads charge the
+    /// padded length and return only the informative bytes.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the file is missing, deleted or not append-only.
+    pub fn append_padded(
+        &mut self,
+        id: FileId,
+        data: Bytes,
+        pad: u64,
+        now: SimTime,
+    ) -> VfsResult<(SimTime, ())> {
+        let (disk, bytes) = {
+            let e = self.entry_mut(id)?;
+            if e.deleted {
+                return Err(VfsError::Deleted(e.path.clone()));
+            }
+            match &mut e.content {
+                Content::Append { segments, len } => {
+                    let n = data.len() as u64 + pad;
+                    *len += n;
+                    segments.push(data);
+                    (e.disk, n)
+                }
+                Content::Blocks { .. } => return Err(VfsError::WrongAccessStyle(e.path.clone())),
+            }
+        };
+        let done = self.disk_mut(disk)?.submit(now, IoKind::Write, bytes, true);
+        Ok((done, ()))
+    }
+
+    /// Reads the whole contents of an append-only file (sequential read).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the file is missing, deleted, corrupt or not append-only.
+    pub fn read_all(&mut self, id: FileId, now: SimTime) -> VfsResult<(SimTime, Vec<Bytes>)> {
+        let (disk, bytes, segs) = {
+            let e = self.entry(id)?;
+            e.check_readable()?;
+            match &e.content {
+                Content::Append { segments, len } => (e.disk, *len, segments.clone()),
+                Content::Blocks { .. } => return Err(VfsError::WrongAccessStyle(e.path.clone())),
+            }
+        };
+        let done = self.disk_mut(disk)?.submit(now, IoKind::Read, bytes, true);
+        Ok((done, segs))
+    }
+
+    /// Reads an append-only file starting at logical byte `offset`
+    /// (sequential read charged for `len - offset` bytes). The returned
+    /// segments are the *complete* informative contents — callers that need
+    /// to skip the prefix do so while decoding; only the I/O charge honours
+    /// the offset.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the file is missing, deleted, corrupt or not append-only.
+    pub fn read_from(&mut self, id: FileId, offset: u64, now: SimTime) -> VfsResult<(SimTime, Vec<Bytes>)> {
+        let (disk, bytes, segs) = {
+            let e = self.entry(id)?;
+            e.check_readable()?;
+            match &e.content {
+                Content::Append { segments, len } => {
+                    (e.disk, len.saturating_sub(offset), segments.clone())
+                }
+                Content::Blocks { .. } => return Err(VfsError::WrongAccessStyle(e.path.clone())),
+            }
+        };
+        let done = self.disk_mut(disk)?.submit(now, IoKind::Read, bytes, true);
+        Ok((done, segs))
+    }
+
+    /// Zero-cost inspection of one block, for analysis tooling (integrity
+    /// checkers, index rebuild) that must not perturb the simulated timing.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the file is missing, deleted, corrupt or the index is out
+    /// of range.
+    pub fn peek_block(&self, id: FileId, block: u64) -> VfsResult<Bytes> {
+        let e = self.entry(id)?;
+        e.check_readable()?;
+        match &e.content {
+            Content::Blocks { block_size, nblocks, data } => {
+                if block >= *nblocks {
+                    return Err(VfsError::OutOfRange { file: e.path.clone(), block, blocks: *nblocks });
+                }
+                Ok(data
+                    .get(&block)
+                    .cloned()
+                    .unwrap_or_else(|| Bytes::from(vec![0u8; *block_size as usize])))
+            }
+            Content::Append { .. } => Err(VfsError::WrongAccessStyle(e.path.clone())),
+        }
+    }
+
+    /// Zero-cost enumeration of every written block of a block file (for
+    /// machine-to-machine transfers such as stand-by instantiation).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the file is missing, deleted, corrupt or not
+    /// block-addressed.
+    pub fn peek_blocks_written(&self, id: FileId) -> VfsResult<Vec<(u64, Bytes)>> {
+        let e = self.entry(id)?;
+        e.check_readable()?;
+        match &e.content {
+            Content::Blocks { data, .. } => Ok(data.iter().map(|(b, img)| (*b, img.clone())).collect()),
+            Content::Append { .. } => Err(VfsError::WrongAccessStyle(e.path.clone())),
+        }
+    }
+
+    /// Zero-cost inspection of an append-only file's contents.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the file is missing, deleted, corrupt or not append-only.
+    pub fn peek_all(&self, id: FileId) -> VfsResult<Vec<Bytes>> {
+        let e = self.entry(id)?;
+        e.check_readable()?;
+        match &e.content {
+            Content::Append { segments, .. } => Ok(segments.clone()),
+            Content::Blocks { .. } => Err(VfsError::WrongAccessStyle(e.path.clone())),
+        }
+    }
+
+    /// Charges `bytes` of synthetic sequential I/O on `disk` without
+    /// touching any file. Used to model volume the scaled database does not
+    /// materialise (e.g. restoring the nominal-size database from backup).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the disk does not exist.
+    pub fn charge_io(&mut self, disk: DiskId, kind: IoKind, bytes: u64, now: SimTime) -> VfsResult<SimTime> {
+        Ok(self.disk_mut(disk)?.submit(now, kind, bytes, true))
+    }
+
+    /// Truncates an append-only file to empty (instantaneous metadata op).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the file is missing, deleted or not append-only.
+    pub fn truncate(&mut self, id: FileId) -> VfsResult<()> {
+        let e = self.entry_mut(id)?;
+        if e.deleted {
+            return Err(VfsError::Deleted(e.path.clone()));
+        }
+        match &mut e.content {
+            Content::Append { segments, len } => {
+                segments.clear();
+                *len = 0;
+                Ok(())
+            }
+            Content::Blocks { .. } => Err(VfsError::WrongAccessStyle(e.path.clone())),
+        }
+    }
+
+    /// Marks a file deleted **by path** — the operator's view of the world.
+    ///
+    /// The content is dropped immediately; subsequent reads and writes fail.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no live file has this path.
+    pub fn delete_path(&mut self, path: &str) -> VfsResult<FileId> {
+        let id = self.lookup(path)?;
+        let e = self.entry_mut(id)?;
+        e.deleted = true;
+        e.content = match &e.content {
+            Content::Blocks { block_size, nblocks, .. } => {
+                Content::Blocks { block_size: *block_size, nblocks: *nblocks, data: BTreeMap::new() }
+            }
+            Content::Append { .. } => Content::Append { segments: Vec::new(), len: 0 },
+        };
+        Ok(id)
+    }
+
+    /// Marks a file's contents corrupt **by path**; reads fail afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no live file has this path.
+    pub fn corrupt_path(&mut self, path: &str) -> VfsResult<FileId> {
+        let id = self.lookup(path)?;
+        self.entry_mut(id)?.corrupt = true;
+        Ok(id)
+    }
+
+    /// Removes a file entry entirely (e.g. dropping an archived log after a
+    /// successful backup cycle). Unlike [`SimFs::delete_path`] this frees
+    /// the path for reuse.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the file does not exist.
+    pub fn purge(&mut self, id: FileId) -> VfsResult<()> {
+        self.files.remove(&id).map(|_| ()).ok_or_else(|| VfsError::NotFound(format!("file #{}", id.0)))
+    }
+
+    /// Finds a live (non-deleted) file by path.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the path does not name a live file.
+    pub fn lookup(&self, path: &str) -> VfsResult<FileId> {
+        self.files
+            .iter()
+            .find(|(_, f)| f.path == path && !f.deleted)
+            .map(|(id, _)| *id)
+            .ok_or_else(|| VfsError::NotFound(path.to_string()))
+    }
+
+    /// Metadata snapshot for a file (works for deleted files too, so damage
+    /// assessment can see what was lost).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the id has been purged.
+    pub fn meta(&self, id: FileId) -> VfsResult<FileMeta> {
+        let e = self.entry(id)?;
+        Ok(FileMeta {
+            id,
+            path: e.path.clone(),
+            disk: e.disk,
+            kind: e.kind,
+            size_bytes: e.size_bytes(),
+            deleted: e.deleted,
+            corrupt: e.corrupt,
+        })
+    }
+
+    /// Metadata for every file of the given kind, in creation order.
+    pub fn list(&self, kind: FileKind) -> Vec<FileMeta> {
+        self.files
+            .iter()
+            .filter(|(_, f)| f.kind == kind)
+            .map(|(id, f)| FileMeta {
+                id: *id,
+                path: f.path.clone(),
+                disk: f.disk,
+                kind: f.kind,
+                size_bytes: f.size_bytes(),
+                deleted: f.deleted,
+                corrupt: f.corrupt,
+            })
+            .collect()
+    }
+
+    /// Duplicates the *contents* of `src` into a fresh file at `dst_path` on
+    /// `dst_disk`, charging a sequential read on the source disk and a
+    /// sequential write on the destination disk. Returns the new file's id
+    /// and the completion instant (the later of the two transfers).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the source is unreadable or the destination path is taken.
+    pub fn copy_file(
+        &mut self,
+        src: FileId,
+        dst_path: &str,
+        dst_disk: DiskId,
+        dst_kind: FileKind,
+        now: SimTime,
+    ) -> VfsResult<(SimTime, FileId)> {
+        let (src_disk, size, content) = {
+            let e = self.entry(src)?;
+            e.check_readable()?;
+            (e.disk, e.size_bytes(), e.content.clone())
+        };
+        self.check_path_free(dst_path)?;
+        if dst_disk.0 >= self.disks.len() {
+            return Err(VfsError::DiskUnavailable(dst_disk.0));
+        }
+        let read_done = self.disk_mut(src_disk)?.submit(now, IoKind::Read, size, true);
+        let write_done = self.disk_mut(dst_disk)?.submit(now, IoKind::Write, size, true);
+        let id = self.alloc_id();
+        self.files.insert(
+            id,
+            FileEntry {
+                path: dst_path.to_string(),
+                disk: dst_disk,
+                kind: dst_kind,
+                deleted: false,
+                corrupt: false,
+                content,
+            },
+        );
+        Ok((read_done.max(write_done), id))
+    }
+
+    /// Overwrites the contents of `dst` with the contents of `src`
+    /// (restore-from-backup), charging both disks. The destination keeps its
+    /// path, kind and id, and any deleted/corrupt marks are cleared.
+    ///
+    /// # Errors
+    ///
+    /// Fails if either file is missing or the source is unreadable.
+    pub fn restore_into(&mut self, src: FileId, dst: FileId, now: SimTime) -> VfsResult<SimTime> {
+        let (src_disk, size, content) = {
+            let e = self.entry(src)?;
+            e.check_readable()?;
+            (e.disk, e.size_bytes(), e.content.clone())
+        };
+        let dst_disk = {
+            let e = self.entry_mut(dst)?;
+            e.content = content;
+            e.deleted = false;
+            e.corrupt = false;
+            e.disk
+        };
+        let read_done = self.disk_mut(src_disk)?.submit(now, IoKind::Read, size, true);
+        let write_done = self.disk_mut(dst_disk)?.submit(now, IoKind::Write, size, true);
+        Ok(read_done.max(write_done))
+    }
+}
+
+/// A filesystem handle shareable between the primary instance, the stand-by
+/// instance and the fault injector.
+pub type SharedFs = Arc<Mutex<SimFs>>;
+
+/// Wraps a [`SimFs`] for sharing.
+pub fn shared(fs: SimFs) -> SharedFs {
+    Arc::new(Mutex::new(fs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fs4() -> SimFs {
+        SimFs::new(vec![DiskProfile::server_2000(); 4])
+    }
+
+    #[test]
+    fn block_file_round_trip() {
+        let mut fs = fs4();
+        let f = fs.create_block_file("/u01/a.dbf", DiskId(0), FileKind::Data, 8192, 4).unwrap();
+        let img = Bytes::from(vec![5u8; 8192]);
+        let (t1, ()) = fs.write_block(f, 2, img.clone(), SimTime::ZERO).unwrap();
+        let (_, got) = fs.read_block(f, 2, t1).unwrap();
+        assert_eq!(got, img);
+    }
+
+    #[test]
+    fn unwritten_blocks_read_zero() {
+        let mut fs = fs4();
+        let f = fs.create_block_file("/u01/a.dbf", DiskId(0), FileKind::Data, 512, 2).unwrap();
+        let (_, got) = fs.read_block(f, 0, SimTime::ZERO).unwrap();
+        assert!(got.iter().all(|&b| b == 0));
+        assert_eq!(got.len(), 512);
+    }
+
+    #[test]
+    fn out_of_range_block_fails() {
+        let mut fs = fs4();
+        let f = fs.create_block_file("/u01/a.dbf", DiskId(0), FileKind::Data, 512, 2).unwrap();
+        let err = fs.read_block(f, 2, SimTime::ZERO).unwrap_err();
+        assert!(matches!(err, VfsError::OutOfRange { block: 2, blocks: 2, .. }));
+    }
+
+    #[test]
+    fn append_and_read_all() {
+        let mut fs = fs4();
+        let f = fs.create_append_file("/u03/redo01.log", DiskId(2), FileKind::Redo).unwrap();
+        fs.append(f, Bytes::from_static(b"one"), SimTime::ZERO).unwrap();
+        fs.append(f, Bytes::from_static(b"two"), SimTime::ZERO).unwrap();
+        let (_, segs) = fs.read_all(f, SimTime::ZERO).unwrap();
+        assert_eq!(segs, vec![Bytes::from_static(b"one"), Bytes::from_static(b"two")]);
+        assert_eq!(fs.meta(f).unwrap().size_bytes, 6);
+    }
+
+    #[test]
+    fn truncate_resets_append_file() {
+        let mut fs = fs4();
+        let f = fs.create_append_file("/u03/redo01.log", DiskId(2), FileKind::Redo).unwrap();
+        fs.append(f, Bytes::from_static(b"abc"), SimTime::ZERO).unwrap();
+        fs.truncate(f).unwrap();
+        assert_eq!(fs.meta(f).unwrap().size_bytes, 0);
+    }
+
+    #[test]
+    fn delete_path_makes_reads_fail() {
+        let mut fs = fs4();
+        let f = fs.create_block_file("/u02/users01.dbf", DiskId(1), FileKind::Data, 512, 2).unwrap();
+        fs.delete_path("/u02/users01.dbf").unwrap();
+        let err = fs.read_block(f, 0, SimTime::ZERO).unwrap_err();
+        assert!(matches!(err, VfsError::Deleted(_)));
+        // Path is gone from lookup.
+        assert!(fs.lookup("/u02/users01.dbf").is_err());
+        // But metadata is still inspectable for damage assessment.
+        assert!(fs.meta(f).unwrap().deleted);
+    }
+
+    #[test]
+    fn corrupt_path_fails_reads_but_not_meta() {
+        let mut fs = fs4();
+        let f = fs.create_block_file("/u02/users01.dbf", DiskId(1), FileKind::Data, 512, 2).unwrap();
+        fs.corrupt_path("/u02/users01.dbf").unwrap();
+        assert!(matches!(fs.read_block(f, 0, SimTime::ZERO).unwrap_err(), VfsError::Corrupt(_)));
+        assert!(fs.meta(f).unwrap().corrupt);
+    }
+
+    #[test]
+    fn duplicate_paths_rejected() {
+        let mut fs = fs4();
+        fs.create_append_file("/x", DiskId(0), FileKind::Archive).unwrap();
+        let err = fs.create_append_file("/x", DiskId(0), FileKind::Archive).unwrap_err();
+        assert!(matches!(err, VfsError::AlreadyExists(_)));
+    }
+
+    #[test]
+    fn deleted_path_can_be_recreated() {
+        let mut fs = fs4();
+        fs.create_append_file("/x", DiskId(0), FileKind::Archive).unwrap();
+        fs.delete_path("/x").unwrap();
+        assert!(fs.create_append_file("/x", DiskId(0), FileKind::Archive).is_ok());
+    }
+
+    #[test]
+    fn copy_preserves_contents_and_charges_both_disks() {
+        let mut fs = fs4();
+        let f = fs.create_block_file("/u01/a.dbf", DiskId(0), FileKind::Data, 512, 4).unwrap();
+        fs.write_block(f, 1, Bytes::from(vec![9u8; 512]), SimTime::ZERO).unwrap();
+        let (_, copy) = fs.copy_file(f, "/u04/a.bak", DiskId(3), FileKind::Backup, SimTime::ZERO).unwrap();
+        // Restore it back over a zeroed original.
+        fs.write_block(f, 1, Bytes::from(vec![0u8; 512]), SimTime::ZERO).unwrap();
+        fs.restore_into(copy, f, SimTime::ZERO).unwrap();
+        let (_, got) = fs.read_block(f, 1, SimTime::ZERO).unwrap();
+        assert_eq!(got[0], 9);
+        let s3 = fs.disk_stats(DiskId(3)).unwrap();
+        assert!(s3.bytes_written > 0, "backup disk saw the copy");
+    }
+
+    #[test]
+    fn restore_clears_deleted_mark() {
+        let mut fs = fs4();
+        let f = fs.create_block_file("/u01/a.dbf", DiskId(0), FileKind::Data, 512, 4).unwrap();
+        fs.write_block(f, 0, Bytes::from(vec![3u8; 512]), SimTime::ZERO).unwrap();
+        let (_, bak) = fs.copy_file(f, "/u04/a.bak", DiskId(3), FileKind::Backup, SimTime::ZERO).unwrap();
+        fs.delete_path("/u01/a.dbf").unwrap();
+        fs.restore_into(bak, f, SimTime::ZERO).unwrap();
+        assert!(!fs.meta(f).unwrap().deleted);
+        let (_, got) = fs.read_block(f, 0, SimTime::ZERO).unwrap();
+        assert_eq!(got[0], 3);
+        assert!(fs.lookup("/u01/a.dbf").is_ok());
+    }
+
+    #[test]
+    fn list_filters_by_kind() {
+        let mut fs = fs4();
+        fs.create_append_file("/r1", DiskId(2), FileKind::Redo).unwrap();
+        fs.create_append_file("/a1", DiskId(2), FileKind::Archive).unwrap();
+        fs.create_append_file("/r2", DiskId(2), FileKind::Redo).unwrap();
+        let redo = fs.list(FileKind::Redo);
+        assert_eq!(redo.len(), 2);
+        assert!(redo.iter().all(|m| m.kind == FileKind::Redo));
+    }
+
+    #[test]
+    fn io_advances_time() {
+        let mut fs = fs4();
+        let f = fs.create_block_file("/u01/a.dbf", DiskId(0), FileKind::Data, 8192, 4).unwrap();
+        let (t, _) = fs.read_block(f, 0, SimTime::ZERO).unwrap();
+        assert!(t > SimTime::ZERO);
+    }
+}
+
+#[cfg(test)]
+mod extended_tests {
+    use super::*;
+
+    #[test]
+    fn padded_append_inflates_length_but_not_content() {
+        let mut fs = SimFs::new(vec![DiskProfile::server_2000()]);
+        let f = fs.create_append_file("/r", DiskId(0), FileKind::Redo).unwrap();
+        fs.append_padded(f, Bytes::from_static(b"abc"), 1000, SimTime::ZERO).unwrap();
+        assert_eq!(fs.meta(f).unwrap().size_bytes, 1003);
+        let (_, segs) = fs.read_all(f, SimTime::ZERO).unwrap();
+        assert_eq!(segs, vec![Bytes::from_static(b"abc")]);
+    }
+
+    #[test]
+    fn read_from_charges_partial_length() {
+        let mut fs = SimFs::new(vec![DiskProfile::server_2000()]);
+        let f = fs.create_append_file("/r", DiskId(0), FileKind::Redo).unwrap();
+        fs.append_padded(f, Bytes::from_static(b"x"), 20 * 1024 * 1024, SimTime::ZERO).unwrap();
+        let before = fs.disk_stats(DiskId(0)).unwrap().bytes_read;
+        let offset = 10 * 1024 * 1024;
+        fs.read_from(f, offset, SimTime::ZERO).unwrap();
+        let read = fs.disk_stats(DiskId(0)).unwrap().bytes_read - before;
+        assert!(read < 11 * 1024 * 1024, "charged roughly half the file, got {read}");
+    }
+
+    #[test]
+    fn peeks_do_not_charge_io() {
+        let mut fs = SimFs::new(vec![DiskProfile::server_2000()]);
+        let b = fs.create_block_file("/d", DiskId(0), FileKind::Data, 512, 2).unwrap();
+        let a = fs.create_append_file("/r", DiskId(0), FileKind::Redo).unwrap();
+        fs.write_block(b, 0, Bytes::from(vec![1u8; 512]), SimTime::ZERO).unwrap();
+        fs.append(a, Bytes::from_static(b"seg"), SimTime::ZERO).unwrap();
+        let stats_before = fs.disk_stats(DiskId(0)).unwrap();
+        assert_eq!(fs.peek_block(b, 0).unwrap()[0], 1);
+        assert_eq!(fs.peek_all(a).unwrap().len(), 1);
+        assert_eq!(fs.disk_stats(DiskId(0)).unwrap(), stats_before);
+    }
+
+    #[test]
+    fn charge_io_advances_disk() {
+        let mut fs = SimFs::new(vec![DiskProfile::server_2000()]);
+        let t = fs.charge_io(DiskId(0), IoKind::Read, 20 * 1024 * 1024, SimTime::ZERO).unwrap();
+        assert!(t.as_secs_f64() > 0.9, "20 MB at 20 MB/s is about a second");
+        assert!(fs.charge_io(DiskId(5), IoKind::Read, 1, SimTime::ZERO).is_err());
+    }
+}

@@ -1,0 +1,26 @@
+//! Simulated storage substrate for RecoBench.
+//!
+//! The DBMS engine stores everything — datafiles, online redo logs, archived
+//! logs, backups and the control file — in a [`SimFs`]: a set of simulated
+//! disks (with the single-server service model from `recobench-sim`) holding
+//! named files. Two access styles are supported per file:
+//!
+//! * **block files** — fixed-size randomly addressable blocks (datafiles,
+//!   control files);
+//! * **append files** — sequential byte streams (online redo logs, archived
+//!   logs, backup pieces).
+//!
+//! The filesystem also exposes the *operator's* surface: files can be
+//! deleted or corrupted by path, exactly the way a DBA with a shell on the
+//! server would damage a real installation. That is what the fault injector
+//! uses.
+//!
+//! All operations charge service time on the owning disk and return the
+//! completion instant so callers can advance their simulated clock.
+
+pub mod error;
+pub mod fs;
+
+pub use error::{VfsError, VfsResult};
+pub use recobench_sim::disk::IoKind;
+pub use fs::{DiskId, FileId, FileKind, FileMeta, SharedFs, SimFs};

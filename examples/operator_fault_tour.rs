@@ -1,0 +1,62 @@
+//! A tour of the six injected operator faults (paper §4).
+//!
+//! Runs one short experiment per fault type on the same configuration and
+//! prints how each one hurts and how the DBMS recovers — including the
+//! complete/incomplete recovery split that structures the paper's
+//! Tables 4 and 5.
+//!
+//! ```text
+//! cargo run --release --example operator_fault_tour
+//! ```
+
+use recobench::core::report::Table;
+use recobench::core::{run_campaign, Experiment, RecoveryConfig};
+use recobench::faults::{FaultType, RecoveryKind};
+
+fn main() {
+    let config = RecoveryConfig::named("F10G3T5").expect("known configuration");
+    println!("Injecting all six operator fault types on {config}...");
+
+    let experiments = FaultType::all()
+        .iter()
+        .map(|&fault| {
+            Experiment::builder(config.clone())
+                .duration_secs(540)
+                .fault(fault, 120)
+                .seed(11)
+                .build()
+        })
+        .collect();
+    let results = run_campaign(experiments, 0);
+
+    let mut table = Table::new(vec![
+        "Fault",
+        "Recovery kind",
+        "Recovery time (s)",
+        "Lost txns",
+        "Integrity",
+        "Redo re-applied",
+    ])
+    .title("The six injected operator faults on F10G3T5 (fault at t+120 s)");
+    for (fault, r) in FaultType::all().iter().zip(results) {
+        let o = r.expect("setup is valid");
+        table.row(vec![
+            fault.to_string(),
+            match fault.recovery_kind() {
+                RecoveryKind::Complete => "complete".into(),
+                RecoveryKind::Incomplete => "incomplete".into(),
+            },
+            o.measures.recovery_cell(420),
+            o.measures.lost_transactions.to_string(),
+            o.measures.integrity_violations.to_string(),
+            o.recovery_records_applied.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "Complete recovery (crash/media/offline) loses nothing; the two faults that\n\
+         are themselves committed operations (dropping a table or tablespace) force\n\
+         point-in-time recovery, which sacrifices the moments before the mistake —\n\
+         and still never violates a TPC-C consistency condition."
+    );
+}

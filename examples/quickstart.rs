@@ -1,0 +1,41 @@
+//! Quickstart: one dependability-benchmark experiment, end to end.
+//!
+//! Runs a TPC-C workload on the simulated DBMS configured as `F10G3T5`
+//! (10 MB redo logs, 3 groups, 300 s checkpoint timeout, ARCHIVELOG on),
+//! injects a `SHUTDOWN ABORT` operator fault 150 seconds in, lets the
+//! recovery procedure run, and prints the paper's measures.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use recobench::core::{Experiment, RecoveryConfig};
+use recobench::faults::FaultType;
+
+fn main() {
+    let config = RecoveryConfig::named("F10G3T5").expect("known Table 3 configuration");
+    println!("Running TPC-C + shutdown-abort on {config} (this is all simulated time)...");
+
+    let outcome = Experiment::builder(config)
+        .fault(FaultType::ShutdownAbort, 150)
+        .duration_secs(600)
+        .seed(42)
+        .run()
+        .expect("experiment setup is valid");
+
+    let m = &outcome.measures;
+    println!();
+    println!("Configuration        : {}", outcome.config_name);
+    println!("Fault                : {:?} at t+{}s", outcome.fault.unwrap(), outcome.trigger_secs.unwrap());
+    println!("Throughput (tpmC)    : {:.0}", m.tpmc);
+    println!("Recovery time        : {} s (end-user view)", m.recovery_cell(600));
+    println!("Lost transactions    : {}", m.lost_transactions);
+    println!("Integrity violations : {}", m.integrity_violations);
+    println!("Client errors seen   : {}", m.client_errors);
+    println!("Redo generated       : {:.1} MB over {} commits", m.redo_mb, m.total_commits);
+    println!();
+    println!(
+        "A shutdown abort needs only crash recovery: no committed work is lost and \
+         the TPC-C consistency conditions all hold."
+    );
+}

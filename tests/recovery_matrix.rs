@@ -1,0 +1,78 @@
+//! Cross-crate integration: every injected fault type runs through a full
+//! experiment (engine + TPC-C + injector + harness) and ends with a
+//! consistent, serviceable database.
+
+use recobench::core::{Experiment, RecoveryConfig};
+use recobench::faults::{FaultType, RecoveryKind};
+use recobench::tpcc::TpccScale;
+
+fn run_fault(fault: FaultType) -> recobench::core::ExperimentOutcome {
+    Experiment::builder(RecoveryConfig::named("F10G3T5").unwrap())
+        .duration_secs(420)
+        .scale(TpccScale::tiny())
+        .fault(fault, 90)
+        .seed(1234)
+        .run()
+        .expect("experiment setup is valid")
+}
+
+#[test]
+fn every_fault_type_recovers_with_zero_integrity_violations() {
+    for fault in FaultType::all() {
+        let out = run_fault(fault);
+        assert!(!out.unrecoverable, "{fault}: recovery procedure must succeed");
+        assert!(
+            out.measures.recovery_time_secs.is_some(),
+            "{fault}: service must return within the run"
+        );
+        assert_eq!(out.measures.integrity_violations, 0, "{fault}: integrity violated");
+    }
+}
+
+#[test]
+fn complete_faults_lose_nothing_incomplete_faults_lose_the_tail() {
+    for fault in FaultType::all() {
+        let out = run_fault(fault);
+        match fault.recovery_kind() {
+            RecoveryKind::Complete => {
+                assert_eq!(
+                    out.measures.lost_transactions, 0,
+                    "{fault}: complete recovery must keep all committed work"
+                );
+            }
+            RecoveryKind::Incomplete => {
+                assert!(
+                    out.measures.lost_transactions > 0,
+                    "{fault}: incomplete recovery sacrifices the pre-fault margin"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn offline_faults_are_fastest_crash_is_slower_pitr_is_slowest() {
+    let ts_offline = run_fault(FaultType::SetTablespaceOffline);
+    let crash = run_fault(FaultType::ShutdownAbort);
+    let pitr = run_fault(FaultType::DeleteUsersObject);
+    let rt = |o: &recobench::core::ExperimentOutcome| o.measures.recovery_time_secs.unwrap();
+    assert!(
+        rt(&ts_offline) < rt(&crash),
+        "tablespace online ({}) should beat crash recovery ({})",
+        rt(&ts_offline),
+        rt(&crash)
+    );
+    assert!(
+        rt(&crash) < rt(&pitr),
+        "crash recovery ({}) should beat whole-database restore + roll-forward ({})",
+        rt(&crash),
+        rt(&pitr)
+    );
+}
+
+#[test]
+fn throughput_survives_a_fault_experiment() {
+    let out = run_fault(FaultType::ShutdownAbort);
+    assert!(out.measures.tpmc > 100.0, "pre-fault tpmC is healthy: {}", out.measures.tpmc);
+    assert!(out.measures.total_commits > 500);
+}
