@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use recobench_engine::catalog::IndexDef;
 use recobench_engine::redo::{decode_stream, RedoOp, RedoRecord};
-use recobench_engine::row::{encode_key, Row, Value};
+use recobench_engine::row::{encode_key, encode_key_into, Row, Value};
 use recobench_engine::page::BlockImage;
 use recobench_engine::types::{FileNo, ObjectId, RowId, Scn, TxnId};
 use recobench_engine::{DbServer, DiskLayout, InstanceConfig};
@@ -30,8 +30,30 @@ fn bench_codecs(c: &mut Criterion) {
     g.bench_function("row_decode", |b| {
         b.iter(|| Row::decode(std::hint::black_box(encoded.clone())).unwrap())
     });
+    g.bench_function("row_encode_into", |b| {
+        // The hot path reuses one buffer across encodes (log buffer,
+        // checkpoint writer); this measures that steady state.
+        let mut w = recobench_engine::codec::Writer::new();
+        b.iter(|| {
+            w.truncate(0);
+            row.encode_into(&mut w);
+            std::hint::black_box(w.len())
+        })
+    });
     g.bench_function("key_encode", |b| {
         b.iter(|| encode_key(std::hint::black_box(&[Value::U64(1), Value::U64(2), Value::U64(3)])))
+    });
+    g.bench_function("key_encode_into", |b| {
+        // Index probes reuse a scratch buffer (clear + encode + look up).
+        let mut buf = Vec::with_capacity(32);
+        b.iter(|| {
+            buf.clear();
+            encode_key_into(
+                std::hint::black_box(&[Value::U64(1), Value::U64(2), Value::U64(3)]),
+                &mut buf,
+            );
+            std::hint::black_box(buf.len())
+        })
     });
 
     let rec = RedoRecord {

@@ -1,0 +1,242 @@
+//! Measures how fast RecoBench itself runs: wall-clock time and
+//! throughput of a fault-injection campaign, plus inline micro-timings of
+//! the engine hot paths, written to `BENCH_campaign.json`.
+//!
+//! Unlike the table/figure binaries this one says nothing about the
+//! *simulated* DBMS — it benchmarks the simulator, so before/after numbers
+//! from it are the evidence for host-side performance work.
+//!
+//! Modes:
+//!
+//! * default — the "mini campaign": every fault type crossed with the
+//!   eight archive-mode configurations at one trigger, plus two fault-free
+//!   baseline runs, at tiny TPC-C scale (50 experiments).
+//! * `--full` — the paper-shaped campaign: faults x configurations x the
+//!   three injection instants plus the two baselines (146 experiments).
+//! * `--smoke` — two faults x two configurations for CI (4 experiments).
+//!
+//! `--threads N` and `--seed N` behave as in the other binaries;
+//! `--out PATH` overrides the JSON destination.
+
+use std::time::Instant;
+
+use recobench_bench::Cli;
+use recobench_core::{run_campaign, Experiment, RecoveryConfig};
+use recobench_engine::codec::Writer;
+use recobench_engine::redo::{RedoOp, RedoRecord};
+use recobench_engine::row::{encode_key, encode_key_into, Row, Value};
+use recobench_engine::types::{FileNo, ObjectId, RowId, Scn, TxnId};
+use recobench_faults::FaultType;
+use recobench_tpcc::TpccScale;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Smoke,
+    Mini,
+    Full,
+}
+
+impl Mode {
+    fn name(self) -> &'static str {
+        match self {
+            Mode::Smoke => "smoke",
+            Mode::Mini => "mini",
+            Mode::Full => "full",
+        }
+    }
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let args: Vec<String> = std::env::args().collect();
+    let mode = if args.iter().any(|a| a == "--smoke") {
+        Mode::Smoke
+    } else if args.iter().any(|a| a == "--full") {
+        Mode::Full
+    } else {
+        Mode::Mini
+    };
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_campaign.json".to_string());
+
+    let experiments = build_campaign(mode, cli.seed);
+    let n = experiments.len();
+    let threads = if cli.threads == 0 {
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4)
+    } else {
+        cli.threads
+    };
+    eprintln!("campaign_wallclock: mode={} experiments={n} threads={threads}", mode.name());
+
+    let start = Instant::now();
+    let results = run_campaign(experiments, threads);
+    let wall = start.elapsed().as_secs_f64();
+    let failures = results.iter().filter(|r| r.is_err()).count();
+    assert_eq!(failures, 0, "campaign had setup failures");
+
+    let micro = micro_timings();
+    let rss = peak_rss_bytes();
+
+    let json = format!(
+        "{{\n  \"mode\": \"{}\",\n  \"experiments\": {},\n  \"threads\": {},\n  \
+         \"wall_clock_secs\": {:.3},\n  \"experiments_per_sec\": {:.3},\n  \
+         \"peak_rss_bytes\": {},\n  \"micro_ns\": {{\n    \"row_encode\": {:.1},\n    \
+         \"row_encode_into\": {:.1},\n    \"key_encode\": {:.1},\n    \
+         \"key_encode_into\": {:.1},\n    \"redo_record_encode\": {:.1},\n    \
+         \"redo_record_encode_into\": {:.1},\n    \
+         \"block_encode_20rows\": {:.1}\n  }}\n}}\n",
+        mode.name(),
+        n,
+        threads,
+        wall,
+        n as f64 / wall,
+        rss.map_or("null".to_string(), |b| b.to_string()),
+        micro.row_encode,
+        micro.row_encode_into,
+        micro.key_encode,
+        micro.key_encode_into,
+        micro.redo_record_encode,
+        micro.redo_record_encode_into,
+        micro.block_encode,
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_campaign.json");
+    print!("{json}");
+    eprintln!("campaign_wallclock: {n} experiments in {wall:.2}s -> {out_path}");
+}
+
+fn build_campaign(mode: Mode, seed: u64) -> Vec<Experiment> {
+    let configs = RecoveryConfig::archive_subset();
+    let (faults, configs, triggers, duration): (Vec<FaultType>, Vec<RecoveryConfig>, Vec<u64>, u64) =
+        match mode {
+            Mode::Smoke => (
+                vec![FaultType::ShutdownAbort, FaultType::DeleteDatafile],
+                configs
+                    .into_iter()
+                    .filter(|c| matches!(c.name.as_str(), "F40G3T10" | "F1G3T1"))
+                    .collect(),
+                vec![60],
+                150,
+            ),
+            Mode::Mini => (FaultType::all().to_vec(), configs, vec![100], 280),
+            Mode::Full => (FaultType::all().to_vec(), configs, vec![150, 300, 600], 900),
+        };
+
+    let mut experiments = Vec::new();
+    for f in &faults {
+        for c in &configs {
+            for &t in &triggers {
+                experiments.push(
+                    Experiment::builder(c.clone())
+                        .archive_logs(true)
+                        .duration_secs(duration + t)
+                        .scale(TpccScale::tiny())
+                        .fault(*f, t)
+                        .seed(seed)
+                        .build(),
+                );
+            }
+        }
+    }
+    // Two fault-free baseline runs round the full campaign out to the
+    // paper's 146 experiments.
+    if mode != Mode::Smoke {
+        for (i, c) in configs.iter().take(2).enumerate() {
+            experiments.push(
+                Experiment::builder(c.clone())
+                    .archive_logs(true)
+                    .duration_secs(duration)
+                    .scale(TpccScale::tiny())
+                    .seed(seed + i as u64)
+                    .build(),
+            );
+        }
+    }
+    experiments
+}
+
+struct MicroTimings {
+    row_encode: f64,
+    row_encode_into: f64,
+    key_encode: f64,
+    key_encode_into: f64,
+    redo_record_encode: f64,
+    redo_record_encode_into: f64,
+    block_encode: f64,
+}
+
+/// Per-call times (ns) of the codec hot paths, measured with plain
+/// `Instant` loops so the JSON is self-contained evidence.
+fn micro_timings() -> MicroTimings {
+    let row = Row::new(vec![
+        Value::U64(42),
+        Value::U64(7),
+        Value::I64(-1234),
+        Value::from("CUSTOMERLASTNAME"),
+        Value::from("some-filler-data-some-filler-data-some-filler-data"),
+    ]);
+    let rec = RedoRecord {
+        scn: Scn(99),
+        txn: Some(TxnId(7)),
+        op: RedoOp::Update {
+            obj: ObjectId(3),
+            rid: RowId { file: FileNo(1), block: 9, slot: 4 },
+            before: row.clone(),
+            after: row.clone(),
+        },
+    };
+    let mut img = recobench_engine::page::BlockImage::empty();
+    for slot in 0..20 {
+        img.put(slot, row.clone(), Scn(slot as u64));
+    }
+    let key_vals = [Value::U64(1), Value::U64(2), Value::U64(3)];
+
+    // The `_into` variants reuse one buffer across calls — the steady
+    // state of the log buffer, checkpoint writer and index scratch.
+    let mut w = Writer::new();
+    let mut w2 = Writer::new();
+    let mut key_buf: Vec<u8> = Vec::with_capacity(32);
+    MicroTimings {
+        row_encode: time_ns(200_000, || std::hint::black_box(row.encode())),
+        row_encode_into: time_ns(200_000, || {
+            w.truncate(0);
+            row.encode_into(&mut w);
+            std::hint::black_box(w.len())
+        }),
+        key_encode: time_ns(500_000, || std::hint::black_box(encode_key(&key_vals))),
+        key_encode_into: time_ns(500_000, || {
+            key_buf.clear();
+            encode_key_into(&key_vals, &mut key_buf);
+            std::hint::black_box(key_buf.len())
+        }),
+        redo_record_encode: time_ns(100_000, || std::hint::black_box(rec.encode())),
+        redo_record_encode_into: time_ns(100_000, || {
+            w2.truncate(0);
+            rec.encode_into(&mut w2);
+            std::hint::black_box(w2.len())
+        }),
+        block_encode: time_ns(20_000, || std::hint::black_box(img.encode())),
+    }
+}
+
+fn time_ns<R>(iters: u64, mut f: impl FnMut() -> R) -> f64 {
+    // Short warm-up, then one timed run.
+    for _ in 0..iters / 10 {
+        std::hint::black_box(f());
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// Peak resident set size from `/proc/self/status` (Linux only).
+fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}

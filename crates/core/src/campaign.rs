@@ -5,8 +5,6 @@
 //! (own clock, own disks) so campaigns parallelize perfectly across
 //! threads.
 
-use crossbeam::thread;
-
 use crate::experiment::{Experiment, ExperimentOutcome};
 
 /// Runs every experiment, in order, using up to `threads` worker threads
@@ -20,15 +18,13 @@ pub fn run_campaign(experiments: Vec<Experiment>, threads: usize) -> Vec<Result<
         threads
     };
     let n = experiments.len();
-    let mut results: Vec<Option<Result<ExperimentOutcome, String>>> = Vec::new();
-    results.resize_with(n, || None);
     let next = std::sync::atomic::AtomicUsize::new(0);
     let slots: Vec<std::sync::Mutex<Option<Result<ExperimentOutcome, String>>>> =
         (0..n).map(|_| std::sync::Mutex::new(None)).collect();
 
-    thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers.min(n.max(1)) {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= n {
                     break;
@@ -37,8 +33,7 @@ pub fn run_campaign(experiments: Vec<Experiment>, threads: usize) -> Vec<Result<
                 *slots[i].lock().unwrap() = Some(outcome);
             });
         }
-    })
-    .expect("campaign worker panicked");
+    });
 
     slots
         .into_iter()

@@ -421,4 +421,16 @@ mod tests {
         assert!(out.unrecoverable, "1 MB logs cycle well before 120 s; redo is gone");
         assert!(!out.measures.recovered_within_run);
     }
+
+    #[test]
+    fn same_seed_reproduces_the_outcome_exactly() {
+        // Regression guard for the hot-path work: buffer reuse, memoized
+        // sizes and fixed-seed hashing must not leak any run-to-run state
+        // into results. Two runs of the same experiment must agree on
+        // every field, not just roughly.
+        let run = || quick("F10G3T5").fault(FaultType::ShutdownAbort, 60).run().unwrap();
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "same seed must give a byte-identical outcome");
+    }
 }

@@ -6,10 +6,10 @@
 //! foreground read misses that result are what make checkpoint write
 //! bursts visible in the tpmC curve.
 
-use std::collections::{BTreeMap, HashMap};
-
 use recobench_sim::SimTime;
 
+use crate::codec::Writer;
+use crate::fasthash::{self, FastMap};
 use crate::page::BlockImage;
 use crate::types::{FileNo, RedoAddr};
 
@@ -28,11 +28,17 @@ pub struct DirtyInfo {
     pub last_addr: RedoAddr,
 }
 
+/// Sentinel for "no slot" in the intrusive LRU list.
+const NIL: usize = usize::MAX;
+
 #[derive(Debug)]
-struct Frame {
+struct Slot {
+    key: BlockKey,
     img: BlockImage,
     dirty: Option<DirtyInfo>,
-    stamp: u64,
+    /// Neighbours in the recency list (`NIL`-terminated both ways).
+    prev: usize,
+    next: usize,
 }
 
 /// A frame evicted to make room, handed back to the caller who must write
@@ -59,12 +65,21 @@ pub struct CacheStats {
 }
 
 /// The buffer cache.
+///
+/// Frames live in a slab (`slots`) threaded onto an intrusive
+/// doubly-linked recency list, so every touch, insert and eviction is
+/// O(1) — the previous implementation kept a `BTreeMap<stamp, key>`
+/// shadow structure and paid a tree rebalance per access.
 #[derive(Debug)]
 pub struct BufferCache {
     capacity: usize,
-    frames: HashMap<BlockKey, Frame>,
-    lru: BTreeMap<u64, BlockKey>,
-    next_stamp: u64,
+    map: FastMap<BlockKey, usize>,
+    slots: Vec<Slot>,
+    free: Vec<usize>,
+    /// Most-recently-used slot (`NIL` when empty).
+    head: usize,
+    /// Least-recently-used slot (`NIL` when empty).
+    tail: usize,
     stats: CacheStats,
 }
 
@@ -78,77 +93,142 @@ impl BufferCache {
         assert!(capacity > 0, "cache capacity must be positive");
         BufferCache {
             capacity,
-            frames: HashMap::with_capacity(capacity),
-            lru: BTreeMap::new(),
-            next_stamp: 0,
+            map: fasthash::map_with_capacity(capacity),
+            slots: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
             stats: CacheStats::default(),
         }
     }
 
-    fn touch(&mut self, key: BlockKey) {
-        if let Some(f) = self.frames.get_mut(&key) {
-            self.lru.remove(&f.stamp);
-            self.next_stamp += 1;
-            f.stamp = self.next_stamp;
-            self.lru.insert(f.stamp, key);
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.slots[i].prev, self.slots[i].next);
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.slots[prev].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.slots[next].prev = prev;
+        }
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.slots[i].prev = NIL;
+        self.slots[i].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+
+    fn touch(&mut self, i: usize) {
+        if self.head != i {
+            self.unlink(i);
+            self.push_front(i);
         }
     }
 
     /// Looks up a block, bumping its recency. Records a hit or miss.
     pub fn get(&mut self, key: BlockKey) -> Option<&BlockImage> {
-        if self.frames.contains_key(&key) {
-            self.stats.hits += 1;
-            self.touch(key);
-            self.frames.get(&key).map(|f| &f.img)
-        } else {
-            self.stats.misses += 1;
-            None
+        match self.map.get(&key).copied() {
+            Some(i) => {
+                self.stats.hits += 1;
+                self.touch(i);
+                Some(&self.slots[i].img)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
         }
     }
 
     /// Whether the block is resident (no recency bump, no stats).
     pub fn contains(&self, key: BlockKey) -> bool {
-        self.frames.contains_key(&key)
+        self.map.contains_key(&key)
     }
 
     /// Read-only view of a resident block without touching recency or
     /// hit/miss counters (zero-cost inspection paths).
     pub fn peek(&self, key: BlockKey) -> Option<&BlockImage> {
-        self.frames.get(&key).map(|f| &f.img)
+        self.map.get(&key).map(|&i| &self.slots[i].img)
     }
 
     /// Mutable access to a *resident* block (no hit/miss accounting; use
     /// after [`BufferCache::get`] or [`BufferCache::insert`]).
     pub fn get_mut(&mut self, key: BlockKey) -> Option<&mut BlockImage> {
-        self.touch(key);
-        self.frames.get_mut(&key).map(|f| &mut f.img)
+        match self.map.get(&key).copied() {
+            Some(i) => {
+                self.touch(i);
+                Some(&mut self.slots[i].img)
+            }
+            None => None,
+        }
+    }
+
+    /// Single-probe hot-path lookup: on residency, counts a hit, bumps
+    /// recency, and hands out the frame mutably. A miss counts nothing —
+    /// the caller falls back to the full read path, which records it.
+    pub fn probe_mut(&mut self, key: BlockKey) -> Option<&mut BlockImage> {
+        match self.map.get(&key).copied() {
+            Some(i) => {
+                self.stats.hits += 1;
+                self.touch(i);
+                Some(&mut self.slots[i].img)
+            }
+            None => None,
+        }
     }
 
     /// Inserts a block image read from disk. If the cache is full, the
     /// least-recently-used frame is returned for the caller to write back.
     pub fn insert(&mut self, key: BlockKey, img: BlockImage) -> Option<Evicted> {
-        let evicted = if self.frames.len() >= self.capacity && !self.frames.contains_key(&key) {
-            self.evict_lru()
-        } else {
-            None
-        };
-        self.next_stamp += 1;
-        let stamp = self.next_stamp;
-        if let Some(old) = self.frames.insert(key, Frame { img, dirty: None, stamp }) {
-            self.lru.remove(&old.stamp);
+        if let Some(&i) = self.map.get(&key) {
+            // Replacing a resident block: fresh image, clean state.
+            self.slots[i].img = img;
+            self.slots[i].dirty = None;
+            self.touch(i);
+            return None;
         }
-        self.lru.insert(stamp, key);
+        let evicted = if self.map.len() >= self.capacity { self.evict_lru() } else { None };
+        let slot = Slot { key, img, dirty: None, prev: NIL, next: NIL };
+        let i = match self.free.pop() {
+            Some(i) => {
+                self.slots[i] = slot;
+                i
+            }
+            None => {
+                self.slots.push(slot);
+                self.slots.len() - 1
+            }
+        };
+        self.map.insert(key, i);
+        self.push_front(i);
         evicted
     }
 
     fn evict_lru(&mut self) -> Option<Evicted> {
-        let (&stamp, &key) = self.lru.iter().next()?;
-        self.lru.remove(&stamp);
-        let frame = self.frames.remove(&key)?;
-        if frame.dirty.is_some() {
+        let i = self.tail;
+        if i == NIL {
+            return None;
+        }
+        self.unlink(i);
+        let key = self.slots[i].key;
+        self.map.remove(&key);
+        let img = std::mem::take(&mut self.slots[i].img);
+        let dirty = self.slots[i].dirty.take();
+        self.free.push(i);
+        if dirty.is_some() {
             self.stats.dirty_evictions += 1;
         }
-        Some(Evicted { key, img: frame.img, dirty: frame.dirty })
+        Some(Evicted { key, img, dirty })
     }
 
     /// Marks a resident block dirty after a change at `addr`/`now`.
@@ -158,10 +238,13 @@ impl BufferCache {
     /// Panics if the block is not resident (changes always go through a
     /// resident frame).
     pub fn mark_dirty(&mut self, key: BlockKey, addr: RedoAddr, now: SimTime) {
-        let f = self.frames.get_mut(&key).expect("dirtied block must be resident");
-        match &mut f.dirty {
+        let &i = self.map.get(&key).expect("dirtied block must be resident");
+        match &mut self.slots[i].dirty {
             Some(d) => d.last_addr = d.last_addr.max(addr),
-            None => f.dirty = Some(DirtyInfo { first_addr: addr, first_time: now, last_addr: addr }),
+            None => {
+                self.slots[i].dirty =
+                    Some(DirtyInfo { first_addr: addr, first_time: now, last_addr: addr })
+            }
         }
     }
 
@@ -169,51 +252,86 @@ impl BufferCache {
     /// incremental checkpoint position (callers substitute the log tail
     /// when this returns `None`).
     pub fn min_dirty_addr(&self) -> Option<RedoAddr> {
-        self.frames.values().filter_map(|f| f.dirty.map(|d| d.first_addr)).min()
+        self.iter_resident().filter_map(|s| s.dirty.map(|d| d.first_addr)).min()
     }
 
-    /// Drains and returns every dirty frame matching `pred` (the caller
-    /// writes them out and they become clean).
-    pub fn take_dirty<F>(&mut self, mut pred: F) -> Vec<(BlockKey, BlockImage, DirtyInfo)>
+    /// Keys and bookkeeping of every dirty frame matching `pred`, in key
+    /// order, *without* copying any block image. Pair with
+    /// [`BufferCache::encode_block_into`] and [`BufferCache::clear_dirty`]
+    /// to write them out allocation-free.
+    pub fn dirty_matching<F>(&self, mut pred: F) -> Vec<(BlockKey, DirtyInfo)>
     where
         F: FnMut(BlockKey, &DirtyInfo) -> bool,
     {
-        let mut out = Vec::new();
-        for (key, frame) in self.frames.iter_mut() {
-            if let Some(d) = frame.dirty {
-                if pred(*key, &d) {
-                    out.push((*key, frame.img.clone(), d));
-                    frame.dirty = None;
-                }
-            }
-        }
-        out.sort_by_key(|(k, _, _)| *k);
+        let mut out: Vec<(BlockKey, DirtyInfo)> = self
+            .iter_resident()
+            .filter_map(|s| s.dirty.filter(|d| pred(s.key, d)).map(|d| (s.key, d)))
+            .collect();
+        out.sort_by_key(|(k, _)| *k);
         out
+    }
+
+    /// Encodes the resident block at `key` into `w` and returns `true`,
+    /// or returns `false` if the block is not resident.
+    pub fn encode_block_into(&self, key: BlockKey, w: &mut Writer) -> bool {
+        match self.peek(key) {
+            Some(img) => {
+                img.encode_into(w);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Clears the dirty flag of a resident block (after its image reached
+    /// disk).
+    pub fn clear_dirty(&mut self, key: BlockKey) {
+        if let Some(&i) = self.map.get(&key) {
+            self.slots[i].dirty = None;
+        }
+    }
+
+    /// Drains and returns every dirty frame matching `pred` (the caller
+    /// writes them out and they become clean). Copies each image; the
+    /// checkpoint path uses [`BufferCache::dirty_matching`] instead.
+    pub fn take_dirty<F>(&mut self, pred: F) -> Vec<(BlockKey, BlockImage, DirtyInfo)>
+    where
+        F: FnMut(BlockKey, &DirtyInfo) -> bool,
+    {
+        self.dirty_matching(pred)
+            .into_iter()
+            .map(|(key, d)| {
+                self.clear_dirty(key);
+                (key, self.peek(key).expect("dirty frame is resident").clone(), d)
+            })
+            .collect()
     }
 
     /// Number of dirty frames.
     pub fn dirty_count(&self) -> usize {
-        self.frames.values().filter(|f| f.dirty.is_some()).count()
+        self.iter_resident().filter(|s| s.dirty.is_some()).count()
     }
 
     /// Number of resident frames.
     pub fn len(&self) -> usize {
-        self.frames.len()
+        self.map.len()
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.frames.is_empty()
+        self.map.is_empty()
     }
 
     /// Drops every frame belonging to `file` without writing (used when a
     /// datafile is dropped or restored underneath the cache).
     pub fn invalidate_file(&mut self, file: FileNo) {
-        let keys: Vec<BlockKey> =
-            self.frames.keys().filter(|(f, _)| *f == file).copied().collect();
+        let keys: Vec<BlockKey> = self.map.keys().filter(|(f, _)| *f == file).copied().collect();
         for k in keys {
-            if let Some(frame) = self.frames.remove(&k) {
-                self.lru.remove(&frame.stamp);
+            if let Some(i) = self.map.remove(&k) {
+                self.unlink(i);
+                self.slots[i].img = BlockImage::empty();
+                self.slots[i].dirty = None;
+                self.free.push(i);
             }
         }
     }
@@ -227,7 +345,12 @@ impl BufferCache {
     /// at or below must be flushed before a full checkpoint's writes are
     /// WAL-safe).
     pub fn max_dirty_last_addr(&self) -> Option<RedoAddr> {
-        self.frames.values().filter_map(|f| f.dirty.map(|d| d.last_addr)).max()
+        self.iter_resident().filter_map(|s| s.dirty.map(|d| d.last_addr)).max()
+    }
+
+    /// Iterates over resident slots (skipping freed slab entries).
+    fn iter_resident(&self) -> impl Iterator<Item = &Slot> {
+        self.map.values().map(|&i| &self.slots[i])
     }
 }
 

@@ -46,12 +46,20 @@ pub(crate) fn write_dirty<F>(
 where
     F: FnMut((FileNo, u32), &DirtyInfo) -> bool,
 {
-    let batch = cache.take_dirty(pred);
+    // Collect (key, bookkeeping) only — the images stay in their frames
+    // and are encoded straight out of the cache, instead of deep-copying
+    // every dirty block into the batch first.
+    let batch = cache.dirty_matching(pred);
     let mut complete_at = now;
     let mut blocks = 0u64;
-    for (key, img, _) in batch {
+    for (key, _) in batch {
+        cache.clear_dirty(key);
         let Some(df) = catalog.datafiles.get(&key.0) else { continue };
-        match fs.write_block(df.vfs_id, key.1 as u64, img.encode(), now) {
+        let mut w = crate::codec::Writer::new();
+        if !cache.encode_block_into(key, &mut w) {
+            continue;
+        }
+        match fs.write_block(df.vfs_id, key.1 as u64, w.into_bytes(), now) {
             Ok((done, ())) => {
                 complete_at = complete_at.max(done);
                 blocks += 1;

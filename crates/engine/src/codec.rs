@@ -5,7 +5,7 @@
 //! through this codec, so recovery genuinely *reads and parses* logs and
 //! blocks rather than cheating through shared memory.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::Bytes;
 
 /// Error produced when decoding malformed bytes.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -26,51 +26,76 @@ impl std::error::Error for DecodeError {}
 pub type DecodeResult<T> = Result<T, DecodeError>;
 
 /// Incremental writer over a growable byte buffer.
+///
+/// Backed by a plain `Vec<u8>` so hot paths can recycle one allocation:
+/// take the vector out with [`Writer::into_vec`], hand it back with
+/// [`Writer::from_vec`] (or keep appending to a long-lived writer and
+/// drain it with [`Writer::take_vec`]).
 #[derive(Debug, Default)]
 pub struct Writer {
-    buf: BytesMut,
+    buf: Vec<u8>,
 }
 
 impl Writer {
     /// Creates an empty writer.
     pub fn new() -> Self {
-        Writer { buf: BytesMut::with_capacity(128) }
+        Writer { buf: Vec::with_capacity(128) }
+    }
+
+    /// Creates a writer that appends to `buf`, reusing its allocation.
+    pub fn from_vec(buf: Vec<u8>) -> Self {
+        Writer { buf }
     }
 
     /// Appends a `u8`.
     pub fn put_u8(&mut self, v: u8) {
-        self.buf.put_u8(v);
+        self.buf.push(v);
     }
 
     /// Appends a `u16` (big-endian).
     pub fn put_u16(&mut self, v: u16) {
-        self.buf.put_u16(v);
+        self.buf.extend_from_slice(&v.to_be_bytes());
     }
 
     /// Appends a `u32` (big-endian).
     pub fn put_u32(&mut self, v: u32) {
-        self.buf.put_u32(v);
+        self.buf.extend_from_slice(&v.to_be_bytes());
     }
 
     /// Appends a `u64` (big-endian).
     pub fn put_u64(&mut self, v: u64) {
-        self.buf.put_u64(v);
+        self.buf.extend_from_slice(&v.to_be_bytes());
     }
 
     /// Appends an `i64` (big-endian, two's complement).
     pub fn put_i64(&mut self, v: i64) {
-        self.buf.put_i64(v);
+        self.buf.extend_from_slice(&v.to_be_bytes());
     }
 
     /// Appends a length-prefixed byte string.
     pub fn put_bytes(&mut self, v: &[u8]) {
         self.put_u32(v.len() as u32);
-        self.buf.put_slice(v);
+        self.buf.extend_from_slice(v);
     }
 
     /// Appends a length-prefixed UTF-8 string.
     pub fn put_str(&mut self, v: &str) {
         self.put_bytes(v.as_bytes());
+    }
+
+    /// Appends raw bytes with no length prefix.
+    pub fn put_slice_raw(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Overwrites the 4 bytes at `at` with `v` (for back-patched length
+    /// prefixes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at + 4` exceeds the bytes written so far.
+    pub fn patch_u32(&mut self, at: usize, v: u32) {
+        self.buf[at..at + 4].copy_from_slice(&v.to_be_bytes());
     }
 
     /// Bytes written so far.
@@ -85,7 +110,24 @@ impl Writer {
 
     /// Finishes and returns the encoded buffer.
     pub fn into_bytes(self) -> Bytes {
-        self.buf.freeze()
+        Bytes::from(self.buf)
+    }
+
+    /// Finishes and returns the raw vector (allocation reusable).
+    pub fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Drains the accumulated bytes, leaving the writer empty but keeping
+    /// it usable (the allocation moves out with the returned vector).
+    pub fn take_vec(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.buf)
+    }
+
+    /// Discards everything written after byte `at`, keeping the
+    /// allocation (for undoing a speculative encode).
+    pub fn truncate(&mut self, at: usize) {
+        self.buf.truncate(at);
     }
 }
 

@@ -180,6 +180,14 @@ impl ControlFile {
         self.ts_offline.contains(&ts)
     }
 
+    /// Whether any file or tablespace carries runtime (offline/recovery)
+    /// state. False in fault-free operation, letting block access skip the
+    /// per-file availability checks. Conservative: a `file_states` entry
+    /// that was reset back to online still reports true.
+    pub fn has_runtime_state(&self) -> bool {
+        !self.file_states.is_empty() || !self.ts_offline.is_empty()
+    }
+
     /// The location entry for sequence `seq`.
     pub fn seq(&self, seq: u64) -> Option<&SeqLocation> {
         self.seqs.get(&seq)

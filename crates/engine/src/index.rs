@@ -5,25 +5,40 @@
 //! separately modelled: conceptually index blocks live in the same
 //! datafiles as the heap (see DESIGN.md §2 for this simplification).
 
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::ops::Bound;
 
 use crate::catalog::IndexDef;
 use crate::error::{DbError, DbResult};
-use crate::row::{encode_key, Row, Value};
+use crate::row::{encode_key_into, encode_key_value, Row, Value};
 use crate::types::RowId;
 
 /// One index: an ordered map from encoded key to row addresses.
+///
+/// Key probes encode into a reusable scratch buffer and look the map up
+/// by borrowed `&[u8]`, so the per-probe `Vec<u8>` allocation the old
+/// implementation paid is gone. The scratch lives in a `RefCell` because
+/// probes take `&self`; the engine never probes one index re-entrantly.
 #[derive(Debug, Clone)]
 pub struct Index {
     def: IndexDef,
     map: BTreeMap<Vec<u8>, Vec<RowId>>,
+    scratch: RefCell<Vec<u8>>,
+    /// Second scratch for operations that need two keys at once
+    /// ([`Index::replace`]).
+    scratch2: RefCell<Vec<u8>>,
 }
 
 impl Index {
     /// Creates an empty index for `def`.
     pub fn new(def: IndexDef) -> Self {
-        Index { def, map: BTreeMap::new() }
+        Index {
+            def,
+            map: BTreeMap::new(),
+            scratch: RefCell::new(Vec::with_capacity(32)),
+            scratch2: RefCell::new(Vec::with_capacity(32)),
+        }
     }
 
     /// The definition this index implements.
@@ -35,9 +50,18 @@ impl Index {
     ///
     /// Missing columns index as `Null` (rows shorter than the key spec).
     pub fn key_of(&self, row: &Row) -> Vec<u8> {
-        let values: Vec<Value> =
-            self.def.cols.iter().map(|&c| row.get(c).cloned().unwrap_or(Value::Null)).collect();
-        encode_key(&values)
+        let mut key = Vec::with_capacity(self.def.cols.len() * 9);
+        self.key_of_into(row, &mut key);
+        key
+    }
+
+    /// Encodes the row's key for this index into `out` (cleared first),
+    /// without cloning any column values.
+    fn key_of_into(&self, row: &Row, out: &mut Vec<u8>) {
+        out.clear();
+        for &c in &self.def.cols {
+            encode_key_value(row.get(c).unwrap_or(&Value::Null), out);
+        }
     }
 
     /// Adds `rid` under the row's key.
@@ -47,42 +71,113 @@ impl Index {
     /// Fails with [`DbError::DuplicateKey`] on a unique index whose key is
     /// already mapped to a different row.
     pub fn insert(&mut self, row: &Row, rid: RowId) -> DbResult<()> {
-        let key = self.key_of(row);
-        let entry = self.map.entry(key).or_default();
-        if entry.contains(&rid) {
+        let mut key = std::mem::take(&mut *self.scratch.borrow_mut());
+        self.key_of_into(row, &mut key);
+        // Probe by borrowed slice first; only a genuinely new key pays the
+        // map-key allocation (and then keeps it, so the scratch is given
+        // a fresh vector).
+        if let Some(entry) = self.map.get_mut(key.as_slice()) {
+            let result = if entry.contains(&rid) {
+                Ok(())
+            } else if self.def.unique && !entry.is_empty() {
+                Err(DbError::DuplicateKey { index: self.def.name.clone() })
+            } else {
+                entry.push(rid);
+                Ok(())
+            };
+            *self.scratch.borrow_mut() = key;
+            return result;
+        }
+        self.map.insert(key, vec![rid]);
+        Ok(())
+    }
+
+    /// Moves `rid` from `before`'s key to `after`'s key — a no-op when the
+    /// two keys are equal, which is the common UPDATE that does not touch
+    /// any indexed column (no tree mutation, no allocation).
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`DbError::DuplicateKey`] like [`Index::insert`] when the
+    /// new key is taken on a unique index.
+    pub fn replace(&mut self, before: &Row, after: &Row, rid: RowId) -> DbResult<()> {
+        let mut old_key = std::mem::take(&mut *self.scratch.borrow_mut());
+        let mut new_key = std::mem::take(&mut *self.scratch2.borrow_mut());
+        self.key_of_into(before, &mut old_key);
+        self.key_of_into(after, &mut new_key);
+        if old_key == new_key {
+            *self.scratch.borrow_mut() = old_key;
+            *self.scratch2.borrow_mut() = new_key;
             return Ok(());
         }
-        if self.def.unique && !entry.is_empty() {
-            return Err(DbError::DuplicateKey { index: self.def.name.clone() });
+        if let Some(entry) = self.map.get_mut(old_key.as_slice()) {
+            entry.retain(|r| *r != rid);
+            if entry.is_empty() {
+                self.map.remove(old_key.as_slice());
+            }
         }
-        entry.push(rid);
+        *self.scratch.borrow_mut() = old_key;
+        if let Some(entry) = self.map.get_mut(new_key.as_slice()) {
+            let result = if entry.contains(&rid) {
+                Ok(())
+            } else if self.def.unique && !entry.is_empty() {
+                Err(DbError::DuplicateKey { index: self.def.name.clone() })
+            } else {
+                entry.push(rid);
+                Ok(())
+            };
+            *self.scratch2.borrow_mut() = new_key;
+            return result;
+        }
+        self.map.insert(new_key, vec![rid]);
         Ok(())
     }
 
     /// Removes `rid` from under the row's key.
     pub fn remove(&mut self, row: &Row, rid: RowId) {
-        let key = self.key_of(row);
-        if let Some(entry) = self.map.get_mut(&key) {
+        let mut key = std::mem::take(&mut *self.scratch.borrow_mut());
+        self.key_of_into(row, &mut key);
+        if let Some(entry) = self.map.get_mut(key.as_slice()) {
             entry.retain(|r| *r != rid);
             if entry.is_empty() {
-                self.map.remove(&key);
+                self.map.remove(key.as_slice());
             }
+        }
+        *self.scratch.borrow_mut() = key;
+    }
+
+    /// Row addresses with exactly the given key values, without cloning
+    /// (empty slice when the key is absent).
+    pub fn lookup_ref(&self, key_values: &[Value]) -> &[RowId] {
+        let mut scratch = self.scratch.borrow_mut();
+        scratch.clear();
+        encode_key_into(key_values, &mut scratch);
+        match self.map.get(scratch.as_slice()) {
+            Some(rids) => rids.as_slice(),
+            None => &[],
         }
     }
 
     /// Row addresses with exactly the given key values.
     pub fn lookup(&self, key_values: &[Value]) -> Vec<RowId> {
-        self.map.get(&encode_key(key_values)).cloned().unwrap_or_default()
+        self.lookup_ref(key_values).to_vec()
+    }
+
+    /// Row addresses under the key this index extracts from `row`,
+    /// without cloning any column values (empty slice when absent).
+    pub fn lookup_row_ref(&self, row: &Row) -> &[RowId] {
+        let mut scratch = self.scratch.borrow_mut();
+        self.key_of_into(row, &mut scratch);
+        match self.map.get(scratch.as_slice()) {
+            Some(rids) => rids.as_slice(),
+            None => &[],
+        }
     }
 
     /// Row addresses whose keys start with the given prefix values, in key
     /// order.
     pub fn prefix_scan(&self, prefix_values: &[Value]) -> Vec<RowId> {
-        let lo = encode_key(prefix_values);
-        let mut hi = lo.clone();
-        hi.push(0xFF);
-        self.map
-            .range((Bound::Included(lo), Bound::Excluded(hi)))
+        self.prefix_range(prefix_values)
             .flat_map(|(_, rids)| rids.iter().copied())
             .collect()
     }
@@ -90,13 +185,26 @@ impl Index {
     /// The greatest key with the given prefix and its rows, if any
     /// (e.g. "latest order of this customer").
     pub fn last_under_prefix(&self, prefix_values: &[Value]) -> Option<(&[u8], &[RowId])> {
-        let lo = encode_key(prefix_values);
-        let mut hi = lo.clone();
-        hi.push(0xFF);
-        self.map
-            .range((Bound::Included(lo), Bound::Excluded(hi)))
+        self.prefix_range(prefix_values)
             .next_back()
             .map(|(k, v)| (k.as_slice(), v.as_slice()))
+    }
+
+    fn prefix_range(
+        &self,
+        prefix_values: &[Value],
+    ) -> std::collections::btree_map::Range<'_, Vec<u8>, Vec<RowId>> {
+        let mut scratch = self.scratch.borrow_mut();
+        scratch.clear();
+        encode_key_into(prefix_values, &mut scratch);
+        // Both bounds come from one buffer: the prefix, and the prefix
+        // followed by 0xFF (which no encoded key byte at a value boundary
+        // can reach). `range` consumes the bounds up front, so the scratch
+        // guard can drop when this function returns.
+        scratch.push(0xFF);
+        let hi: &[u8] = &scratch;
+        let lo: &[u8] = &hi[..hi.len() - 1];
+        self.map.range::<[u8], _>((Bound::Included(lo), Bound::Excluded(hi)))
     }
 
     /// Number of distinct keys.

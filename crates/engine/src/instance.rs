@@ -1,11 +1,10 @@
 //! The volatile instance: everything a crash destroys.
 
-use std::collections::HashMap;
-
 use recobench_sim::SimTime;
 
 use crate::cache::BufferCache;
 use crate::catalog::Catalog;
+use crate::fasthash::FastMap;
 use crate::heap::PlacementCursor;
 use crate::index::Index;
 use crate::redo::RedoState;
@@ -25,11 +24,11 @@ pub struct Instance {
     /// Row locks.
     pub locks: LockTable,
     /// In-memory indexes per table.
-    pub indexes: HashMap<ObjectId, Vec<Index>>,
+    pub indexes: FastMap<ObjectId, Vec<Index>>,
     /// Volatile redo position and log buffer.
     pub redo: RedoState,
     /// Per-table insert cursors.
-    pub cursors: HashMap<ObjectId, PlacementCursor>,
+    pub cursors: FastMap<ObjectId, PlacementCursor>,
     /// SCN allocator.
     pub scn: Scn,
     /// When the instance opened.
@@ -75,9 +74,9 @@ mod tests {
             cache: BufferCache::new(8),
             txns: TxnTable::new(),
             locks: LockTable::new(),
-            indexes: HashMap::new(),
+            indexes: FastMap::default(),
             redo: RedoState::new(0, 1, 0, 0),
-            cursors: HashMap::new(),
+            cursors: FastMap::default(),
             scn: Scn::ZERO,
             opened_at: SimTime::ZERO,
         }

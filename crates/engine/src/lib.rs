@@ -35,6 +35,7 @@ pub mod codec;
 pub mod config;
 pub mod controlfile;
 pub mod error;
+pub mod fasthash;
 pub mod heap;
 pub mod index;
 pub mod instance;

@@ -5,8 +5,6 @@
 //! application idempotent: a record is re-applied only if it is newer than
 //! the block image it targets.
 
-use std::collections::BTreeMap;
-
 use bytes::Bytes;
 
 use crate::codec::{DecodeResult, Reader, Writer};
@@ -18,7 +16,9 @@ use crate::types::Scn;
 pub struct BlockImage {
     /// SCN of the last change applied to this block.
     pub last_scn: Scn,
-    rows: BTreeMap<u16, Row>,
+    /// `(slot, row)` pairs sorted by slot. Blocks hold a few dozen rows,
+    /// where a sorted vector beats a tree map on both probes and clones.
+    rows: Vec<(u16, Row)>,
     used_bytes: usize,
 }
 
@@ -30,7 +30,7 @@ impl BlockImage {
 
     /// An empty block.
     pub fn empty() -> Self {
-        BlockImage { last_scn: Scn::ZERO, rows: BTreeMap::new(), used_bytes: Self::HEADER }
+        BlockImage { last_scn: Scn::ZERO, rows: Vec::new(), used_bytes: Self::HEADER }
     }
 
     /// Number of rows stored.
@@ -51,7 +51,10 @@ impl BlockImage {
 
     /// The row at `slot`, if present.
     pub fn row(&self, slot: u16) -> Option<&Row> {
-        self.rows.get(&slot)
+        match self.rows.binary_search_by_key(&slot, |(s, _)| *s) {
+            Ok(i) => Some(&self.rows[i].1),
+            Err(_) => None,
+        }
     }
 
     /// Iterates over `(slot, row)` pairs in slot order.
@@ -62,8 +65,8 @@ impl BlockImage {
     /// The lowest unoccupied slot number.
     pub fn next_free_slot(&self) -> u16 {
         let mut slot = 0u16;
-        for &s in self.rows.keys() {
-            if s != slot {
+        for (s, _) in &self.rows {
+            if *s != slot {
                 break;
             }
             slot += 1;
@@ -75,7 +78,13 @@ impl BlockImage {
     /// `scn`. Returns the previous row, if any.
     pub fn put(&mut self, slot: u16, row: Row, scn: Scn) -> Option<Row> {
         let add = row.encoded_len() + Self::ROW_OVERHEAD;
-        let prev = self.rows.insert(slot, row);
+        let prev = match self.rows.binary_search_by_key(&slot, |(s, _)| *s) {
+            Ok(i) => Some(std::mem::replace(&mut self.rows[i].1, row)),
+            Err(i) => {
+                self.rows.insert(i, (slot, row));
+                None
+            }
+        };
         if let Some(p) = &prev {
             self.used_bytes -= p.encoded_len() + Self::ROW_OVERHEAD;
         }
@@ -86,7 +95,10 @@ impl BlockImage {
 
     /// Removes the row at `slot`, stamping the block with `scn`.
     pub fn remove(&mut self, slot: u16, scn: Scn) -> Option<Row> {
-        let prev = self.rows.remove(&slot);
+        let prev = match self.rows.binary_search_by_key(&slot, |(s, _)| *s) {
+            Ok(i) => Some(self.rows.remove(i).1),
+            Err(_) => None,
+        };
         if let Some(p) = &prev {
             self.used_bytes -= p.encoded_len() + Self::ROW_OVERHEAD;
         }
@@ -97,13 +109,22 @@ impl BlockImage {
     /// Encodes the block for storage.
     pub fn encode(&self) -> Bytes {
         let mut w = Writer::new();
+        self.encode_into(&mut w);
+        w.into_bytes()
+    }
+
+    /// Appends the encoded block to `w` without per-row allocations (each
+    /// row is written in place behind a back-patched length prefix).
+    pub fn encode_into(&self, w: &mut Writer) {
         w.put_u64(self.last_scn.0);
         w.put_u32(self.rows.len() as u32);
         for (slot, row) in &self.rows {
             w.put_u16(*slot);
-            w.put_bytes(&row.encode());
+            let at = w.len();
+            w.put_u32(0);
+            row.encode_into(w);
+            w.patch_u32(at, (w.len() - at - 4) as u32);
         }
-        w.into_bytes()
     }
 
     /// Decodes a stored block image. An all-zero (never written) image

@@ -69,36 +69,66 @@ impl RedoRecord {
     /// Encodes the record for the log.
     pub fn encode(&self) -> Bytes {
         let mut w = Writer::new();
+        self.encode_into(&mut w);
+        w.into_bytes()
+    }
+
+    /// Appends the encoded record to `w` without intermediate allocations
+    /// (row payloads are written in place behind back-patched length
+    /// prefixes).
+    pub fn encode_into(&self, w: &mut Writer) {
         w.put_u64(self.scn.0);
         w.put_u64(self.txn.map_or(0, |t| t.0));
         match &self.op {
             RedoOp::Insert { obj, rid, row } => {
                 w.put_u8(1);
                 w.put_u32(obj.0);
-                encode_rid(&mut w, rid);
-                w.put_bytes(&row.encode());
+                encode_rid(w, rid);
+                put_row(w, row);
             }
             RedoOp::Update { obj, rid, before, after } => {
                 w.put_u8(2);
                 w.put_u32(obj.0);
-                encode_rid(&mut w, rid);
-                w.put_bytes(&before.encode());
-                w.put_bytes(&after.encode());
+                encode_rid(w, rid);
+                put_row(w, before);
+                put_row(w, after);
             }
             RedoOp::Delete { obj, rid, before } => {
                 w.put_u8(3);
                 w.put_u32(obj.0);
-                encode_rid(&mut w, rid);
-                w.put_bytes(&before.encode());
+                encode_rid(w, rid);
+                put_row(w, before);
             }
             RedoOp::Commit => w.put_u8(4),
             RedoOp::Rollback => w.put_u8(5),
             RedoOp::Catalog(change) => {
                 w.put_u8(6);
-                change.encode(&mut w);
+                change.encode(w);
             }
         }
-        w.into_bytes()
+    }
+
+    /// Size of the encoded form, in bytes (used to decide log switches
+    /// before the record is written into the log buffer).
+    pub fn encoded_len(&self) -> usize {
+        const HEADER: usize = 8 + 8 + 1; // scn + txn + op tag
+        const RID: usize = 4 + 4 + 2;
+        HEADER
+            + match &self.op {
+                RedoOp::Insert { row, .. } => 4 + RID + 4 + row.encoded_len(),
+                RedoOp::Update { before, after, .. } => {
+                    4 + RID + 4 + before.encoded_len() + 4 + after.encoded_len()
+                }
+                RedoOp::Delete { before, .. } => 4 + RID + 4 + before.encoded_len(),
+                RedoOp::Commit | RedoOp::Rollback => 0,
+                RedoOp::Catalog(change) => {
+                    // DDL is rare; measuring by encoding is fine off the
+                    // hot path.
+                    let mut w = Writer::new();
+                    change.encode(&mut w);
+                    w.len()
+                }
+            }
     }
 
     /// Decodes one record from a reader positioned at a record boundary.
@@ -145,6 +175,15 @@ impl RedoRecord {
             _ => None,
         }
     }
+}
+
+fn put_row(w: &mut Writer, row: &Row) {
+    // Length-prefixed row, written in place: reserve the prefix, encode,
+    // back-patch.
+    let at = w.len();
+    w.put_u32(0);
+    row.encode_into(w);
+    w.patch_u32(at, (w.len() - at - 4) as u32);
 }
 
 fn encode_rid(w: &mut Writer, rid: &RowId) {
@@ -196,8 +235,9 @@ pub struct RedoState {
     pub current_offset: u64,
     /// Offset up to which records have been flushed to the online log.
     pub flushed_offset: u64,
-    /// Encoded records not yet flushed.
-    buffer: Vec<Bytes>,
+    /// Encoded-but-unflushed records, back to back in one buffer (the
+    /// LGWR log buffer). The allocation is recycled across flushes.
+    buffer: Writer,
     buffer_pad: u64,
     /// Per-record padding (change-vector overhead).
     pub overhead: u64,
@@ -212,7 +252,7 @@ impl RedoState {
             current_seq,
             current_offset: flushed,
             flushed_offset: flushed,
-            buffer: Vec::new(),
+            buffer: Writer::new(),
             buffer_pad: 0,
             overhead,
         }
@@ -240,8 +280,45 @@ impl RedoState {
         let cost = self.record_cost(encoded.len());
         self.current_offset += cost;
         self.buffer_pad += self.overhead;
-        self.buffer.push(encoded);
+        self.buffer.put_slice_raw(&encoded);
         addr
+    }
+
+    /// Encodes `rec` straight into the log buffer (no per-record
+    /// allocation) and returns its assigned address and padded cost.
+    pub fn buffer_encode(&mut self, rec: &RedoRecord) -> (RedoAddr, u64) {
+        let addr = self.tail();
+        let before = self.buffer.len();
+        rec.encode_into(&mut self.buffer);
+        let cost = self.record_cost(self.buffer.len() - before);
+        self.current_offset += cost;
+        self.buffer_pad += self.overhead;
+        (addr, cost)
+    }
+
+    /// Optimistically encodes `rec` into the log buffer. If the padded
+    /// record would overflow a log of `group_bytes`, the encode is undone
+    /// (buffer truncated back, no accounting) and `None` is returned so
+    /// the caller can switch logs first; otherwise the record is admitted
+    /// and its address and cost are returned. Encoding *before* the size
+    /// check means the common no-switch append measures the record by
+    /// writing it once, instead of walking it twice.
+    pub fn buffer_encode_checked(
+        &mut self,
+        rec: &RedoRecord,
+        group_bytes: u64,
+    ) -> Option<(RedoAddr, u64)> {
+        let mark = self.buffer.len();
+        rec.encode_into(&mut self.buffer);
+        let cost = self.record_cost(self.buffer.len() - mark);
+        if self.current_offset + cost > group_bytes {
+            self.buffer.truncate(mark);
+            return None;
+        }
+        let addr = self.tail();
+        self.current_offset += cost;
+        self.buffer_pad += self.overhead;
+        Some((addr, cost))
     }
 
     /// Whether any records await flushing.
@@ -252,11 +329,7 @@ impl RedoState {
     /// Takes the buffered records for a flush: the concatenated payload,
     /// the accounting-only pad, and the new flushed offset.
     pub fn take_buffer(&mut self) -> (Bytes, u64, u64) {
-        let total: usize = self.buffer.iter().map(Bytes::len).sum();
-        let mut payload = Vec::with_capacity(total);
-        for b in self.buffer.drain(..) {
-            payload.extend_from_slice(&b);
-        }
+        let payload = self.buffer.take_vec();
         let pad = self.buffer_pad;
         self.buffer_pad = 0;
         self.flushed_offset = self.current_offset;

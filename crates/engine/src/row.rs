@@ -75,8 +75,20 @@ impl From<String> for Value {
 }
 
 /// A row: an ordered tuple of values.
+///
+/// Rows are reference-counted: cloning one is a pointer bump, which lets
+/// the DML path share a single allocation between the redo record, the
+/// page slot and the undo entry instead of deep-copying the values three
+/// times. Mutation goes through [`Row::set`], which copies on write only
+/// when the row is actually shared.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub struct Row(pub Vec<Value>);
+pub struct Row {
+    values: std::sync::Arc<Vec<Value>>,
+    /// Memoized [`Row::encoded_len`]; a function of `values`, kept in sync
+    /// by `new` and `set`, so block space accounting and insert sizing
+    /// never re-walk the columns.
+    enc_len: u32,
+}
 
 impl Row {
     /// Builds a row from anything convertible to values.
@@ -88,29 +100,54 @@ impl Row {
     /// assert_eq!(r.get(1).and_then(Value::as_str), Some("name"));
     /// ```
     pub fn new(values: Vec<Value>) -> Self {
-        Row(values)
+        let enc_len = (2 + values.iter().map(value_enc_len).sum::<usize>()) as u32;
+        Row { values: std::sync::Arc::new(values), enc_len }
     }
 
     /// The value at column `i`, if present.
     pub fn get(&self, i: usize) -> Option<&Value> {
-        self.0.get(i)
+        self.values.get(i)
+    }
+
+    /// All values, in column order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Replaces the value at column `i`, copying the row first if it is
+    /// shared.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn set(&mut self, i: usize, value: Value) {
+        let slot = &mut std::sync::Arc::make_mut(&mut self.values)[i];
+        self.enc_len -= value_enc_len(slot) as u32;
+        self.enc_len += value_enc_len(&value) as u32;
+        *slot = value;
     }
 
     /// Number of columns.
     pub fn len(&self) -> usize {
-        self.0.len()
+        self.values.len()
     }
 
     /// Whether the row has no columns.
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        self.values.is_empty()
     }
 
     /// Encodes the row for storage.
     pub fn encode(&self) -> Bytes {
         let mut w = Writer::new();
-        w.put_u16(self.0.len() as u16);
-        for v in &self.0 {
+        self.encode_into(&mut w);
+        w.into_bytes()
+    }
+
+    /// Appends the encoded row to `w` without allocating.
+    pub fn encode_into(&self, w: &mut Writer) {
+        w.put_u16(self.values.len() as u16);
+        for v in self.values.iter() {
             match v {
                 Value::Null => w.put_u8(0),
                 Value::U64(x) => {
@@ -131,21 +168,11 @@ impl Row {
                 }
             }
         }
-        w.into_bytes()
     }
 
-    /// Size of the encoded form, in bytes.
+    /// Size of the encoded form, in bytes (memoized at construction).
     pub fn encoded_len(&self) -> usize {
-        let mut n = 2;
-        for v in &self.0 {
-            n += 1 + match v {
-                Value::Null => 0,
-                Value::U64(_) | Value::I64(_) => 8,
-                Value::Str(s) => 4 + s.len(),
-                Value::Bytes(b) => 4 + b.len(),
-            };
-        }
-        n
+        self.enc_len as usize
     }
 
     /// Decodes a row from its stored form.
@@ -178,7 +205,7 @@ impl Row {
             };
             values.push(v);
         }
-        Ok(Row(values))
+        Ok(Row::new(values))
     }
 }
 
@@ -197,45 +224,65 @@ impl Row {
 /// ```
 pub fn encode_key(values: &[Value]) -> Vec<u8> {
     let mut out = Vec::with_capacity(values.len() * 9);
+    encode_key_into(values.iter(), &mut out);
+    out
+}
+
+/// Appends the order-preserving encoding of `values` to `out`.
+///
+/// `out` is *not* cleared first, so callers can reuse one scratch buffer
+/// across probes (clear, encode, look up) without reallocating.
+pub fn encode_key_into<'a, I: IntoIterator<Item = &'a Value>>(values: I, out: &mut Vec<u8>) {
     for v in values {
-        match v {
-            Value::Null => out.push(0x00),
-            Value::U64(x) => {
-                out.push(0x01);
-                out.extend_from_slice(&x.to_be_bytes());
-            }
-            Value::I64(x) => {
-                out.push(0x02);
-                // Flip the sign bit so two's complement sorts naturally.
-                out.extend_from_slice(&((*x as u64) ^ (1u64 << 63)).to_be_bytes());
-            }
-            Value::Str(s) => {
-                out.push(0x03);
-                // 0x00 bytes are escaped as 0x00 0xFF; the terminator is
-                // 0x00 0x00, which sorts before any continuation.
-                for &b in s.as_bytes() {
-                    if b == 0 {
-                        out.extend_from_slice(&[0x00, 0xFF]);
-                    } else {
-                        out.push(b);
-                    }
-                }
-                out.extend_from_slice(&[0x00, 0x00]);
-            }
-            Value::Bytes(bytes) => {
-                out.push(0x04);
-                for &b in bytes {
-                    if b == 0 {
-                        out.extend_from_slice(&[0x00, 0xFF]);
-                    } else {
-                        out.push(b);
-                    }
-                }
-                out.extend_from_slice(&[0x00, 0x00]);
-            }
+        encode_key_value(v, out);
+    }
+}
+
+/// Appends the order-preserving encoding of one value to `out`.
+pub fn encode_key_value(v: &Value, out: &mut Vec<u8>) {
+    match v {
+        Value::Null => out.push(0x00),
+        Value::U64(x) => {
+            out.push(0x01);
+            out.extend_from_slice(&x.to_be_bytes());
+        }
+        Value::I64(x) => {
+            out.push(0x02);
+            // Flip the sign bit so two's complement sorts naturally.
+            out.extend_from_slice(&((*x as u64) ^ (1u64 << 63)).to_be_bytes());
+        }
+        Value::Str(s) => {
+            out.push(0x03);
+            // 0x00 bytes are escaped as 0x00 0xFF; the terminator is
+            // 0x00 0x00, which sorts before any continuation.
+            escape_bytes(s.as_bytes(), out);
+        }
+        Value::Bytes(bytes) => {
+            out.push(0x04);
+            escape_bytes(bytes, out);
         }
     }
-    out
+}
+
+/// Encoded size of one value (tag byte plus payload).
+fn value_enc_len(v: &Value) -> usize {
+    1 + match v {
+        Value::Null => 0,
+        Value::U64(_) | Value::I64(_) => 8,
+        Value::Str(s) => 4 + s.len(),
+        Value::Bytes(b) => 4 + b.len(),
+    }
+}
+
+fn escape_bytes(bytes: &[u8], out: &mut Vec<u8>) {
+    for &b in bytes {
+        if b == 0 {
+            out.extend_from_slice(&[0x00, 0xFF]);
+        } else {
+            out.push(b);
+        }
+    }
+    out.extend_from_slice(&[0x00, 0x00]);
 }
 
 #[cfg(test)]

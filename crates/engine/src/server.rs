@@ -16,7 +16,6 @@
 //! it costs, so the workload driver measures throughput and recovery time
 //! simply by reading the clock.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
 use recobench_sim::{SimClock, SimTime};
@@ -227,9 +226,9 @@ impl DbServer {
             cache: BufferCache::new(self.config.cache_blocks),
             txns,
             locks: crate::txn::LockTable::new(),
-            indexes: HashMap::new(),
+            indexes: crate::fasthash::FastMap::default(),
             redo: RedoState::new(group, seq, flushed, self.config.costs.redo_overhead_bytes),
-            cursors: HashMap::new(),
+            cursors: crate::fasthash::FastMap::default(),
             scn,
             opened_at: self.clock.now(),
         }
@@ -353,20 +352,20 @@ impl DbServer {
     // ------------------------------------------------------------------
 
     pub(crate) fn append_record(&mut self, rec: &RedoRecord) -> DbResult<RedoAddr> {
-        let encoded = rec.encode();
-        let cost = {
-            let inst = self.inst.as_ref().ok_or(DbError::InstanceDown)?;
-            inst.redo.record_cost(encoded.len())
-        };
-        let overflow = {
-            let inst = self.inst.as_ref().ok_or(DbError::InstanceDown)?;
-            inst.redo.would_overflow(cost, self.config.redo_file_bytes)
-        };
-        if overflow {
-            self.log_switch()?;
+        let group_bytes = self.config.redo_file_bytes;
+        // Optimistic append: encode straight into the log buffer and only
+        // fall back to a log switch when the record did not fit (rare).
+        {
+            let inst = self.inst.as_mut().ok_or(DbError::InstanceDown)?;
+            if let Some((addr, cost)) = inst.redo.buffer_encode_checked(rec, group_bytes) {
+                self.stats.redo_records += 1;
+                self.stats.redo_bytes += cost;
+                return Ok(addr);
+            }
         }
+        self.log_switch()?;
         let inst = self.inst.as_mut().ok_or(DbError::InstanceDown)?;
-        let addr = inst.redo.buffer_record(encoded);
+        let (addr, cost) = inst.redo.buffer_encode(rec);
         self.stats.redo_records += 1;
         self.stats.redo_bytes += cost;
         Ok(addr)
@@ -536,20 +535,40 @@ impl DbServer {
     // Block access
     // ------------------------------------------------------------------
 
-    fn datafile_info(&self, file: FileNo) -> DbResult<(recobench_vfs::FileId, TablespaceId, String)> {
+    fn datafile_info(&self, file: FileNo) -> DbResult<(recobench_vfs::FileId, TablespaceId)> {
         let inst = self.inst.as_ref().ok_or(DbError::InstanceDown)?;
         let df = inst
             .catalog
             .datafiles
             .get(&file)
             .ok_or_else(|| DbError::NotFound(format!("datafile {}", file.0)))?;
-        Ok((df.vfs_id, df.tablespace, df.path.clone()))
+        Ok((df.vfs_id, df.tablespace))
+    }
+
+    /// The datafile's path, for error messages (cold paths only — this
+    /// clones the string).
+    fn datafile_path(&self, file: FileNo) -> String {
+        self.inst
+            .as_ref()
+            .and_then(|i| i.catalog.datafiles.get(&file))
+            .map_or_else(String::new, |df| df.path.clone())
     }
 
     /// Brings a block into the cache (charging the read on a miss) after
     /// checking availability.
     pub(crate) fn ensure_resident(&mut self, key: BlockKey) -> DbResult<()> {
-        let (_, ts, _) = self.datafile_info(key.0)?;
+        // Fast path: the block is resident and no file or tablespace has
+        // offline/recovery state (true until an operator fault, which is
+        // when `invalidate_file` also drops affected blocks). One cache
+        // probe instead of the full availability walk; a miss counts no
+        // stat here — the full path below records it.
+        if !self.control.as_ref().is_some_and(ControlFile::has_runtime_state) {
+            let inst = self.inst.as_mut().ok_or(DbError::InstanceDown)?;
+            if inst.cache.probe_mut(key).is_some() {
+                return Ok(());
+            }
+        }
+        let (_, ts) = self.datafile_info(key.0)?;
         {
             let control = self.control_ref()?;
             if control.file_state(key.0).offline {
@@ -568,7 +587,7 @@ impl DbServer {
     /// Residency without online/offline checks — recovery applies redo to
     /// files that are administratively offline.
     pub(crate) fn ensure_resident_raw(&mut self, key: BlockKey) -> DbResult<()> {
-        let (vfs_id, _, path) = self.datafile_info(key.0)?;
+        let (vfs_id, _) = self.datafile_info(key.0)?;
         {
             let inst = self.inst.as_mut().ok_or(DbError::InstanceDown)?;
             if inst.cache.get(key).is_some() {
@@ -584,7 +603,8 @@ impl DbServer {
             self.clock.advance_to(done);
             bytes
         };
-        let img = BlockImage::decode(bytes).map_err(|_| DbError::Media(VfsError::Corrupt(path)))?;
+        let img = BlockImage::decode(bytes)
+            .map_err(|_| DbError::Media(VfsError::Corrupt(self.datafile_path(key.0))))?;
         let evicted = {
             let inst = self.inst.as_mut().ok_or(DbError::InstanceDown)?;
             inst.cache.insert(key, img)
@@ -592,7 +612,7 @@ impl DbServer {
         if let Some(ev) = evicted {
             if ev.dirty.is_some() {
                 self.flush_redo()?;
-                if let Ok((ev_vfs, _, _)) = self.datafile_info(ev.key.0) {
+                if let Ok((ev_vfs, _)) = self.datafile_info(ev.key.0) {
                     let now = self.clock.now();
                     let mut fs = self.fs.lock();
                     if let Ok((done, ())) = fs.write_block(ev_vfs, ev.key.1 as u64, ev.img.encode(), now)
@@ -612,6 +632,14 @@ impl DbServer {
         key: BlockKey,
         f: impl FnOnce(&mut BlockImage) -> R,
     ) -> DbResult<R> {
+        // Hot path: resident frame, no offline state anywhere — a single
+        // cache probe instead of availability checks plus a second lookup.
+        if !self.control.as_ref().is_some_and(ControlFile::has_runtime_state) {
+            let inst = self.inst.as_mut().ok_or(DbError::InstanceDown)?;
+            if let Some(img) = inst.cache.probe_mut(key) {
+                return Ok(f(img));
+            }
+        }
         self.ensure_resident(key)?;
         let inst = self.inst.as_mut().ok_or(DbError::InstanceDown)?;
         let img = inst.cache.get_mut(key).expect("block resident after ensure_resident");
@@ -823,13 +851,7 @@ impl DbServer {
                 if !ix.def().unique {
                     continue;
                 }
-                let key_values: Vec<Value> = ix
-                    .def()
-                    .cols
-                    .iter()
-                    .map(|&c| row.get(c).cloned().unwrap_or(Value::Null))
-                    .collect();
-                let existing = ix.lookup(&key_values);
+                let existing = ix.lookup_row_ref(row);
                 if existing.iter().any(|r| Some(*r) != exclude) {
                     return Err(DbError::DuplicateKey { index: ix.def().name.clone() });
                 }
@@ -838,7 +860,7 @@ impl DbServer {
         Ok(())
     }
 
-    fn find_insert_slot(&mut self, obj: ObjectId, row_len: usize) -> DbResult<BlockKey> {
+    fn find_insert_slot(&mut self, obj: ObjectId, row_len: usize) -> DbResult<(BlockKey, u16)> {
         let block_size = self.config.block_size;
         loop {
             let cand = {
@@ -849,9 +871,12 @@ impl DbServer {
             match cand {
                 Some((file, block)) => {
                     let key = (file, block);
-                    let fits = self.with_block(key, |img| img.fits(row_len, block_size))?;
-                    if fits {
-                        return Ok(key);
+                    // One probe answers both "does it fit" and "which slot".
+                    let slot = self.with_block(key, |img| {
+                        if img.fits(row_len, block_size) { Some(img.next_free_slot()) } else { None }
+                    })?;
+                    if let Some(slot) = slot {
+                        return Ok((key, slot));
                     }
                     let inst = self.inst_mut()?;
                     let seg = inst.catalog.table(obj)?.segment.clone();
@@ -897,8 +922,7 @@ impl DbServer {
         }
         self.inst_ref()?.catalog.table(obj)?;
         self.check_unique(obj, &row, None)?;
-        let key = self.find_insert_slot(obj, row.encoded_len())?;
-        let slot = self.with_block(key, |img| img.next_free_slot())?;
+        let (key, slot) = self.find_insert_slot(obj, row.encoded_len())?;
         let rid = RowId { file: key.0, block: key.1, slot };
         {
             let inst = self.inst_mut()?;
@@ -965,8 +989,7 @@ impl DbServer {
             inst.cache.mark_dirty(key, addr, now);
             if let Some(indexes) = inst.indexes.get_mut(&obj) {
                 for ix in indexes {
-                    ix.remove(&before, rid);
-                    ix.insert(&row, rid)?;
+                    ix.replace(&before, &row, rid)?;
                 }
             }
         }
@@ -1046,6 +1069,29 @@ impl DbServer {
             .and_then(|v| v.get(index))
             .ok_or_else(|| DbError::NotFound(format!("index {index} of {obj}")))?;
         Ok(ix.lookup(key))
+    }
+
+    /// Exact-match index lookup returning only the first matching row
+    /// address (no match-list allocation — the common unique-key probe).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the table or index is unknown.
+    pub fn lookup_first(
+        &mut self,
+        obj: ObjectId,
+        index: usize,
+        key: &[Value],
+    ) -> DbResult<Option<RowId>> {
+        self.poll();
+        self.clock.advance(self.config.costs.cpu_per_read);
+        let inst = self.inst_ref()?;
+        let ix = inst
+            .indexes
+            .get(&obj)
+            .and_then(|v| v.get(index))
+            .ok_or_else(|| DbError::NotFound(format!("index {index} of {obj}")))?;
+        Ok(ix.lookup_ref(key).first().copied())
     }
 
     /// Index prefix scan (ordered).
@@ -1219,8 +1265,7 @@ impl DbServer {
         let mut n = 0u64;
         for row in rows {
             self.check_unique(obj, &row, None)?;
-            let key = self.find_insert_slot(obj, row.encoded_len())?;
-            let slot = self.with_block(key, |img| img.next_free_slot())?;
+            let (key, slot) = self.find_insert_slot(obj, row.encoded_len())?;
             let rid = RowId { file: key.0, block: key.1, slot };
             let scn = self.inst_mut()?.next_scn();
             let addr = self.inst_ref()?.redo.tail();
@@ -1303,6 +1348,14 @@ impl DbServer {
         let img = BlockImage::decode(bytes)
             .map_err(|_| DbError::Media(VfsError::Corrupt(df.path.clone())))?;
         Ok(img.row(rid.slot).cloned())
+    }
+
+    /// Creates a batched zero-cost row reader that memoizes decoded block
+    /// images, for audits that probe many rows clustered in the same
+    /// blocks (each uncached block is decoded once per reader, not once
+    /// per probe).
+    pub fn peek_reader(&self) -> PeekReader<'_> {
+        PeekReader { server: self, decoded: crate::fasthash::FastMap::default() }
     }
 
     /// Index lookup without charging simulated time (analysis only).
@@ -1517,6 +1570,49 @@ impl Instance {
     pub(crate) fn cache_peek(&self, key: BlockKey) -> Option<&BlockImage> {
         // `contains` + `get` would bump stats; peek goes around them.
         self.cache.peek(key)
+    }
+}
+
+/// Batched zero-cost row reader (see [`DbServer::peek_reader`]).
+///
+/// Holds a shared borrow of the server, so the audited state cannot move
+/// underneath it, and a memo of blocks it has already decoded from disk.
+pub struct PeekReader<'a> {
+    server: &'a DbServer,
+    decoded: crate::fasthash::FastMap<BlockKey, BlockImage>,
+}
+
+impl PeekReader<'_> {
+    /// Reads one row without charging simulated time, like
+    /// [`DbServer::peek_row`], but decoding each uncached block at most
+    /// once for the lifetime of the reader.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the table or its storage is unreadable.
+    pub fn row(&mut self, obj: ObjectId, rid: RowId) -> DbResult<Option<Row>> {
+        let inst = self.server.inst.as_ref().ok_or(DbError::InstanceDown)?;
+        inst.catalog.table(obj)?;
+        let key = (rid.file, rid.block);
+        // The buffer cache may hold a newer (dirty) image than disk, so it
+        // wins over the memo.
+        if let Some(img) = inst.cache_peek(key) {
+            return Ok(img.row(rid.slot).cloned());
+        }
+        if let Some(img) = self.decoded.get(&key) {
+            return Ok(img.row(rid.slot).cloned());
+        }
+        let df = inst
+            .catalog
+            .datafiles
+            .get(&rid.file)
+            .ok_or_else(|| DbError::NotFound(format!("datafile {}", rid.file.0)))?;
+        let bytes = self.server.fs.lock().peek_block(df.vfs_id, rid.block as u64)?;
+        let img = BlockImage::decode(bytes)
+            .map_err(|_| DbError::Media(VfsError::Corrupt(df.path.clone())))?;
+        let row = img.row(rid.slot).cloned();
+        self.decoded.insert(key, img);
+        Ok(row)
     }
 }
 

@@ -1,8 +1,9 @@
 //! Transactions, undo and row locks.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use crate::error::{DbError, DbResult};
+use crate::fasthash::FastMap;
 use crate::row::Row;
 use crate::types::{ObjectId, RowId, TxnId};
 
@@ -109,7 +110,7 @@ impl TxnTable {
 /// Exclusive row locks.
 #[derive(Debug, Default)]
 pub struct LockTable {
-    rows: HashMap<(ObjectId, RowId), TxnId>,
+    rows: FastMap<(ObjectId, RowId), TxnId>,
 }
 
 impl LockTable {

@@ -9,7 +9,7 @@ use recobench_engine::codec::{Reader, Writer};
 use recobench_engine::index::Index;
 use recobench_engine::page::BlockImage;
 use recobench_engine::redo::{decode_stream, RedoOp, RedoRecord};
-use recobench_engine::row::{encode_key, Row, Value};
+use recobench_engine::row::{encode_key, encode_key_into, Row, Value};
 use recobench_engine::types::{FileNo, ObjectId, RowId, Scn, TablespaceId, TxnId, UserId};
 
 fn value_strategy() -> impl Strategy<Value = Value> {
@@ -80,6 +80,54 @@ proptest! {
         let ka = encode_key(&a);
         let kb = encode_key(&b);
         prop_assert_eq!(ka.cmp(&kb), a.cmp(&b), "byte order must equal value order: {:?} vs {:?}", a, b);
+    }
+
+    #[test]
+    fn key_encode_into_reused_buffer_matches_fresh_encode(
+        tuples in proptest::collection::vec(
+            proptest::collection::vec(value_strategy(), 0..4), 1..10)
+    ) {
+        // The index probes encode into one scratch buffer (clear, encode,
+        // look up). Whatever a previous probe left behind, the reused
+        // buffer must end up byte-identical to a fresh allocation.
+        let mut scratch: Vec<u8> = Vec::new();
+        for vals in &tuples {
+            scratch.clear();
+            encode_key_into(vals, &mut scratch);
+            prop_assert_eq!(&scratch, &encode_key(vals));
+        }
+    }
+
+    #[test]
+    fn index_replace_matches_remove_then_insert(
+        ops in proptest::collection::vec((0u64..16, 0u64..16, 0u32..8), 1..60)
+    ) {
+        // `replace` (with its key-unchanged fast path) must index exactly
+        // the same rids under the same keys as remove-then-insert. Order
+        // within one key's entry list is not part of the contract (the
+        // fast path keeps a rid in place where remove+insert re-appends
+        // it), so entries compare as sets.
+        let def = IndexDef { name: "IX".into(), cols: vec![0], unique: false };
+        let mut fast = Index::new(def.clone());
+        let mut slow = Index::new(def);
+        for (kb, ka, block) in ops {
+            let before = Row::new(vec![Value::U64(kb)]);
+            let after = Row::new(vec![Value::U64(ka)]);
+            let rid = RowId { file: FileNo(1), block, slot: 0 };
+            fast.insert(&before, rid).unwrap();
+            slow.insert(&before, rid).unwrap();
+            fast.replace(&before, &after, rid).unwrap();
+            slow.remove(&before, rid);
+            slow.insert(&after, rid).unwrap();
+            prop_assert_eq!(fast.key_count(), slow.key_count());
+            for k in 0..16u64 {
+                let mut a = fast.lookup(&[Value::U64(k)]);
+                let mut b = slow.lookup(&[Value::U64(k)]);
+                a.sort();
+                b.sort();
+                prop_assert_eq!(a, b);
+            }
+        }
     }
 
     #[test]

@@ -185,7 +185,7 @@ mod tests {
         let (mut srv, schema) = loaded();
         // Corrupt W_YTD out from under the districts.
         let (rid, mut row) = srv.peek_scan(schema.warehouse).unwrap().remove(0);
-        row.0[schema::warehouse::W_YTD] = Value::I64(1);
+        row.set(schema::warehouse::W_YTD, Value::I64(1));
         let txn = srv.begin().unwrap();
         srv.update(txn, schema.warehouse, rid, row).unwrap();
         srv.commit(txn).unwrap();

@@ -87,8 +87,8 @@ fn col_i64(row: &Row, col: usize) -> DbResult<i64> {
     row.get(col).and_then(Value::as_i64).ok_or_else(|| DbError::NotFound(format!("i64 col {col}")))
 }
 
-fn one_rid(rids: Vec<RowId>, what: &str) -> DbResult<RowId> {
-    rids.into_iter().next().ok_or_else(|| DbError::NotFound(what.to_string()))
+fn one_rid(rid: Option<RowId>, what: &str) -> DbResult<RowId> {
+    rid.ok_or_else(|| DbError::NotFound(what.to_string()))
 }
 
 fn with_txn<F>(server: &mut DbServer, body: F) -> DbResult<(TxnId, bool)>
@@ -148,20 +148,20 @@ pub fn new_order(server: &mut DbServer, schema: &TpccSchema, rng: &mut SimRng) -
     let mut o_id_out = 0u64;
     let (_txn, committed) = with_txn(server, |srv, txn| {
         // Warehouse (tax read).
-        let w_rid = one_rid(srv.lookup(schema.warehouse, ix::PK, &[Value::U64(w)])?, "warehouse")?;
+        let w_rid = one_rid(srv.lookup_first(schema.warehouse, ix::PK, &[Value::U64(w)])?, "warehouse")?;
         let _wrow = srv.get_row(schema.warehouse, w_rid)?;
         // District: allocate the order id.
         let d_rid = one_rid(
-            srv.lookup(schema.district, ix::PK, &[Value::U64(w), Value::U64(d)])?,
+            srv.lookup_first(schema.district, ix::PK, &[Value::U64(w), Value::U64(d)])?,
             "district",
         )?;
         let mut drow = srv.get_row(schema.district, d_rid)?;
         let o_id = col_u64(&drow, schema::district::D_NEXT_O_ID)?;
-        drow.0[schema::district::D_NEXT_O_ID] = Value::U64(o_id + 1);
+        drow.set(schema::district::D_NEXT_O_ID, Value::U64(o_id + 1));
         srv.update(txn, schema.district, d_rid, drow)?;
         // Customer read.
         let c_rid = one_rid(
-            srv.lookup(schema.customer, ix::PK, &[Value::U64(w), Value::U64(d), Value::U64(c)])?,
+            srv.lookup_first(schema.customer, ix::PK, &[Value::U64(w), Value::U64(d), Value::U64(c)])?,
             "customer",
         )?;
         let _crow = srv.get_row(schema.customer, c_rid)?;
@@ -186,15 +186,14 @@ pub fn new_order(server: &mut DbServer, schema: &TpccSchema, rng: &mut SimRng) -
         )?;
         // Order lines.
         for (number, (i_id, supply_w, qty)) in items.iter().enumerate() {
-            let item_rids = srv.lookup(schema.item, ix::PK, &[Value::U64(*i_id)])?;
-            let Some(item_rid) = item_rids.into_iter().next() else {
+            let Some(item_rid) = srv.lookup_first(schema.item, ix::PK, &[Value::U64(*i_id)])? else {
                 // Unused item number: the spec's deliberate rollback path.
                 return Ok(false);
             };
             let irow = srv.get_row(schema.item, item_rid)?;
             let price = col_i64(&irow, schema::item::I_PRICE)?;
             let s_rid = one_rid(
-                srv.lookup(schema.stock, ix::PK, &[Value::U64(*supply_w), Value::U64(*i_id)])?,
+                srv.lookup_first(schema.stock, ix::PK, &[Value::U64(*supply_w), Value::U64(*i_id)])?,
                 "stock",
             )?;
             let mut srow = srv.get_row(schema.stock, s_rid)?;
@@ -204,14 +203,11 @@ pub fn new_order(server: &mut DbServer, schema: &TpccSchema, rng: &mut SimRng) -
             } else {
                 quantity - *qty as i64 + 91
             };
-            srow.0[schema::stock::S_QUANTITY] = Value::I64(quantity);
-            srow.0[schema::stock::S_YTD] =
-                Value::U64(col_u64(&srow, schema::stock::S_YTD)? + qty);
-            srow.0[schema::stock::S_ORDER_CNT] =
-                Value::U64(col_u64(&srow, schema::stock::S_ORDER_CNT)? + 1);
+            srow.set(schema::stock::S_QUANTITY, Value::I64(quantity));
+            srow.set(schema::stock::S_YTD, Value::U64(col_u64(&srow, schema::stock::S_YTD)? + qty));
+            srow.set(schema::stock::S_ORDER_CNT, Value::U64(col_u64(&srow, schema::stock::S_ORDER_CNT)? + 1));
             if *supply_w != w {
-                srow.0[schema::stock::S_REMOTE_CNT] =
-                    Value::U64(col_u64(&srow, schema::stock::S_REMOTE_CNT)? + 1);
+                srow.set(schema::stock::S_REMOTE_CNT, Value::U64(col_u64(&srow, schema::stock::S_REMOTE_CNT)? + 1));
             }
             srv.update(txn, schema.stock, s_rid, srow)?;
             srv.insert(
@@ -274,19 +270,17 @@ pub fn payment(server: &mut DbServer, schema: &TpccSchema, rng: &mut SimRng) -> 
 
     let (_txn, committed) = with_txn(server, |srv, txn| {
         // Warehouse YTD.
-        let w_rid = one_rid(srv.lookup(schema.warehouse, ix::PK, &[Value::U64(w)])?, "warehouse")?;
+        let w_rid = one_rid(srv.lookup_first(schema.warehouse, ix::PK, &[Value::U64(w)])?, "warehouse")?;
         let mut wrow = srv.get_row(schema.warehouse, w_rid)?;
-        wrow.0[schema::warehouse::W_YTD] =
-            Value::I64(col_i64(&wrow, schema::warehouse::W_YTD)? + amount);
+        wrow.set(schema::warehouse::W_YTD, Value::I64(col_i64(&wrow, schema::warehouse::W_YTD)? + amount));
         srv.update(txn, schema.warehouse, w_rid, wrow)?;
         // District YTD.
         let d_rid = one_rid(
-            srv.lookup(schema.district, ix::PK, &[Value::U64(w), Value::U64(d)])?,
+            srv.lookup_first(schema.district, ix::PK, &[Value::U64(w), Value::U64(d)])?,
             "district",
         )?;
         let mut drow = srv.get_row(schema.district, d_rid)?;
-        drow.0[schema::district::D_YTD] =
-            Value::I64(col_i64(&drow, schema::district::D_YTD)? + amount);
+        drow.set(schema::district::D_YTD, Value::I64(col_i64(&drow, schema::district::D_YTD)? + amount));
         srv.update(txn, schema.district, d_rid, drow)?;
         // Customer: by last name (median match) or by id.
         let c_rid = if by_last_name {
@@ -297,7 +291,7 @@ pub fn payment(server: &mut DbServer, schema: &TpccSchema, rng: &mut SimRng) -> 
             )?;
             if matches.is_empty() {
                 one_rid(
-                    srv.lookup(
+                    srv.lookup_first(
                         schema.customer,
                         ix::PK,
                         &[Value::U64(c_w), Value::U64(c_d), Value::U64(c_id)],
@@ -309,7 +303,7 @@ pub fn payment(server: &mut DbServer, schema: &TpccSchema, rng: &mut SimRng) -> 
             }
         } else {
             one_rid(
-                srv.lookup(
+                srv.lookup_first(
                     schema.customer,
                     ix::PK,
                     &[Value::U64(c_w), Value::U64(c_d), Value::U64(c_id)],
@@ -319,12 +313,9 @@ pub fn payment(server: &mut DbServer, schema: &TpccSchema, rng: &mut SimRng) -> 
         };
         let mut crow = srv.get_row(schema.customer, c_rid)?;
         let real_c_id = col_u64(&crow, schema::customer::C_ID)?;
-        crow.0[schema::customer::C_BALANCE] =
-            Value::I64(col_i64(&crow, schema::customer::C_BALANCE)? - amount);
-        crow.0[schema::customer::C_YTD_PAYMENT] =
-            Value::I64(col_i64(&crow, schema::customer::C_YTD_PAYMENT)? + amount);
-        crow.0[schema::customer::C_PAYMENT_CNT] =
-            Value::U64(col_u64(&crow, schema::customer::C_PAYMENT_CNT)? + 1);
+        crow.set(schema::customer::C_BALANCE, Value::I64(col_i64(&crow, schema::customer::C_BALANCE)? - amount));
+        crow.set(schema::customer::C_YTD_PAYMENT, Value::I64(col_i64(&crow, schema::customer::C_YTD_PAYMENT)? + amount));
+        crow.set(schema::customer::C_PAYMENT_CNT, Value::U64(col_u64(&crow, schema::customer::C_PAYMENT_CNT)? + 1));
         srv.update(txn, schema.customer, c_rid, crow)?;
         // History row.
         srv.insert(
@@ -371,7 +362,7 @@ pub fn order_status(
             match matches.get(matches.len() / 2) {
                 Some(r) => *r,
                 None => one_rid(
-                    srv.lookup(
+                    srv.lookup_first(
                         schema.customer,
                         ix::PK,
                         &[Value::U64(w), Value::U64(d), Value::U64(c_id)],
@@ -381,7 +372,7 @@ pub fn order_status(
             }
         } else {
             one_rid(
-                srv.lookup(schema.customer, ix::PK, &[Value::U64(w), Value::U64(d), Value::U64(c_id)])?,
+                srv.lookup_first(schema.customer, ix::PK, &[Value::U64(w), Value::U64(d), Value::U64(c_id)])?,
                 "customer",
             )?
         };
@@ -432,7 +423,7 @@ pub fn delivery(server: &mut DbServer, schema: &TpccSchema, rng: &mut SimRng) ->
             srv.delete(txn, schema.new_order, no_rid)?;
             // The order itself.
             let o_rid = one_rid(
-                srv.lookup(
+                srv.lookup_first(
                     schema.orders,
                     ix::PK,
                     &[Value::U64(w), Value::U64(d), Value::U64(o_id)],
@@ -441,7 +432,7 @@ pub fn delivery(server: &mut DbServer, schema: &TpccSchema, rng: &mut SimRng) ->
             )?;
             let mut orow = srv.get_row(schema.orders, o_rid)?;
             let c_id = col_u64(&orow, schema::orders::O_C_ID)?;
-            orow.0[schema::orders::O_CARRIER_ID] = Value::U64(carrier);
+            orow.set(schema::orders::O_CARRIER_ID, Value::U64(carrier));
             srv.update(txn, schema.orders, o_rid, orow)?;
             // Its lines: stamp delivery time and total the amounts.
             let lines = srv.prefix_scan(
@@ -453,19 +444,17 @@ pub fn delivery(server: &mut DbServer, schema: &TpccSchema, rng: &mut SimRng) ->
             for rid in lines {
                 let mut lrow = srv.get_row(schema.order_line, rid)?;
                 total += col_i64(&lrow, schema::order_line::OL_AMOUNT)?;
-                lrow.0[schema::order_line::OL_DELIVERY_D] = Value::U64(now_micros);
+                lrow.set(schema::order_line::OL_DELIVERY_D, Value::U64(now_micros));
                 srv.update(txn, schema.order_line, rid, lrow)?;
             }
             // Credit the customer.
             let c_rid = one_rid(
-                srv.lookup(schema.customer, ix::PK, &[Value::U64(w), Value::U64(d), Value::U64(c_id)])?,
+                srv.lookup_first(schema.customer, ix::PK, &[Value::U64(w), Value::U64(d), Value::U64(c_id)])?,
                 "customer",
             )?;
             let mut crow = srv.get_row(schema.customer, c_rid)?;
-            crow.0[schema::customer::C_BALANCE] =
-                Value::I64(col_i64(&crow, schema::customer::C_BALANCE)? + total);
-            crow.0[schema::customer::C_DELIVERY_CNT] =
-                Value::U64(col_u64(&crow, schema::customer::C_DELIVERY_CNT)? + 1);
+            crow.set(schema::customer::C_BALANCE, Value::I64(col_i64(&crow, schema::customer::C_BALANCE)? + total));
+            crow.set(schema::customer::C_DELIVERY_CNT, Value::U64(col_u64(&crow, schema::customer::C_DELIVERY_CNT)? + 1));
             srv.update(txn, schema.customer, c_rid, crow)?;
         }
         Ok(true)
@@ -491,7 +480,7 @@ pub fn stock_level(
     let (_txn, committed) = with_txn(server, |srv, txn| {
         let _ = txn;
         let d_rid = one_rid(
-            srv.lookup(schema.district, ix::PK, &[Value::U64(w), Value::U64(d)])?,
+            srv.lookup_first(schema.district, ix::PK, &[Value::U64(w), Value::U64(d)])?,
             "district",
         )?;
         let drow = srv.get_row(schema.district, d_rid)?;
@@ -512,7 +501,7 @@ pub fn stock_level(
         let mut low = 0u64;
         for i_id in items {
             let s_rid = one_rid(
-                srv.lookup(schema.stock, ix::PK, &[Value::U64(w), Value::U64(i_id)])?,
+                srv.lookup_first(schema.stock, ix::PK, &[Value::U64(w), Value::U64(i_id)])?,
                 "stock",
             )?;
             let srow = srv.get_row(schema.stock, s_rid)?;

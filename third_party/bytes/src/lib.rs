@@ -1,0 +1,323 @@
+//! Minimal, API-compatible subset of the `bytes` crate.
+//!
+//! The build environment has no network access, so the handful of `bytes`
+//! APIs RecoBench uses are vendored here. `Bytes` keeps the property the
+//! engine relies on for performance: cloning and slicing are O(1)
+//! reference-count operations over one shared allocation.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Cheaply cloneable, immutable view over a shared byte buffer.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    off: usize,
+    len: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes { data: Arc::from(&[][..]), off: 0, len: 0 }
+    }
+
+    /// A buffer over static data (copied once; the real crate borrows).
+    pub fn from_static(s: &'static [u8]) -> Self {
+        Bytes::from(s.to_vec())
+    }
+
+    /// Copies a slice into a new buffer.
+    pub fn copy_from_slice(s: &[u8]) -> Self {
+        Bytes::from(s.to_vec())
+    }
+
+    /// Length of the view.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bytes left (Buf-style alias of `len`).
+    pub fn remaining(&self) -> usize {
+        self.len
+    }
+
+    /// Splits off and returns the first `n` bytes; `self` keeps the rest.
+    /// O(1): both views share the allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > len`.
+    pub fn split_to(&mut self, n: usize) -> Bytes {
+        assert!(n <= self.len, "split_to out of range");
+        let head = Bytes { data: Arc::clone(&self.data), off: self.off, len: n };
+        self.off += n;
+        self.len -= n;
+        head
+    }
+
+    /// Drops the first `n` bytes of the view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > len`.
+    pub fn advance(&mut self, n: usize) {
+        assert!(n <= self.len, "advance out of range");
+        self.off += n;
+        self.len -= n;
+    }
+
+    /// O(1) sub-view of `range` (only `start..end` forms are supported).
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        assert!(range.start <= range.end && range.end <= self.len, "slice out of range");
+        Bytes { data: Arc::clone(&self.data), off: self.off + range.start, len: range.end - range.start }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> &[u8] {
+        assert!(self.len >= n, "buffer exhausted reading {what}");
+        let s = &self.data[self.off..self.off + n];
+        self.off += n;
+        self.len -= n;
+        s
+    }
+
+    /// Reads a `u8`, advancing.
+    pub fn get_u8(&mut self) -> u8 {
+        self.take(1, "u8")[0]
+    }
+
+    /// Reads a big-endian `u16`, advancing.
+    pub fn get_u16(&mut self) -> u16 {
+        u16::from_be_bytes(self.take(2, "u16").try_into().unwrap())
+    }
+
+    /// Reads a big-endian `u32`, advancing.
+    pub fn get_u32(&mut self) -> u32 {
+        u32::from_be_bytes(self.take(4, "u32").try_into().unwrap())
+    }
+
+    /// Reads a big-endian `u64`, advancing.
+    pub fn get_u64(&mut self) -> u64 {
+        u64::from_be_bytes(self.take(8, "u64").try_into().unwrap())
+    }
+
+    /// Reads a big-endian `i64`, advancing.
+    pub fn get_i64(&mut self) -> i64 {
+        i64::from_be_bytes(self.take(8, "i64").try_into().unwrap())
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.off..self.off + self.len]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let len = v.len();
+        Bytes { data: Arc::from(v), off: 0, len }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Self {
+        Bytes::from(s.to_vec())
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Self {
+        Bytes::from(s.into_bytes())
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.iter() {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        &self[..] == other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        &self[..] == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self[..].hash(state);
+    }
+}
+
+impl IntoIterator for Bytes {
+    type Item = u8;
+    type IntoIter = std::vec::IntoIter<u8>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.to_vec().into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Bytes {
+    type Item = &'a u8;
+    type IntoIter = std::slice::Iter<'a, u8>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.deref().iter()
+    }
+}
+
+/// Growable byte buffer that freezes into [`Bytes`].
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    vec: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut { vec: Vec::new() }
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut { vec: Vec::with_capacity(cap) }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.vec.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.vec.is_empty()
+    }
+
+    /// Appends a `u8`.
+    pub fn put_u8(&mut self, v: u8) {
+        self.vec.push(v);
+    }
+
+    /// Appends a big-endian `u16`.
+    pub fn put_u16(&mut self, v: u16) {
+        self.vec.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.vec.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.vec.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `i64`.
+    pub fn put_i64(&mut self, v: i64) {
+        self.vec.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a slice.
+    pub fn put_slice(&mut self, s: &[u8]) {
+        self.vec.extend_from_slice(s);
+    }
+
+    /// Converts into an immutable [`Bytes`] without copying.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.vec)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.vec
+    }
+}
+
+/// Read-cursor trait marker (methods live inherently on [`Bytes`]).
+pub trait Buf {}
+impl Buf for Bytes {}
+
+/// Write-cursor trait marker (methods live inherently on [`BytesMut`]).
+pub trait BufMut {}
+impl BufMut for BytesMut {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_and_advance_share_storage() {
+        let mut b = Bytes::from(vec![1, 2, 3, 4, 5]);
+        let head = b.split_to(2);
+        assert_eq!(head.as_ref(), &[1, 2]);
+        assert_eq!(b.as_ref(), &[3, 4, 5]);
+        b.advance(1);
+        assert_eq!(b.as_ref(), &[4, 5]);
+    }
+
+    #[test]
+    fn scalar_reads_advance() {
+        let mut m = BytesMut::new();
+        m.put_u8(7);
+        m.put_u16(300);
+        m.put_u32(70_000);
+        m.put_u64(u64::MAX);
+        m.put_i64(-42);
+        let mut b = m.freeze();
+        assert_eq!(b.get_u8(), 7);
+        assert_eq!(b.get_u16(), 300);
+        assert_eq!(b.get_u32(), 70_000);
+        assert_eq!(b.get_u64(), u64::MAX);
+        assert_eq!(b.get_i64(), -42);
+        assert_eq!(b.remaining(), 0);
+    }
+
+    #[test]
+    fn equality_and_debug() {
+        let a = Bytes::from_static(b"abc");
+        let b = Bytes::from(vec![b'a', b'b', b'c']);
+        assert_eq!(a, b);
+        assert_eq!(format!("{a:?}"), "b\"abc\"");
+    }
+}

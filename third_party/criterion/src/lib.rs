@@ -1,0 +1,260 @@
+//! Minimal, API-compatible subset of `criterion`.
+//!
+//! The build environment has no network access, so the benchmark harness
+//! surface RecoBench uses is vendored here. Unlike the serde stub this one
+//! does real work: each benchmark is warmed up and then timed with
+//! `std::time::Instant` over enough iterations to get a stable per-iter
+//! figure, printed as `group/name  time: <t>` (plus throughput when
+//! configured). There is no statistical analysis, HTML report, or
+//! comparison to saved baselines.
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped (accepted for API compatibility; every
+/// batch holds a single input).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Per-iteration throughput used to derive rate output.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Prevents the optimizer from discarding a computed value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level harness handle; created by `criterion_group!`.
+pub struct Criterion {
+    warm_up: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(150),
+            measure: Duration::from_millis(400),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Times a standalone benchmark (no group).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let (per_iter, iters) = run_bench(self.warm_up, self.measure, &mut f);
+        report(name, per_iter, iters, None);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility; the stub sizes runs by wall-clock.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measure = d;
+        self
+    }
+
+    /// Times one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let (per_iter, iters) = run_bench(self.criterion.warm_up, self.criterion.measure, &mut f);
+        report(&format!("{}/{}", self.name, name), per_iter, iters, self.throughput);
+        self
+    }
+
+    /// Ends the group (prints nothing; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(warm_up: Duration, measure: Duration, f: &mut F) -> (f64, u64) {
+    // Warm-up pass: also discovers roughly how long one invocation takes.
+    let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+    let warm_start = Instant::now();
+    let mut calls = 0u64;
+    while warm_start.elapsed() < warm_up || calls == 0 {
+        f(&mut b);
+        calls += 1;
+        if b.elapsed > warm_up {
+            break;
+        }
+    }
+
+    // Measurement: repeat until the measurement budget is spent.
+    let mut total = Duration::ZERO;
+    let mut iters = 0u64;
+    while total < measure {
+        b.elapsed = Duration::ZERO;
+        f(&mut b);
+        total += b.elapsed;
+        iters += b.iters;
+        if b.elapsed.is_zero() {
+            // Timer resolution floor: count the iterations anyway.
+            total += Duration::from_nanos(1);
+        }
+    }
+    (total.as_secs_f64() / iters.max(1) as f64, iters)
+}
+
+fn report(name: &str, per_iter_secs: f64, iters: u64, throughput: Option<Throughput>) {
+    let time = fmt_time(per_iter_secs);
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) => {
+            format!("  thrpt: {}/s", fmt_bytes(n as f64 / per_iter_secs))
+        }
+        Some(Throughput::Elements(n)) => {
+            format!("  thrpt: {:.2} Melem/s", n as f64 / per_iter_secs / 1e6)
+        }
+        None => String::new(),
+    };
+    println!("{name:<40} time: {time:>12}  iters: {iters}{rate}");
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} us", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+fn fmt_bytes(rate: f64) -> String {
+    if rate >= 1e9 {
+        format!("{:.2} GiB", rate / (1u64 << 30) as f64)
+    } else if rate >= 1e6 {
+        format!("{:.2} MiB", rate / (1u64 << 20) as f64)
+    } else {
+        format!("{:.2} KiB", rate / 1024.0)
+    }
+}
+
+/// Timing context handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over an adaptively chosen number of iterations.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Size the batch so one call to `iter` costs ~1ms minimum.
+        let probe_start = Instant::now();
+        black_box(routine());
+        let probe = probe_start.elapsed().max(Duration::from_nanos(20));
+        let batch = (Duration::from_millis(1).as_nanos() / probe.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let start = Instant::now();
+        for _ in 0..batch {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = batch + 1;
+        self.elapsed += probe;
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time excluded.
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        let mut elapsed = Duration::ZERO;
+        let mut iters = 0u64;
+        // A handful of timed runs per call; outer loop adds more as needed.
+        while iters < 4 && elapsed < Duration::from_millis(2) {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            elapsed += start.elapsed();
+            iters += 1;
+        }
+        self.elapsed = elapsed;
+        self.iters = iters;
+    }
+}
+
+/// Declares a benchmark group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_measures_something() {
+        let mut c = Criterion {
+            warm_up: Duration::from_millis(5),
+            measure: Duration::from_millis(10),
+        };
+        let mut g = c.benchmark_group("t");
+        g.throughput(Throughput::Bytes(8));
+        g.bench_function("add", |b| b.iter(|| black_box(1u64) + 1));
+        g.finish();
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_input() {
+        let mut c = Criterion {
+            warm_up: Duration::from_millis(1),
+            measure: Duration::from_millis(5),
+        };
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::LargeInput)
+        });
+    }
+}

@@ -1,0 +1,549 @@
+//! Minimal, API-compatible subset of `proptest`.
+//!
+//! The build environment has no network access, so the slice of proptest
+//! RecoBench's property tests use is vendored here: strategies (`Just`,
+//! ranges, tuples, simple `[a-z]{m,n}` regex classes, `collection::vec`,
+//! `option::of`, `prop_oneof!`), `any::<T>()`, and the `proptest!` test
+//! macro. Cases are generated from a deterministic per-test RNG; there is
+//! no shrinking — a failing case panics with the generated inputs printed
+//! by the assertion itself.
+
+pub mod test_runner {
+    /// Deterministic 64-bit RNG (SplitMix64) used to generate cases.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// A generator seeded from the test name, so every test draws an
+        /// independent but reproducible stream.
+        pub fn deterministic(label: &str) -> Self {
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in label.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Next raw 64-bit draw.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw in `[0, n)`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `n == 0`.
+        pub fn below(&mut self, n: u64) -> u64 {
+            assert!(n > 0, "below(0)");
+            self.next_u64() % n
+        }
+    }
+
+    /// Runner configuration; only `cases` is consulted.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases each test runs.
+        pub cases: u32,
+        /// Accepted for API compatibility; shrinking is not implemented.
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256, max_shrink_iters: 0 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases, ..Default::default() }
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type (named `Value` to match proptest).
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(move |rng: &mut TestRng| self.generate(rng)))
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<V>(Box<dyn Fn(&mut TestRng) -> V>);
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            (self.0)(rng)
+        }
+    }
+
+    /// Always generates a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// [`Strategy::prop_map`] adapter.
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Weighted choice between boxed strategies (`prop_oneof!`).
+    pub struct Union<V> {
+        arms: Vec<(u32, BoxedStrategy<V>)>,
+        total: u64,
+    }
+
+    impl<V> Union<V> {
+        /// Builds from `(weight, strategy)` arms.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `arms` is empty or all weights are zero.
+        pub fn new(arms: Vec<(u32, BoxedStrategy<V>)>) -> Self {
+            let total: u64 = arms.iter().map(|(w, _)| *w as u64).sum();
+            assert!(total > 0, "prop_oneof! needs at least one positively weighted arm");
+            Union { arms, total }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let mut pick = rng.below(self.total);
+            for (w, s) in &self.arms {
+                if pick < *w as u64 {
+                    return s.generate(rng);
+                }
+                pick -= *w as u64;
+            }
+            unreachable!("weights sum covered above")
+        }
+    }
+
+    /// Integer types uniformly samplable from ranges.
+    pub trait SampleUniform: Copy {
+        /// Uniform draw from `[lo, hi)` in u64 space.
+        fn sample(rng: &mut TestRng, lo: Self, hi_exclusive: Self) -> Self;
+    }
+
+    macro_rules! impl_sample_uint {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+                    assert!(lo < hi, "empty range");
+                    let span = (hi as u64).wrapping_sub(lo as u64);
+                    (lo as u64).wrapping_add(rng.below(span)) as $t
+                }
+            }
+        )*};
+    }
+    impl_sample_uint!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_sample_int {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+                    assert!(lo < hi, "empty range");
+                    let span = (hi as i64).wrapping_sub(lo as i64) as u64;
+                    (lo as i64).wrapping_add(rng.below(span) as i64) as $t
+                }
+            }
+        )*};
+    }
+    impl_sample_int!(i8, i16, i32, i64, isize);
+
+    impl<T: SampleUniform> Strategy for std::ops::Range<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::sample(rng, self.start, self.end)
+        }
+    }
+
+    impl<T: SampleUniform + num_helpers::StepUp> Strategy for std::ops::RangeInclusive<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let (lo, hi) = (*self.start(), *self.end());
+            match hi.step_up() {
+                Some(hi1) => T::sample(rng, lo, hi1),
+                // `hi` is the type maximum; widen by sampling then clamping.
+                None => {
+                    if rng.below(2) == 0 {
+                        hi
+                    } else {
+                        T::sample(rng, lo, hi)
+                    }
+                }
+            }
+        }
+    }
+
+    mod num_helpers {
+        /// `checked_add(1)` abstraction for inclusive ranges.
+        pub trait StepUp: Sized + Copy {
+            fn step_up(self) -> Option<Self>;
+        }
+        macro_rules! impl_step {
+            ($($t:ty),*) => {$(
+                impl StepUp for $t {
+                    fn step_up(self) -> Option<Self> {
+                        self.checked_add(1)
+                    }
+                }
+            )*};
+        }
+        impl_step!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+    }
+
+    /// `&'static str` regex strategies: only the `[class]{m,n}` shape the
+    /// tests use is supported.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let (chars, lo, hi) = parse_class_repeat(self);
+            let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+            (0..len).map(|_| chars[rng.below(chars.len() as u64) as usize]).collect()
+        }
+    }
+
+    fn parse_class_repeat(pat: &str) -> (Vec<char>, usize, usize) {
+        let bytes: Vec<char> = pat.chars().collect();
+        assert!(
+            bytes.first() == Some(&'['),
+            "unsupported regex strategy {pat:?}: only [class]{{m,n}} is implemented"
+        );
+        let close = bytes.iter().position(|&c| c == ']').expect("unterminated char class");
+        let class = &bytes[1..close];
+        let mut chars = Vec::new();
+        let mut i = 0;
+        while i < class.len() {
+            if i + 2 < class.len() && class[i + 1] == '-' {
+                let (a, b) = (class[i] as u32, class[i + 2] as u32);
+                assert!(a <= b, "inverted class range in {pat:?}");
+                chars.extend((a..=b).filter_map(char::from_u32));
+                i += 3;
+            } else {
+                chars.push(class[i]);
+                i += 1;
+            }
+        }
+        assert!(!chars.is_empty(), "empty char class in {pat:?}");
+        let rest: String = bytes[close + 1..].iter().collect();
+        let inner = rest
+            .strip_prefix('{')
+            .and_then(|r| r.strip_suffix('}'))
+            .unwrap_or_else(|| panic!("unsupported repetition in {pat:?}"));
+        let (lo, hi) = match inner.split_once(',') {
+            Some((a, b)) => (a.trim().parse().unwrap(), b.trim().parse().unwrap()),
+            None => {
+                let n = inner.trim().parse().unwrap();
+                (n, n)
+            }
+        };
+        assert!(lo <= hi, "inverted repetition in {pat:?}");
+        (chars, lo, hi)
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Generates an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            // Uniform in [0, 1): full-domain floats are rarely useful.
+            (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    /// The `any::<T>()` strategy.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Full-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Element-count range for [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi_inclusive: r.end - 1 }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi_inclusive: *r.end() }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi_inclusive: n }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy over `element` with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi_inclusive - self.size.lo + 1) as u64;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `Option<S::Value>` (10% `None`, like proptest's
+    /// default weighting).
+    pub struct OptionStrategy<S>(S);
+
+    /// `Option` strategy over `inner`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(10) == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+}
+
+/// Runs each contained `#[test] fn name(arg in strategy, ...)` over
+/// `cases` generated inputs (no shrinking).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@expand ($cfg); $($rest)*);
+    };
+    (@expand ($cfg:expr); $($(#[$meta:meta])* fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+                for _case in 0..cfg.cases {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@expand ($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Weighted (`w => strategy`) or uniform choice between strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property (no shrinking: plain assert).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Namespace alias matching `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn deterministic_rng_reproduces() {
+        let mut a = TestRng::deterministic("x");
+        let mut b = TestRng::deterministic("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn class_regex_respects_bounds() {
+        let mut rng = TestRng::deterministic("regex");
+        for _ in 0..100 {
+            let s = Strategy::generate(&"[ -~]{0,40}", &mut rng);
+            assert!(s.len() <= 40);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 10u64..20, y in 1usize..=3) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((1..=3).contains(&y));
+        }
+
+        #[test]
+        fn oneof_vec_and_option_compose(
+            v in crate::collection::vec(prop_oneof![2 => Just(1u8), 1 => Just(2u8)], 1..10),
+            o in crate::option::of(0u32..5),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 10);
+            prop_assert!(v.iter().all(|&b| b == 1 || b == 2));
+            if let Some(x) = o {
+                prop_assert!(x < 5);
+            }
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! No-op stand-in for `serde`.
+//!
+//! RecoBench derives `Serialize`/`Deserialize` on its public result types
+//! as a forward-compatibility affordance, but nothing in the workspace
+//! actually serializes through serde (JSON reports are emitted by hand).
+//! The build environment has no network access, so this vendored crate
+//! supplies the two trait names and derive macros as empty shells. If a
+//! real serializer is ever needed, replace this with the actual crate.
+
+/// Marker trait; the derive emits no implementation and nothing bounds on
+/// this trait.
+pub trait Serialize {}
+
+/// Marker trait; the derive emits no implementation and nothing bounds on
+/// this trait.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,15 @@
+//! No-op `Serialize`/`Deserialize` derives: the annotated types gain no
+//! impls, which is fine because nothing in the workspace bounds on the
+//! serde traits (see the vendored `serde` crate's docs).
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
