@@ -8,37 +8,33 @@
 //! writes, which costs throughput — and recovery gets slower too, because
 //! restore and redo-apply compete with themselves.
 
-use recobench_bench::{unwrap_outcome, Cli};
+use recobench_bench::BenchCli;
 use recobench_core::report::Table;
-use recobench_core::{run_campaign, Experiment, RecoveryConfig};
+use recobench_core::Experiment;
 use recobench_engine::DiskLayout;
 use recobench_faults::FaultType;
 
 fn main() {
-    let cli = Cli::parse();
+    let cli = BenchCli::parse();
     let configs = if cli.quick {
-        vec![RecoveryConfig::named("F10G3T5").unwrap()]
+        cli.named_configs(&["F10G3T5"])
     } else {
-        vec![
-            RecoveryConfig::named("F40G3T10").unwrap(),
-            RecoveryConfig::named("F10G3T5").unwrap(),
-            RecoveryConfig::named("F1G3T1").unwrap(),
-        ]
+        cli.named_configs(&["F40G3T10", "F10G3T5", "F1G3T1"])
     };
     let duration = if cli.quick { 240 } else { 600 };
     let trigger = duration / 2;
 
-    let mut experiments = Vec::new();
+    let mut spec = cli.campaign();
     for c in &configs {
         for layout in [DiskLayout::four_disk(), DiskLayout::single_disk()] {
-            experiments.push(
+            spec.push(
                 Experiment::builder(c.clone())
                     .duration_secs(duration)
                     .layout(layout.clone())
                     .seed(cli.seed)
                     .build(),
             );
-            experiments.push(
+            spec.push(
                 Experiment::builder(c.clone())
                     .duration_secs(duration)
                     .layout(layout)
@@ -48,7 +44,7 @@ fn main() {
             );
         }
     }
-    let results = run_campaign(experiments, cli.threads);
+    let results = spec.run_all();
 
     let mut table = Table::new(vec![
         "Config",
@@ -61,10 +57,7 @@ fn main() {
     .title("Ablation — correct vs. collapsed disk layout");
     for (i, c) in configs.iter().enumerate() {
         let chunk = &results[i * 4..(i + 1) * 4];
-        let perf4 = unwrap_outcome(chunk[0].clone());
-        let rec4 = unwrap_outcome(chunk[1].clone());
-        let perf1 = unwrap_outcome(chunk[2].clone());
-        let rec1 = unwrap_outcome(chunk[3].clone());
+        let (perf4, rec4, perf1, rec1) = (&chunk[0], &chunk[1], &chunk[2], &chunk[3]);
         let loss =
             100.0 * (perf4.measures.tpmc - perf1.measures.tpmc) / perf4.measures.tpmc.max(1.0);
         table.row(vec![

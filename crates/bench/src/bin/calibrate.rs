@@ -2,32 +2,17 @@
 //! prints the emergent quantities (tpmC, redo rate, log switches) next to
 //! the paper's references, so the cost-model constants can be tuned.
 
-use recobench_bench::{unwrap_outcome, Cli};
+use recobench_bench::BenchCli;
 use recobench_core::report::Table;
-use recobench_core::{run_campaign, Experiment, RecoveryConfig};
 
 fn main() {
-    let cli = Cli::parse();
-    let configs = if cli.quick {
-        vec![
-            RecoveryConfig::named("F400G3T20").unwrap(),
-            RecoveryConfig::named("F40G3T10").unwrap(),
-            RecoveryConfig::named("F1G3T1").unwrap(),
-        ]
-    } else {
-        RecoveryConfig::table3()
-    };
-    let experiments: Vec<Experiment> = configs
-        .iter()
-        .map(|c| {
-            Experiment::builder(c.clone())
-                .archive_logs(false)
-                .duration_secs(cli.duration())
-                .seed(cli.seed)
-                .build()
-        })
-        .collect();
-    let results = run_campaign(experiments, cli.threads);
+    let cli = BenchCli::parse();
+    let configs = cli.table3_or(&["F400G3T20", "F40G3T10", "F1G3T1"]);
+    let mut spec = cli.campaign();
+    for c in &configs {
+        spec.push(cli.baseline(c, false));
+    }
+    let results = spec.run_all();
 
     let mut table = Table::new(vec![
         "Config",
@@ -40,8 +25,7 @@ fn main() {
         "errors",
     ])
     .title("Calibration: fault-free runs (archive off)");
-    for (config, r) in configs.iter().zip(results) {
-        let o = unwrap_outcome(r);
+    for (config, o) in configs.iter().zip(&results) {
         let m = &o.measures;
         let secs = cli.duration() as f64;
         table.row(vec![

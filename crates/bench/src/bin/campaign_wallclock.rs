@@ -20,8 +20,8 @@
 
 use std::time::Instant;
 
-use recobench_bench::Cli;
-use recobench_core::{run_campaign, Experiment, RecoveryConfig};
+use recobench_bench::BenchCli;
+use recobench_core::{Campaign, Experiment, RecoveryConfig};
 use recobench_engine::codec::Writer;
 use recobench_engine::redo::{RedoOp, RedoRecord};
 use recobench_engine::row::{encode_key, encode_key_into, Row, Value};
@@ -47,20 +47,15 @@ impl Mode {
 }
 
 fn main() {
-    let cli = Cli::parse();
-    let args: Vec<String> = std::env::args().collect();
-    let mode = if args.iter().any(|a| a == "--smoke") {
+    let cli = BenchCli::parse();
+    let mode = if cli.smoke {
         Mode::Smoke
-    } else if args.iter().any(|a| a == "--full") {
+    } else if cli.full {
         Mode::Full
     } else {
         Mode::Mini
     };
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1).cloned())
-        .unwrap_or_else(|| "BENCH_campaign.json".to_string());
+    let out_path = cli.out_path("BENCH_campaign.json");
 
     let experiments = build_campaign(mode, cli.seed);
     let n = experiments.len();
@@ -72,9 +67,9 @@ fn main() {
     eprintln!("campaign_wallclock: mode={} experiments={n} threads={threads}", mode.name());
 
     let start = Instant::now();
-    let results = run_campaign(experiments, threads);
+    let report = Campaign::new(experiments).threads(threads).run();
     let wall = start.elapsed().as_secs_f64();
-    let failures = results.iter().filter(|r| r.is_err()).count();
+    let failures = report.failures().count();
     assert_eq!(failures, 0, "campaign had setup failures");
 
     let micro = micro_timings();

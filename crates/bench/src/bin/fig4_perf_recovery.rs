@@ -9,33 +9,27 @@
 //! frequent, and a short checkpoint *timeout* buys short recovery even
 //! with big log files (F400G3T1).
 
-use recobench_bench::{perf_experiment, unwrap_outcome, Cli};
+use recobench_bench::BenchCli;
 use recobench_core::report::{bar, Table};
-use recobench_core::{run_campaign, Experiment, RecoveryConfig};
+use recobench_core::Experiment;
 use recobench_faults::FaultType;
 
 fn main() {
-    let cli = Cli::parse();
-    let configs = if cli.quick {
-        vec![
-            RecoveryConfig::named("F400G3T20").unwrap(),
-            RecoveryConfig::named("F40G3T10").unwrap(),
-            RecoveryConfig::named("F1G3T1").unwrap(),
-        ]
-    } else {
-        RecoveryConfig::table3()
-    };
+    let cli = BenchCli::parse();
+    let configs = cli.table3_or(&["F400G3T20", "F40G3T10", "F1G3T1"]);
     let triggers = cli.triggers();
 
     // Baseline throughput runs plus one crash per trigger instant.
     // Crash recovery completes within a couple of minutes, so the fault
     // runs are truncated shortly after the trigger (the measures are
     // complete by then); baselines run the full 20 minutes.
-    let mut experiments: Vec<Experiment> = Vec::new();
+    let mut spec = cli.campaign();
     for c in &configs {
-        experiments.push(perf_experiment(&cli, c, false));
+        spec.push(cli.baseline(c, false));
         for &t in &triggers {
-            experiments.push(
+            // Figure 4 studies the *basic* mechanism, so archive mode is
+            // off — not the `fault_run` default.
+            spec.push(
                 Experiment::builder(c.clone())
                     .archive_logs(false)
                     .duration_secs((t + 240).min(cli.duration() + t))
@@ -45,7 +39,7 @@ fn main() {
             );
         }
     }
-    let results = run_campaign(experiments, cli.threads);
+    let results = spec.run_all();
 
     let per_config = 1 + triggers.len();
     let mut header = vec!["Config".to_string(), "tpmC".to_string()];
@@ -61,8 +55,8 @@ fn main() {
     let mut rows_raw = Vec::new();
     for (i, c) in configs.iter().enumerate() {
         let chunk = &results[i * per_config..(i + 1) * per_config];
-        let perf = unwrap_outcome(chunk[0].clone());
-        let recs: Vec<_> = chunk[1..].iter().map(|r| unwrap_outcome(r.clone())).collect();
+        let perf = chunk[0].clone();
+        let recs: Vec<_> = chunk[1..].to_vec();
         max_tpmc = max_tpmc.max(perf.measures.tpmc);
         rows_raw.push((c.clone(), perf, recs));
     }

@@ -5,19 +5,18 @@
 //! Expected shape (paper §5.2): a *moderate* performance impact — "the
 //! archive log option must always be activated".
 
-use recobench_bench::{perf_experiment, unwrap_outcome, Cli};
+use recobench_bench::BenchCli;
 use recobench_core::report::{bar, Table};
-use recobench_core::{run_campaign, Experiment};
 
 fn main() {
-    let cli = Cli::parse();
+    let cli = BenchCli::parse();
     let configs = cli.archive_configs();
-    let mut experiments: Vec<Experiment> = Vec::new();
+    let mut spec = cli.campaign();
     for c in &configs {
-        experiments.push(perf_experiment(&cli, c, false));
-        experiments.push(perf_experiment(&cli, c, true));
+        spec.push(cli.baseline(c, false));
+        spec.push(cli.baseline(c, true));
     }
-    let results = run_campaign(experiments, cli.threads);
+    let results = spec.run_all();
 
     let mut table = Table::new(vec![
         "Config",
@@ -28,14 +27,11 @@ fn main() {
     ])
     .title("Figure 5 — performance with and without archive logs");
     let mut max_tpmc: f64 = 1.0;
-    let pairs: Vec<_> = results
-        .chunks(2)
-        .map(|ch| (unwrap_outcome(ch[0].clone()), unwrap_outcome(ch[1].clone())))
-        .collect();
+    let pairs: Vec<_> = results.chunks(2).map(|ch| (&ch[0], &ch[1])).collect();
     for (off, _) in &pairs {
         max_tpmc = max_tpmc.max(off.measures.tpmc);
     }
-    for (c, (off, on)) in configs.iter().zip(&pairs) {
+    for (c, &(off, on)) in configs.iter().zip(&pairs) {
         let impact = 100.0 * (off.measures.tpmc - on.measures.tpmc) / off.measures.tpmc.max(1.0);
         table.row(vec![
             c.name.clone(),

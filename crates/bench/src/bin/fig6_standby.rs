@@ -7,22 +7,22 @@
 //! near-constant and much shorter than single-datafile media recovery of
 //! the same fault at the same instant.
 
-use recobench_bench::{perf_experiment, unwrap_outcome, Cli};
+use recobench_bench::BenchCli;
 use recobench_core::report::{bar, Table};
-use recobench_core::{run_campaign, Experiment};
+use recobench_core::Experiment;
 use recobench_faults::FaultType;
 
 fn main() {
-    let cli = Cli::parse();
+    let cli = BenchCli::parse();
     let configs = cli.archive_configs();
-    let trigger = if cli.quick { 100 } else { 600 };
+    let trigger = cli.single_trigger(600);
     let tail = 420;
 
-    let mut experiments: Vec<Experiment> = Vec::new();
+    let mut spec = cli.campaign();
     for c in &configs {
         // tpmC lines: archive only, then archive + stand-by.
-        experiments.push(perf_experiment(&cli, c, true));
-        experiments.push(
+        spec.push(cli.baseline(c, true));
+        spec.push(
             Experiment::builder(c.clone())
                 .archive_logs(true)
                 .standby(true)
@@ -32,15 +32,8 @@ fn main() {
         );
         // Recovery bars: delete datafile at 600 s — archive media recovery
         // versus stand-by fail-over.
-        experiments.push(
-            Experiment::builder(c.clone())
-                .archive_logs(true)
-                .duration_secs(trigger + tail)
-                .fault(FaultType::DeleteDatafile, trigger)
-                .seed(cli.seed)
-                .build(),
-        );
-        experiments.push(
+        spec.push(cli.fault_run(c, FaultType::DeleteDatafile, trigger, tail));
+        spec.push(
             Experiment::builder(c.clone())
                 .archive_logs(true)
                 .standby(true)
@@ -50,7 +43,7 @@ fn main() {
                 .build(),
         );
     }
-    let results = run_campaign(experiments, cli.threads);
+    let results = spec.run_all();
 
     let mut table = Table::new(vec![
         "Config",
@@ -63,10 +56,7 @@ fn main() {
     .title("Figure 6 — performance and recovery time with archive logs and stand-by database");
     for (i, c) in configs.iter().enumerate() {
         let chunk = &results[i * 4..(i + 1) * 4];
-        let perf_arch = unwrap_outcome(chunk[0].clone());
-        let perf_sb = unwrap_outcome(chunk[1].clone());
-        let rec_arch = unwrap_outcome(chunk[2].clone());
-        let rec_sb = unwrap_outcome(chunk[3].clone());
+        let (perf_arch, perf_sb, rec_arch, rec_sb) = (&chunk[0], &chunk[1], &chunk[2], &chunk[3]);
         table.row(vec![
             c.name.clone(),
             format!("{:.0}", perf_arch.measures.tpmc),

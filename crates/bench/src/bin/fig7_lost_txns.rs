@@ -12,32 +12,28 @@
 //! with the redo file size, and only weakly with the group count — is a
 //! statement about that average.
 
-use recobench_bench::{unwrap_outcome, Cli};
+use recobench_bench::BenchCli;
 use recobench_core::report::{bar, Table};
-use recobench_core::{run_campaign, Experiment, RecoveryConfig};
+use recobench_core::{Experiment, RecoveryConfig};
 use recobench_faults::FaultType;
 
 fn main() {
-    let cli = Cli::parse();
-    let sizes: &[u64] = if cli.quick { &[1, 10] } else { &[1, 10, 40] };
-    let groups: &[u32] = if cli.quick { &[3] } else { &[2, 3, 6] };
-    let trigger = if cli.quick { 100 } else { 600 };
-    let seeds: Vec<u64> = if cli.quick {
-        vec![cli.seed]
-    } else {
-        (0..5).map(|i| cli.seed + 101 * i).collect()
-    };
+    let cli = BenchCli::parse();
+    let sizes: Vec<u64> = cli.pick(&[1, 10], &[1, 10, 40]);
+    let groups: Vec<u32> = cli.pick(&[3], &[2, 3, 6]);
+    let trigger = cli.single_trigger(600);
+    let seeds = cli.seeds(5);
 
     let mut configs = Vec::new();
-    for &f in sizes {
-        for &g in groups {
+    for &f in &sizes {
+        for &g in &groups {
             configs.push(RecoveryConfig::new(f, g, 60));
         }
     }
-    let mut experiments: Vec<Experiment> = Vec::new();
+    let mut spec = cli.campaign();
     for c in &configs {
         for &seed in &seeds {
-            experiments.push(
+            spec.push(
                 Experiment::builder(c.clone())
                     .archive_logs(true)
                     .standby(true)
@@ -48,7 +44,7 @@ fn main() {
             );
         }
     }
-    let results = run_campaign(experiments, cli.threads);
+    let results = spec.run_all();
 
     struct RowData {
         mean: f64,
@@ -59,12 +55,8 @@ fn main() {
     let mut rows = Vec::new();
     for (i, _c) in configs.iter().enumerate() {
         let chunk = &results[i * seeds.len()..(i + 1) * seeds.len()];
-        let losts: Vec<u64> =
-            chunk.iter().map(|r| unwrap_outcome(r.clone()).measures.lost_transactions).collect();
-        let recovery = chunk
-            .iter()
-            .filter_map(|r| unwrap_outcome(r.clone()).measures.recovery_time_secs)
-            .sum::<f64>()
+        let losts: Vec<u64> = chunk.iter().map(|o| o.measures.lost_transactions).collect();
+        let recovery = chunk.iter().filter_map(|o| o.measures.recovery_time_secs).sum::<f64>()
             / seeds.len() as f64;
         rows.push(RowData {
             mean: losts.iter().sum::<u64>() as f64 / losts.len() as f64,

@@ -3,25 +3,17 @@
 //! 20-minute experiment (an emergent quantity — it falls out of the redo
 //! generation rate and the log-switch stall feedback, not a formula).
 
-use recobench_bench::{perf_experiment, unwrap_outcome, Cli};
+use recobench_bench::BenchCli;
 use recobench_core::report::Table;
-use recobench_core::{run_campaign, RecoveryConfig};
 
 fn main() {
-    let cli = Cli::parse();
-    let configs = if cli.quick {
-        vec![
-            RecoveryConfig::named("F400G3T20").unwrap(),
-            RecoveryConfig::named("F100G3T10").unwrap(),
-            RecoveryConfig::named("F40G3T10").unwrap(),
-            RecoveryConfig::named("F10G3T5").unwrap(),
-            RecoveryConfig::named("F1G3T1").unwrap(),
-        ]
-    } else {
-        RecoveryConfig::table3()
-    };
-    let experiments = configs.iter().map(|c| perf_experiment(&cli, c, false)).collect();
-    let results = run_campaign(experiments, cli.threads);
+    let cli = BenchCli::parse();
+    let configs = cli.table3_or(&["F400G3T20", "F100G3T10", "F40G3T10", "F10G3T5", "F1G3T1"]);
+    let mut spec = cli.campaign();
+    for c in &configs {
+        spec.push(cli.baseline(c, false));
+    }
+    let results = spec.run_all();
 
     let scale = 1_200.0 / cli.duration() as f64; // quick runs extrapolate
     let mut table = Table::new(vec![
@@ -33,8 +25,7 @@ fn main() {
         "# CKPT (paper)",
     ])
     .title("Table 3 — recovery configurations and checkpoints per 20-min experiment");
-    for (c, r) in configs.iter().zip(results) {
-        let o = unwrap_outcome(r);
+    for (c, o) in configs.iter().zip(&results) {
         table.row(vec![
             c.name.clone(),
             format!("{} MB", c.redo_file_mb),

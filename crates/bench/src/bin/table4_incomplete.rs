@@ -12,33 +12,27 @@
 //! * a small number of committed transactions is lost (the stop point
 //!   sits a moment before the fault), but integrity is never violated.
 
-use recobench_bench::{unwrap_outcome, Cli};
+use recobench_bench::BenchCli;
 use recobench_core::report::Table;
-use recobench_core::{run_campaign, Experiment};
 use recobench_faults::FaultType;
 
 fn main() {
-    let cli = Cli::parse();
+    let cli = BenchCli::parse();
     let configs = cli.archive_configs();
     let triggers = cli.triggers();
     let faults = [FaultType::DeleteUsersObject, FaultType::DeleteTablespace];
 
-    let mut experiments: Vec<Experiment> = Vec::new();
+    // Incomplete recovery can run long (the "> 600" cells), so these
+    // keep the full experiment duration rather than a truncated tail.
+    let mut spec = cli.campaign();
     for f in faults {
         for c in &configs {
             for &t in &triggers {
-                experiments.push(
-                    Experiment::builder(c.clone())
-                        .archive_logs(true)
-                        .duration_secs(cli.duration())
-                        .fault(f, t)
-                        .seed(cli.seed)
-                        .build(),
-                );
+                spec.push(cli.fault_run(c, f, t, cli.duration()));
             }
         }
     }
-    let results = run_campaign(experiments, cli.threads);
+    let results = spec.run_all();
 
     let mut header = vec!["Fault".to_string(), "Configuration".to_string()];
     for t in &triggers {
@@ -56,7 +50,7 @@ fn main() {
             let mut lost = 0u64;
             let mut viol = 0u64;
             for &t in &triggers {
-                let o = unwrap_outcome(results[idx].clone());
+                let o = &results[idx];
                 idx += 1;
                 row.push(o.measures.recovery_cell(cli.duration() - t));
                 lost += o.measures.lost_transactions;

@@ -14,13 +14,12 @@
 //! * **set datafile offline** — a few seconds, checkpoint dependent;
 //! * **set tablespace offline** — "always close to 1 second".
 
-use recobench_bench::{unwrap_outcome, Cli};
+use recobench_bench::BenchCli;
 use recobench_core::report::Table;
-use recobench_core::{run_campaign, Experiment};
 use recobench_faults::FaultType;
 
 fn main() {
-    let cli = Cli::parse();
+    let cli = BenchCli::parse();
     let configs = cli.archive_configs();
     let triggers = cli.triggers();
     let faults = [
@@ -33,22 +32,15 @@ fn main() {
     // These all recover well within a few hundred seconds; the runs are
     // truncated after the recovery window instead of the full 20 minutes.
     let tail = 420;
-    let mut experiments: Vec<Experiment> = Vec::new();
+    let mut spec = cli.campaign();
     for f in faults {
         for c in &configs {
             for &t in &triggers {
-                experiments.push(
-                    Experiment::builder(c.clone())
-                        .archive_logs(true)
-                        .duration_secs((t + tail).min(cli.duration() + t))
-                        .fault(f, t)
-                        .seed(cli.seed)
-                        .build(),
-                );
+                spec.push(cli.fault_run(c, f, t, tail));
             }
         }
     }
-    let results = run_campaign(experiments, cli.threads);
+    let results = spec.run_all();
 
     let mut header = vec!["Fault".to_string(), "Configuration".to_string()];
     for t in &triggers {
@@ -66,7 +58,7 @@ fn main() {
             let mut lost = 0u64;
             let mut viol = 0u64;
             for _ in &triggers {
-                let o = unwrap_outcome(results[idx].clone());
+                let o = &results[idx];
                 idx += 1;
                 row.push(o.measures.recovery_cell(tail));
                 lost += o.measures.lost_transactions;

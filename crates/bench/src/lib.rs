@@ -1,120 +1,11 @@
 //! Shared plumbing for the table/figure regenerator binaries.
 //!
-//! Every binary accepts:
-//!
-//! * `--quick` — shrink experiment durations and the configuration set so
-//!   the binary finishes in seconds (CI smoke mode). The paper-faithful
-//!   full runs are the default.
-//! * `--threads N` — worker threads for the campaign (default: all cores).
-//! * `--seed N` — base RNG seed (default 42).
+//! All option parsing, quick-mode shrinking, and campaign execution for
+//! the `src/bin/*` binaries lives in [`cli`] — a binary builds its
+//! experiment list through [`BenchCli`] and [`CampaignSpec`] and renders
+//! tables from the outcomes; none of them parses `std::env::args`
+//! itself.
 
-use recobench_core::{Experiment, ExperimentOutcome, RecoveryConfig};
+pub mod cli;
 
-/// Common command-line options.
-#[derive(Debug, Clone, Copy)]
-pub struct Cli {
-    /// Shrunk smoke-test mode.
-    pub quick: bool,
-    /// Campaign worker threads (0 = all cores).
-    pub threads: usize,
-    /// Base seed.
-    pub seed: u64,
-}
-
-impl Cli {
-    /// Parses `std::env::args`, ignoring unknown flags.
-    pub fn parse() -> Cli {
-        let mut cli = Cli { quick: false, threads: 0, seed: 42 };
-        let args: Vec<String> = std::env::args().collect();
-        let mut i = 1;
-        while i < args.len() {
-            match args[i].as_str() {
-                "--quick" => cli.quick = true,
-                "--threads" => {
-                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
-                        cli.threads = v;
-                        i += 1;
-                    }
-                }
-                "--seed" => {
-                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
-                        cli.seed = v;
-                        i += 1;
-                    }
-                }
-                _ => {}
-            }
-            i += 1;
-        }
-        cli
-    }
-
-    /// Experiment duration in seconds: the paper's 1 200, or 300 in quick
-    /// mode.
-    pub fn duration(&self) -> u64 {
-        if self.quick {
-            300
-        } else {
-            1_200
-        }
-    }
-
-    /// The fault trigger offsets: the paper's 150/300/600 s, or a single
-    /// early trigger in quick mode.
-    pub fn triggers(&self) -> Vec<u64> {
-        if self.quick {
-            vec![100]
-        } else {
-            vec![150, 300, 600]
-        }
-    }
-
-    /// The archive-mode configuration subset (paper §5.2), possibly
-    /// shrunk.
-    pub fn archive_configs(&self) -> Vec<RecoveryConfig> {
-        let all = RecoveryConfig::archive_subset();
-        if self.quick {
-            all.into_iter().filter(|c| matches!(c.name.as_str(), "F40G3T10" | "F1G3T1")).collect()
-        } else {
-            all
-        }
-    }
-}
-
-/// Prints a campaign result row or the setup error.
-pub fn unwrap_outcome(r: Result<ExperimentOutcome, String>) -> ExperimentOutcome {
-    match r {
-        Ok(o) => o,
-        Err(e) => panic!("experiment setup failed: {e}"),
-    }
-}
-
-/// Builds a fault-free experiment at full paper duration.
-pub fn perf_experiment(cli: &Cli, config: &RecoveryConfig, archive: bool) -> Experiment {
-    Experiment::builder(config.clone())
-        .archive_logs(archive)
-        .duration_secs(cli.duration())
-        .seed(cli.seed)
-        .build()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn cli_defaults() {
-        let cli = Cli { quick: false, threads: 0, seed: 42 };
-        assert_eq!(cli.duration(), 1_200);
-        assert_eq!(cli.triggers(), vec![150, 300, 600]);
-        assert_eq!(cli.archive_configs().len(), 8);
-    }
-
-    #[test]
-    fn quick_mode_shrinks() {
-        let cli = Cli { quick: true, threads: 2, seed: 1 };
-        assert_eq!(cli.duration(), 300);
-        assert_eq!(cli.triggers(), vec![100]);
-        assert_eq!(cli.archive_configs().len(), 2);
-    }
-}
+pub use cli::{BenchCli, CampaignSpec};

@@ -3,42 +3,227 @@
 //! The paper injects 146 faults across its configurations; RecoBench runs
 //! each `(configuration, fault, trigger)` cell as an isolated experiment
 //! (own clock, own disks) so campaigns parallelize perfectly across
-//! threads.
+//! threads. [`Campaign`] is the one way to run a set of experiments:
+//!
+//! ```no_run
+//! use recobench_core::{Campaign, Experiment, RecoveryConfig};
+//!
+//! let exps = vec![Experiment::builder(RecoveryConfig::named("F10G3T5").unwrap()).build()];
+//! let report = Campaign::new(exps)
+//!     .threads(4)
+//!     .on_progress(|p| eprintln!("{}/{}", p.completed, p.total))
+//!     .run();
+//! for outcome in report.expect_all() {
+//!     println!("{}: {:.0} tpmC", outcome.config_name, outcome.measures.tpmc);
+//! }
+//! ```
+
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use recobench_engine::DbError;
 
 use crate::experiment::{Experiment, ExperimentOutcome};
 
-/// Runs every experiment, in order, using up to `threads` worker threads
-/// (0 = one per available core). Results come back in input order; an
-/// experiment whose *setup* failed is reported as an `Err` string in its
-/// slot.
-pub fn run_campaign(experiments: Vec<Experiment>, threads: usize) -> Vec<Result<ExperimentOutcome, String>> {
-    let workers = if threads == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
-    } else {
-        threads
-    };
-    let n = experiments.len();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let slots: Vec<std::sync::Mutex<Option<Result<ExperimentOutcome, String>>>> =
-        (0..n).map(|_| std::sync::Mutex::new(None)).collect();
+/// An experiment whose *setup* failed (the benchmark itself was
+/// misconfigured — injected faults and failed recoveries are outcomes,
+/// not errors).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignError {
+    /// Position of the failed experiment in the input order.
+    pub index: usize,
+    /// Name of the configuration under test.
+    pub config: String,
+    /// The underlying engine error.
+    pub error: DbError,
+}
 
-    std::thread::scope(|scope| {
-        for _ in 0..workers.min(n.max(1)) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let outcome = experiments[i].run().map_err(|e| e.to_string());
-                *slots[i].lock().unwrap() = Some(outcome);
-            });
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "experiment #{} ({}): {}", self.index, self.config, self.error)
+    }
+}
+
+impl std::error::Error for CampaignError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
+/// A progress tick, delivered once per finished experiment (in completion
+/// order, which under parallelism is not input order).
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignProgress {
+    /// Experiments finished so far, this one included.
+    pub completed: usize,
+    /// Total experiments in the campaign.
+    pub total: usize,
+    /// Input-order index of the experiment that just finished.
+    pub index: usize,
+    /// Whether it succeeded (its setup ran to completion).
+    pub ok: bool,
+}
+
+/// A set of experiments plus how to run them.
+pub struct Campaign {
+    experiments: Vec<Experiment>,
+    threads: usize,
+    progress: Option<Arc<dyn Fn(CampaignProgress) + Send + Sync>>,
+}
+
+impl fmt::Debug for Campaign {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Campaign")
+            .field("experiments", &self.experiments.len())
+            .field("threads", &self.threads)
+            .field("progress", &self.progress.is_some())
+            .finish()
+    }
+}
+
+impl Campaign {
+    /// A campaign over `experiments`, defaulting to one worker per
+    /// available core and no progress reporting.
+    pub fn new(experiments: Vec<Experiment>) -> Self {
+        Campaign { experiments, threads: 0, progress: None }
+    }
+
+    /// Caps the worker threads (0 = one per available core, the default).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n;
+        self
+    }
+
+    /// Registers a callback invoked after every finished experiment. It
+    /// may be called concurrently from several workers.
+    pub fn on_progress<F>(mut self, f: F) -> Self
+    where
+        F: Fn(CampaignProgress) + Send + Sync + 'static,
+    {
+        self.progress = Some(Arc::new(f));
+        self
+    }
+
+    /// Number of experiments queued.
+    pub fn len(&self) -> usize {
+        self.experiments.len()
+    }
+
+    /// Whether the campaign is empty.
+    pub fn is_empty(&self) -> bool {
+        self.experiments.is_empty()
+    }
+
+    /// Runs every experiment and collects the results **in input order**.
+    pub fn run(self) -> CampaignReport {
+        let workers = if self.threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+        } else {
+            self.threads
+        };
+        let n = self.experiments.len();
+        let next = AtomicUsize::new(0);
+        let done = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Result<ExperimentOutcome, CampaignError>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        let experiments = &self.experiments;
+        let progress = self.progress.as_deref();
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers.min(n.max(1)) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let result = experiments[i].run().map_err(|error| CampaignError {
+                        index: i,
+                        config: experiments[i].config().name.clone(),
+                        error,
+                    });
+                    let ok = result.is_ok();
+                    *slots[i].lock().unwrap() = Some(result);
+                    let completed = done.fetch_add(1, Ordering::Relaxed) + 1;
+                    if let Some(cb) = progress {
+                        cb(CampaignProgress { completed, total: n, index: i, ok });
+                    }
+                });
+            }
+        });
+
+        CampaignReport {
+            results: slots
+                .into_iter()
+                .map(|s| s.into_inner().unwrap().expect("every slot filled"))
+                .collect(),
         }
-    });
+    }
+}
 
-    slots
-        .into_iter()
-        .map(|s| s.into_inner().unwrap().expect("every slot filled"))
-        .collect()
+/// Everything a campaign produced, in input order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignReport {
+    results: Vec<Result<ExperimentOutcome, CampaignError>>,
+}
+
+impl CampaignReport {
+    /// Number of experiments run.
+    pub fn len(&self) -> usize {
+        self.results.len()
+    }
+
+    /// Whether the campaign was empty.
+    pub fn is_empty(&self) -> bool {
+        self.results.is_empty()
+    }
+
+    /// All results, in input order.
+    pub fn results(&self) -> &[Result<ExperimentOutcome, CampaignError>] {
+        &self.results
+    }
+
+    /// The result at input position `i`.
+    pub fn get(&self, i: usize) -> Option<&Result<ExperimentOutcome, CampaignError>> {
+        self.results.get(i)
+    }
+
+    /// The successful outcomes, in input order.
+    pub fn outcomes(&self) -> impl Iterator<Item = &ExperimentOutcome> {
+        self.results.iter().filter_map(|r| r.as_ref().ok())
+    }
+
+    /// The setup failures, in input order.
+    pub fn failures(&self) -> impl Iterator<Item = &CampaignError> {
+        self.results.iter().filter_map(|r| r.as_ref().err())
+    }
+
+    /// Unwraps every outcome, panicking with the first setup failure.
+    /// The table/figure regenerators use this: a setup failure there is a
+    /// bug, not a benchmark result.
+    pub fn expect_all(self) -> Vec<ExperimentOutcome> {
+        self.results
+            .into_iter()
+            .map(|r| match r {
+                Ok(out) => out,
+                Err(e) => panic!("campaign setup failure: {e}"),
+            })
+            .collect()
+    }
+
+    /// Consumes the report into the raw result vector.
+    pub fn into_results(self) -> Vec<Result<ExperimentOutcome, CampaignError>> {
+        self.results
+    }
+}
+
+impl IntoIterator for CampaignReport {
+    type Item = Result<ExperimentOutcome, CampaignError>;
+    type IntoIter = std::vec::IntoIter<Self::Item>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.results.into_iter()
+    }
 }
 
 #[cfg(test)]
@@ -48,28 +233,52 @@ mod tests {
     use recobench_faults::FaultType;
     use recobench_tpcc::TpccScale;
 
+    fn mk(cfg: &str, fault: Option<FaultType>) -> Experiment {
+        let mut b = Experiment::builder(RecoveryConfig::named(cfg).unwrap())
+            .duration_secs(150)
+            .scale(TpccScale::tiny())
+            .seed(3);
+        if let Some(f) = fault {
+            b = b.fault(f, 60);
+        }
+        b.build()
+    }
+
     #[test]
-    fn campaign_preserves_order_and_runs_all() {
-        let mk = |cfg: &str, fault: Option<FaultType>| {
-            let mut b = Experiment::builder(RecoveryConfig::named(cfg).unwrap())
-                .duration_secs(150)
-                .scale(TpccScale::tiny())
-                .seed(3);
-            if let Some(f) = fault {
-                b = b.fault(f, 60);
-            }
-            b.build()
-        };
+    fn campaign_preserves_order_and_reports_progress() {
         let exps = vec![
             mk("F10G3T5", None),
             mk("F1G3T1", Some(FaultType::ShutdownAbort)),
             mk("F40G3T10", None),
         ];
-        let results = run_campaign(exps, 2);
-        assert_eq!(results.len(), 3);
+        let seen: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        let report = Campaign::new(exps)
+            .threads(2)
+            .on_progress(move |p| {
+                assert_eq!(p.total, 3);
+                assert!(p.ok);
+                sink.lock().unwrap().push(p.index);
+            })
+            .run();
+        assert_eq!(report.len(), 3);
+        assert_eq!(report.failures().count(), 0);
         let names: Vec<_> =
-            results.iter().map(|r| r.as_ref().unwrap().config_name.clone()).collect();
+            report.outcomes().map(|o| o.config_name.clone()).collect();
         assert_eq!(names, vec!["F10G3T5", "F1G3T1", "F40G3T10"]);
-        assert!(results[1].as_ref().unwrap().measures.recovery_time_secs.is_some());
+        assert!(report.get(1).unwrap().as_ref().unwrap().measures.recovery_time_secs.is_some());
+        let mut indices = seen.lock().unwrap().clone();
+        indices.sort_unstable();
+        assert_eq!(indices, vec![0, 1, 2], "every experiment ticks progress exactly once");
+    }
+
+    #[test]
+    fn expect_all_returns_input_order() {
+        let outs = Campaign::new(vec![mk("F40G3T10", None), mk("F10G3T5", None)])
+            .threads(2)
+            .run()
+            .expect_all();
+        assert_eq!(outs[0].config_name, "F40G3T10");
+        assert_eq!(outs[1].config_name, "F10G3T5");
     }
 }

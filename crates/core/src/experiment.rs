@@ -7,15 +7,44 @@
 //! keeps submitting transactions until the 20 simulated minutes are over;
 //! then the measures are evaluated.
 
-use recobench_engine::{DbResult, DbServer, DiskLayout, StandbyServer};
+use recobench_engine::{
+    DbResult, DbServer, DiskLayout, EngineEvent, RecoveryPhase, StandbyServer,
+};
 use recobench_faults::{FaultInjector, FaultPlan, FaultType};
 use recobench_sim::{SimClock, SimDuration, SimRng, SimTime};
-use recobench_tpcc::{check_consistency, create_schema, load_database, DriverConfig, TpccDriver, TpccScale};
+use recobench_tpcc::{
+    check_consistency, create_schema, load_database, AvailabilityTimeline, DriverConfig,
+    TpccDriver, TpccScale,
+};
 use serde::{Deserialize, Serialize};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use crate::configs::RecoveryConfig;
-use crate::measures::Measures;
+use crate::measures::{Measures, RecoveryBreakdown};
+
+/// A recovery-phase span observed on one of the experiment's servers:
+/// `(end, phase, start)`, in record order.
+type SpanLog = Arc<Mutex<Vec<(SimTime, RecoveryPhase, SimTime)>>>;
+
+/// Subscribes the experiment's observers on one server's event sink: the
+/// span collector always, plus the JSONL writer when event capture is on.
+fn observe(server: &mut DbServer, name: &'static str, spans: &SpanLog, jsonl: &Option<Arc<Mutex<String>>>) {
+    let sink = server.events_mut();
+    let spans = Arc::clone(spans);
+    sink.subscribe(move |at, ev| {
+        if let EngineEvent::PhaseSpan { phase, started_at } = ev {
+            spans.lock().unwrap().push((at, *phase, *started_at));
+        }
+    });
+    if let Some(buf) = jsonl {
+        let buf = Arc::clone(buf);
+        sink.subscribe(move |at, ev| {
+            let mut out = buf.lock().unwrap();
+            ev.write_json(at, name, &mut out);
+            out.push('\n');
+        });
+    }
+}
 
 /// A fully specified experiment, ready to run.
 #[derive(Debug, Clone)]
@@ -31,6 +60,7 @@ pub struct Experiment {
     datafiles: u32,
     blocks_per_file: u64,
     layout: DiskLayout,
+    capture_events: bool,
 }
 
 /// Builder for [`Experiment`].
@@ -54,6 +84,16 @@ pub struct ExperimentOutcome {
     pub trigger_secs: Option<u64>,
     /// The measures.
     pub measures: Measures,
+    /// Where the recovery time went, phase by phase. `Some` exactly when
+    /// [`Measures::recovery_time_secs`] is `Some`; the phases sum to it.
+    pub breakdown: Option<RecoveryBreakdown>,
+    /// Per-second committed-transaction buckets over the whole run, from
+    /// the end-user point of view.
+    pub timeline: AvailabilityTimeline,
+    /// The full engine event stream (both servers) as JSONL, when the
+    /// experiment was built with
+    /// [`capture_events`](ExperimentBuilder::capture_events).
+    pub events_jsonl: Option<String>,
     /// Redo records re-applied by the recovery procedure.
     pub recovery_records_applied: u64,
     /// Archive files the recovery procedure processed.
@@ -79,6 +119,7 @@ impl Experiment {
                 datafiles: 8,
                 blocks_per_file: 768,
                 layout: DiskLayout::four_disk(),
+                capture_events: false,
             },
         }
     }
@@ -98,12 +139,16 @@ impl Experiment {
     pub fn run(&self) -> DbResult<ExperimentOutcome> {
         let clock = SimClock::shared();
         let icfg = self.config.to_instance_config(self.archive);
+        let spans: SpanLog = Arc::new(Mutex::new(Vec::new()));
+        let jsonl: Option<Arc<Mutex<String>>> =
+            self.capture_events.then(|| Arc::new(Mutex::new(String::new())));
         let mut primary = DbServer::on_fresh_disks(
             "PRIMARY",
             Arc::clone(&clock),
             self.layout.clone(),
             icfg.clone(),
         );
+        observe(&mut primary, "PRIMARY", &spans, &jsonl);
         primary.create_database()?;
         let mut rng = SimRng::seed_from(self.seed);
         let schema = create_schema(&mut primary, self.scale, self.datafiles, self.blocks_per_file)?;
@@ -111,13 +156,15 @@ impl Experiment {
         load_database(&mut primary, &schema, &mut load_rng)?;
         primary.take_cold_backup()?;
         let mut standby = if self.standby {
-            Some(StandbyServer::instantiate(
+            let mut sb = StandbyServer::instantiate(
                 &primary,
                 "STANDBY",
                 Arc::clone(&clock),
                 DiskLayout::four_disk(),
                 icfg,
-            )?)
+            )?;
+            observe(sb.server_mut(), "STANDBY", &spans, &jsonl);
+            Some(sb)
         } else {
             None
         };
@@ -156,6 +203,7 @@ impl Experiment {
                         }
                         let mut record = inj.inject(&mut primary)?;
                         fault_time = Some(record.injected_at);
+                        driver.record_outage(record.injected_at);
                         // Time-based recovery imprecision: stop at the SCN
                         // in force `pitr_margin` before the fault.
                         let margin_cutoff = SimTime::from_micros(
@@ -226,14 +274,50 @@ impl Experiment {
         let perf_end = fault_time.unwrap_or(end).min(end);
         let tpmc = driver.tpmc(t0 + warm_up, perf_end);
 
+        let restored_at = recovery_ready.and_then(|ready| driver.first_success_after(ready));
         let (recovery_time_secs, recovered_within_run) = match (fault_time, recovery_ready) {
-            (Some(ft), Some(ready)) => match driver.first_success_after(ready) {
+            (Some(ft), Some(_)) => match restored_at {
                 Some(restored) => (Some(restored.saturating_since(ft).as_secs_f64()), true),
                 None => (None, false),
             },
             (Some(_), None) => (None, false),
             (None, _) => (None, true),
         };
+
+        // Attribute the recovery window [fault, procedure end] to the
+        // phase spans the engine recorded; whatever no span claims is
+        // `other`, and the tail until the first client commit is
+        // `service_resume`. Spans wrap disjoint clock advances, so the
+        // total reproduces `recovery_time_secs` exactly.
+        let breakdown = match (fault_time, recovery_ready, restored_at) {
+            (Some(ft), Some(ready), Some(restored)) => {
+                let mut b = RecoveryBreakdown::default();
+                for (span_end, phase, span_start) in spans.lock().unwrap().iter() {
+                    let from = (*span_start).max(ft);
+                    let to = (*span_end).min(ready);
+                    if to <= from {
+                        continue;
+                    }
+                    let us = to.saturating_since(from).as_micros();
+                    match phase {
+                        RecoveryPhase::Detection => b.detection_us += us,
+                        RecoveryPhase::InstanceStartup => b.instance_startup_us += us,
+                        RecoveryPhase::MediaRestore => b.media_restore_us += us,
+                        RecoveryPhase::RedoScan => b.redo_scan_us += us,
+                        RecoveryPhase::RedoApply => b.redo_apply_us += us,
+                        RecoveryPhase::TxnRollback => b.txn_rollback_us += us,
+                        RecoveryPhase::StandbyActivation => b.standby_activation_us += us,
+                    }
+                }
+                let window = ready.saturating_since(ft).as_micros();
+                let attributed = b.total_us();
+                b.other_us = window.saturating_sub(attributed);
+                b.service_resume_us = restored.saturating_since(ready).as_micros();
+                Some(b)
+            }
+            _ => None,
+        };
+        let timeline = driver.availability_timeline(t0, end);
 
         let (lost, violations) = if active.is_open() {
             let lost = driver.audit_lost_orders(active).unwrap_or(0);
@@ -265,6 +349,9 @@ impl Experiment {
             fault: self.fault.as_ref().map(|p| p.fault),
             trigger_secs: self.fault.as_ref().map(|p| p.trigger_after.as_micros() / 1_000_000),
             measures,
+            breakdown,
+            timeline,
+            events_jsonl: jsonl.map(|buf| buf.lock().unwrap().clone()),
             recovery_records_applied: records_applied,
             recovery_archives: archives_processed,
             unrecoverable,
@@ -325,6 +412,14 @@ impl ExperimentBuilder {
     pub fn storage(mut self, datafiles: u32, blocks_per_file: u64) -> Self {
         self.exp.datafiles = datafiles;
         self.exp.blocks_per_file = blocks_per_file;
+        self
+    }
+
+    /// Captures the full engine event stream (both servers) into
+    /// [`ExperimentOutcome::events_jsonl`] for export. Off by default —
+    /// long runs generate tens of thousands of events.
+    pub fn capture_events(mut self, on: bool) -> Self {
+        self.exp.capture_events = on;
         self
     }
 
@@ -428,9 +523,48 @@ mod tests {
         // sizes and fixed-seed hashing must not leak any run-to-run state
         // into results. Two runs of the same experiment must agree on
         // every field, not just roughly.
-        let run = || quick("F10G3T5").fault(FaultType::ShutdownAbort, 60).run().unwrap();
+        let run = || {
+            quick("F10G3T5")
+                .fault(FaultType::ShutdownAbort, 60)
+                .capture_events(true)
+                .run()
+                .unwrap()
+        };
         let a = run();
         let b = run();
         assert_eq!(a, b, "same seed must give a byte-identical outcome");
+        let stream = a.events_jsonl.as_deref().expect("capture was requested");
+        assert!(!stream.is_empty() && stream.ends_with('\n'));
+        assert_eq!(
+            a.events_jsonl, b.events_jsonl,
+            "same seed must give a byte-identical event stream"
+        );
+    }
+
+    #[test]
+    fn breakdown_phases_sum_to_the_recovery_time() {
+        let out = quick("F10G3T5").fault(FaultType::ShutdownAbort, 60).run().unwrap();
+        let b = out.breakdown.expect("recovered runs carry a breakdown");
+        let rt_us = (out.measures.recovery_time_secs.unwrap() * 1e6).round() as u64;
+        assert!(
+            b.total_us().abs_diff(rt_us) <= 1,
+            "breakdown {}µs vs recovery time {}µs",
+            b.total_us(),
+            rt_us
+        );
+        assert!(b.detection_us > 0, "operator detection is never instant");
+        assert!(b.instance_startup_us > 0, "a crash restart pays the startup cost");
+        assert!(b.redo_apply_us > 0, "crash recovery replays redo");
+        assert_eq!(b.standby_activation_us, 0, "no stand-by in this run");
+    }
+
+    #[test]
+    fn fault_free_runs_have_no_breakdown_but_a_full_timeline() {
+        let out = quick("F10G3T5").run().unwrap();
+        assert!(out.breakdown.is_none());
+        assert!(out.events_jsonl.is_none(), "capture defaults to off");
+        assert!(out.timeline.total() > 0, "a healthy run commits in every bucket");
+        assert!(out.timeline.first_error_us.is_none());
+        assert!(out.timeline.service_return_us.is_none());
     }
 }

@@ -13,8 +13,11 @@
 //!   evaluate the measures.
 //! * [`Measures`] — tpmC plus the dependability extensions: recovery time
 //!   (end-user view), lost transactions, integrity violations.
-//! * [`campaign`] — parallel execution of experiment sets (one fault per
-//!   experiment, exactly as the paper runs its 146 faults).
+//! * [`Campaign`] — parallel execution of experiment sets (one fault per
+//!   experiment, exactly as the paper runs its 146 faults), with typed
+//!   errors, input-order results, and progress callbacks.
+//! * [`RecoveryBreakdown`] — where the recovery time went, phase by
+//!   phase, derived from the engine's event stream.
 //! * [`report`] — fixed-width tables for the per-table/figure
 //!   regenerators in `recobench-bench`.
 
@@ -24,7 +27,7 @@ pub mod experiment;
 pub mod measures;
 pub mod report;
 
-pub use campaign::run_campaign;
+pub use campaign::{Campaign, CampaignError, CampaignProgress, CampaignReport};
 pub use configs::RecoveryConfig;
 pub use experiment::{Experiment, ExperimentBuilder, ExperimentOutcome};
-pub use measures::Measures;
+pub use measures::{Measures, RecoveryBreakdown};

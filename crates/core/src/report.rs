@@ -82,6 +82,37 @@ impl Table {
     }
 }
 
+/// Lays out recovery-time breakdowns — one labelled cell per row, one
+/// column per phase, all in seconds — for the `recovery_breakdown`
+/// regenerator and anything else that wants Table 5 decomposed.
+pub fn breakdown_table(
+    title: &str,
+    rows: &[(String, crate::measures::RecoveryBreakdown)],
+) -> Table {
+    let mut t = Table::new(vec![
+        "Cell", "detect", "startup", "restore", "scan", "apply", "rollback", "standby",
+        "other", "resume", "total",
+    ])
+    .title(title);
+    let secs = |us: u64| format!("{:.1}", us as f64 / 1_000_000.0);
+    for (label, b) in rows {
+        t.row(vec![
+            label.clone(),
+            secs(b.detection_us),
+            secs(b.instance_startup_us),
+            secs(b.media_restore_us),
+            secs(b.redo_scan_us),
+            secs(b.redo_apply_us),
+            secs(b.txn_rollback_us),
+            secs(b.standby_activation_us),
+            secs(b.other_us),
+            secs(b.service_resume_us),
+            secs(b.total_us()),
+        ]);
+    }
+    t
+}
+
 /// Renders a crude horizontal bar for figure-style output: `value` scaled
 /// against `max` into `width` characters.
 pub fn bar(value: f64, max: f64, width: usize) -> String {
@@ -117,6 +148,21 @@ mod tests {
         t.row(vec!["x".into()]);
         let s = t.render();
         assert!(s.contains("| x |"));
+    }
+
+    #[test]
+    fn breakdown_table_has_a_column_per_phase() {
+        let b = crate::measures::RecoveryBreakdown {
+            detection_us: 1_000_000,
+            redo_apply_us: 2_500_000,
+            service_resume_us: 500_000,
+            ..Default::default()
+        };
+        let t = breakdown_table("Demo", &[("F10G3T5 restart".to_string(), b)]);
+        let s = t.render();
+        assert!(s.contains("F10G3T5 restart"));
+        assert!(s.contains("2.5"), "apply seconds rendered:\n{s}");
+        assert!(s.contains("4.0"), "total sums the phases:\n{s}");
     }
 
     #[test]

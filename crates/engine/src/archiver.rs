@@ -12,10 +12,12 @@ use recobench_vfs::{DiskId, FileKind, SimFs};
 
 use crate::controlfile::ControlFile;
 use crate::error::{DbError, DbResult};
+use crate::events::{EngineEvent, EventSink};
 
 /// Archives sequence `seq` (which must still reside in an online group):
 /// submits the copy at `now`, records the archive location and completion
-/// time in the control file, and returns the completion instant.
+/// time in the control file, emits [`EngineEvent::Archived`] on `events`,
+/// and returns the completion instant.
 ///
 /// # Errors
 ///
@@ -26,6 +28,7 @@ pub(crate) fn archive_seq(
     archive_disk: DiskId,
     seq: u64,
     now: SimTime,
+    events: &mut EventSink,
 ) -> DbResult<SimTime> {
     let group_idx = control
         .seqs
@@ -38,6 +41,7 @@ pub(crate) fn archive_seq(
     let loc = control.seqs.get_mut(&seq).expect("seq location checked above");
     loc.archive = Some(archive_id);
     loc.archive_done_at = Some(done);
+    events.record(now, EngineEvent::Archived { seq, complete_at: done });
     Ok(done)
 }
 
@@ -66,8 +70,16 @@ mod tests {
         let (mut fs, mut control) = setup();
         let g = control.groups[0].vfs_id;
         fs.append(g, Bytes::from(vec![1u8; 4096]), SimTime::ZERO).unwrap();
-        let done = archive_seq(&mut fs, &mut control, DiskId(1), 1, SimTime::from_secs(1)).unwrap();
+        let mut events = EventSink::new(16);
+        let done =
+            archive_seq(&mut fs, &mut control, DiskId(1), 1, SimTime::from_secs(1), &mut events)
+                .unwrap();
         assert!(done > SimTime::from_secs(1));
+        assert_eq!(
+            events.events(),
+            &[(SimTime::from_secs(1), EngineEvent::Archived { seq: 1, complete_at: done })]
+        );
+        assert_eq!(events.derived().archives_created, 1);
         let loc = control.seq(1).unwrap();
         assert_eq!(loc.archive_done_at, Some(done));
         let archive = loc.archive.unwrap();
@@ -79,14 +91,18 @@ mod tests {
     #[test]
     fn archiving_unknown_seq_fails() {
         let (mut fs, mut control) = setup();
-        let err = archive_seq(&mut fs, &mut control, DiskId(1), 42, SimTime::ZERO).unwrap_err();
+        let mut events = EventSink::new(16);
+        let err = archive_seq(&mut fs, &mut control, DiskId(1), 42, SimTime::ZERO, &mut events)
+            .unwrap_err();
         assert!(matches!(err, DbError::BadAdminCommand(_)));
+        assert!(events.events().is_empty(), "no event on failure");
     }
 
     #[test]
     fn archiving_overwritten_seq_fails() {
         let (mut fs, mut control) = setup();
         control.seqs.get_mut(&1).unwrap().group = None;
-        assert!(archive_seq(&mut fs, &mut control, DiskId(1), 1, SimTime::ZERO).is_err());
+        let mut events = EventSink::new(16);
+        assert!(archive_seq(&mut fs, &mut control, DiskId(1), 1, SimTime::ZERO, &mut events).is_err());
     }
 }

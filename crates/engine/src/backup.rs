@@ -42,6 +42,11 @@ impl BackupSet {
     pub fn file_count(&self) -> usize {
         self.pieces.len()
     }
+
+    /// This backup as an event for the engine event sink.
+    pub fn event(&self) -> crate::events::EngineEvent {
+        crate::events::EngineEvent::BackupTaken { files: self.pieces.len() as u64, scn: self.scn.0 }
+    }
 }
 
 #[cfg(test)]
@@ -63,5 +68,6 @@ mod tests {
         assert_eq!(b.piece_for(FileNo(1)), Some(FileId(10)));
         assert_eq!(b.piece_for(FileNo(2)), None);
         assert_eq!(b.file_count(), 1);
+        assert_eq!(b.event(), crate::events::EngineEvent::BackupTaken { files: 1, scn: 5 });
     }
 }

@@ -32,6 +32,13 @@ pub struct WriteOutcome {
     pub blocks: u64,
 }
 
+impl WriteOutcome {
+    /// This outcome as a full-checkpoint event for the engine event sink.
+    pub fn checkpoint_event(&self) -> crate::events::EngineEvent {
+        crate::events::EngineEvent::Checkpoint { blocks: self.blocks, complete_at: self.complete_at }
+    }
+}
+
 /// Writes every dirty block matching `pred` out to its datafile, returning
 /// when the batch drains. Blocks whose datafile no longer exists (dropped
 /// or deleted by an operator) are discarded silently — media recovery owns

@@ -1,0 +1,513 @@
+//! Structured engine observability: timestamped, typed events and
+//! recovery-phase **spans**.
+//!
+//! The benchmark's headline numbers are aggregates; the event stream shows
+//! *why* they came out that way — when the log switched, how long the
+//! switch stalled, when checkpoints completed, and, crucially, where the
+//! time went during a recovery (detection, instance restart, media
+//! restore, redo scan, redo apply, rollback, stand-by activation). Every
+//! instant comes off the simulated clock, so spans are exact and
+//! deterministic to the microsecond.
+//!
+//! The [`EventSink`] replaces the old bounded `Trace`:
+//!
+//! * every event passes through [`EventSink::record`], which updates a set
+//!   of **derived counters** (the recovery-related fields of
+//!   `EngineStats`) before buffering — the counters and the stream can
+//!   never disagree;
+//! * subscribers registered with [`EventSink::subscribe`] see every event
+//!   as it happens, regardless of the retention bound (the experiment
+//!   harness uses this for span collection and JSONL export);
+//! * the retained buffer is bounded ([`EventSink::events`], oldest dropped
+//!   first) for cheap in-process inspection by tests and report binaries.
+
+use recobench_sim::SimTime;
+
+use crate::stats::EngineStats;
+
+/// A recovery phase measured as a span (see [`EngineEvent::PhaseSpan`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RecoveryPhase {
+    /// Constant operator detection time between fault and procedure start.
+    Detection,
+    /// Instance restart: startup + mount (+ the `RECOVER` admin command
+    /// for incomplete recovery).
+    InstanceStartup,
+    /// Restoring datafiles from the cold backup.
+    MediaRestore,
+    /// Reading online or archived redo (per sequence).
+    RedoScan,
+    /// Applying (or skipping) scanned redo records (per sequence).
+    RedoApply,
+    /// Rolling back transactions left unresolved by replay.
+    TxnRollback,
+    /// Stand-by activation: final apply, rollback, open.
+    StandbyActivation,
+}
+
+impl RecoveryPhase {
+    /// Stable snake_case name used in the JSONL export.
+    pub fn name(self) -> &'static str {
+        match self {
+            RecoveryPhase::Detection => "detection",
+            RecoveryPhase::InstanceStartup => "instance_startup",
+            RecoveryPhase::MediaRestore => "media_restore",
+            RecoveryPhase::RedoScan => "redo_scan",
+            RecoveryPhase::RedoApply => "redo_apply",
+            RecoveryPhase::TxnRollback => "txn_rollback",
+            RecoveryPhase::StandbyActivation => "standby_activation",
+        }
+    }
+}
+
+/// Which recovery procedure completed (see
+/// [`EngineEvent::RecoveryCompleted`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryProcedure {
+    /// Crash recovery during `STARTUP`.
+    Crash,
+    /// Single-datafile media recovery.
+    Media,
+    /// Incomplete (point-in-time) recovery of the whole database.
+    Incomplete,
+}
+
+impl RecoveryProcedure {
+    /// Stable snake_case name used in the JSONL export.
+    pub fn name(self) -> &'static str {
+        match self {
+            RecoveryProcedure::Crash => "crash",
+            RecoveryProcedure::Media => "media",
+            RecoveryProcedure::Incomplete => "incomplete",
+        }
+    }
+}
+
+/// One engine event. The record instant (the first element of the pairs
+/// returned by [`EventSink::events`]) is the event's own timestamp; for
+/// [`EngineEvent::PhaseSpan`] it is the span's **end**.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineEvent {
+    /// The log switched to a new sequence in `group`.
+    LogSwitch {
+        /// New sequence number.
+        seq: u64,
+        /// Group now being written.
+        group: usize,
+    },
+    /// A log switch stalled waiting for the next group to become reusable.
+    SwitchStall {
+        /// Sequence that could not start immediately.
+        seq: u64,
+        /// Stall length in microseconds.
+        micros: u64,
+    },
+    /// A full checkpoint completed.
+    Checkpoint {
+        /// Blocks written.
+        blocks: u64,
+        /// Completion instant.
+        complete_at: SimTime,
+    },
+    /// The incremental checkpoint position advanced (DBWR tick).
+    IncrementalAdvance {
+        /// Blocks written by the tick.
+        blocks: u64,
+    },
+    /// A filled sequence was archived.
+    Archived {
+        /// Sequence number.
+        seq: u64,
+        /// Copy completion instant.
+        complete_at: SimTime,
+    },
+    /// A cold backup of every datafile completed.
+    BackupTaken {
+        /// Datafiles backed up.
+        files: u64,
+        /// SCN the backup is consistent at.
+        scn: u64,
+    },
+    /// The instance terminated (cleanly or not).
+    InstanceStopped {
+        /// Whether it was a clean shutdown.
+        clean: bool,
+    },
+    /// The instance opened (with or without crash recovery).
+    InstanceOpened {
+        /// Redo records applied during crash recovery (0 for clean opens).
+        recovered_records: u64,
+    },
+    /// A recovery phase ran from `started_at` to the record instant.
+    PhaseSpan {
+        /// Which phase.
+        phase: RecoveryPhase,
+        /// Span start; the record instant is the span end.
+        started_at: SimTime,
+    },
+    /// Replay finished processing one log sequence.
+    SequenceReplayed {
+        /// The sequence.
+        seq: u64,
+        /// Records applied from it.
+        applied: u64,
+        /// Records scanned but skipped.
+        skipped: u64,
+        /// Whether it was read from an archive file.
+        archived: bool,
+    },
+    /// A recovery procedure completed.
+    RecoveryCompleted {
+        /// Which procedure.
+        procedure: RecoveryProcedure,
+        /// Records applied over the whole procedure.
+        records_applied: u64,
+        /// Archive files read over the whole procedure.
+        archives_read: u64,
+    },
+    /// The stand-by applied one shipped archive in the background.
+    StandbyArchiveApplied {
+        /// The sequence applied.
+        seq: u64,
+        /// Records it contained.
+        records: u64,
+    },
+    /// Indexes were rebuilt from recovered heap data.
+    IndexesRebuilt {
+        /// Tables whose indexes were rebuilt.
+        tables: u64,
+        /// Total index entries inserted.
+        entries: u64,
+    },
+}
+
+impl EngineEvent {
+    /// Stable snake_case event name used in the JSONL export.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EngineEvent::LogSwitch { .. } => "log_switch",
+            EngineEvent::SwitchStall { .. } => "switch_stall",
+            EngineEvent::Checkpoint { .. } => "checkpoint",
+            EngineEvent::IncrementalAdvance { .. } => "incremental_advance",
+            EngineEvent::Archived { .. } => "archived",
+            EngineEvent::BackupTaken { .. } => "backup_taken",
+            EngineEvent::InstanceStopped { .. } => "instance_stopped",
+            EngineEvent::InstanceOpened { .. } => "instance_opened",
+            EngineEvent::PhaseSpan { .. } => "phase_span",
+            EngineEvent::SequenceReplayed { .. } => "sequence_replayed",
+            EngineEvent::RecoveryCompleted { .. } => "recovery_completed",
+            EngineEvent::StandbyArchiveApplied { .. } => "standby_archive_applied",
+            EngineEvent::IndexesRebuilt { .. } => "indexes_rebuilt",
+        }
+    }
+
+    /// Writes the event as one JSON object (no trailing newline) onto
+    /// `out`: `{"t_us":…,"server":…,"type":…,…}`. Hand-rolled — the
+    /// workspace deliberately has no JSON dependency — and byte-stable for
+    /// a given event, which the determinism regression tests rely on.
+    pub fn write_json(&self, at: SimTime, server: &str, out: &mut String) {
+        use std::fmt::Write as _;
+        let _ = write!(out, "{{\"t_us\":{},\"server\":\"{server}\",\"type\":\"{}\"", at.as_micros(), self.name());
+        match self {
+            EngineEvent::LogSwitch { seq, group } => {
+                let _ = write!(out, ",\"seq\":{seq},\"group\":{group}");
+            }
+            EngineEvent::SwitchStall { seq, micros } => {
+                let _ = write!(out, ",\"seq\":{seq},\"stall_us\":{micros}");
+            }
+            EngineEvent::Checkpoint { blocks, complete_at } => {
+                let _ = write!(out, ",\"blocks\":{blocks},\"complete_us\":{}", complete_at.as_micros());
+            }
+            EngineEvent::IncrementalAdvance { blocks } => {
+                let _ = write!(out, ",\"blocks\":{blocks}");
+            }
+            EngineEvent::Archived { seq, complete_at } => {
+                let _ = write!(out, ",\"seq\":{seq},\"complete_us\":{}", complete_at.as_micros());
+            }
+            EngineEvent::BackupTaken { files, scn } => {
+                let _ = write!(out, ",\"files\":{files},\"scn\":{scn}");
+            }
+            EngineEvent::InstanceStopped { clean } => {
+                let _ = write!(out, ",\"clean\":{clean}");
+            }
+            EngineEvent::InstanceOpened { recovered_records } => {
+                let _ = write!(out, ",\"recovered_records\":{recovered_records}");
+            }
+            EngineEvent::PhaseSpan { phase, started_at } => {
+                let _ = write!(out, ",\"phase\":\"{}\",\"start_us\":{}", phase.name(), started_at.as_micros());
+            }
+            EngineEvent::SequenceReplayed { seq, applied, skipped, archived } => {
+                let _ = write!(out, ",\"seq\":{seq},\"applied\":{applied},\"skipped\":{skipped},\"archived\":{archived}");
+            }
+            EngineEvent::RecoveryCompleted { procedure, records_applied, archives_read } => {
+                let _ = write!(
+                    out,
+                    ",\"procedure\":\"{}\",\"records_applied\":{records_applied},\"archives_read\":{archives_read}",
+                    procedure.name()
+                );
+            }
+            EngineEvent::StandbyArchiveApplied { seq, records } => {
+                let _ = write!(out, ",\"seq\":{seq},\"records\":{records}");
+            }
+            EngineEvent::IndexesRebuilt { tables, entries } => {
+                let _ = write!(out, ",\"tables\":{tables},\"entries\":{entries}");
+            }
+        }
+        out.push('}');
+    }
+}
+
+/// A subscriber sees every recorded event, in order, before buffering.
+pub type EventSubscriber = Box<dyn FnMut(SimTime, &EngineEvent) + Send>;
+
+/// The engine-wide event sink: bounded retention, live subscribers, and
+/// counters derived from the stream itself.
+#[derive(Default)]
+pub struct EventSink {
+    events: Vec<(SimTime, EngineEvent)>,
+    capacity: usize,
+    dropped: u64,
+    derived: EngineStats,
+    subscribers: Vec<EventSubscriber>,
+}
+
+impl std::fmt::Debug for EventSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventSink")
+            .field("events", &self.events.len())
+            .field("capacity", &self.capacity)
+            .field("dropped", &self.dropped)
+            .field("subscribers", &self.subscribers.len())
+            .finish()
+    }
+}
+
+impl EventSink {
+    /// Creates a sink retaining at most `capacity` events (oldest dropped
+    /// first). Subscribers and derived counters are unaffected by the
+    /// bound.
+    pub fn new(capacity: usize) -> Self {
+        EventSink { events: Vec::new(), capacity, ..Default::default() }
+    }
+
+    /// Records an event at instant `at`: updates the derived counters,
+    /// notifies subscribers, then buffers (within the retention bound).
+    pub fn record(&mut self, at: SimTime, event: EngineEvent) {
+        self.derive(&event);
+        for sub in &mut self.subscribers {
+            sub(at, &event);
+        }
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.events.len() >= self.capacity {
+            self.events.remove(0);
+            self.dropped += 1;
+        }
+        self.events.push((at, event));
+    }
+
+    fn derive(&mut self, event: &EngineEvent) {
+        let d = &mut self.derived;
+        match event {
+            EngineEvent::LogSwitch { .. } => d.log_switches += 1,
+            EngineEvent::SwitchStall { micros, .. } => d.switch_stall_micros += micros,
+            EngineEvent::Checkpoint { .. } => d.full_checkpoints += 1,
+            EngineEvent::IncrementalAdvance { .. } => d.incremental_advances += 1,
+            EngineEvent::Archived { .. } => d.archives_created += 1,
+            EngineEvent::SequenceReplayed { applied, skipped, archived, .. } => {
+                d.recovery_records_applied += applied;
+                d.recovery_records_skipped += skipped;
+                if *archived {
+                    d.recovery_archives_processed += 1;
+                }
+            }
+            EngineEvent::RecoveryCompleted { procedure, .. } => match procedure {
+                RecoveryProcedure::Crash => d.crash_recoveries += 1,
+                RecoveryProcedure::Media => d.media_recoveries += 1,
+                RecoveryProcedure::Incomplete => d.incomplete_recoveries += 1,
+            },
+            EngineEvent::StandbyArchiveApplied { records, .. } => {
+                d.recovery_records_applied += records;
+            }
+            EngineEvent::BackupTaken { .. }
+            | EngineEvent::InstanceStopped { .. }
+            | EngineEvent::InstanceOpened { .. }
+            | EngineEvent::PhaseSpan { .. }
+            | EngineEvent::IndexesRebuilt { .. } => {}
+        }
+    }
+
+    /// Counters derived from every event ever recorded (not just the
+    /// retained window). Only the recovery/checkpoint/archive fields of
+    /// `EngineStats` are populated; the hot-path counters stay zero.
+    pub fn derived(&self) -> EngineStats {
+        self.derived
+    }
+
+    /// Registers a live subscriber. Subscribers see every subsequent event
+    /// regardless of the retention bound and cannot be removed (they live
+    /// as long as the server).
+    pub fn subscribe<F: FnMut(SimTime, &EngineEvent) + Send + 'static>(&mut self, f: F) {
+        self.subscribers.push(Box::new(f));
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> &[(SimTime, EngineEvent)] {
+        &self.events
+    }
+
+    /// Events dropped from the retained buffer because of the bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Raises (or lowers) the retention bound.
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity;
+    }
+
+    /// Retained events in `[from, to)`.
+    pub fn window(&self, from: SimTime, to: SimTime) -> Vec<&(SimTime, EngineEvent)> {
+        self.events.iter().filter(|(t, _)| *t >= from && *t < to).collect()
+    }
+
+    /// Count of retained events matching `pred`.
+    pub fn count<F: Fn(&EngineEvent) -> bool>(&self, pred: F) -> usize {
+        self.events.iter().filter(|(_, e)| pred(e)).count()
+    }
+
+    /// Clears the retained buffer (e.g. at the start of a measurement
+    /// window). Derived counters are cumulative and are **not** reset;
+    /// subscribers stay registered.
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.dropped = 0;
+    }
+
+    /// The retained events as JSONL, one event per line, tagged with
+    /// `server`.
+    pub fn to_jsonl(&self, server: &str) -> String {
+        let mut out = String::with_capacity(self.events.len() * 96);
+        for (at, ev) in &self.events {
+            ev.write_json(*at, server, &mut out);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(seq: u64) -> EngineEvent {
+        EngineEvent::LogSwitch { seq, group: 0 }
+    }
+
+    #[test]
+    fn records_in_order_within_capacity() {
+        let mut s = EventSink::new(8);
+        for i in 0..5 {
+            s.record(SimTime::from_secs(i), ev(i));
+        }
+        assert_eq!(s.events().len(), 5);
+        assert_eq!(s.dropped(), 0);
+        assert_eq!(s.events()[0].1, ev(0));
+        assert_eq!(s.events()[4].1, ev(4));
+    }
+
+    #[test]
+    fn capacity_bound_drops_oldest_but_keeps_derived() {
+        let mut s = EventSink::new(3);
+        for i in 0..10 {
+            s.record(SimTime::from_secs(i), ev(i));
+        }
+        assert_eq!(s.events().len(), 3);
+        assert_eq!(s.dropped(), 7);
+        assert_eq!(s.events()[0].1, ev(7), "oldest retained is #7");
+        assert_eq!(s.derived().log_switches, 10, "derived counters ignore the bound");
+    }
+
+    #[test]
+    fn derived_counters_follow_the_stream() {
+        let mut s = EventSink::new(64);
+        s.record(SimTime::ZERO, EngineEvent::SwitchStall { seq: 2, micros: 1_500 });
+        s.record(SimTime::ZERO, EngineEvent::Checkpoint { blocks: 8, complete_at: SimTime::ZERO });
+        s.record(
+            SimTime::ZERO,
+            EngineEvent::SequenceReplayed { seq: 3, applied: 40, skipped: 2, archived: true },
+        );
+        s.record(
+            SimTime::ZERO,
+            EngineEvent::RecoveryCompleted {
+                procedure: RecoveryProcedure::Media,
+                records_applied: 40,
+                archives_read: 1,
+            },
+        );
+        let d = s.derived();
+        assert_eq!(d.switch_stall_micros, 1_500);
+        assert_eq!(d.full_checkpoints, 1);
+        assert_eq!(d.recovery_records_applied, 40);
+        assert_eq!(d.recovery_records_skipped, 2);
+        assert_eq!(d.recovery_archives_processed, 1);
+        assert_eq!(d.media_recoveries, 1);
+    }
+
+    #[test]
+    fn subscribers_see_everything_even_past_the_bound() {
+        use std::sync::{Arc, Mutex};
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let mut s = EventSink::new(2);
+        let seen2 = Arc::clone(&seen);
+        s.subscribe(move |at, e| seen2.lock().unwrap().push((at, e.clone())));
+        for i in 0..6 {
+            s.record(SimTime::from_secs(i), ev(i));
+        }
+        assert_eq!(s.events().len(), 2);
+        assert_eq!(seen.lock().unwrap().len(), 6);
+    }
+
+    #[test]
+    fn window_count_and_clear() {
+        let mut s = EventSink::new(16);
+        s.record(SimTime::from_secs(1), ev(1));
+        s.record(
+            SimTime::from_secs(5),
+            EngineEvent::Checkpoint { blocks: 3, complete_at: SimTime::from_secs(6) },
+        );
+        s.record(SimTime::from_secs(9), ev(2));
+        assert_eq!(s.window(SimTime::from_secs(2), SimTime::from_secs(9)).len(), 1);
+        assert_eq!(s.count(|e| matches!(e, EngineEvent::LogSwitch { .. })), 2);
+        s.clear();
+        assert!(s.events().is_empty());
+        assert_eq!(s.dropped(), 0);
+        assert_eq!(s.derived().log_switches, 2, "clear never resets derived counters");
+    }
+
+    #[test]
+    fn jsonl_lines_are_stable_and_self_describing() {
+        let mut s = EventSink::new(4);
+        s.record(SimTime::from_micros(42), ev(7));
+        s.record(
+            SimTime::from_micros(99),
+            EngineEvent::PhaseSpan {
+                phase: RecoveryPhase::RedoApply,
+                started_at: SimTime::from_micros(50),
+            },
+        );
+        let jsonl = s.to_jsonl("PRIMARY");
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"t_us\":42,\"server\":\"PRIMARY\",\"type\":\"log_switch\",\"seq\":7,\"group\":0}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"t_us\":99,\"server\":\"PRIMARY\",\"type\":\"phase_span\",\"phase\":\"redo_apply\",\"start_us\":50}"
+        );
+    }
+}

@@ -43,21 +43,31 @@ impl Instance {
     }
 
     /// Rebuilds every index of `obj` from an iterator of `(rid, row)`.
-    /// Existing index state for the table is discarded first.
-    pub fn rebuild_indexes_for<I>(&mut self, obj: ObjectId, defs: &[crate::catalog::IndexDef], rows: I)
+    /// Existing index state for the table is discarded first. Returns the
+    /// number of index entries inserted (rows x indexes) so callers can
+    /// report rebuild work on the event stream.
+    pub fn rebuild_indexes_for<I>(
+        &mut self,
+        obj: ObjectId,
+        defs: &[crate::catalog::IndexDef],
+        rows: I,
+    ) -> u64
     where
         I: IntoIterator<Item = (crate::types::RowId, crate::row::Row)>,
     {
         let mut indexes: Vec<Index> = defs.iter().cloned().map(Index::new).collect();
+        let mut entries = 0u64;
         for (rid, row) in rows {
             for ix in &mut indexes {
                 // Duplicate keys on a unique index cannot happen for data
                 // produced through the engine; ignore the error to keep
                 // rebuild infallible.
                 let _ = ix.insert(&row, rid);
+                entries += 1;
             }
         }
         self.indexes.insert(obj, indexes);
+        entries
     }
 }
 

@@ -35,6 +35,7 @@ pub mod codec;
 pub mod config;
 pub mod controlfile;
 pub mod error;
+pub mod events;
 pub mod fasthash;
 pub mod heap;
 pub mod index;
@@ -47,12 +48,12 @@ pub mod row;
 pub mod server;
 pub mod standby;
 pub mod stats;
-pub mod trace;
 pub mod txn;
 pub mod types;
 
 pub use config::{CostModel, InstanceConfig};
 pub use error::{DbError, DbResult};
+pub use events::{EngineEvent, EventSink, RecoveryPhase, RecoveryProcedure};
 pub use layout::DiskLayout;
 pub use row::{Row, Value};
 pub use server::DbServer;

@@ -20,6 +20,7 @@ use recobench_vfs::IoKind;
 
 use crate::controlfile::{CkptRecord, SeqLocation};
 use crate::error::{DbError, DbResult};
+use crate::events::{EngineEvent, RecoveryPhase, RecoveryProcedure};
 use crate::redo::{decode_stream, RedoOp, RedoRecord};
 use crate::server::DbServer;
 use crate::txn::UndoOp;
@@ -70,8 +71,16 @@ impl DbServer {
             return Err(DbError::AlreadyOpen);
         }
         self.control_ref()?;
+        let startup_began = self.clock.now();
         self.clock.advance(self.config.costs.instance_startup);
         self.clock.advance(self.config.costs.mount_open);
+        self.events.record(
+            self.clock.now(),
+            EngineEvent::PhaseSpan {
+                phase: RecoveryPhase::InstanceStartup,
+                started_at: startup_began,
+            },
+        );
         let now = self.clock.now();
         let control = self.control_ref()?;
         let crash_time = control.stopped_at.unwrap_or(now);
@@ -91,11 +100,17 @@ impl DbServer {
             })?;
             recovered_records = summary.applied;
             self.finish_crash_recovery(&summary)?;
-            self.stats.crash_recoveries += 1;
+            self.events.record(
+                self.clock.now(),
+                EngineEvent::RecoveryCompleted {
+                    procedure: RecoveryProcedure::Crash,
+                    records_applied: summary.applied,
+                    archives_read: summary.archives_read,
+                },
+            );
         }
         self.finalize_open()?;
-        self.trace
-            .record(self.clock.now(), crate::trace::TraceEvent::InstanceOpened { recovered_records });
+        self.events.record(self.clock.now(), EngineEvent::InstanceOpened { recovered_records });
         Ok(())
     }
 
@@ -114,6 +129,8 @@ impl DbServer {
             let inst = self.inst.as_ref().ok_or(DbError::InstanceDown)?;
             inst.catalog.tables.keys().copied().collect()
         };
+        let mut tables = 0u64;
+        let mut entries = 0u64;
         for obj in objs {
             let defs = {
                 let inst = self.inst.as_ref().ok_or(DbError::InstanceDown)?;
@@ -121,12 +138,14 @@ impl DbServer {
             };
             let rows = self.peek_scan(obj).unwrap_or_default();
             let inst = self.inst.as_mut().ok_or(DbError::InstanceDown)?;
-            inst.rebuild_indexes_for(obj, &defs, rows);
+            entries += inst.rebuild_indexes_for(obj, &defs, rows);
+            tables += 1;
             let seg = inst.catalog.table(obj)?.segment.clone();
             let cursor = inst.cursors.entry(obj).or_default();
             *cursor = crate::heap::PlacementCursor::new();
             cursor.seek_last_extent(&seg);
         }
+        self.events.record(self.clock.now(), EngineEvent::IndexesRebuilt { tables, entries });
         let done = self.full_checkpoint()?;
         self.clock.advance_to(done);
         self.next_dbwr_tick = self.clock.now() + self.config.dbwr_tick;
@@ -179,6 +198,10 @@ impl DbServer {
                 drop(fs);
                 self.clock.advance_to(done.max(d1).max(d2));
             }
+            self.events.record(
+                self.clock.now(),
+                EngineEvent::PhaseSpan { phase: RecoveryPhase::MediaRestore, started_at: now },
+            );
             let inst = self.inst.as_mut().ok_or(DbError::InstanceDown)?;
             inst.cache.invalidate_file(file_no);
             position
@@ -219,7 +242,14 @@ impl DbServer {
         // Index entries for recovered rows may have diverged; rebuild.
         self.rebuild_all_indexes()?;
         self.clock.advance(self.config.costs.admin_command);
-        self.stats.media_recoveries += 1;
+        self.events.record(
+            self.clock.now(),
+            EngineEvent::RecoveryCompleted {
+                procedure: RecoveryProcedure::Media,
+                records_applied: summary.applied,
+                archives_read: summary.archives_read,
+            },
+        );
         Ok(summary)
     }
 
@@ -228,6 +258,8 @@ impl DbServer {
             let inst = self.inst.as_ref().ok_or(DbError::InstanceDown)?;
             inst.catalog.tables.keys().copied().collect()
         };
+        let mut tables = 0u64;
+        let mut entries = 0u64;
         for obj in objs {
             let defs = {
                 let inst = self.inst.as_ref().ok_or(DbError::InstanceDown)?;
@@ -235,8 +267,10 @@ impl DbServer {
             };
             let rows = self.peek_scan(obj).unwrap_or_default();
             let inst = self.inst.as_mut().ok_or(DbError::InstanceDown)?;
-            inst.rebuild_indexes_for(obj, &defs, rows);
+            entries += inst.rebuild_indexes_for(obj, &defs, rows);
+            tables += 1;
         }
+        self.events.record(self.clock.now(), EngineEvent::IndexesRebuilt { tables, entries });
         Ok(())
     }
 
@@ -264,9 +298,17 @@ impl DbServer {
         if self.inst.is_some() {
             self.shutdown_abort()?;
         }
+        let startup_began = self.clock.now();
         self.clock.advance(self.config.costs.instance_startup);
         self.clock.advance(self.config.costs.mount_open);
         self.clock.advance(self.config.costs.admin_command);
+        self.events.record(
+            self.clock.now(),
+            EngineEvent::PhaseSpan {
+                phase: RecoveryPhase::InstanceStartup,
+                started_at: startup_began,
+            },
+        );
         // Restore every datafile from its backup piece.
         let backup_disk = self.layout.backup_disk;
         {
@@ -283,6 +325,10 @@ impl DbServer {
             }
             drop(fs);
             self.clock.advance_to(last);
+            self.events.record(
+                self.clock.now(),
+                EngineEvent::PhaseSpan { phase: RecoveryPhase::MediaRestore, started_at: now },
+            );
         }
         // Reset runtime state to the backup's view of the world.
         {
@@ -316,7 +362,14 @@ impl DbServer {
         }
         self.open_resetlogs()?;
         self.finalize_open()?;
-        self.stats.incomplete_recoveries += 1;
+        self.events.record(
+            self.clock.now(),
+            EngineEvent::RecoveryCompleted {
+                procedure: RecoveryProcedure::Incomplete,
+                records_applied: summary.applied,
+                archives_read: summary.archives_read,
+            },
+        );
         Ok(summary)
     }
 
@@ -385,14 +438,15 @@ impl DbServer {
                 }
             };
             let start_offset = if seq == opts.from.seq { opts.from.offset } else { 0 };
-            let segments = if let Some(group) = loc.group {
+            let scan_began = self.clock.now();
+            let (segments, from_archive) = if let Some(group) = loc.group {
                 let vfs_id = self.control_ref()?.groups[group].vfs_id;
                 let now = self.clock.now();
                 let mut fs = self.fs.lock();
                 let (done, segs) = fs.read_from(vfs_id, start_offset, now)?;
                 drop(fs);
                 self.clock.advance_to(done);
-                segs
+                (segs, false)
             } else if let (Some(archive), Some(done_at)) = (loc.archive, loc.archive_done_at) {
                 if done_at > opts.available_at {
                     return Err(DbError::Unrecoverable(format!(
@@ -406,15 +460,21 @@ impl DbServer {
                 drop(fs);
                 self.clock.advance_to(done);
                 summary.archives_read += 1;
-                self.stats.recovery_archives_processed += 1;
-                segs
+                (segs, true)
             } else {
                 return Err(DbError::Unrecoverable(format!(
                     "redo for log seq {seq} was overwritten and never archived"
                 )));
             };
+            self.events.record(
+                self.clock.now(),
+                EngineEvent::PhaseSpan { phase: RecoveryPhase::RedoScan, started_at: scan_began },
+            );
             let records = decode_stream(&segments, overhead)
                 .map_err(|_| DbError::Unrecoverable(format!("log seq {seq} is corrupt")))?;
+            let applied_before = summary.applied;
+            let skipped_before = summary.skipped;
+            let apply_began = self.clock.now();
             for (offset, rec) in records {
                 if offset < start_offset {
                     summary.skipped += 1;
@@ -430,15 +490,38 @@ impl DbServer {
                 let addr = RedoAddr { seq, offset };
                 self.replay_one(&rec, addr, opts.only_file, &mut live, &mut summary)?;
             }
+            self.events.record(
+                self.clock.now(),
+                EngineEvent::PhaseSpan { phase: RecoveryPhase::RedoApply, started_at: apply_began },
+            );
+            self.events.record(
+                self.clock.now(),
+                EngineEvent::SequenceReplayed {
+                    seq,
+                    applied: summary.applied - applied_before,
+                    skipped: summary.skipped - skipped_before,
+                    archived: from_archive,
+                },
+            );
         }
         // Roll back transactions that never resolved.
         let unresolved: Vec<(TxnId, Vec<UndoOp>)> = live.into_iter().collect();
+        let rollback_began = self.clock.now();
         for (_txn, ops) in unresolved.iter().rev() {
             for op in ops.iter().rev() {
                 self.apply_recovery_undo(op)?;
             }
         }
         summary.rolled_back = unresolved.iter().filter(|(_, ops)| !ops.is_empty()).count() as u64;
+        if summary.rolled_back > 0 {
+            self.events.record(
+                self.clock.now(),
+                EngineEvent::PhaseSpan {
+                    phase: RecoveryPhase::TxnRollback,
+                    started_at: rollback_began,
+                },
+            );
+        }
         Ok(summary)
     }
 
@@ -552,7 +635,6 @@ impl DbServer {
             }
         }
         self.clock.advance(self.config.costs.cpu_apply_record);
-        self.stats.recovery_records_applied += 1;
         Ok(())
     }
 

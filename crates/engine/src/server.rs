@@ -34,8 +34,8 @@ use crate::layout::DiskLayout;
 use crate::page::BlockImage;
 use crate::redo::{RedoOp, RedoRecord, RedoState};
 use crate::row::{Row, Value};
+use crate::events::{EngineEvent, EventSink};
 use crate::stats::EngineStats;
-use crate::trace::{Trace, TraceEvent};
 use crate::txn::{TxnTable, UndoOp};
 use crate::types::{FileNo, ObjectId, RedoAddr, RowId, Scn, TablespaceId, TxnId, UserId};
 
@@ -63,7 +63,7 @@ pub struct DbServer {
     /// (reuse would confuse replay-time transaction tracking).
     pub(crate) txn_floor: u64,
     pub(crate) backups_taken: u32,
-    pub(crate) trace: Trace,
+    pub(crate) events: EventSink,
 }
 
 impl DbServer {
@@ -90,7 +90,7 @@ impl DbServer {
             datafile_total: 0,
             txn_floor: 0,
             backups_taken: 0,
-            trace: Trace::new(4096),
+            events: EventSink::new(4096),
         }
     }
 
@@ -129,9 +129,25 @@ impl DbServer {
         self.inst.is_some() && !self.managed_recovery
     }
 
-    /// Cumulative engine counters.
+    /// Cumulative engine counters. The hot-path counters (commits, redo,
+    /// flushes, block writes) are maintained directly; everything related
+    /// to checkpoints, archiving and recovery is **derived from the event
+    /// stream**, so these numbers can never disagree with the events.
     pub fn stats(&self) -> EngineStats {
-        self.stats
+        let mut s = self.stats;
+        let d = self.events.derived();
+        s.log_switches = d.log_switches;
+        s.full_checkpoints = d.full_checkpoints;
+        s.incremental_advances = d.incremental_advances;
+        s.switch_stall_micros = d.switch_stall_micros;
+        s.archives_created = d.archives_created;
+        s.recovery_records_applied = d.recovery_records_applied;
+        s.recovery_records_skipped = d.recovery_records_skipped;
+        s.recovery_archives_processed = d.recovery_archives_processed;
+        s.crash_recoveries = d.crash_recoveries;
+        s.media_recoveries = d.media_recoveries;
+        s.incomplete_recoveries = d.incomplete_recoveries;
+        s
     }
 
     /// The current SCN (zero when the instance is down).
@@ -144,16 +160,24 @@ impl DbServer {
         self.backup.as_ref()
     }
 
-    /// The engine event trace (log switches, stalls, checkpoints,
-    /// archiving, instance lifecycle).
-    pub fn trace(&self) -> &Trace {
-        &self.trace
+    /// The engine event sink (log switches, stalls, checkpoints,
+    /// archiving, instance lifecycle, recovery phases).
+    pub fn events(&self) -> &EventSink {
+        &self.events
     }
 
-    /// Clears the engine event trace (e.g. at the start of a measurement
-    /// window).
-    pub fn clear_trace(&mut self) {
-        self.trace.clear();
+    /// Mutable access to the event sink — for registering subscribers,
+    /// raising the retention bound, or clearing the buffer at the start of
+    /// a measurement window.
+    pub fn events_mut(&mut self) -> &mut EventSink {
+        &mut self.events
+    }
+
+    /// Records `event` on this server's sink at the current sim instant.
+    /// Used by out-of-crate actors (the fault injector, tests) that act on
+    /// the server's behalf.
+    pub fn emit(&mut self, event: EngineEvent) {
+        self.events.record(self.clock.now(), event);
     }
 
     fn inst_ref(&self) -> DbResult<&Instance> {
@@ -251,7 +275,7 @@ impl DbServer {
         self.inst = None;
         self.managed_recovery = false;
         self.next_dbwr_tick = SimTime::MAX;
-        self.trace.record(now, TraceEvent::InstanceStopped { clean: false });
+        self.events.record(now, EngineEvent::InstanceStopped { clean: false });
         Ok(())
     }
 
@@ -274,7 +298,7 @@ impl DbServer {
         control.last_scn = scn;
         self.inst = None;
         self.next_dbwr_tick = SimTime::MAX;
-        self.trace.record(now, TraceEvent::InstanceStopped { clean: true });
+        self.events.record(now, EngineEvent::InstanceStopped { clean: true });
         Ok(())
     }
 
@@ -341,8 +365,7 @@ impl DbServer {
             .unwrap_or(RedoAddr::ZERO);
         if position > best {
             control.add_checkpoint(CkptRecord { position, scn, complete_at, catalog: snapshot });
-            self.stats.incremental_advances += 1;
-            self.trace.record(tick, TraceEvent::IncrementalAdvance { blocks: 0 });
+            self.events.record(tick, EngineEvent::IncrementalAdvance { blocks: 0 });
         }
         Ok(())
     }
@@ -418,11 +441,16 @@ impl DbServer {
             if archive_mode {
                 let fs = Arc::clone(&self.fs);
                 let mut fs = fs.lock();
-                let control = self.control_mut()?;
-                let done = crate::archiver::archive_seq(&mut fs, control, archive_disk, old_seq, now)?;
-                self.stats.archives_created += 1;
-                drop(fs);
-                self.trace.record(now, TraceEvent::Archived { seq: old_seq, complete_at: done });
+                let control =
+                    self.control.as_mut().ok_or_else(|| DbError::NotFound("database".into()))?;
+                crate::archiver::archive_seq(
+                    &mut fs,
+                    control,
+                    archive_disk,
+                    old_seq,
+                    now,
+                    &mut self.events,
+                )?;
             }
         }
         // Find the next group and stall until it is reusable.
@@ -446,8 +474,7 @@ impl DbServer {
         if let Some((prev_seq, ready)) = prev_in_ng {
             if ready > now {
                 let stall = ready.saturating_since(now).as_micros();
-                self.stats.switch_stall_micros += stall;
-                self.trace.record(now, TraceEvent::SwitchStall { seq: old_seq + 1, micros: stall });
+                self.events.record(now, EngineEvent::SwitchStall { seq: old_seq + 1, micros: stall });
                 self.clock.advance_to(ready);
             }
             let control = self.control_mut()?;
@@ -479,7 +506,7 @@ impl DbServer {
             let inst = self.inst.as_mut().ok_or(DbError::InstanceDown)?;
             inst.redo.switch_to(ng, new_seq);
         }
-        self.trace.record(self.clock.now(), TraceEvent::LogSwitch { seq: new_seq, group: ng });
+        self.events.record(self.clock.now(), EngineEvent::LogSwitch { seq: new_seq, group: ng });
         // Switch checkpoint: write every dirty block; once it completes the
         // old sequence is released for reuse.
         let done = self.full_checkpoint()?;
@@ -487,7 +514,6 @@ impl DbServer {
         if let Some(loc) = control.seqs.get_mut(&old_seq) {
             loc.released_at = Some(done);
         }
-        self.stats.log_switches += 1;
         Ok(())
     }
 
@@ -504,10 +530,8 @@ impl DbServer {
             let position = RedoAddr { seq: inst.redo.current_seq, offset: 0 };
             (out, position, inst.scn, Arc::new(inst.catalog.clone()))
         };
-        self.stats.full_checkpoints += 1;
         self.stats.blocks_written += out.blocks;
-        self.trace
-            .record(now, TraceEvent::Checkpoint { blocks: out.blocks, complete_at: out.complete_at });
+        self.events.record(now, out.checkpoint_event());
         let control = self.control_mut()?;
         control.add_checkpoint(CkptRecord {
             position,
@@ -1430,14 +1454,16 @@ impl DbServer {
             }
         }
         self.clock.advance_to(last);
-        self.backup = Some(BackupSet {
+        let backup = BackupSet {
             taken_at: self.clock.now(),
             position,
             scn,
             catalog: snapshot,
             pieces,
             nominal_bytes_per_file: nominal_per_file,
-        });
+        };
+        self.events.record(self.clock.now(), backup.event());
+        self.backup = Some(backup);
         Ok(())
     }
 

@@ -24,6 +24,7 @@ use crate::catalog::Catalog;
 use crate::config::InstanceConfig;
 use crate::controlfile::{CkptRecord, ControlFile, LogGroup, SeqLocation};
 use crate::error::{DbError, DbResult};
+use crate::events::{EngineEvent, RecoveryPhase};
 use crate::layout::DiskLayout;
 use crate::page::BlockImage;
 use crate::redo::{decode_stream, RedoOp, RedoRecord};
@@ -206,10 +207,15 @@ impl StandbyServer {
             let records = decode_stream(&segments, overhead)
                 .map_err(|_| DbError::Unrecoverable(format!("shipped log seq {next} is corrupt")))?;
             let apply_start = ship_done.max(self.apply_done_at);
-            let cpu = self.server.config.costs.cpu_apply_record * records.len() as u64;
+            let nrecords = records.len() as u64;
+            let cpu = self.server.config.costs.cpu_apply_record * nrecords;
             self.apply_done_at = apply_start + cpu;
             self.apply_records(next, &records, apply_start)?;
             self.applied_seq = next;
+            self.server.events.record(
+                self.apply_done_at,
+                EngineEvent::StandbyArchiveApplied { seq: next, records: nrecords },
+            );
         }
         Ok(())
     }
@@ -293,7 +299,6 @@ impl StandbyServer {
             (RedoOp::Commit, None) | (RedoOp::Rollback, None) => {}
         }
         self.records_applied += 1;
-        self.server.stats.recovery_records_applied += 1;
         Ok(())
     }
 
@@ -368,6 +373,7 @@ impl StandbyServer {
             return Err(DbError::AlreadyOpen);
         }
         let clock = Arc::clone(&self.server.clock);
+        let activation_began = clock.now();
         clock.advance_to(self.apply_done_at);
         clock.advance(self.server.config.costs.standby_activation);
         // Roll back transactions with no commit record in the applied redo.
@@ -431,6 +437,13 @@ impl StandbyServer {
         self.server.managed_recovery = false;
         self.server.finalize_open()?;
         self.activated = true;
+        self.server.events.record(
+            clock.now(),
+            EngineEvent::PhaseSpan {
+                phase: RecoveryPhase::StandbyActivation,
+                started_at: activation_began,
+            },
+        );
         Ok(clock.now())
     }
 

@@ -2,7 +2,7 @@
 //! interfaces a real administrator uses, then drives the recovery
 //! procedure the mistake calls for (the paper's Figure 1 steps).
 
-use recobench_engine::{DbResult, DbServer, Scn};
+use recobench_engine::{DbResult, DbServer, EngineEvent, RecoveryPhase, Scn};
 use recobench_sim::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
@@ -174,7 +174,12 @@ impl FaultInjector {
     /// which is itself a benchmark result: the configuration cannot
     /// tolerate this fault.
     pub fn recover(&self, server: &mut DbServer, record: &InjectionRecord) -> DbResult<FaultOutcome> {
+        let noticed_from = server.clock().now();
         server.clock().advance(self.plan.detection);
+        server.emit(EngineEvent::PhaseSpan {
+            phase: RecoveryPhase::Detection,
+            started_at: noticed_from,
+        });
         let started = server.clock().now();
         let mut records_applied = 0;
         let mut archives = 0;

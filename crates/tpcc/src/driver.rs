@@ -44,6 +44,59 @@ impl Default for DriverConfig {
     }
 }
 
+/// The end-user availability timeline over a window: committed
+/// transactions per second, plus the instants service was lost and came
+/// back, all as the *client* saw them. This is the ResBench-style view the
+/// breakdown report plots: not just "recovery took 34 s" but the shape of
+/// the outage.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AvailabilityTimeline {
+    /// Window start, µs of sim time.
+    pub start_us: u64,
+    /// Bucket width, µs (one second).
+    pub bucket_us: u64,
+    /// Successful transaction completions per bucket, covering
+    /// `[start, end)` in order.
+    pub buckets: Vec<u64>,
+    /// First errored attempt in the window (service-loss instant), µs.
+    pub first_error_us: Option<u64>,
+    /// First successful completion after `first_error_us` (service-return
+    /// instant), µs. `None` when service never failed or never returned.
+    pub service_return_us: Option<u64>,
+}
+
+impl AvailabilityTimeline {
+    /// Seconds of the window with zero successful completions.
+    pub fn zero_seconds(&self) -> u64 {
+        self.buckets.iter().filter(|&&b| b == 0).count() as u64
+    }
+
+    /// Total successful completions in the window.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// The timeline as one hand-rolled JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(32 + self.buckets.len() * 4);
+        let _ = write!(out, "{{\"start_us\":{},\"bucket_us\":{},\"buckets\":[", self.start_us, self.bucket_us);
+        for (i, b) in self.buckets.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{b}");
+        }
+        let _ = write!(
+            out,
+            "],\"first_error_us\":{},\"service_return_us\":{}}}",
+            self.first_error_us.map_or("null".to_string(), |v| v.to_string()),
+            self.service_return_us.map_or("null".to_string(), |v| v.to_string()),
+        );
+        out
+    }
+}
+
 /// One committed New-Order acknowledgement, as the client saw it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CommittedOrder {
@@ -199,9 +252,51 @@ impl TpccDriver {
         self.errors.iter().copied().find(|&e| e >= t)
     }
 
+    /// Records a service loss the client observed at `at` without running
+    /// a transaction — the experiment harness calls this at fault
+    /// activation, where the client's in-flight attempt fails while the
+    /// recovery procedure monopolizes the timeline.
+    pub fn record_outage(&mut self, at: SimTime) {
+        self.errors.push(at);
+    }
+
     /// First successful completion at or after `t` (service restoration).
     pub fn first_success_after(&self, t: SimTime) -> Option<SimTime> {
         self.successes.iter().copied().find(|&s| s >= t)
+    }
+
+    /// The end-user availability timeline over `[from, to)`: per-second
+    /// successful-completion counts, the first error in the window, and
+    /// the first success after that error.
+    pub fn availability_timeline(&self, from: SimTime, to: SimTime) -> AvailabilityTimeline {
+        const BUCKET_US: u64 = 1_000_000;
+        let start_us = from.as_micros();
+        let end_us = to.as_micros().max(start_us);
+        let n = ((end_us - start_us) + BUCKET_US - 1) / BUCKET_US;
+        let mut buckets = vec![0u64; n as usize];
+        for s in &self.successes {
+            let t = s.as_micros();
+            if t >= start_us && t < end_us {
+                buckets[((t - start_us) / BUCKET_US) as usize] += 1;
+            }
+        }
+        let first_error = self
+            .errors
+            .iter()
+            .copied()
+            .find(|e| e.as_micros() >= start_us && e.as_micros() < end_us);
+        // Strictly after: a success in the same microsecond as the first
+        // error is the last pre-fault completion, not the restoration.
+        let service_return = first_error
+            .and_then(|e| self.successes.iter().copied().find(|&s| s > e))
+            .filter(|s| s.as_micros() < end_us);
+        AvailabilityTimeline {
+            start_us,
+            bucket_us: BUCKET_US,
+            buckets,
+            first_error_us: first_error.map(|t| t.as_micros()),
+            service_return_us: service_return.map(|t| t.as_micros()),
+        }
     }
 
     /// The client-side audit log.
@@ -347,6 +442,56 @@ mod tests {
             driver.step(&mut srv);
         }
         assert!(driver.first_success_after(recovered_at).is_some());
+    }
+
+    #[test]
+    fn availability_timeline_buckets_are_monotone_in_sim_time() {
+        let (mut srv, schema) = loaded();
+        let start = srv.clock().now();
+        let mut driver =
+            TpccDriver::new(schema, DriverConfig::default(), SimRng::seed_from(6), start);
+        for _ in 0..40 {
+            driver.step(&mut srv);
+        }
+        let fault_at = srv.clock().now();
+        srv.shutdown_abort().unwrap();
+        for _ in 0..15 {
+            driver.step(&mut srv);
+        }
+        srv.startup().unwrap();
+        for _ in 0..60 {
+            driver.step(&mut srv);
+        }
+        let end = srv.clock().now() + SimDuration::from_secs(1);
+
+        // Success instants arrive in nondecreasing sim time, so every
+        // recorded success falls in a bucket at or after the previous
+        // one's: the bucketed cumulative count is monotone.
+        let mut prev = SimTime::ZERO;
+        for &s in &driver.successes {
+            assert!(s >= prev, "success instants must be nondecreasing");
+            prev = s;
+        }
+        let tl = driver.availability_timeline(start, end);
+        assert_eq!(tl.start_us, start.as_micros());
+        assert_eq!(tl.total(), driver.successes.len() as u64, "every success lands in a bucket");
+        assert!(tl.zero_seconds() > 0, "the outage shows up as empty seconds");
+        let first_error = tl.first_error_us.expect("the fault produced errors");
+        let back = tl.service_return_us.expect("service returned in-window");
+        assert!(first_error >= fault_at.as_micros());
+        assert!(back > first_error, "service returns strictly after it was lost");
+        // Buckets strictly between loss and return hold no successes.
+        let lo = ((first_error - tl.start_us) / tl.bucket_us + 1) as usize;
+        let hi = ((back - tl.start_us) / tl.bucket_us) as usize;
+        for b in &tl.buckets[lo.min(tl.buckets.len())..hi.min(tl.buckets.len())] {
+            assert_eq!(*b, 0, "no successes between service loss and return");
+        }
+        // JSON round-trips structurally: the serialized form mentions every
+        // field once.
+        let json = tl.to_json();
+        for key in ["start_us", "bucket_us", "buckets", "first_error_us", "service_return_us"] {
+            assert!(json.contains(key), "JSON must carry {key}");
+        }
     }
 
     #[test]

@@ -23,7 +23,7 @@ pub mod schema;
 pub mod tx;
 
 pub use consistency::{check_consistency, ConsistencyReport};
-pub use driver::{DriverConfig, StepEvent, TpccDriver};
+pub use driver::{AvailabilityTimeline, DriverConfig, StepEvent, TpccDriver};
 pub use gen::load_database;
 pub use schema::{create_schema, TpccScale, TpccSchema};
 pub use tx::TxnKind;

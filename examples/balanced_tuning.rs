@@ -11,7 +11,7 @@
 //! ```
 
 use recobench::core::report::Table;
-use recobench::core::{run_campaign, Experiment, RecoveryConfig};
+use recobench::core::{Campaign, Experiment, RecoveryConfig};
 use recobench::faults::FaultType;
 
 fn main() {
@@ -31,11 +31,10 @@ fn main() {
                 .build(),
         );
     }
-    let results = run_campaign(experiments, 0);
+    let outcomes = Campaign::new(experiments).run().expect_all();
 
     let mut table = Table::new(vec!["Config", "tpmC", "crash recovery (s)", "perf cost %", "score"])
         .title("Performance vs. recovery balance");
-    let outcomes: Vec<_> = results.into_iter().map(|r| r.expect("setup is valid")).collect();
     let best_tpmc =
         outcomes.iter().step_by(2).map(|o| o.measures.tpmc).fold(f64::MIN, f64::max);
 

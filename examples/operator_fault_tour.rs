@@ -10,7 +10,7 @@
 //! ```
 
 use recobench::core::report::Table;
-use recobench::core::{run_campaign, Experiment, RecoveryConfig};
+use recobench::core::{Campaign, Experiment, RecoveryConfig};
 use recobench::faults::{FaultType, RecoveryKind};
 
 fn main() {
@@ -27,7 +27,7 @@ fn main() {
                 .build()
         })
         .collect();
-    let results = run_campaign(experiments, 0);
+    let outcomes = Campaign::new(experiments).run().expect_all();
 
     let mut table = Table::new(vec![
         "Fault",
@@ -38,8 +38,7 @@ fn main() {
         "Redo re-applied",
     ])
     .title("The six injected operator faults on F10G3T5 (fault at t+120 s)");
-    for (fault, r) in FaultType::all().iter().zip(results) {
-        let o = r.expect("setup is valid");
+    for (fault, o) in FaultType::all().iter().zip(&outcomes) {
         table.row(vec![
             fault.to_string(),
             match fault.recovery_kind() {
