@@ -1,0 +1,168 @@
+//! The torture sweep: randomized multi-fault schedules against the
+//! differential oracle, with shrinking.
+//!
+//! Three modes, selected by the shared [`BenchCli`] flags:
+//!
+//! * **sweep** (default) — generate seeded random [`FaultSchedule`]s and
+//!   run them until the wall-clock budget (`--sweep-seconds`, default 60)
+//!   or the exact run count (`--runs N`) is exhausted. On the first
+//!   divergence the schedule is shrunk to a minimal reproducer, written
+//!   as JSON to `--out` (default `torture_minimized.json`), and the
+//!   process exits non-zero — CI uploads the artifact and the schedule
+//!   goes into `tests/corpus/` once the bug is fixed.
+//! * **replay** (`--replay PATH`) — run one schedule JSON and report.
+//! * **self-test** (`--sabotage N`, combinable with either mode) — arm
+//!   the engine's test-only redo-skip sabotage so the oracle *must*
+//!   diverge; this is how the harness proves the oracle catches real
+//!   corruption, and how corpus reproducers were first harvested.
+//!
+//! Every schedule is derived from `--seed`, so a failing sweep is
+//! reproducible by rerunning with the same seed.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use recobench_bench::BenchCli;
+use recobench_faults::FaultSchedule;
+use recobench_oracle::{shrink_schedule, TortureOptions, TortureOutcome, TortureRunner};
+use recobench_sim::SimRng;
+
+fn main() -> ExitCode {
+    let cli = BenchCli::parse();
+    let opts = TortureOptions { sabotage_skip_redo: cli.sabotage, ..TortureOptions::default() };
+    let runner = TortureRunner::new(opts);
+    match &cli.replay {
+        Some(path) => replay(&runner, path),
+        None => sweep(&runner, &cli),
+    }
+}
+
+fn replay(runner: &TortureRunner, path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("torture: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let schedule = match FaultSchedule::from_json(text.trim()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("torture: {path} is not a schedule: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let outcome = match runner.run(&schedule) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("torture: replay setup failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print_outcome(path, &outcome);
+    if outcome.diverged() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn sweep(runner: &TortureRunner, cli: &BenchCli) -> ExitCode {
+    let budget_secs = cli.sweep_seconds.unwrap_or(60);
+    let started = Instant::now();
+    let mut runs = 0usize;
+    let mut attempted = 0u64;
+    let mut commits = 0u64;
+    let mut injected = 0usize;
+    loop {
+        match cli.runs {
+            Some(n) if runs >= n => break,
+            Some(_) => {}
+            None if started.elapsed().as_secs() >= budget_secs => break,
+            None => {}
+        }
+        // One independent schedule per run: 1–4 faults over a 300 s
+        // window, nothing before 30 s (the driver needs a little history
+        // for the faults to have something to destroy).
+        let mut rng = SimRng::seed_from(cli.seed.wrapping_add(runs as u64));
+        let n_faults = 1 + runs % 4;
+        let schedule = FaultSchedule::random(&mut rng, n_faults, 300, 30);
+        let outcome = match runner.run(&schedule) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("torture: run {runs} setup failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        runs += 1;
+        attempted += outcome.attempted;
+        commits += outcome.commits;
+        injected += outcome.faults.iter().filter(|f| f.injected_at.is_some()).count();
+        eprint!("\r  torture: {runs} runs, {injected} faults, {attempted} txns");
+        if outcome.diverged() {
+            eprintln!();
+            return report_divergence(runner, &schedule, &outcome, cli);
+        }
+    }
+    eprintln!();
+    println!(
+        "torture sweep: {runs} runs, {injected} faults injected, {attempted} transactions \
+         attempted, {commits} commits observed, 0 divergences"
+    );
+    ExitCode::SUCCESS
+}
+
+fn report_divergence(
+    runner: &TortureRunner,
+    schedule: &FaultSchedule,
+    outcome: &TortureOutcome,
+    cli: &BenchCli,
+) -> ExitCode {
+    println!("torture: DIVERGENCE on schedule {}", schedule.to_json());
+    for d in &outcome.divergences {
+        println!("  {d}");
+    }
+    println!("torture: shrinking...");
+    let minimal = shrink_schedule(schedule, |s| {
+        runner.run(s).map(|o| o.diverged()).unwrap_or(false)
+    });
+    let json = minimal.to_json();
+    println!("torture: minimal reproducer ({} faults): {json}", minimal.faults.len());
+    let out = cli.out_path("torture_minimized.json");
+    match std::fs::write(&out, format!("{json}\n")) {
+        Ok(()) => println!("torture: wrote {out}"),
+        Err(e) => eprintln!("torture: cannot write {out}: {e}"),
+    }
+    ExitCode::FAILURE
+}
+
+fn print_outcome(label: &str, outcome: &TortureOutcome) {
+    println!(
+        "torture replay {label}: {} txns attempted, {} commits, {} faults injected, \
+         {} divergences{}",
+        outcome.attempted,
+        outcome.commits,
+        outcome.faults.iter().filter(|f| f.injected_at.is_some()).count(),
+        outcome.divergences.len(),
+        if outcome.unrecoverable { " (UNRECOVERABLE)" } else { "" },
+    );
+    for f in &outcome.faults {
+        let status = match (&f.skipped, f.injected_at) {
+            (Some(why), _) => format!("skipped: {why}"),
+            (None, Some(at)) => format!(
+                "injected at {:.1}s{}{}",
+                at.as_micros() as f64 / 1e6,
+                if f.overtaken { " (during previous recovery)" } else { "" },
+                match f.ready_at {
+                    Some(r) => format!(", service back at {:.1}s", r.as_micros() as f64 / 1e6),
+                    None => ", never recovered".to_string(),
+                },
+            ),
+            (None, None) => "not reached".to_string(),
+        };
+        println!("  {} @ {}s — {status}", f.scheduled.kind, f.scheduled.at_secs);
+    }
+    for d in &outcome.divergences {
+        println!("  DIVERGENCE: {d}");
+    }
+}

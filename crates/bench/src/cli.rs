@@ -9,7 +9,10 @@
 //! * `--seed N` — base RNG seed (default 42);
 //! * `--out PATH` — destination for binaries that write a JSON artifact;
 //! * `--smoke` / `--full` — the extra modes of the self-measurement
-//!   binaries (`campaign_wallclock`, `recovery_breakdown`).
+//!   binaries (`campaign_wallclock`, `recovery_breakdown`);
+//! * `--sweep-seconds N` / `--runs N` / `--replay PATH` / `--sabotage N`
+//!   — the torture binary's sweep budget, exact run count, single-schedule
+//!   replay mode and self-test sabotage (see `src/bin/torture.rs`).
 //!
 //! [`CampaignSpec`] collects the experiments a binary builds from these
 //! options and runs them as one [`Campaign`] with a stderr progress line.
@@ -32,11 +35,31 @@ pub struct BenchCli {
     pub full: bool,
     /// `--out PATH`: artifact destination override.
     pub out: Option<String>,
+    /// `--sweep-seconds N`: wall-clock budget for the torture sweep.
+    pub sweep_seconds: Option<u64>,
+    /// `--runs N`: exact torture-run count (overrides the time budget).
+    pub runs: Option<usize>,
+    /// `--replay PATH`: replay one schedule JSON instead of sweeping.
+    pub replay: Option<String>,
+    /// `--sabotage N`: arm the test-only redo-skip sabotage (the torture
+    /// binary's self-test mode: the oracle must catch the divergence).
+    pub sabotage: u32,
 }
 
 impl Default for BenchCli {
     fn default() -> Self {
-        BenchCli { quick: false, threads: 0, seed: 42, smoke: false, full: false, out: None }
+        BenchCli {
+            quick: false,
+            threads: 0,
+            seed: 42,
+            smoke: false,
+            full: false,
+            out: None,
+            sweep_seconds: None,
+            runs: None,
+            replay: None,
+            sabotage: 0,
+        }
     }
 }
 
@@ -71,6 +94,30 @@ impl BenchCli {
                 "--out" => {
                     if let Some(v) = args.get(i + 1) {
                         cli.out = Some(v.clone());
+                        i += 1;
+                    }
+                }
+                "--sweep-seconds" => {
+                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                        cli.sweep_seconds = Some(v);
+                        i += 1;
+                    }
+                }
+                "--runs" => {
+                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                        cli.runs = Some(v);
+                        i += 1;
+                    }
+                }
+                "--replay" => {
+                    if let Some(v) = args.get(i + 1) {
+                        cli.replay = Some(v.clone());
+                        i += 1;
+                    }
+                }
+                "--sabotage" => {
+                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                        cli.sabotage = v;
                         i += 1;
                     }
                 }
@@ -282,6 +329,27 @@ mod tests {
         let cli = BenchCli::from_args(&args(&["--smoke", "--out", "custom.json"]));
         assert!(cli.smoke && !cli.full);
         assert_eq!(cli.out_path("default.json"), "custom.json");
+    }
+
+    #[test]
+    fn torture_flags_parse() {
+        let cli = BenchCli::from_args(&args(&[
+            "--sweep-seconds",
+            "45",
+            "--runs",
+            "3",
+            "--sabotage",
+            "2",
+            "--replay",
+            "tests/corpus/a.json",
+        ]));
+        assert_eq!(cli.sweep_seconds, Some(45));
+        assert_eq!(cli.runs, Some(3));
+        assert_eq!(cli.sabotage, 2);
+        assert_eq!(cli.replay.as_deref(), Some("tests/corpus/a.json"));
+        let none = BenchCli::from_args(&[]);
+        assert_eq!((none.sweep_seconds, none.runs, none.sabotage), (None, None, 0));
+        assert!(none.replay.is_none());
     }
 
     #[test]

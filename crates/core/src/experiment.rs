@@ -26,6 +26,30 @@ use crate::measures::{Measures, RecoveryBreakdown};
 /// `(end, phase, start)`, in record order.
 type SpanLog = Arc<Mutex<Vec<(SimTime, RecoveryPhase, SimTime)>>>;
 
+/// Applies the imprecision of time-based incomplete recovery to an
+/// injection record: `RECOVER UNTIL TIME` stops at the SCN in force
+/// `margin` *before* the fault, so the record's pre-fault SCN is clamped
+/// down to the latest trail entry at or before that cutoff. `trail` is
+/// the rolling `(time, SCN)` series the harness samples between client
+/// transactions; an empty or too-recent trail leaves the record alone
+/// (nothing committed in the margin, nothing extra to lose).
+///
+/// Shared between [`Experiment::run`] and the torture runner
+/// (`recobench-oracle`), whose differential model must truncate at
+/// exactly the SCN the engine will recover to.
+pub fn apply_margin_cutoff(
+    record: &mut recobench_faults::InjectionRecord,
+    trail: &[(SimTime, recobench_engine::Scn)],
+    margin: SimDuration,
+) {
+    let cutoff = SimTime::from_micros(
+        record.injected_at.as_micros().saturating_sub(margin.as_micros()),
+    );
+    if let Some((_, scn)) = trail.iter().rev().find(|(t, _)| *t <= cutoff) {
+        record.scn_before = (*scn).min(record.scn_before);
+    }
+}
+
 /// Subscribes the experiment's observers on one server's event sink: the
 /// span collector always, plus the JSONL writer when event capture is on.
 fn observe(server: &mut DbServer, name: &'static str, spans: &SpanLog, jsonl: &Option<Arc<Mutex<String>>>) {
@@ -204,19 +228,7 @@ impl Experiment {
                         let mut record = inj.inject(&mut primary)?;
                         fault_time = Some(record.injected_at);
                         driver.record_outage(record.injected_at);
-                        // Time-based recovery imprecision: stop at the SCN
-                        // in force `pitr_margin` before the fault.
-                        let margin_cutoff = SimTime::from_micros(
-                            record
-                                .injected_at
-                                .as_micros()
-                                .saturating_sub(inj.plan().pitr_margin.as_micros()),
-                        );
-                        if let Some((_, scn)) =
-                            scn_trail.iter().rev().find(|(t, _)| *t <= margin_cutoff)
-                        {
-                            record.scn_before = (*scn).min(record.scn_before);
-                        }
+                        apply_margin_cutoff(&mut record, &scn_trail, inj.plan().pitr_margin);
                         injected = true;
                         if let Some(sb) = standby.as_mut() {
                             // Fail over to the stand-by, whatever the fault.

@@ -211,6 +211,18 @@ impl Index {
     pub fn key_count(&self) -> usize {
         self.map.len()
     }
+
+    /// Total number of `(key, rid)` entries across all keys.
+    pub fn entry_count(&self) -> usize {
+        self.map.values().map(Vec::len).sum()
+    }
+
+    /// All entries as `(encoded key, rids)`, in key order — for the
+    /// integrity walkers, which need to prove every entry points at a
+    /// live heap row.
+    pub fn entries(&self) -> impl Iterator<Item = (&[u8], &[RowId])> {
+        self.map.iter().map(|(k, v)| (k.as_slice(), v.as_slice()))
+    }
 }
 
 #[cfg(test)]

@@ -48,8 +48,10 @@ pub mod row;
 pub mod server;
 pub mod standby;
 pub mod stats;
+pub mod tap;
 pub mod txn;
 pub mod types;
+pub mod verify;
 
 pub use config::{CostModel, InstanceConfig};
 pub use error::{DbError, DbResult};
@@ -58,4 +60,6 @@ pub use layout::DiskLayout;
 pub use row::{Row, Value};
 pub use server::DbServer;
 pub use standby::StandbyServer;
+pub use tap::{DmlChange, DmlTap};
 pub use types::{ObjectId, RowId, Scn, TablespaceId, TxnId, UserId};
+pub use verify::IntegrityReport;

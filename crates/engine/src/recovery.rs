@@ -548,6 +548,19 @@ impl DbServer {
             self.clock.advance(self.config.costs.cpu_skip_record);
             return Ok(());
         }
+        // Test-only broken-engine mode: silently drop the next armed
+        // row-change record, exactly the class of bug the differential
+        // oracle exists to catch. Markers are never dropped — a lost
+        // commit marker fails loudly (rollback of committed work), a lost
+        // row change is the silent corruption we want to prove detectable.
+        if self.sabotage_skip_redo > 0
+            && matches!(rec.op, RedoOp::Insert { .. } | RedoOp::Update { .. } | RedoOp::Delete { .. })
+        {
+            self.sabotage_skip_redo -= 1;
+            summary.skipped += 1;
+            self.clock.advance(self.config.costs.cpu_skip_record);
+            return Ok(());
+        }
         match (&rec.op, rec.txn) {
             (RedoOp::Commit, Some(t)) | (RedoOp::Rollback, Some(t)) => {
                 live.remove(&t);

@@ -36,6 +36,7 @@ use crate::redo::{RedoOp, RedoRecord, RedoState};
 use crate::row::{Row, Value};
 use crate::events::{EngineEvent, EventSink};
 use crate::stats::EngineStats;
+use crate::tap::{DmlChange, DmlTap};
 use crate::txn::{TxnTable, UndoOp};
 use crate::types::{FileNo, ObjectId, RedoAddr, RowId, Scn, TablespaceId, TxnId, UserId};
 
@@ -64,6 +65,13 @@ pub struct DbServer {
     pub(crate) txn_floor: u64,
     pub(crate) backups_taken: u32,
     pub(crate) events: EventSink,
+    /// Observer of the acknowledged operation stream (differential
+    /// oracles). `None` in normal operation — the write path pays one
+    /// branch.
+    pub(crate) dml_tap: Option<DmlTap>,
+    /// Test-only sabotage: how many more applicable redo records replay
+    /// may silently drop. Always zero outside broken-engine tests.
+    pub(crate) sabotage_skip_redo: u32,
 }
 
 impl DbServer {
@@ -91,6 +99,8 @@ impl DbServer {
             txn_floor: 0,
             backups_taken: 0,
             events: EventSink::new(4096),
+            dml_tap: None,
+            sabotage_skip_redo: 0,
         }
     }
 
@@ -153,6 +163,44 @@ impl DbServer {
     /// The current SCN (zero when the instance is down).
     pub fn current_scn(&self) -> Scn {
         self.inst.as_ref().map_or(Scn::ZERO, |i| i.scn)
+    }
+
+    /// Installs an observer of the acknowledged operation stream: every
+    /// successful insert/update/delete (keyed by transaction), every
+    /// commit (with its SCN) and rollback, and committed drops. Recovery
+    /// replay never fires the tap — that is the point: a differential
+    /// oracle rebuilds expected state from the tap and checks the
+    /// recovered engine against it. Replaces any previous tap.
+    pub fn set_dml_tap<F: FnMut(&DmlChange) + Send + 'static>(&mut self, f: F) {
+        self.dml_tap = Some(DmlTap(Box::new(f)));
+    }
+
+    /// Removes the installed tap, if any.
+    pub fn clear_dml_tap(&mut self) {
+        self.dml_tap = None;
+    }
+
+    pub(crate) fn emit_dml(&mut self, change: DmlChange) {
+        if let Some(tap) = self.dml_tap.as_mut() {
+            (tap.0)(&change);
+        }
+    }
+
+    /// Test-only sabotage: arms replay to silently drop the next `n`
+    /// applicable row-change redo records it would otherwise apply. This
+    /// models a subtly broken recovery implementation; the torture
+    /// harness's acceptance test proves the differential oracle catches
+    /// it. Never use outside tests.
+    #[doc(hidden)]
+    pub fn sabotage_skip_redo_records(&mut self, n: u32) {
+        self.sabotage_skip_redo = n;
+    }
+
+    /// Armed sabotage skips not yet consumed by a replay (tests use this
+    /// to prove the sabotage actually fired).
+    #[doc(hidden)]
+    pub fn sabotage_skips_left(&self) -> u32 {
+        self.sabotage_skip_redo
     }
 
     /// The most recent backup, if one was taken.
@@ -811,6 +859,10 @@ impl DbServer {
         let inst = self.inst_mut()?;
         inst.indexes.remove(&id);
         inst.cursors.remove(&id);
+        if self.dml_tap.is_some() {
+            let scn = self.current_scn();
+            self.emit_dml(DmlChange::DropTable { obj: id, scn });
+        }
         Ok(id)
     }
 
@@ -843,10 +895,16 @@ impl DbServer {
         for (no, _) in &files {
             inst.cache.invalidate_file(*no);
         }
-        let mut fs = self.fs.lock();
-        for (_, path) in &files {
-            // The files may already be damaged; dropping is best-effort.
-            let _ = fs.delete_path(path);
+        {
+            let mut fs = self.fs.lock();
+            for (_, path) in &files {
+                // The files may already be damaged; dropping is best-effort.
+                let _ = fs.delete_path(path);
+            }
+        }
+        if self.dml_tap.is_some() {
+            let scn = self.current_scn();
+            self.emit_dml(DmlChange::DropTablespace { tables, scn });
         }
         self.clock.advance(self.config.costs.admin_command);
         Ok(())
@@ -971,6 +1029,9 @@ impl DbServer {
                 }
             }
         }
+        if self.dml_tap.is_some() {
+            self.emit_dml(DmlChange::Insert { txn, obj, rid, row });
+        }
         self.clock.advance(self.config.costs.cpu_per_dml);
         Ok(rid)
     }
@@ -1017,6 +1078,9 @@ impl DbServer {
                 }
             }
         }
+        if self.dml_tap.is_some() {
+            self.emit_dml(DmlChange::Update { txn, obj, rid, row });
+        }
         self.clock.advance(self.config.costs.cpu_per_dml);
         Ok(())
     }
@@ -1058,6 +1122,9 @@ impl DbServer {
                     ix.remove(&before, rid);
                 }
             }
+        }
+        if self.dml_tap.is_some() {
+            self.emit_dml(DmlChange::Delete { txn, obj, rid });
         }
         self.clock.advance(self.config.costs.cpu_per_dml);
         Ok(())
@@ -1178,6 +1245,9 @@ impl DbServer {
         let st = inst.txns.finish(txn)?;
         inst.locks.release_all(txn, &st.locks);
         self.stats.commits += 1;
+        if self.dml_tap.is_some() {
+            self.emit_dml(DmlChange::Commit { txn, scn });
+        }
         self.clock.advance(self.config.costs.cpu_commit);
         Ok(())
     }
@@ -1204,6 +1274,9 @@ impl DbServer {
         let inst = self.inst_mut()?;
         inst.locks.release_all(txn, &st.locks);
         self.stats.rollbacks += 1;
+        if self.dml_tap.is_some() {
+            self.emit_dml(DmlChange::Rollback { txn });
+        }
         self.clock.advance(self.config.costs.cpu_commit);
         Ok(())
     }
@@ -1405,6 +1478,17 @@ impl DbServer {
     pub fn table_id(&self, name: &str) -> DbResult<ObjectId> {
         let inst = self.inst.as_ref().ok_or(DbError::InstanceDown)?;
         inst.catalog.table_by_name(name)
+    }
+
+    /// Every table currently in the dictionary, with its name (analysis
+    /// tooling: the differential oracle walks all of them).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the instance is down.
+    pub fn tables(&self) -> DbResult<Vec<(ObjectId, String)>> {
+        let inst = self.inst.as_ref().ok_or(DbError::InstanceDown)?;
+        Ok(inst.catalog.tables.iter().map(|(id, t)| (*id, t.name.clone())).collect())
     }
 
     // ------------------------------------------------------------------

@@ -1,0 +1,99 @@
+//! The DML tap: a hook on the client/DDL write path for differential
+//! oracles.
+//!
+//! The torture harness (`recobench-oracle`) keeps a reference model of the
+//! database by observing exactly the operation stream the engine
+//! acknowledged: row writes as they enter a transaction, the commit SCN
+//! the moment durability is promised, rollbacks, and the committed
+//! catalog mistakes (dropped tables and tablespaces). Recovery replay
+//! deliberately does **not** fire the tap — replay reconstructs state the
+//! tap already saw, and the whole point of the oracle is to check that
+//! reconstruction independently.
+//!
+//! When no tap is installed the write path pays a single branch.
+
+use crate::row::Row;
+use crate::types::{ObjectId, RowId, Scn, TxnId};
+
+/// One observed change on the client or DDL surface.
+///
+/// Row changes carry the transaction they belong to; they take effect in
+/// the observer's committed state only when the matching [`Commit`]
+/// arrives with its SCN (or never, on [`Rollback`]). The two drop
+/// variants are auto-committed operator mistakes, stamped with the SCN in
+/// force right after they executed.
+///
+/// [`Commit`]: DmlChange::Commit
+/// [`Rollback`]: DmlChange::Rollback
+#[derive(Debug, Clone, PartialEq)]
+pub enum DmlChange {
+    /// A row was inserted (pending until commit).
+    Insert {
+        /// Owning transaction.
+        txn: TxnId,
+        /// Target table.
+        obj: ObjectId,
+        /// Physical address the engine chose.
+        rid: RowId,
+        /// The row value.
+        row: Row,
+    },
+    /// A row was replaced (pending until commit).
+    Update {
+        /// Owning transaction.
+        txn: TxnId,
+        /// Target table.
+        obj: ObjectId,
+        /// Physical address.
+        rid: RowId,
+        /// The new row value.
+        row: Row,
+    },
+    /// A row was deleted (pending until commit).
+    Delete {
+        /// Owning transaction.
+        txn: TxnId,
+        /// Target table.
+        obj: ObjectId,
+        /// Physical address.
+        rid: RowId,
+    },
+    /// The transaction committed; its pending changes are durable as of
+    /// `scn` (the SCN of the commit record, flushed before this fires).
+    Commit {
+        /// The committed transaction.
+        txn: TxnId,
+        /// SCN of the commit record.
+        scn: Scn,
+    },
+    /// The transaction rolled back; its pending changes never happened.
+    Rollback {
+        /// The rolled-back transaction.
+        txn: TxnId,
+    },
+    /// A table was dropped (auto-committed).
+    DropTable {
+        /// The dropped table.
+        obj: ObjectId,
+        /// SCN in force right after the drop.
+        scn: Scn,
+    },
+    /// A tablespace was dropped including contents (auto-committed).
+    DropTablespace {
+        /// Every table that went down with it.
+        tables: Vec<ObjectId>,
+        /// SCN in force right after the drop.
+        scn: Scn,
+    },
+}
+
+/// An installed tap (see [`DbServer::set_dml_tap`]).
+///
+/// [`DbServer::set_dml_tap`]: crate::DbServer::set_dml_tap
+pub struct DmlTap(pub(crate) Box<dyn FnMut(&DmlChange) + Send>);
+
+impl std::fmt::Debug for DmlTap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DmlTap").finish_non_exhaustive()
+    }
+}

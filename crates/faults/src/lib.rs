@@ -14,8 +14,10 @@
 
 pub mod injector;
 pub mod scenario;
+pub mod schedule;
 pub mod taxonomy;
 
 pub use injector::{FaultInjector, FaultOutcome, FaultPlan, FaultTarget, InjectionRecord};
 pub use scenario::{DoubleFaultOutcome, DoubleFaultPlan, Sabotage};
+pub use schedule::{FaultSchedule, ScheduledFault, TortureFaultKind};
 pub use taxonomy::{FaultClass, FaultType, OperatorFaultType, Portability, RecoveryKind};

@@ -1,0 +1,169 @@
+//! The differential check: recovered engine vs. reference model.
+//!
+//! Four families of divergence, mirroring what the paper's measures are
+//! supposed to guarantee:
+//!
+//! * **lost rows** — a committed (and, after incomplete recovery,
+//!   *supposed-to-survive*) row the engine no longer has: a lost
+//!   committed transaction the benchmark failed to count;
+//! * **phantom rows / value mismatches** — state the engine has but never
+//!   acknowledged (dirty or resurrected data);
+//! * **table-set mismatches** — a table that should exist (or should have
+//!   stayed dropped) after recovery;
+//! * **integrity violations** — the engine's own structural invariants
+//!   (heap ↔ index ↔ control file ↔ catalog), via
+//!   [`DbServer::verify_integrity`].
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use recobench_engine::{DbResult, DbServer, ObjectId, Row, RowId};
+
+use crate::model::RefModel;
+
+/// One way the engine and the model disagree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Divergence {
+    /// The model has a committed row the engine lost.
+    LostRow {
+        /// Table.
+        obj: ObjectId,
+        /// Physical address.
+        rid: RowId,
+        /// What the row should hold.
+        expected: Row,
+    },
+    /// The engine has a row the model never committed.
+    PhantomRow {
+        /// Table.
+        obj: ObjectId,
+        /// Physical address.
+        rid: RowId,
+        /// What the engine holds.
+        actual: Row,
+    },
+    /// Both sides have the row, with different values.
+    ValueMismatch {
+        /// Table.
+        obj: ObjectId,
+        /// Physical address.
+        rid: RowId,
+        /// What the model committed.
+        expected: Row,
+        /// What the engine holds.
+        actual: Row,
+    },
+    /// A table that should exist is gone from the engine's catalog.
+    MissingTable {
+        /// The table.
+        obj: ObjectId,
+        /// Its name at baseline.
+        name: String,
+    },
+    /// A table that should have stayed dropped is back.
+    PhantomTable {
+        /// The table.
+        obj: ObjectId,
+    },
+    /// A structural invariant violation the engine's own walkers found.
+    Integrity(String),
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Divergence::LostRow { obj, rid, .. } => {
+                write!(f, "lost row: table {} rid {rid}", obj.0)
+            }
+            Divergence::PhantomRow { obj, rid, .. } => {
+                write!(f, "phantom row: table {} rid {rid}", obj.0)
+            }
+            Divergence::ValueMismatch { obj, rid, .. } => {
+                write!(f, "value mismatch: table {} rid {rid}", obj.0)
+            }
+            Divergence::MissingTable { obj, name } => {
+                write!(f, "missing table: {name} (id {})", obj.0)
+            }
+            Divergence::PhantomTable { obj } => {
+                write!(f, "phantom table: id {}", obj.0)
+            }
+            Divergence::Integrity(v) => write!(f, "integrity: {v}"),
+        }
+    }
+}
+
+/// Compares the open engine against the model and returns every
+/// divergence, table-set mismatches first, then row differences in
+/// address order, then the engine's own integrity violations.
+///
+/// Call only when the database is fully recovered (open, nothing
+/// offline); a row diff against half-restored storage would blame the
+/// engine for rows it is still entitled to be missing.
+///
+/// # Errors
+///
+/// Fails if the engine cannot be inspected at all (instance down).
+pub fn diff_states(server: &DbServer, model: &RefModel) -> DbResult<Vec<Divergence>> {
+    let mut divergences = Vec::new();
+
+    // ---- table set ---------------------------------------------------
+    let engine_tables: BTreeMap<ObjectId, String> = server.tables()?.into_iter().collect();
+    let expected = model.expected_tables();
+    for (obj, name) in &expected {
+        if !engine_tables.contains_key(obj) {
+            divergences.push(Divergence::MissingTable { obj: *obj, name: name.to_string() });
+        }
+    }
+    for obj in engine_tables.keys() {
+        if !expected.contains_key(obj) {
+            // Supposed to be dropped (or never known), yet present.
+            divergences.push(Divergence::PhantomTable { obj: *obj });
+        }
+    }
+
+    // ---- rows, over tables both sides agree exist --------------------
+    let mut engine_rows: BTreeMap<(ObjectId, RowId), Row> = BTreeMap::new();
+    for obj in engine_tables.keys() {
+        if expected.contains_key(obj) {
+            for (rid, row) in server.peek_scan(*obj)? {
+                engine_rows.insert((*obj, rid), row);
+            }
+        }
+    }
+    for (key @ (obj, rid), expected_row) in model.state() {
+        if !engine_tables.contains_key(obj) {
+            continue; // already reported as MissingTable
+        }
+        match engine_rows.get(key) {
+            None => divergences.push(Divergence::LostRow {
+                obj: *obj,
+                rid: *rid,
+                expected: expected_row.clone(),
+            }),
+            Some(actual) if actual != expected_row => {
+                divergences.push(Divergence::ValueMismatch {
+                    obj: *obj,
+                    rid: *rid,
+                    expected: expected_row.clone(),
+                    actual: actual.clone(),
+                });
+            }
+            Some(_) => {}
+        }
+    }
+    for (key @ (obj, rid), actual) in &engine_rows {
+        if !model.state().contains_key(key) {
+            divergences.push(Divergence::PhantomRow {
+                obj: *obj,
+                rid: *rid,
+                actual: actual.clone(),
+            });
+        }
+    }
+
+    // ---- structural invariants ---------------------------------------
+    let report = server.verify_integrity()?;
+    divergences.extend(report.violations.into_iter().map(Divergence::Integrity));
+
+    Ok(divergences)
+}

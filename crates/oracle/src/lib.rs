@@ -1,0 +1,41 @@
+//! The RecoBench torture harness: a model-based differential oracle.
+//!
+//! The paper's dependability measures (lost transactions, integrity
+//! violations) are only as trustworthy as the oracle that computes them —
+//! and in the base benchmark the engine is its own judge. This crate adds
+//! an *independent* judge and a much harder faultload:
+//!
+//! * [`RefModel`] — a deliberately simple in-memory reference DBMS that
+//!   observes the engine's DML tap (`DbServer::set_dml_tap`) and predicts
+//!   the exact committed row state the engine must present after any
+//!   recovery, complete or incomplete;
+//! * [`diff_states`] — the differential check: lost rows, phantom rows,
+//!   value mismatches, table-set mismatches, plus the engine's own
+//!   heap/index/control-file invariant walkers;
+//! * [`TortureRunner`] — executes randomized multi-fault
+//!   [`FaultSchedule`]s (all six paper fault types plus raw instance
+//!   kills, arbitrary times, faults landing during recovery from earlier
+//!   faults) against an engine + model pair;
+//! * [`shrink_schedule`] — delta-debugs a failing schedule to a minimal
+//!   reproducer, serializable as JSON for the regression corpus under
+//!   `tests/corpus/`.
+//!
+//! What the oracle can prove: every commit the engine acknowledged is
+//! present after recovery (minus exactly the tail an incomplete recovery
+//! is specified to sacrifice), nothing unacknowledged survives, and the
+//! storage structures agree with each other. What it cannot prove:
+//! wall-clock performance properties, and anything about state the tap
+//! never saw (the model starts from a snapshot taken after the initial
+//! load). See DESIGN.md §11.
+//!
+//! [`FaultSchedule`]: recobench_faults::FaultSchedule
+
+pub mod diff;
+pub mod model;
+pub mod shrink;
+pub mod torture;
+
+pub use diff::{diff_states, Divergence};
+pub use model::{LogEntry, RefModel, RowOp};
+pub use shrink::shrink_schedule;
+pub use torture::{FaultReport, TortureOptions, TortureOutcome, TortureRunner};

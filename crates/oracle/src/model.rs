@@ -1,0 +1,318 @@
+//! The reference model: a deliberately simple in-memory "DBMS" that
+//! consumes the engine's DML tap and predicts what the real engine's
+//! committed state must look like.
+//!
+//! The model is the *judge*, so it shares no mechanism with the engine:
+//! no pages, no redo, no cache — just a sorted map from physical row
+//! address to row value, a pending buffer per open transaction, and a log
+//! of committed changes keyed by commit SCN. Recovery semantics reduce to
+//! one operation: [`RefModel::truncate_to`] rebuilds the state as of a
+//! stop SCN, which is exactly what the engine's incomplete (point-in-time)
+//! recovery promises.
+
+use std::collections::BTreeMap;
+
+use recobench_engine::{
+    DbResult, DbServer, DmlChange, ObjectId, Row, RowId, Scn, TxnId,
+};
+
+/// One committed row-level change.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RowOp {
+    /// The row at `rid` now holds `row` (insert or update).
+    Put {
+        /// Table.
+        obj: ObjectId,
+        /// Physical address.
+        rid: RowId,
+        /// The value.
+        row: Row,
+    },
+    /// The row at `rid` is gone.
+    Del {
+        /// Table.
+        obj: ObjectId,
+        /// Physical address.
+        rid: RowId,
+    },
+}
+
+/// The changes one commit (or auto-committed drop) made durable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogEntry {
+    /// Commit SCN — the durability point the engine promised.
+    pub scn: Scn,
+    /// The changes, in execution order.
+    pub ops: Vec<RowOp>,
+}
+
+/// The reference model. Feed it every [`DmlChange`] the engine's tap
+/// emits (install with `DbServer::set_dml_tap`), then compare its
+/// [`state`](RefModel::state) against the engine with
+/// [`diff_states`](crate::diff_states).
+#[derive(Debug, Clone, Default)]
+pub struct RefModel {
+    /// Committed state at the moment the model was instantiated (after
+    /// load + cold backup, before the tap went live).
+    baseline: BTreeMap<(ObjectId, RowId), Row>,
+    /// Tables known at instantiation, by id.
+    baseline_tables: BTreeMap<ObjectId, String>,
+    /// Current committed state: baseline + every committed log entry.
+    state: BTreeMap<(ObjectId, RowId), Row>,
+    /// Uncommitted changes per open transaction.
+    pending: BTreeMap<TxnId, Vec<RowOp>>,
+    /// Committed changes in commit order.
+    log: Vec<LogEntry>,
+    /// Tables currently dropped, with the SCN of the drop.
+    dropped: BTreeMap<ObjectId, Scn>,
+    /// Every commit acknowledgement ever observed, including ones later
+    /// sacrificed by incomplete recovery.
+    acked_commits: u64,
+}
+
+impl RefModel {
+    /// An empty model with no baseline — for property tests that drive
+    /// the observer directly.
+    pub fn empty() -> RefModel {
+        RefModel::default()
+    }
+
+    /// Snapshots `server`'s committed state as the model baseline.
+    ///
+    /// Call *between* transactions (nothing in flight) and *before*
+    /// installing the tap, so the snapshot and the observed stream
+    /// together cover exactly the engine's history.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the server cannot be inspected (instance down).
+    pub fn from_server(server: &DbServer) -> DbResult<RefModel> {
+        let mut baseline = BTreeMap::new();
+        let mut baseline_tables = BTreeMap::new();
+        for (obj, name) in server.tables()? {
+            baseline_tables.insert(obj, name);
+            for (rid, row) in server.peek_scan(obj)? {
+                baseline.insert((obj, rid), row);
+            }
+        }
+        Ok(RefModel {
+            state: baseline.clone(),
+            baseline,
+            baseline_tables,
+            ..RefModel::default()
+        })
+    }
+
+    /// Consumes one observed change.
+    pub fn observe(&mut self, change: &DmlChange) {
+        match change {
+            DmlChange::Insert { txn, obj, rid, row }
+            | DmlChange::Update { txn, obj, rid, row } => {
+                self.pending
+                    .entry(*txn)
+                    .or_default()
+                    .push(RowOp::Put { obj: *obj, rid: *rid, row: row.clone() });
+            }
+            DmlChange::Delete { txn, obj, rid } => {
+                self.pending.entry(*txn).or_default().push(RowOp::Del { obj: *obj, rid: *rid });
+            }
+            DmlChange::Commit { txn, scn } => {
+                let ops = self.pending.remove(txn).unwrap_or_default();
+                apply(&mut self.state, &ops);
+                self.log.push(LogEntry { scn: *scn, ops });
+                self.acked_commits += 1;
+            }
+            DmlChange::Rollback { txn } => {
+                self.pending.remove(txn);
+            }
+            DmlChange::DropTable { obj, scn } => {
+                let ops = self.drop_ops(&[*obj]);
+                apply(&mut self.state, &ops);
+                self.log.push(LogEntry { scn: *scn, ops });
+                self.dropped.insert(*obj, *scn);
+            }
+            DmlChange::DropTablespace { tables, scn } => {
+                let ops = self.drop_ops(tables);
+                apply(&mut self.state, &ops);
+                self.log.push(LogEntry { scn: *scn, ops });
+                for obj in tables {
+                    self.dropped.insert(*obj, *scn);
+                }
+            }
+        }
+    }
+
+    /// `Del` ops for every current row of the given tables.
+    fn drop_ops(&self, tables: &[ObjectId]) -> Vec<RowOp> {
+        let mut ops = Vec::new();
+        for obj in tables {
+            for ((o, rid), _) in self.rows_of(*obj) {
+                ops.push(RowOp::Del { obj: *o, rid: *rid });
+            }
+        }
+        ops
+    }
+
+    /// Current rows of one table, in address order.
+    pub fn rows_of(&self, obj: ObjectId) -> impl Iterator<Item = (&(ObjectId, RowId), &Row)> {
+        let lo = (obj, RowId { file: recobench_engine::types::FileNo(0), block: 0, slot: 0 });
+        self.state.range(lo..).take_while(move |((o, _), _)| *o == obj)
+    }
+
+    /// The committed state: physical address → row value.
+    pub fn state(&self) -> &BTreeMap<(ObjectId, RowId), Row> {
+        &self.state
+    }
+
+    /// Tables the database is expected to have right now: the baseline
+    /// set minus effective drops.
+    pub fn expected_tables(&self) -> BTreeMap<ObjectId, &str> {
+        self.baseline_tables
+            .iter()
+            .filter(|(obj, _)| !self.dropped.contains_key(obj))
+            .map(|(obj, name)| (*obj, name.as_str()))
+            .collect()
+    }
+
+    /// Rewinds the model to the committed state as of `stop`: entries
+    /// with `scn < stop` survive, everything after never happened —
+    /// the contract of the engine's `RECOVER DATABASE UNTIL` (incomplete
+    /// recovery sacrifices the tail, and only the tail).
+    ///
+    /// In-flight transactions are discarded too: the server they were
+    /// open against is gone.
+    pub fn truncate_to(&mut self, stop: Scn) {
+        self.log.retain(|e| e.scn < stop);
+        self.dropped.retain(|_, scn| *scn < stop);
+        self.pending.clear();
+        self.state = self.rebuild();
+    }
+
+    /// Recomputes the state from scratch: baseline + every log entry, in
+    /// order. [`state`](RefModel::state) must always equal this — the
+    /// incremental-apply invariant the property tests pin down.
+    pub fn rebuild(&self) -> BTreeMap<(ObjectId, RowId), Row> {
+        let mut state = self.baseline.clone();
+        for entry in &self.log {
+            apply(&mut state, &entry.ops);
+        }
+        state
+    }
+
+    /// The committed log, in commit order.
+    pub fn log(&self) -> &[LogEntry] {
+        &self.log
+    }
+
+    /// Whether the log's commit SCNs are strictly increasing — they must
+    /// be: the engine hands out commit SCNs monotonically, and incomplete
+    /// recovery only ever removes a suffix.
+    pub fn scns_strictly_increasing(&self) -> bool {
+        self.log.windows(2).all(|w| w[0].scn < w[1].scn)
+    }
+
+    /// Commits currently surviving in the log.
+    pub fn surviving_commits(&self) -> u64 {
+        self.log.len() as u64
+    }
+
+    /// Every commit acknowledgement ever observed (not reduced by
+    /// [`truncate_to`](RefModel::truncate_to)).
+    pub fn acked_commits(&self) -> u64 {
+        self.acked_commits
+    }
+
+    /// Open (uncommitted) transactions currently buffered.
+    pub fn open_txns(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+/// Applies committed ops to a state map, last writer wins.
+fn apply(state: &mut BTreeMap<(ObjectId, RowId), Row>, ops: &[RowOp]) {
+    for op in ops {
+        match op {
+            RowOp::Put { obj, rid, row } => {
+                state.insert((*obj, *rid), row.clone());
+            }
+            RowOp::Del { obj, rid } => {
+                state.remove(&(*obj, *rid));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recobench_engine::row::Value;
+    use recobench_engine::types::FileNo;
+
+    fn rid(b: u32, s: u16) -> RowId {
+        RowId { file: FileNo(1), block: b, slot: s }
+    }
+
+    fn row(v: u64) -> Row {
+        Row::new(vec![Value::U64(v)])
+    }
+
+    const T: ObjectId = ObjectId(7);
+
+    #[test]
+    fn commit_applies_and_rollback_discards() {
+        let mut m = RefModel::empty();
+        m.observe(&DmlChange::Insert { txn: TxnId(1), obj: T, rid: rid(0, 0), row: row(1) });
+        m.observe(&DmlChange::Insert { txn: TxnId(2), obj: T, rid: rid(0, 1), row: row(2) });
+        assert!(m.state().is_empty(), "pending writes are invisible");
+        m.observe(&DmlChange::Commit { txn: TxnId(1), scn: Scn(10) });
+        m.observe(&DmlChange::Rollback { txn: TxnId(2) });
+        assert_eq!(m.state().len(), 1);
+        assert_eq!(m.state().get(&(T, rid(0, 0))), Some(&row(1)));
+        assert_eq!(m.surviving_commits(), 1);
+        assert_eq!(m.open_txns(), 0);
+    }
+
+    #[test]
+    fn truncate_keeps_exactly_the_prefix() {
+        let mut m = RefModel::empty();
+        for i in 0..5u64 {
+            m.observe(&DmlChange::Insert {
+                txn: TxnId(i),
+                obj: T,
+                rid: rid(i as u32, 0),
+                row: row(i),
+            });
+            m.observe(&DmlChange::Commit { txn: TxnId(i), scn: Scn(10 + i) });
+        }
+        m.truncate_to(Scn(12));
+        assert_eq!(m.surviving_commits(), 2, "scn 10 and 11 survive");
+        assert_eq!(m.state().len(), 2);
+        assert_eq!(m.acked_commits(), 5, "acknowledgements are history, not state");
+        assert!(m.scns_strictly_increasing());
+    }
+
+    #[test]
+    fn drop_table_removes_rows_and_truncate_restores_them() {
+        let mut m = RefModel::empty();
+        m.observe(&DmlChange::Insert { txn: TxnId(1), obj: T, rid: rid(0, 0), row: row(1) });
+        m.observe(&DmlChange::Commit { txn: TxnId(1), scn: Scn(10) });
+        m.observe(&DmlChange::DropTable { obj: T, scn: Scn(11) });
+        assert!(m.state().is_empty());
+        assert!(m.expected_tables().is_empty(), "no baseline tables in this test");
+        m.truncate_to(Scn(11));
+        assert_eq!(m.state().len(), 1, "the drop never happened");
+        assert!(m.scns_strictly_increasing());
+    }
+
+    #[test]
+    fn state_always_equals_rebuild() {
+        let mut m = RefModel::empty();
+        m.observe(&DmlChange::Insert { txn: TxnId(1), obj: T, rid: rid(0, 0), row: row(1) });
+        m.observe(&DmlChange::Commit { txn: TxnId(1), scn: Scn(1) });
+        m.observe(&DmlChange::Update { txn: TxnId(2), obj: T, rid: rid(0, 0), row: row(9) });
+        m.observe(&DmlChange::Delete { txn: TxnId(2), obj: T, rid: rid(0, 0) });
+        m.observe(&DmlChange::Commit { txn: TxnId(2), scn: Scn(2) });
+        assert_eq!(*m.state(), m.rebuild());
+        assert!(m.state().is_empty(), "insert, update, delete: net nothing");
+    }
+}

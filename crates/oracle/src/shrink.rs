@@ -1,0 +1,168 @@
+//! Schedule shrinking: from a failing torture schedule to a minimal
+//! reproducer.
+//!
+//! The shrinker is deliberately classic delta-debugging, specialised to
+//! the three axes a [`FaultSchedule`] has:
+//!
+//! 1. **drop faults** — greedily remove every fault whose absence keeps
+//!    the failure, to a fixed point (order-independent because the pass
+//!    repeats until nothing drops);
+//! 2. **bisect injection times** — per fault, binary-search the smallest
+//!    `at_secs` that still fails (earlier faults ⇒ less workload before
+//!    the interesting part);
+//! 3. **truncate the workload** — binary-search the smallest
+//!    `duration_secs` (bounded below by the latest remaining fault) that
+//!    still fails.
+//!
+//! The passes repeat until a whole sweep changes nothing. Every candidate
+//! is judged by re-running the full schedule, so the result is *sound* (it
+//! really fails) and — the runner being deterministic — the minimisation
+//! itself is reproducible byte-for-byte for a given input.
+
+use recobench_faults::FaultSchedule;
+
+/// Shrinks `initial` to a locally-minimal schedule on which `still_fails`
+/// holds. `still_fails` must be deterministic; it is typically
+/// `|s| runner.run(s).map(|o| o.diverged()).unwrap_or(false)`.
+///
+/// If `initial` does not fail under `still_fails`, it is returned
+/// unchanged (there is nothing to minimise).
+pub fn shrink_schedule<F>(initial: &FaultSchedule, mut still_fails: F) -> FaultSchedule
+where
+    F: FnMut(&FaultSchedule) -> bool,
+{
+    if !still_fails(initial) {
+        return initial.clone();
+    }
+    let mut cur = initial.clone();
+    loop {
+        let before = cur.clone();
+
+        // Pass 1: drop faults to a fixed point.
+        loop {
+            let mut dropped = false;
+            let mut i = 0;
+            while i < cur.faults.len() {
+                let mut cand = cur.clone();
+                cand.faults.remove(i);
+                if still_fails(&cand) {
+                    cur = cand;
+                    dropped = true;
+                } else {
+                    i += 1;
+                }
+            }
+            if !dropped {
+                break;
+            }
+        }
+
+        // Pass 2: bisect each fault's injection time toward 0.
+        for i in 0..cur.faults.len() {
+            let mut lo = 0u64;
+            let mut hi = cur.faults[i].at_secs;
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2;
+                let mut cand = cur.clone();
+                cand.faults[i].at_secs = mid;
+                if still_fails(&cand) {
+                    cur = cand;
+                    hi = mid;
+                } else {
+                    lo = mid + 1;
+                }
+            }
+        }
+
+        // Pass 3: truncate the run. The latest fault must still fit.
+        let min_dur = cur.faults.iter().map(|f| f.at_secs).max().unwrap_or(0);
+        let mut lo = min_dur;
+        let mut hi = cur.duration_secs;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let mut cand = cur.clone();
+            cand.duration_secs = mid;
+            if still_fails(&cand) {
+                cur = cand;
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+
+        if cur == before {
+            return cur;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recobench_faults::{FaultType, ScheduledFault, TortureFaultKind};
+
+    fn kill(at_secs: u64) -> ScheduledFault {
+        ScheduledFault { kind: TortureFaultKind::InstanceKill, at_secs }
+    }
+
+    #[test]
+    fn shrinks_to_the_one_guilty_fault() {
+        // Synthetic failure condition: the schedule fails iff it contains
+        // a fault at a time ≥ 100. The shrinker must strip everything
+        // else, pull the time down to exactly 100, and truncate the run.
+        let initial = FaultSchedule {
+            seed: 1,
+            duration_secs: 600,
+            faults: vec![
+                kill(50),
+                kill(130),
+                ScheduledFault {
+                    kind: TortureFaultKind::Operator(FaultType::ShutdownAbort),
+                    at_secs: 250,
+                },
+                kill(400),
+            ],
+        };
+        let fails = |s: &FaultSchedule| s.faults.iter().any(|f| f.at_secs >= 100);
+        let min = shrink_schedule(&initial, fails);
+        assert_eq!(min.faults.len(), 1);
+        assert_eq!(min.faults[0].at_secs, 100);
+        assert_eq!(min.duration_secs, 100);
+        assert!(fails(&min));
+    }
+
+    #[test]
+    fn needs_two_faults_keeps_two() {
+        let initial = FaultSchedule {
+            seed: 9,
+            duration_secs: 300,
+            faults: vec![kill(30), kill(60), kill(90), kill(120)],
+        };
+        // Fails only while at least two faults remain.
+        let fails = |s: &FaultSchedule| s.faults.len() >= 2;
+        let min = shrink_schedule(&initial, fails);
+        assert_eq!(min.faults.len(), 2);
+        assert!(min.faults.iter().all(|f| f.at_secs == 0), "times bisect to zero");
+        assert_eq!(min.duration_secs, 0);
+    }
+
+    #[test]
+    fn passing_schedule_is_returned_unchanged() {
+        let initial = FaultSchedule { seed: 3, duration_secs: 120, faults: vec![kill(10)] };
+        let min = shrink_schedule(&initial, |_| false);
+        assert_eq!(min, initial);
+    }
+
+    #[test]
+    fn shrinking_is_deterministic() {
+        let initial = FaultSchedule {
+            seed: 4,
+            duration_secs: 500,
+            faults: vec![kill(17), kill(101), kill(333)],
+        };
+        let fails = |s: &FaultSchedule| s.faults.iter().map(|f| f.at_secs).sum::<u64>() >= 150;
+        let a = shrink_schedule(&initial, fails);
+        let b = shrink_schedule(&initial, fails);
+        assert_eq!(a.to_json(), b.to_json());
+    }
+}

@@ -1,0 +1,375 @@
+//! The torture runner: one engine, one reference model, many faults.
+//!
+//! Where [`Experiment`](recobench_core::Experiment) reproduces the
+//! paper's procedure (one fault per run at a fixed instant), the torture
+//! runner executes an arbitrary [`FaultSchedule`]: any number of faults,
+//! any times, the six operator fault types plus raw instance kills. The
+//! engine runs the TPC-C workload with the DML tap feeding a [`RefModel`];
+//! after every recovery completes — and at the end of the run — the model
+//! knows exactly which committed state the engine is obliged to present,
+//! and [`diff_states`] checks it.
+//!
+//! ## Fault-during-recovery
+//!
+//! Recovery is synchronous in the simulation: it advances the shared
+//! clock in one call. A fault whose trigger time falls inside a recovery
+//! window is therefore injected the moment that recovery finishes —
+//! before the driver gets a single transaction in — which is the
+//! simulator's rendition of "the operator makes the next mistake while
+//! the database is still recovering from the previous one". The
+//! [`FaultReport::overtaken`] flag records exactly this case.
+//!
+//! ## Incomplete recovery and the model
+//!
+//! For faults whose procedure is `RECOVER UNTIL` + `RESETLOGS` (drop
+//! table / drop tablespace), the runner truncates the model to the same
+//! stop SCN the injector hands the engine — margin cutoff included — so
+//! "the tail is sacrificed" is *specified*, not just tolerated. After a
+//! resetlogs the old cold backup can no longer serve a second incomplete
+//! recovery (the log sequence chain restarted), so the runner takes a
+//! fresh cold backup before service resumes, exactly as Oracle's manuals
+//! instruct after any `OPEN RESETLOGS`.
+
+use std::sync::{Arc, Mutex};
+
+use recobench_core::{apply_margin_cutoff, RecoveryConfig};
+use recobench_engine::{DbResult, DbServer, DiskLayout, Scn};
+use recobench_faults::{
+    FaultInjector, FaultPlan, FaultSchedule, RecoveryKind, ScheduledFault, TortureFaultKind,
+};
+use recobench_sim::{SimClock, SimDuration, SimRng, SimTime};
+use recobench_tpcc::{
+    create_schema, load_database, AvailabilityTimeline, DriverConfig, TpccDriver, TpccScale,
+};
+
+use crate::diff::{diff_states, Divergence};
+use crate::model::RefModel;
+
+/// Everything about a torture run except the schedule itself.
+#[derive(Debug, Clone)]
+pub struct TortureOptions {
+    /// Recovery configuration under test.
+    pub config: RecoveryConfig,
+    /// ARCHIVELOG mode (default on — most schedules need media recovery).
+    pub archive: bool,
+    /// TPC-C scale.
+    pub scale: TpccScale,
+    /// Terminal driver configuration.
+    pub driver: DriverConfig,
+    /// Datafiles provisioned for the TPC-C tablespace.
+    pub datafiles: u32,
+    /// Blocks per datafile.
+    pub blocks_per_file: u64,
+    /// Test-only engine sabotage: silently skip this many applicable
+    /// row-change records during redo replay (see
+    /// `DbServer::sabotage_skip_redo_records`). The oracle must catch the
+    /// resulting divergence — this is how the harness proves it works.
+    pub sabotage_skip_redo: u32,
+}
+
+impl Default for TortureOptions {
+    fn default() -> Self {
+        TortureOptions {
+            config: RecoveryConfig::named("F10G3T5").expect("known configuration"),
+            archive: true,
+            scale: TpccScale::tiny(),
+            driver: DriverConfig::default(),
+            datafiles: 8,
+            blocks_per_file: 768,
+            sabotage_skip_redo: 0,
+        }
+    }
+}
+
+/// What happened to one scheduled fault.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultReport {
+    /// The schedule entry.
+    pub scheduled: ScheduledFault,
+    /// When the fault actually executed (`None` if skipped).
+    pub injected_at: Option<SimTime>,
+    /// When the database was serviceable again (`None` if skipped or
+    /// unrecoverable).
+    pub ready_at: Option<SimTime>,
+    /// The trigger time fell inside the previous fault's recovery window
+    /// — the fault-during-recovery case.
+    pub overtaken: bool,
+    /// The recovery procedure itself failed; the run reports
+    /// unavailability from here on.
+    pub unrecoverable: bool,
+    /// Why the fault was not injected, when it was not.
+    pub skipped: Option<String>,
+}
+
+/// Everything one torture run produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TortureOutcome {
+    /// The schedule that ran.
+    pub schedule: FaultSchedule,
+    /// Per-fault reports, in injection order.
+    pub faults: Vec<FaultReport>,
+    /// Every disagreement between engine and model at the end of the run
+    /// (empty on a healthy engine).
+    pub divergences: Vec<Divergence>,
+    /// The end-user availability timeline over the whole run.
+    pub timeline: AvailabilityTimeline,
+    /// Recovery windows `(outage start, service-capable end)` in µs of
+    /// sim time, one per recovered fault. The driver can record no
+    /// success strictly inside any window — the consistency property the
+    /// timeline tests pin down.
+    pub recovery_spans_us: Vec<(u64, u64)>,
+    /// Client transaction attempts over the run.
+    pub attempted: u64,
+    /// Commit acknowledgements the model observed.
+    pub commits: u64,
+    /// At least one recovery procedure failed; the differential check is
+    /// skipped (unavailability is the reported outcome, not corruption).
+    pub unrecoverable: bool,
+}
+
+impl TortureOutcome {
+    /// Whether the run found any disagreement between engine and model.
+    pub fn diverged(&self) -> bool {
+        !self.divergences.is_empty()
+    }
+}
+
+/// Runs [`FaultSchedule`]s against a fresh engine + model pair.
+#[derive(Debug, Clone, Default)]
+pub struct TortureRunner {
+    opts: TortureOptions,
+}
+
+impl TortureRunner {
+    /// A runner with the given options.
+    pub fn new(opts: TortureOptions) -> TortureRunner {
+        TortureRunner { opts }
+    }
+
+    /// The options in force.
+    pub fn options(&self) -> &TortureOptions {
+        &self.opts
+    }
+
+    /// Runs one schedule to completion. Deterministic: the same schedule
+    /// and options produce the same outcome, field for field.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on setup problems (schema creation, load, backup);
+    /// faults, failed recoveries and divergences are results.
+    pub fn run(&self, schedule: &FaultSchedule) -> DbResult<TortureOutcome> {
+        let clock = SimClock::shared();
+        let icfg = self.opts.config.to_instance_config(self.opts.archive);
+        let mut srv =
+            DbServer::on_fresh_disks("TORTURE", Arc::clone(&clock), DiskLayout::four_disk(), icfg);
+        srv.create_database()?;
+        let mut rng = SimRng::seed_from(schedule.seed);
+        let schema = create_schema(
+            &mut srv,
+            self.opts.scale,
+            self.opts.datafiles,
+            self.opts.blocks_per_file,
+        )?;
+        load_database(&mut srv, &schema, &mut rng.fork(1))?;
+        srv.take_cold_backup()?;
+        if self.opts.sabotage_skip_redo > 0 {
+            srv.sabotage_skip_redo_records(self.opts.sabotage_skip_redo);
+        }
+        let model = Arc::new(Mutex::new(RefModel::from_server(&srv)?));
+        {
+            let model = Arc::clone(&model);
+            srv.set_dml_tap(move |change| model.lock().unwrap().observe(change));
+        }
+
+        let t0 = clock.now();
+        let end = t0 + SimDuration::from_secs(schedule.duration_secs);
+        let mut driver = TpccDriver::new(schema, self.opts.driver, rng.fork(2), t0);
+
+        let faults = schedule.sorted_faults();
+        let mut next_fault = 0usize;
+        let mut reports: Vec<FaultReport> = Vec::new();
+        let mut spans_us: Vec<(u64, u64)> = Vec::new();
+        let mut unrecoverable = false;
+        // Rolling (time, SCN) trail for the PITR margin cutoff, exactly
+        // as `Experiment::run` samples it.
+        let mut scn_trail: Vec<(SimTime, Scn)> = Vec::new();
+        let mut last_ready: Option<SimTime> = None;
+
+        loop {
+            if clock.now() >= end {
+                break;
+            }
+            if next_fault < faults.len() && !unrecoverable {
+                let f = faults[next_fault];
+                let sched_t = t0 + SimDuration::from_secs(f.at_secs);
+                // A fault whose time has already passed (recovery overtook
+                // it) fires immediately; otherwise it fires once it is the
+                // next event on the timeline.
+                let due_now = sched_t <= clock.now();
+                if sched_t <= end && (due_now || sched_t <= driver.next_ready()) {
+                    clock.advance_to(sched_t);
+                    let overtaken =
+                        last_ready.is_some_and(|ready| sched_t < ready);
+                    let report = self.one_fault(
+                        f,
+                        overtaken,
+                        &mut srv,
+                        &mut driver,
+                        &model,
+                        &scn_trail,
+                        &mut spans_us,
+                    );
+                    unrecoverable |= report.unrecoverable;
+                    last_ready = report.ready_at.or(last_ready);
+                    reports.push(report);
+                    next_fault += 1;
+                    continue;
+                }
+            }
+            if driver.next_ready() >= end {
+                clock.advance_to(end);
+                break;
+            }
+            driver.step(&mut srv);
+            if srv.is_open() {
+                match scn_trail.last() {
+                    Some((_, last)) if *last == srv.current_scn() => {}
+                    _ => scn_trail.push((clock.now(), srv.current_scn())),
+                }
+            }
+        }
+
+        // Faults the run never reached (scheduled past the end, or after
+        // the database became unrecoverable).
+        for f in faults.iter().skip(next_fault) {
+            reports.push(FaultReport {
+                scheduled: *f,
+                injected_at: None,
+                ready_at: None,
+                overtaken: false,
+                unrecoverable: false,
+                skipped: Some(if unrecoverable {
+                    "database unrecoverable".to_string()
+                } else {
+                    "scheduled after end of run".to_string()
+                }),
+            });
+        }
+
+        let timeline = driver.availability_timeline(t0, end);
+        let divergences = if unrecoverable || !srv.is_open() {
+            Vec::new()
+        } else {
+            diff_states(&srv, &model.lock().unwrap())?
+        };
+        let commits = model.lock().unwrap().acked_commits();
+        Ok(TortureOutcome {
+            schedule: schedule.clone(),
+            faults: reports,
+            divergences,
+            timeline,
+            recovery_spans_us: spans_us,
+            attempted: driver.attempted(),
+            commits,
+            unrecoverable,
+        })
+    }
+
+    /// Injects one fault and drives its recovery (both synchronous).
+    #[allow(clippy::too_many_arguments)]
+    fn one_fault(
+        &self,
+        f: ScheduledFault,
+        overtaken: bool,
+        srv: &mut DbServer,
+        driver: &mut TpccDriver,
+        model: &Arc<Mutex<RefModel>>,
+        scn_trail: &[(SimTime, Scn)],
+        spans_us: &mut Vec<(u64, u64)>,
+    ) -> FaultReport {
+        let mut report = FaultReport {
+            scheduled: f,
+            injected_at: None,
+            ready_at: None,
+            overtaken,
+            unrecoverable: false,
+            skipped: None,
+        };
+        match f.kind {
+            TortureFaultKind::InstanceKill => {
+                if !srv.is_open() {
+                    report.skipped = Some("instance already down".to_string());
+                    return report;
+                }
+                let at = srv.clock().now();
+                if let Err(e) = srv.shutdown_abort() {
+                    report.skipped = Some(format!("kill failed: {e}"));
+                    return report;
+                }
+                report.injected_at = Some(at);
+                driver.record_outage(at);
+                // The operator notices the dead instance after the same
+                // constant detection delay the injector models.
+                srv.clock().advance(SimDuration::from_secs(1));
+                match srv.startup() {
+                    Ok(()) => {
+                        let ready = srv.clock().now();
+                        spans_us.push((at.as_micros(), ready.as_micros()));
+                        report.ready_at = Some(ready);
+                    }
+                    Err(_) => report.unrecoverable = true,
+                }
+            }
+            TortureFaultKind::Operator(fault) => {
+                let injector = FaultInjector::new(FaultPlan::new(fault, f.at_secs));
+                let mut record = match injector.inject(srv) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        report.skipped = Some(format!("injection failed: {e}"));
+                        return report;
+                    }
+                };
+                report.injected_at = Some(record.injected_at);
+                driver.record_outage(record.injected_at);
+                apply_margin_cutoff(&mut record, scn_trail, injector.plan().pitr_margin);
+                // The margin (or a sparse trail) can point before the
+                // current backup; the engine cannot rewind past what it
+                // restores from, so neither may the stop SCN.
+                if let Some(backup) = srv.backup() {
+                    if record.scn_before < backup.scn {
+                        record.scn_before = backup.scn;
+                    }
+                }
+                let incomplete = fault.recovery_kind() == RecoveryKind::Incomplete;
+                match injector.recover(srv, &record) {
+                    Ok(_out) => {
+                        if incomplete {
+                            model.lock().unwrap().truncate_to(record.scn_before.next());
+                            // RESETLOGS invalidated the backup chain; take
+                            // a fresh cold backup before resuming service.
+                            if srv.take_cold_backup().is_err() {
+                                report.unrecoverable = true;
+                                return report;
+                            }
+                        }
+                        let ready = srv.clock().now();
+                        spans_us.push((record.injected_at.as_micros(), ready.as_micros()));
+                        report.ready_at = Some(ready);
+                    }
+                    Err(_) => {
+                        // Recovery failed. Try a plain restart so the run
+                        // can report *unavailability* rather than wedge —
+                        // but the state is no longer specified, so the
+                        // differential check is off from here.
+                        if !srv.is_open() {
+                            let _ = srv.startup();
+                        }
+                        report.unrecoverable = true;
+                    }
+                }
+            }
+        }
+        report
+    }
+}

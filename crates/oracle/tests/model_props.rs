@@ -1,0 +1,206 @@
+//! Property tests for the reference model.
+//!
+//! Randomized operation streams are decoded from plain `u64` draws into
+//! [`DmlChange`] sequences (small transaction/table/rowid spaces so
+//! collisions — the interesting cases — are common), then checked against
+//! model invariants and an independently written naive interpreter:
+//!
+//! * the committed state is exactly a replay of the commit log;
+//! * every row reflects the **last committed** write, never a pending one;
+//! * a rolled-back transaction leaves no trace at all;
+//! * `truncate_to` keeps exactly the log prefix below the stop SCN;
+//! * the commit log only ever grows, and strictly by SCN.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use recobench_engine::row::{Row, Value};
+use recobench_engine::types::FileNo;
+use recobench_engine::{DmlChange, ObjectId, RowId, Scn, TxnId};
+use recobench_oracle::{RefModel, RowOp};
+
+/// Decodes raw draws into an operation stream. Commit SCNs are assigned
+/// from a strictly increasing counter, as the engine's redo log does.
+fn decode(words: &[u64]) -> Vec<DmlChange> {
+    let mut scn = 100u64;
+    let mut ops = Vec::with_capacity(words.len());
+    for &w in words {
+        let txn = TxnId(1 + w % 4);
+        let obj = ObjectId(1 + ((w >> 3) % 3) as u32);
+        let rid = RowId {
+            file: FileNo(1 + ((w >> 5) % 2) as u32),
+            block: ((w >> 7) % 8) as u32,
+            slot: ((w >> 10) % 4) as u16,
+        };
+        let row = Row::new(vec![Value::U64(w >> 12), Value::I64((w % 97) as i64)]);
+        ops.push(match w % 13 {
+            0..=3 => DmlChange::Insert { txn, obj, rid, row },
+            4..=6 => DmlChange::Update { txn, obj, rid, row },
+            7..=8 => DmlChange::Delete { txn, obj, rid },
+            9 | 10 => {
+                scn += 1 + (w >> 20) % 5;
+                DmlChange::Commit { txn, scn: Scn(scn) }
+            }
+            11 => DmlChange::Rollback { txn },
+            _ => {
+                scn += 1;
+                DmlChange::DropTable { obj, scn: Scn(scn) }
+            }
+        });
+    }
+    ops
+}
+
+fn fed(ops: &[DmlChange]) -> RefModel {
+    let mut model = RefModel::empty();
+    for op in ops {
+        model.observe(op);
+    }
+    model
+}
+
+/// A second, independently written interpreter of the same stream — the
+/// differential half of the property. Deliberately structured differently
+/// from the model: per-transaction journals replayed at commit.
+fn naive_committed_state(ops: &[DmlChange]) -> BTreeMap<(ObjectId, RowId), Row> {
+    let mut journals: BTreeMap<TxnId, Vec<(ObjectId, RowId, Option<Row>)>> = BTreeMap::new();
+    let mut state: BTreeMap<(ObjectId, RowId), Row> = BTreeMap::new();
+    for op in ops {
+        match op {
+            DmlChange::Insert { txn, obj, rid, row } | DmlChange::Update { txn, obj, rid, row } => {
+                journals.entry(*txn).or_default().push((*obj, *rid, Some(row.clone())));
+            }
+            DmlChange::Delete { txn, obj, rid } => {
+                journals.entry(*txn).or_default().push((*obj, *rid, None));
+            }
+            DmlChange::Commit { txn, .. } => {
+                for (obj, rid, row) in journals.remove(txn).unwrap_or_default() {
+                    match row {
+                        Some(r) => {
+                            state.insert((obj, rid), r);
+                        }
+                        None => {
+                            state.remove(&(obj, rid));
+                        }
+                    }
+                }
+            }
+            DmlChange::Rollback { txn } => {
+                journals.remove(txn);
+            }
+            DmlChange::DropTable { obj, .. } => {
+                state.retain(|(o, _), _| o != obj);
+            }
+            DmlChange::DropTablespace { tables, .. } => {
+                state.retain(|(o, _), _| !tables.contains(o));
+            }
+        }
+    }
+    state
+}
+
+/// Replays a slice of the model's own log — used to pin down truncation.
+fn replay_log(log: &[recobench_oracle::LogEntry]) -> BTreeMap<(ObjectId, RowId), Row> {
+    let mut state = BTreeMap::new();
+    for entry in log {
+        for op in &entry.ops {
+            match op {
+                RowOp::Put { obj, rid, row } => {
+                    state.insert((*obj, *rid), row.clone());
+                }
+                RowOp::Del { obj, rid } => {
+                    state.remove(&(*obj, *rid));
+                }
+            }
+        }
+    }
+    state
+}
+
+proptest! {
+    #[test]
+    fn state_is_exactly_a_replay_of_the_commit_log(
+        words in proptest::collection::vec(any::<u64>(), 0..250)
+    ) {
+        let model = fed(&decode(&words));
+        prop_assert!(model.scns_strictly_increasing());
+        prop_assert_eq!(model.state().clone(), model.rebuild());
+        prop_assert_eq!(model.state().clone(), replay_log(model.log()));
+    }
+
+    #[test]
+    fn every_row_reflects_the_last_committed_write(
+        words in proptest::collection::vec(any::<u64>(), 0..250)
+    ) {
+        let ops = decode(&words);
+        let model = fed(&ops);
+        prop_assert_eq!(model.state().clone(), naive_committed_state(&ops));
+    }
+
+    #[test]
+    fn rolled_back_transactions_leave_no_trace(
+        words in proptest::collection::vec(any::<u64>(), 0..250)
+    ) {
+        // Stream A: the victim transaction's operations never happen.
+        // Stream B: they happen but every commit of the victim becomes a
+        // rollback. The two committed states must be identical.
+        let victim = TxnId(1);
+        let ops = decode(&words);
+        let a: Vec<DmlChange> = ops
+            .iter()
+            .filter(|op| !matches!(op,
+                DmlChange::Insert { txn, .. }
+                | DmlChange::Update { txn, .. }
+                | DmlChange::Delete { txn, .. }
+                | DmlChange::Commit { txn, .. }
+                | DmlChange::Rollback { txn } if *txn == victim))
+            .cloned()
+            .collect();
+        let b: Vec<DmlChange> = ops
+            .iter()
+            .map(|op| match op {
+                DmlChange::Commit { txn, .. } if *txn == victim => {
+                    DmlChange::Rollback { txn: victim }
+                }
+                other => other.clone(),
+            })
+            .collect();
+        prop_assert_eq!(fed(&a).state().clone(), fed(&b).state().clone());
+    }
+
+    #[test]
+    fn truncation_keeps_exactly_the_prefix(
+        words in proptest::collection::vec(any::<u64>(), 1..250),
+        cut in any::<u64>()
+    ) {
+        let mut model = fed(&decode(&words));
+        let full_log = model.log().to_vec();
+        // A stop SCN landing anywhere across (and beyond) the log.
+        let keep = (cut % (full_log.len() as u64 + 2)) as usize;
+        let stop = full_log
+            .get(keep)
+            .map(|e| e.scn)
+            .unwrap_or_else(|| Scn(u64::MAX));
+        model.truncate_to(stop);
+        let kept: Vec<_> = full_log.iter().filter(|e| e.scn < stop).cloned().collect();
+        prop_assert_eq!(model.log().to_vec(), kept.clone());
+        prop_assert_eq!(model.state().clone(), replay_log(&kept));
+        prop_assert_eq!(model.open_txns(), 0, "truncation abandons in-flight transactions");
+    }
+
+    #[test]
+    fn the_commit_log_only_grows_and_only_by_scn(
+        words in proptest::collection::vec(any::<u64>(), 0..120)
+    ) {
+        let mut model = RefModel::empty();
+        let mut prev_scns: Vec<Scn> = Vec::new();
+        for op in decode(&words) {
+            model.observe(&op);
+            let scns: Vec<Scn> = model.log().iter().map(|e| e.scn).collect();
+            prop_assert!(scns.len() >= prev_scns.len());
+            prop_assert_eq!(&scns[..prev_scns.len()], &prev_scns[..],
+                "the committed past never changes");
+            prev_scns = scns;
+        }
+    }
+}

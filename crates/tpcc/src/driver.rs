@@ -319,6 +319,19 @@ impl TpccDriver {
         self.errors.len() as u64
     }
 
+    /// Every errored attempt's timestamp, in submission order — the raw
+    /// series behind [`TpccDriver::availability_timeline`], for harnesses
+    /// that need the full outage structure of multi-fault runs rather
+    /// than the first loss/return pair.
+    pub fn error_times(&self) -> &[SimTime] {
+        &self.errors
+    }
+
+    /// Every successful completion's timestamp, in completion order.
+    pub fn success_times(&self) -> &[SimTime] {
+        &self.successes
+    }
+
     /// The spec-mandated 1 % New-Order rollbacks observed.
     pub fn deliberate_rollbacks(&self) -> u64 {
         self.deliberate_rollbacks

@@ -16,10 +16,14 @@
 //!   a stand-by instance.
 //! * [`tpcc`] — the TPC-C workload: schema, loader, the five transaction
 //!   profiles, a terminal driver and the consistency conditions.
-//! * [`faults`] — the operator-fault taxonomy (paper Tables 1 & 2) and the
-//!   fault injector.
+//! * [`faults`] — the operator-fault taxonomy (paper Tables 1 & 2), the
+//!   fault injector and multi-fault torture schedules.
 //! * [`core`] — the benchmark harness: recovery configurations (paper
 //!   Table 3), the experiment runner and the dependability measures.
+//! * [`oracle`] — the model-based differential oracle and torture runner:
+//!   an independent reference model checked against the engine after
+//!   randomized multi-fault schedules, with shrinking to minimal
+//!   reproducers.
 //!
 //! # Quickstart
 //!
@@ -43,6 +47,7 @@
 pub use recobench_core as core;
 pub use recobench_engine as engine;
 pub use recobench_faults as faults;
+pub use recobench_oracle as oracle;
 pub use recobench_sim as sim;
 pub use recobench_tpcc as tpcc;
 pub use recobench_vfs as vfs;
