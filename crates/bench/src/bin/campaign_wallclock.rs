@@ -66,6 +66,7 @@ fn main() {
     };
     eprintln!("campaign_wallclock: mode={} experiments={n} threads={threads}", mode.name());
 
+    #[allow(clippy::disallowed_methods)] // measuring real elapsed time is this binary’s purpose
     let start = Instant::now();
     let report = Campaign::new(experiments).threads(threads).run();
     let wall = start.elapsed().as_secs_f64();
@@ -221,6 +222,7 @@ fn time_ns<R>(iters: u64, mut f: impl FnMut() -> R) -> f64 {
     for _ in 0..iters / 10 {
         std::hint::black_box(f());
     }
+    #[allow(clippy::disallowed_methods)] // measuring real elapsed time is this binary’s purpose
     let start = Instant::now();
     for _ in 0..iters {
         std::hint::black_box(f());

@@ -69,6 +69,7 @@ fn replay(runner: &TortureRunner, path: &str) -> ExitCode {
 
 fn sweep(runner: &TortureRunner, cli: &BenchCli) -> ExitCode {
     let budget_secs = cli.sweep_seconds.unwrap_or(60);
+    #[allow(clippy::disallowed_methods)] // wall-clock sweep budget is this binary’s purpose
     let started = Instant::now();
     let mut runs = 0usize;
     let mut attempted = 0u64;

@@ -136,7 +136,7 @@ mod tests {
         assert!(s.starts_with("Demo\n"));
         let lines: Vec<&str> = s.lines().collect();
         // All body lines have the same width.
-        let widths: std::collections::HashSet<usize> =
+        let widths: std::collections::BTreeSet<usize> =
             lines[1..].iter().map(|l| l.len()).collect();
         assert_eq!(widths.len(), 1, "unaligned table:\n{s}");
         assert_eq!(t.len(), 2);

@@ -11,7 +11,7 @@ use recobench_sim::SimTime;
 use recobench_vfs::{DiskId, FileKind, SimFs};
 
 use crate::controlfile::ControlFile;
-use crate::error::{DbError, DbResult};
+use crate::error::{DbError, DbResult, RecoveryError};
 use crate::events::{EngineEvent, EventSink};
 
 /// Archives sequence `seq` (which must still reside in an online group):
@@ -38,7 +38,7 @@ pub(crate) fn archive_seq(
     let group_file = control.groups[group_idx].vfs_id;
     let path = format!("/arch/{}_{:06}.arc", control.db_name, seq);
     let (done, archive_id) = fs.copy_file(group_file, &path, archive_disk, FileKind::Archive, now)?;
-    let loc = control.seqs.get_mut(&seq).expect("seq location checked above");
+    let loc = control.seqs.get_mut(&seq).ok_or(RecoveryError::SeqLocationLost(seq))?;
     loc.archive = Some(archive_id);
     loc.archive_done_at = Some(done);
     events.record(now, EngineEvent::Archived { seq, complete_at: done });

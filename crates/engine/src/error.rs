@@ -5,10 +5,53 @@ use std::fmt;
 
 use recobench_vfs::VfsError;
 
-use crate::types::{ObjectId, RowId, TxnId};
+use crate::types::{FileNo, ObjectId, RowId, TxnId};
 
 /// Result alias for engine operations.
 pub type DbResult<T> = Result<T, DbError>;
+
+/// A broken internal invariant detected on a recovery path.
+///
+/// These used to be `unwrap()`/`expect()` panics; the static-analysis
+/// wall (`recobench-tidy`, panic-freedom lint) forbids panicking in
+/// recovery code, so invariant breaches surface as typed errors instead.
+/// Hitting one means the engine itself is buggy — a run that reports it
+/// counts as *failed recovery*, never as silent success.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoveryError {
+    /// A block that was just made resident is missing from the buffer
+    /// cache (cache bookkeeping diverged from the storage layer).
+    BlockNotResident {
+        /// Datafile holding the block.
+        file: FileNo,
+        /// Block number within the file.
+        block: u32,
+    },
+    /// A log sequence location vanished from the control file mid-archive.
+    SeqLocationLost(u64),
+    /// A backup piece references a datafile the backup catalog does not
+    /// know about (backup metadata is self-inconsistent).
+    BackupCatalogMismatch {
+        /// The datafile missing from the cloned catalog.
+        file: FileNo,
+    },
+}
+
+impl fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryError::BlockNotResident { file, block } => {
+                write!(f, "block {}/{} not resident after ensure_resident", file.0, block)
+            }
+            RecoveryError::SeqLocationLost(seq) => {
+                write!(f, "log seq {seq} location lost from the control file during archiving")
+            }
+            RecoveryError::BackupCatalogMismatch { file } => {
+                write!(f, "backup piece for datafile {} missing from the backup catalog", file.0)
+            }
+        }
+    }
+}
 
 /// Errors surfaced by the database server.
 ///
@@ -48,6 +91,9 @@ pub enum DbError {
     BadAdminCommand(String),
     /// A uniqueness constraint was violated on an index insert.
     DuplicateKey { index: String },
+    /// An internal invariant broke on a recovery path (see
+    /// [`RecoveryError`]); the recovery attempt is void.
+    Recovery(RecoveryError),
 }
 
 impl fmt::Display for DbError {
@@ -68,6 +114,7 @@ impl fmt::Display for DbError {
             DbError::Unrecoverable(why) => write!(f, "unrecoverable: {why}"),
             DbError::BadAdminCommand(why) => write!(f, "invalid administrative command: {why}"),
             DbError::DuplicateKey { index } => write!(f, "duplicate key in index {index}"),
+            DbError::Recovery(e) => write!(f, "recovery invariant broken: {e}"),
         }
     }
 }
@@ -87,6 +134,12 @@ impl From<VfsError> for DbError {
     }
 }
 
+impl From<RecoveryError> for DbError {
+    fn from(e: RecoveryError) -> Self {
+        DbError::Recovery(e)
+    }
+}
+
 impl DbError {
     /// Whether this error indicates the whole service is unavailable (the
     /// client should wait for recovery) rather than a single statement
@@ -94,7 +147,10 @@ impl DbError {
     pub fn is_service_loss(&self) -> bool {
         matches!(
             self,
-            DbError::InstanceDown | DbError::RecoveryRequired(_) | DbError::Unrecoverable(_)
+            DbError::InstanceDown
+                | DbError::RecoveryRequired(_)
+                | DbError::Unrecoverable(_)
+                | DbError::Recovery(_)
         )
     }
 }

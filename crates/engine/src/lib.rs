@@ -54,7 +54,7 @@ pub mod types;
 pub mod verify;
 
 pub use config::{CostModel, InstanceConfig};
-pub use error::{DbError, DbResult};
+pub use error::{DbError, DbResult, RecoveryError};
 pub use events::{EngineEvent, EventSink, RecoveryPhase, RecoveryProcedure};
 pub use layout::DiskLayout;
 pub use row::{Row, Value};

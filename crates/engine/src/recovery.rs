@@ -553,13 +553,16 @@ impl DbServer {
         // oracle exists to catch. Markers are never dropped — a lost
         // commit marker fails loudly (rollback of committed work), a lost
         // row change is the silent corruption we want to prove detectable.
-        if self.sabotage_skip_redo > 0
-            && matches!(rec.op, RedoOp::Insert { .. } | RedoOp::Update { .. } | RedoOp::Delete { .. })
+        #[cfg(any(test, feature = "sabotage"))]
         {
-            self.sabotage_skip_redo -= 1;
-            summary.skipped += 1;
-            self.clock.advance(self.config.costs.cpu_skip_record);
-            return Ok(());
+            if self.sabotage_skip_redo > 0
+                && matches!(rec.op, RedoOp::Insert { .. } | RedoOp::Update { .. } | RedoOp::Delete { .. })
+            {
+                self.sabotage_skip_redo -= 1;
+                summary.skipped += 1;
+                self.clock.advance(self.config.costs.cpu_skip_record);
+                return Ok(());
+            }
         }
         match (&rec.op, rec.txn) {
             (RedoOp::Commit, Some(t)) | (RedoOp::Rollback, Some(t)) => {
@@ -654,7 +657,8 @@ impl DbServer {
     /// Applies an undo operation during recovery (no redo is written; the
     /// post-recovery checkpoint makes the result durable).
     fn apply_recovery_undo(&mut self, op: &UndoOp) -> DbResult<()> {
-        let (key, action): ((FileNo, u32), Box<dyn FnOnce(&mut crate::page::BlockImage, Scn)>) =
+        type UndoAction = Box<dyn FnOnce(&mut crate::page::BlockImage, Scn)>;
+        let (key, action): ((FileNo, u32), UndoAction) =
             match op {
                 UndoOp::UndoInsert { rid, .. } => {
                     let slot = rid.slot;

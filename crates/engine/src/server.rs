@@ -27,7 +27,7 @@ use crate::catalog::{Catalog, CatalogChange, DatafileDef, IndexDef};
 use crate::checkpoint;
 use crate::config::InstanceConfig;
 use crate::controlfile::{CkptRecord, ControlFile, LogGroup, SeqLocation};
-use crate::error::{DbError, DbResult};
+use crate::error::{DbError, DbResult, RecoveryError};
 use crate::heap::{plan_extent, PlacementCursor};
 use crate::instance::Instance;
 use crate::layout::DiskLayout;
@@ -70,7 +70,10 @@ pub struct DbServer {
     /// branch.
     pub(crate) dml_tap: Option<DmlTap>,
     /// Test-only sabotage: how many more applicable redo records replay
-    /// may silently drop. Always zero outside broken-engine tests.
+    /// may silently drop. Always zero outside broken-engine tests, and
+    /// compiled out entirely unless testing or the `sabotage` feature is
+    /// enabled (enforced by the tidy sabotage-isolation lint).
+    #[cfg(any(test, feature = "sabotage"))]
     pub(crate) sabotage_skip_redo: u32,
 }
 
@@ -100,6 +103,7 @@ impl DbServer {
             backups_taken: 0,
             events: EventSink::new(4096),
             dml_tap: None,
+            #[cfg(any(test, feature = "sabotage"))]
             sabotage_skip_redo: 0,
         }
     }
@@ -191,6 +195,7 @@ impl DbServer {
     /// models a subtly broken recovery implementation; the torture
     /// harness's acceptance test proves the differential oracle catches
     /// it. Never use outside tests.
+    #[cfg(any(test, feature = "sabotage"))]
     #[doc(hidden)]
     pub fn sabotage_skip_redo_records(&mut self, n: u32) {
         self.sabotage_skip_redo = n;
@@ -198,6 +203,7 @@ impl DbServer {
 
     /// Armed sabotage skips not yet consumed by a replay (tests use this
     /// to prove the sabotage actually fired).
+    #[cfg(any(test, feature = "sabotage"))]
     #[doc(hidden)]
     pub fn sabotage_skips_left(&self) -> u32 {
         self.sabotage_skip_redo
@@ -714,7 +720,10 @@ impl DbServer {
         }
         self.ensure_resident(key)?;
         let inst = self.inst.as_mut().ok_or(DbError::InstanceDown)?;
-        let img = inst.cache.get_mut(key).expect("block resident after ensure_resident");
+        let img = inst
+            .cache
+            .get_mut(key)
+            .ok_or(RecoveryError::BlockNotResident { file: key.0, block: key.1 })?;
         Ok(f(img))
     }
 
@@ -726,7 +735,10 @@ impl DbServer {
     ) -> DbResult<R> {
         self.ensure_resident_raw(key)?;
         let inst = self.inst.as_mut().ok_or(DbError::InstanceDown)?;
-        let img = inst.cache.get_mut(key).expect("block resident after ensure_resident_raw");
+        let img = inst
+            .cache
+            .get_mut(key)
+            .ok_or(RecoveryError::BlockNotResident { file: key.0, block: key.1 })?;
         Ok(f(img))
     }
 
@@ -1893,7 +1905,7 @@ mod tests {
         srv.insert(txn, t, row(1, "a")).unwrap();
         srv.commit(txn).unwrap();
         srv.drop_table("T").unwrap();
-        assert!(matches!(srv.get_row(t, RowId { file: FileNo(1), block: 0, slot: 0 }), Err(_)));
+        assert!(srv.get_row(t, RowId { file: FileNo(1), block: 0, slot: 0 }).is_err());
         assert!(srv.table_id("T").is_err());
     }
 

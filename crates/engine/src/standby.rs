@@ -23,7 +23,7 @@ use recobench_vfs::{FileKind, IoKind};
 use crate::catalog::Catalog;
 use crate::config::InstanceConfig;
 use crate::controlfile::{CkptRecord, ControlFile, LogGroup, SeqLocation};
-use crate::error::{DbError, DbResult};
+use crate::error::{DbError, DbResult, RecoveryError};
 use crate::events::{EngineEvent, RecoveryPhase};
 use crate::layout::DiskLayout;
 use crate::page::BlockImage;
@@ -92,7 +92,11 @@ impl StandbyServer {
                 }
                 let d = fs.charge_io(disk, IoKind::Write, backup.nominal_bytes_per_file, now)?;
                 last = last.max(d);
-                catalog.datafiles.get_mut(file_no).expect("cloned catalog").vfs_id = new_id;
+                catalog
+                    .datafiles
+                    .get_mut(file_no)
+                    .ok_or(RecoveryError::BackupCatalogMismatch { file: *file_no })?
+                    .vfs_id = new_id;
             }
         }
         // The instantiation transfer also reads the primary's backup disk.
@@ -351,7 +355,10 @@ impl StandbyServer {
             }
         }
         let inst = server.inst.as_mut().ok_or(DbError::InstanceDown)?;
-        let img = inst.cache.get_mut(key).expect("resident after insertion");
+        let img = inst
+            .cache
+            .get_mut(key)
+            .ok_or(RecoveryError::BlockNotResident { file: key.0, block: key.1 })?;
         if f(img) {
             inst.cache.mark_dirty(key, addr, at);
         }

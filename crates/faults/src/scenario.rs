@@ -49,11 +49,11 @@ impl Sabotage {
                 destroyed += 1;
             }
         }
-        if matches!(self, Sabotage::DiscardBackups | Sabotage::DeleteArchivesAndBackups) {
-            if server.backup().is_some() {
-                server.discard_backup();
-                destroyed += 1;
-            }
+        if matches!(self, Sabotage::DiscardBackups | Sabotage::DeleteArchivesAndBackups)
+            && server.backup().is_some()
+        {
+            server.discard_backup();
+            destroyed += 1;
         }
         Ok(destroyed)
     }

@@ -64,6 +64,8 @@ pub struct TortureOptions {
     /// row-change records during redo replay (see
     /// `DbServer::sabotage_skip_redo_records`). The oracle must catch the
     /// resulting divergence — this is how the harness proves it works.
+    /// Compiled in only with the `sabotage` feature (or under test).
+    #[cfg(any(test, feature = "sabotage"))]
     pub sabotage_skip_redo: u32,
 }
 
@@ -76,6 +78,7 @@ impl Default for TortureOptions {
             driver: DriverConfig::default(),
             datafiles: 8,
             blocks_per_file: 768,
+            #[cfg(any(test, feature = "sabotage"))]
             sabotage_skip_redo: 0,
         }
     }
@@ -173,6 +176,7 @@ impl TortureRunner {
         )?;
         load_database(&mut srv, &schema, &mut rng.fork(1))?;
         srv.take_cold_backup()?;
+        #[cfg(any(test, feature = "sabotage"))]
         if self.opts.sabotage_skip_redo > 0 {
             srv.sabotage_skip_redo_records(self.opts.sabotage_skip_redo);
         }

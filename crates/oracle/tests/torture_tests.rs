@@ -148,7 +148,7 @@ fn fault_then_kill_during_recovery(first: TortureFaultKind) {
     assert!(first_report.injected_at.is_some(), "first fault must inject: {first_report:?}");
     if second.overtaken {
         // The kill fired at the instant the first recovery finished.
-        assert_eq!(second.injected_at, first_report.ready_at.map(|r| r));
+        assert_eq!(second.injected_at, first_report.ready_at);
     }
     if !outcome.unrecoverable {
         assert!(

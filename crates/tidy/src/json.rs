@@ -1,0 +1,226 @@
+//! A minimal JSON reader for artifact-shape checks.
+//!
+//! The workspace deliberately has no JSON dependency; the benchmark
+//! binaries hand-write their reports and the schedule corpus has its own
+//! bespoke parser in `recobench-faults`. Tidy only needs to *validate*
+//! shapes — is this a JSON object, which keys does it have — so a small
+//! recursive-descent reader is enough.
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value. Object keys are ordered so diagnostics are
+/// deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number, kept as f64 (shape checks never need exactness).
+    Number(f64),
+    /// A string (escape sequences decoded minimally).
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object.
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// The object map, if this is an object.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The array items, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one complete JSON document.
+///
+/// # Errors
+///
+/// Returns a byte-offset description of the first syntax error.
+pub fn parse(text: &str) -> Result<Value, String> {
+    let mut p = Parser { b: text.as_bytes(), pos: 0 };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.b.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self.b.get(self.pos).is_some_and(u8::is_ascii_whitespace) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.b.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, ch: u8) -> Result<(), String> {
+        if self.peek() == Some(ch) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", ch as char, self.pos))
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: Value) -> Result<Value, String> {
+        if self.b[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b't') => self.lit("true", Value::Bool(true)),
+            Some(b'f') => self.lit("false", Value::Bool(false)),
+            Some(b'n') => self.lit("null", Value::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected {:?} at byte {}", other.map(|c| c as char), self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.eat(b'{')?;
+        let mut map = BTreeMap::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            let key = self.string()?;
+            self.eat(b':')?;
+            map.insert(key, self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        while let Some(&c) = self.b.get(self.pos) {
+            self.pos += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = self.b.get(self.pos).copied();
+                    self.pos += 1;
+                    match esc {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'u') => {
+                            // Shape checks never care about the exact
+                            // code point; skip the four hex digits.
+                            self.pos += 4;
+                            out.push('?');
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                }
+                _ => out.push(c as char),
+            }
+        }
+        Err("unterminated string".into())
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        while self
+            .b
+            .get(self.pos)
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.b[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map(Value::Number)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_report_like_documents() {
+        let v = parse(r#"{"mode":"smoke","cells":[{"fault":"x","n":1.5}],"ok":true,"none":null}"#)
+            .unwrap();
+        let obj = v.as_object().unwrap();
+        assert!(obj.contains_key("mode"));
+        assert_eq!(obj["cells"].as_array().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        for bad in ["", "{", "[1,]", "{\"a\":}", "{\"a\":1} x", "nul"] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn decodes_escapes() {
+        let v = parse(r#""a\nb\"c""#).unwrap();
+        assert_eq!(v, Value::String("a\nb\"c".into()));
+    }
+}

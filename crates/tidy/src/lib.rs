@@ -1,0 +1,264 @@
+//! `recobench-tidy`: the repo-specific static-analysis wall.
+//!
+//! The benchmark's measures (recovery time, lost transactions, integrity
+//! violations) are only trustworthy because every run is bit-for-bit
+//! deterministic on the simulated clock and every recovery path reports
+//! failure instead of panicking. Ordinary clippy cannot express those
+//! rules — they are about *this* repo's layering — so, in the style of
+//! rustc's `tidy` pass, this crate walks the workspace sources and data
+//! files and enforces them with `file:line` diagnostics:
+//!
+//! * [`lints::determinism`] — no wall-clock or env-seeded randomness
+//!   outside `crates/bench`;
+//! * [`lints::panic_freedom`] — no `unwrap()`/`expect()`/`panic!` in the
+//!   engine's recovery-path modules;
+//! * [`lints::ordered_serialization`] — no `HashMap`/`HashSet` in modules
+//!   whose output must be byte-stable;
+//! * [`lints::schema_conformance`] — event enum ↔ JSONL exporter
+//!   coverage, and corpus / benchmark artifacts parse against their
+//!   schemas;
+//! * [`lints::sabotage_isolation`] — test-only `sabotage_*` hooks stay
+//!   behind `cfg(any(test, feature = "sabotage"))`.
+//!
+//! Escape hatch: a justified inline waiver on the offending line or the
+//! line directly above it —
+//!
+//! ```text
+//! // tidy-allow(<lint-name>): <non-empty reason>
+//! ```
+//!
+//! Waivers that no longer suppress anything are themselves reported
+//! (`unused-allow`), so stale exemptions cannot accumulate.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+pub mod json;
+pub mod lints;
+pub mod source;
+
+pub use source::SourceFile;
+
+/// Directory names never descended into, wherever they appear.
+const SKIP_DIRS: &[&str] = &["target", ".git", "third_party", "node_modules"];
+
+/// Workspace-relative path prefixes excluded from the walk. The tidy
+/// fixture tree intentionally contains violations; scanning it from the
+/// real run would make a clean tree impossible.
+const SKIP_PREFIXES: &[&str] = &["crates/tidy/tests/fixtures"];
+
+/// File extensions collected by the walker (source + data artifacts).
+const EXTENSIONS: &[&str] = &["rs", "json", "jsonl"];
+
+/// The walked workspace: every lintable file, with sources pre-analyzed.
+pub struct Workspace {
+    /// Absolute workspace root.
+    pub root: PathBuf,
+    /// All collected files, sorted by relative path for stable output.
+    pub files: Vec<SourceFile>,
+}
+
+impl Workspace {
+    /// Walks `root` and loads every lintable file.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `root` is not a readable directory or a file under it
+    /// disappears mid-walk.
+    pub fn load(root: &Path) -> Result<Workspace, String> {
+        let root = root
+            .canonicalize()
+            .map_err(|e| format!("cannot open workspace root {}: {e}", root.display()))?;
+        let mut files = Vec::new();
+        walk(&root, &root, &mut files)?;
+        files.sort_by(|a, b| a.rel.cmp(&b.rel));
+        Ok(Workspace { root, files })
+    }
+
+    /// The file with this workspace-relative path, if it was collected.
+    pub fn file(&self, rel: &str) -> Option<&SourceFile> {
+        self.files.iter().find(|f| f.rel == rel)
+    }
+
+    /// Files whose relative path starts with `prefix`.
+    pub fn under<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = &'a SourceFile> {
+        self.files.iter().filter(move |f| f.rel.starts_with(prefix))
+    }
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<SourceFile>) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read directory {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("walk error under {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            let rel = rel_path(root, &path);
+            if SKIP_PREFIXES.iter().any(|p| rel == *p || rel.starts_with(&format!("{p}/"))) {
+                continue;
+            }
+            walk(root, &path, out)?;
+        } else if EXTENSIONS.iter().any(|e| name.ends_with(&format!(".{e}"))) {
+            out.push(SourceFile::load(root, &path)?);
+        }
+    }
+    Ok(())
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// One finding, anchored to a file and 1-based line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Name of the lint that fired (or `unused-allow`).
+    pub lint: &'static str,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line number (0 for whole-file findings).
+    pub line: usize,
+    /// What is wrong and what to do about it.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.lint, self.message)
+    }
+}
+
+/// Collects diagnostics, honouring per-line `tidy-allow` waivers.
+pub struct Diagnostics {
+    violations: Vec<Diagnostic>,
+    /// (file, line, lint, reason, used) for every parsed waiver.
+    allows: Vec<AllowState>,
+    /// Files checked, for the report.
+    pub files_checked: usize,
+}
+
+struct AllowState {
+    file: String,
+    line: usize,
+    lint: String,
+    used: bool,
+}
+
+impl Diagnostics {
+    /// Builds the collector, registering every waiver found in `ws`.
+    pub fn new(ws: &Workspace) -> Diagnostics {
+        let mut allows = Vec::new();
+        for f in &ws.files {
+            for a in &f.allows {
+                allows.push(AllowState {
+                    file: f.rel.clone(),
+                    line: a.line,
+                    lint: a.lint.clone(),
+                    used: false,
+                });
+            }
+        }
+        Diagnostics { violations: Vec::new(), allows, files_checked: ws.files.len() }
+    }
+
+    /// Records a finding unless a matching waiver covers `line` (same
+    /// line, or the line directly above).
+    pub fn emit(&mut self, lint: &'static str, file: &str, line: usize, message: String) {
+        for a in &mut self.allows {
+            if a.file == file && a.lint == lint && (a.line == line || a.line + 1 == line) {
+                a.used = true;
+                return;
+            }
+        }
+        self.violations.push(Diagnostic { lint, file: file.to_string(), line, message });
+    }
+
+    /// Finishes the run: flags stale waivers, sorts, and returns every
+    /// violation.
+    pub fn finish(mut self) -> Vec<Diagnostic> {
+        let known: Vec<&str> = lints::all().iter().map(|l| l.name()).collect();
+        for a in &self.allows {
+            if !known.contains(&a.lint.as_str()) {
+                self.violations.push(Diagnostic {
+                    lint: "unused-allow",
+                    file: a.file.clone(),
+                    line: a.line,
+                    message: format!(
+                        "tidy-allow names unknown lint {:?} (known: {})",
+                        a.lint,
+                        known.join(", ")
+                    ),
+                });
+            } else if !a.used {
+                self.violations.push(Diagnostic {
+                    lint: "unused-allow",
+                    file: a.file.clone(),
+                    line: a.line,
+                    message: format!(
+                        "tidy-allow({}) suppresses nothing here; remove the stale waiver",
+                        a.lint
+                    ),
+                });
+            }
+        }
+        self.violations.sort_by(|a, b| (&a.file, a.line, a.lint).cmp(&(&b.file, b.line, b.lint)));
+        self.violations
+    }
+}
+
+/// A tidy lint: a named, repo-specific rule over the whole workspace.
+pub trait Lint {
+    /// Stable kebab-case name used in diagnostics and `tidy-allow`.
+    fn name(&self) -> &'static str;
+    /// One-line human description for `--list` and the JSON report.
+    fn description(&self) -> &'static str;
+    /// Checks the workspace, emitting findings into `diags`.
+    fn check(&self, ws: &Workspace, diags: &mut Diagnostics);
+}
+
+/// Runs every registered lint over `ws` and returns the sorted findings.
+pub fn run(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut diags = Diagnostics::new(ws);
+    for lint in lints::all() {
+        lint.check(ws, &mut diags);
+    }
+    diags.finish()
+}
+
+/// Renders the machine-readable JSON report (one stable shape the CI job
+/// uploads as an artifact).
+pub fn json_report(ws: &Workspace, diagnostics: &[Diagnostic]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    out.push_str("{\n  \"tool\": \"recobench-tidy\",\n");
+    let _ = writeln!(out, "  \"files_checked\": {},", ws.files.len());
+    out.push_str("  \"lints\": [");
+    for (i, l) in lints::all().iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{:?}", l.name());
+    }
+    out.push_str("],\n  \"violations\": [");
+    for (i, d) in diagnostics.iter().enumerate() {
+        out.push_str(if i > 0 { ",\n    " } else { "\n    " });
+        let _ = write!(
+            out,
+            "{{\"lint\": {:?}, \"file\": {:?}, \"line\": {}, \"message\": {:?}}}",
+            d.lint, d.file, d.line, d.message
+        );
+    }
+    if !diagnostics.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}

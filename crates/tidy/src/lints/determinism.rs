@@ -1,0 +1,52 @@
+//! Lint: no wall-clock time or environment-seeded randomness outside
+//! `crates/bench`.
+//!
+//! Every experiment runs on the simulated clock (`recobench_sim`); a
+//! single `Instant::now()` or env-seeded hasher in the engine, simulator,
+//! workload, harness or oracle silently breaks bit-for-bit reproducibility
+//! of the paper's measures. Only the bench binaries may touch the real
+//! clock — that is what they measure.
+
+use crate::{Diagnostics, Lint, Workspace};
+
+/// Path prefixes where real time is the measurand and therefore legal.
+const EXEMPT_PREFIXES: &[&str] = &["crates/bench/"];
+
+/// Forbidden tokens, with the reason they break determinism.
+const PATTERNS: &[(&str, &str)] = &[
+    ("std::time::Instant", "wall-clock time; use the simulated clock (recobench_sim::SimClock)"),
+    ("std::time::SystemTime", "wall-clock time; use the simulated clock (recobench_sim::SimClock)"),
+    ("Instant::now(", "wall-clock time; use the simulated clock (recobench_sim::SimClock)"),
+    ("SystemTime::now(", "wall-clock time; use the simulated clock (recobench_sim::SimClock)"),
+    ("thread::sleep", "real sleeping; advance the simulated clock instead"),
+    ("RandomState", "env-seeded hashing gives run-dependent iteration order; use BTreeMap or fasthash"),
+    ("thread_rng", "env-seeded randomness; use recobench_sim::SimRng with an explicit seed"),
+    ("from_entropy", "env-seeded randomness; use recobench_sim::SimRng with an explicit seed"),
+    ("getrandom", "env-seeded randomness; use recobench_sim::SimRng with an explicit seed"),
+];
+
+/// See the module docs.
+pub struct Determinism;
+
+impl Lint for Determinism {
+    fn name(&self) -> &'static str {
+        "determinism"
+    }
+
+    fn description(&self) -> &'static str {
+        "no wall-clock time or env-seeded randomness outside crates/bench"
+    }
+
+    fn check(&self, ws: &Workspace, diags: &mut Diagnostics) {
+        for f in &ws.files {
+            if !f.is_rust() || EXEMPT_PREFIXES.iter().any(|p| f.rel.starts_with(p)) {
+                continue;
+            }
+            for (i, code) in f.code.iter().enumerate() {
+                if let Some((pat, why)) = PATTERNS.iter().find(|(p, _)| code.contains(p)) {
+                    diags.emit(self.name(), &f.rel, i + 1, format!("`{pat}`: {why}"));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! The lint registry. Adding a lint: write a module with a unit struct
+//! implementing [`Lint`](crate::Lint), push it in [`all`], document it in
+//! `DESIGN.md` §12, and add a violation fixture under
+//! `tests/fixtures/violations/` so the framework tests pin its
+//! `file:line` behaviour.
+
+use crate::Lint;
+
+pub mod determinism;
+pub mod ordered_serialization;
+pub mod panic_freedom;
+pub mod sabotage_isolation;
+pub mod schema_conformance;
+
+/// Every registered lint, in the order they run and are listed.
+pub fn all() -> Vec<Box<dyn Lint>> {
+    vec![
+        Box::new(determinism::Determinism),
+        Box::new(panic_freedom::PanicFreedom),
+        Box::new(ordered_serialization::OrderedSerialization),
+        Box::new(schema_conformance::SchemaConformance),
+        Box::new(sabotage_isolation::SabotageIsolation),
+    ]
+}

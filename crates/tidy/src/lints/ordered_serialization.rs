@@ -1,0 +1,55 @@
+//! Lint: modules whose output must be byte-stable may not use
+//! `HashMap`/`HashSet`.
+//!
+//! The JSONL event exporter, the report renderers, the schedule codec and
+//! the differential-diff module all promise byte-identical output for
+//! identical runs — the determinism regression tests compare their output
+//! verbatim. Iterating a `std::collections` hash container leaks the
+//! (env-seeded) hasher's order into that output. Use `BTreeMap`/`BTreeSet`
+//! or a `Vec`; the engine-internal fasthash cache and scratch maps live in
+//! other modules and are unaffected.
+
+use crate::{Diagnostics, Lint, Workspace};
+
+/// Modules with byte-stable output contracts (workspace-relative).
+const ORDERED_FILES: &[&str] = &[
+    "crates/engine/src/codec.rs",
+    "crates/engine/src/events.rs",
+    "crates/core/src/report.rs",
+    "crates/core/src/measures.rs",
+    "crates/core/src/experiment.rs",
+    "crates/faults/src/schedule.rs",
+    "crates/oracle/src/diff.rs",
+];
+
+/// See the module docs.
+pub struct OrderedSerialization;
+
+impl Lint for OrderedSerialization {
+    fn name(&self) -> &'static str {
+        "ordered-serialization"
+    }
+
+    fn description(&self) -> &'static str {
+        "no HashMap/HashSet in codec, event-export and report modules"
+    }
+
+    fn check(&self, ws: &Workspace, diags: &mut Diagnostics) {
+        for rel in ORDERED_FILES {
+            let Some(f) = ws.file(rel) else { continue };
+            for (i, code) in f.code.iter().enumerate() {
+                if let Some(pat) = ["HashMap", "HashSet"].iter().find(|p| code.contains(*p)) {
+                    diags.emit(
+                        self.name(),
+                        &f.rel,
+                        i + 1,
+                        format!(
+                            "`{pat}` in a byte-stable-output module; iteration order is \
+                             env-seeded — use BTreeMap/BTreeSet or a Vec"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}

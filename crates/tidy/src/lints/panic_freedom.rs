@@ -1,0 +1,68 @@
+//! Lint: recovery paths must not panic.
+//!
+//! A panic in `recovery.rs`, `redo.rs`, `checkpoint.rs` or `standby.rs`
+//! turns a measured "failed recovery" into a crashed experiment — the
+//! exact outcome the paper's methodology cannot distinguish from a hung
+//! DBMS. Broken invariants on these paths must surface as typed
+//! `RecoveryError` values threaded through `DbResult`, so the harness
+//! records the run as a recovery failure instead of dying.
+//!
+//! `#[cfg(test)]` modules are exempt: asserting with `unwrap()` is what
+//! tests are for.
+
+use crate::{Diagnostics, Lint, Workspace};
+
+/// The engine's recovery-path modules (workspace-relative).
+const RECOVERY_FILES: &[&str] = &[
+    "crates/engine/src/recovery.rs",
+    "crates/engine/src/redo.rs",
+    "crates/engine/src/checkpoint.rs",
+    "crates/engine/src/standby.rs",
+];
+
+/// Panicking constructs never allowed outside test modules.
+const PATTERNS: &[&str] = &[
+    ".unwrap()",
+    ".unwrap_err()",
+    ".expect(",
+    ".expect_err(",
+    "panic!(",
+    "unreachable!(",
+    "todo!(",
+    "unimplemented!(",
+];
+
+/// See the module docs.
+pub struct PanicFreedom;
+
+impl Lint for PanicFreedom {
+    fn name(&self) -> &'static str {
+        "panic-freedom"
+    }
+
+    fn description(&self) -> &'static str {
+        "no unwrap/expect/panic in engine recovery-path modules (outside #[cfg(test)])"
+    }
+
+    fn check(&self, ws: &Workspace, diags: &mut Diagnostics) {
+        for rel in RECOVERY_FILES {
+            let Some(f) = ws.file(rel) else { continue };
+            for (i, code) in f.code.iter().enumerate() {
+                if f.in_test_region(i + 1) {
+                    continue;
+                }
+                if let Some(pat) = PATTERNS.iter().find(|p| code.contains(*p)) {
+                    diags.emit(
+                        self.name(),
+                        &f.rel,
+                        i + 1,
+                        format!(
+                            "`{pat}` on a recovery path; return a typed RecoveryError through \
+                             DbResult instead of panicking"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,6 @@
+//! Fixture: crates/bench is exempt from the determinism lint — real
+//! elapsed time is what the bench binaries measure. No finding expected.
+
+pub fn elapsed_us() -> u128 {
+    std::time::Instant::now().elapsed().as_micros()
+}

@@ -1,0 +1,11 @@
+//! Fixture: ordered-serialization violations in a byte-stable module.
+
+use std::collections::HashMap;
+
+pub fn size(m: &HashMap<u32, u32>) -> usize {
+    m.len()
+}
+
+pub fn waived_inline(m: &std::collections::HashMap<u32, u32>) -> usize { // tidy-allow(ordered-serialization): len() leaks no iteration order
+    m.len()
+}

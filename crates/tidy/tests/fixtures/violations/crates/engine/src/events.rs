@@ -1,0 +1,23 @@
+//! Fixture: schema-conformance violations (enum/exporter drift).
+
+pub enum EngineEvent {
+    /// An instance started.
+    Started,
+    Undocumented,
+}
+
+impl EngineEvent {
+    pub fn name(&self) -> &'static str {
+        match self {
+            EngineEvent::Started => "started",
+            EngineEvent::Undocumented => "undocumented",
+        }
+    }
+
+    pub fn write_json(&self, out: &mut String) {
+        match self {
+            EngineEvent::Started => out.push_str("{\"type\": \"started\"}"),
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Fixture: seeded panic-freedom and sabotage-isolation violations.
+
+pub struct Srv;
+
+impl Srv {
+    #[cfg(any(test, feature = "sabotage"))]
+    pub fn sabotage_skip_redo_records(&mut self, _n: u32) {}
+}
+
+pub fn redo_apply(x: Option<u32>) -> u32 {
+    let v = x.unwrap();
+    if v == 0 {
+        panic!("zero rows recovered");
+    }
+    v
+}
+
+pub fn waived(x: Option<u32>) -> u32 {
+    // tidy-allow(panic-freedom): fixture proves a justified waiver suppresses
+    x.expect("covered by the waiver on the line above")
+}
+
+pub fn ungated(server: &mut Srv) {
+    server.sabotage_skip_redo_records(1);
+}
+
+#[cfg(any(test, feature = "sabotage"))]
+pub fn gated(server: &mut Srv) {
+    server.sabotage_skip_redo_records(1);
+}
+
+// tidy-allow(determinism): stale waiver; nothing below touches the clock
+pub fn quiet() {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        Some(1).unwrap();
+    }
+}

@@ -1,0 +1,5 @@
+//! Fixture: determinism violation in a simulated-clock module.
+
+pub fn wall_us() -> u128 {
+    std::time::Instant::now().elapsed().as_micros()
+}

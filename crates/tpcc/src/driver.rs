@@ -272,7 +272,7 @@ impl TpccDriver {
         const BUCKET_US: u64 = 1_000_000;
         let start_us = from.as_micros();
         let end_us = to.as_micros().max(start_us);
-        let n = ((end_us - start_us) + BUCKET_US - 1) / BUCKET_US;
+        let n = (end_us - start_us).div_ceil(BUCKET_US);
         let mut buckets = vec![0u64; n as usize];
         for s in &self.successes {
             let t = s.as_micros();

@@ -55,7 +55,7 @@ fn main() {
             format!("{cost:.1}"),
             format!("{score:.2}"),
         ]);
-        if best.as_ref().map_or(true, |(_, s)| score > *s) {
+        if best.as_ref().is_none_or(|(_, s)| score > *s) {
             best = Some((perf.config_name.clone(), score));
         }
     }
