@@ -4,6 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use recobench_engine::catalog::IndexDef;
+use recobench_engine::codec::Writer;
 use recobench_engine::redo::{decode_stream, RedoOp, RedoRecord};
 use recobench_engine::row::{encode_key, encode_key_into, Row, Value};
 use recobench_engine::page::BlockImage;
@@ -85,6 +86,14 @@ fn bench_codecs(c: &mut Criterion) {
     let img_bytes = img.encode();
     g.throughput(Throughput::Bytes(img_bytes.len() as u64));
     g.bench_function("block_encode_20rows", |b| b.iter(|| std::hint::black_box(img.encode())));
+    g.bench_function("block_encode_into_20rows", |b| {
+        let mut w = Writer::new();
+        b.iter(|| {
+            w.truncate(0);
+            img.encode_into(&mut w);
+            std::hint::black_box(w.len())
+        })
+    });
     g.bench_function("block_decode_20rows", |b| {
         b.iter(|| BlockImage::decode(std::hint::black_box(img_bytes.clone())).unwrap())
     });
@@ -108,7 +117,7 @@ fn loaded_server() -> (DbServer, ObjectId) {
     srv.create_user("b").unwrap();
     srv.create_tablespace("B", 2, 4096).unwrap();
     let t = srv
-        .create_table("KV", "b", "B", vec![IndexDef { name: "PK".into(), cols: vec![0], unique: true }])
+        .create_table("KV", "b", "B", vec![IndexDef { name: "PK".into(), cols: vec![0], unique: true, ordered: true }])
         .unwrap();
     (srv, t)
 }

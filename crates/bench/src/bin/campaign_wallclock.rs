@@ -79,16 +79,20 @@ fn main() {
     let json = format!(
         "{{\n  \"mode\": \"{}\",\n  \"experiments\": {},\n  \"threads\": {},\n  \
          \"wall_clock_secs\": {:.3},\n  \"experiments_per_sec\": {:.3},\n  \
+         \"template_hits\": {},\n  \"templates_built\": {},\n  \
          \"peak_rss_bytes\": {},\n  \"micro_ns\": {{\n    \"row_encode\": {:.1},\n    \
          \"row_encode_into\": {:.1},\n    \"key_encode\": {:.1},\n    \
          \"key_encode_into\": {:.1},\n    \"redo_record_encode\": {:.1},\n    \
          \"redo_record_encode_into\": {:.1},\n    \
-         \"block_encode_20rows\": {:.1}\n  }}\n}}\n",
+         \"block_encode_20rows\": {:.1},\n    \
+         \"block_encode_into_20rows\": {:.1}\n  }}\n}}\n",
         mode.name(),
         n,
         threads,
         wall,
         n as f64 / wall,
+        report.template_hits(),
+        report.templates_built(),
         rss.map_or("null".to_string(), |b| b.to_string()),
         micro.row_encode,
         micro.row_encode_into,
@@ -97,10 +101,19 @@ fn main() {
         micro.redo_record_encode,
         micro.redo_record_encode_into,
         micro.block_encode,
+        micro.block_encode_into,
     );
     std::fs::write(&out_path, &json).expect("write BENCH_campaign.json");
     print!("{json}");
     eprintln!("campaign_wallclock: {n} experiments in {wall:.2}s -> {out_path}");
+    if let Some(ceiling) = cli.max_wall_secs {
+        if wall > ceiling as f64 {
+            eprintln!(
+                "campaign_wallclock: FAIL — {wall:.2}s exceeds the --max-wall-secs {ceiling}s ceiling"
+            );
+            std::process::exit(1);
+        }
+    }
 }
 
 fn build_campaign(mode: Mode, seed: u64) -> Vec<Experiment> {
@@ -161,6 +174,7 @@ struct MicroTimings {
     redo_record_encode: f64,
     redo_record_encode_into: f64,
     block_encode: f64,
+    block_encode_into: f64,
 }
 
 /// Per-call times (ns) of the codec hot paths, measured with plain
@@ -214,6 +228,14 @@ fn micro_timings() -> MicroTimings {
             std::hint::black_box(w2.len())
         }),
         block_encode: time_ns(20_000, || std::hint::black_box(img.encode())),
+        block_encode_into: {
+            let mut bw = Writer::new();
+            time_ns(20_000, || {
+                bw.truncate(0);
+                img.encode_into(&mut bw);
+                std::hint::black_box(bw.len())
+            })
+        },
     }
 }
 

@@ -7,6 +7,7 @@
 //! workload running, then inject each of the ordinary faults — and report
 //! which combinations leave the database unrecoverable.
 
+use recobench_bench::BenchCli;
 use recobench_core::report::Table;
 use recobench_core::RecoveryConfig;
 use recobench_engine::{DbServer, DiskLayout};
@@ -36,12 +37,33 @@ fn prepared_server(seed: u64) -> (DbServer, TpccDriver) {
 }
 
 fn main() {
+    let cli = BenchCli::parse();
     let faults = [
         FaultType::ShutdownAbort,
         FaultType::DeleteDatafile,
         FaultType::SetDatafileOffline,
         FaultType::DeleteUsersObject,
     ];
+    let mut cells = Vec::new();
+    for sabotage in Sabotage::all() {
+        for fault in faults {
+            cells.push((sabotage, fault));
+        }
+    }
+    // Every cell prepares its own server from the same seed, so the matrix
+    // parallelizes across the worker pool without coupling cells.
+    let rows = cli.parallel(cells.len(), |i| {
+        let (sabotage, fault) = cells[i];
+        let (mut srv, _driver) = prepared_server(cli.seed);
+        let plan = DoubleFaultPlan { sabotage, fault: FaultPlan::new(fault, 0) };
+        let outcome = plan.execute(&mut srv).expect("injection is valid");
+        vec![
+            sabotage.to_string(),
+            fault.to_string(),
+            if outcome.recovery.is_some() { "yes".into() } else { "NO".into() },
+            outcome.recovery_error.unwrap_or_else(|| "-".into()),
+        ]
+    });
     let mut table = Table::new(vec![
         "First fault (silent)",
         "Second fault",
@@ -49,18 +71,8 @@ fn main() {
         "Recovery error",
     ])
     .title("Extension — recovery-mechanism faults exposed by a second fault (F10G3T5)");
-    for sabotage in Sabotage::all() {
-        for fault in faults {
-            let (mut srv, _driver) = prepared_server(42);
-            let plan = DoubleFaultPlan { sabotage, fault: FaultPlan::new(fault, 0) };
-            let outcome = plan.execute(&mut srv).expect("injection is valid");
-            table.row(vec![
-                sabotage.to_string(),
-                fault.to_string(),
-                if outcome.recovery.is_some() { "yes".into() } else { "NO".into() },
-                outcome.recovery_error.unwrap_or_else(|| "-".into()),
-            ]);
-        }
+    for row in rows {
+        table.row(row);
     }
     println!("{}", table.render());
     println!(

@@ -76,34 +76,44 @@ fn sweep(runner: &TortureRunner, cli: &BenchCli) -> ExitCode {
     let mut commits = 0u64;
     let mut injected = 0usize;
     loop {
-        match cli.runs {
+        let batch = match cli.runs {
             Some(n) if runs >= n => break,
-            Some(_) => {}
+            Some(n) => (n - runs).min(32),
             None if started.elapsed().as_secs() >= budget_secs => break,
-            None => {}
-        }
-        // One independent schedule per run: 1–4 faults over a 300 s
-        // window, nothing before 30 s (the driver needs a little history
-        // for the faults to have something to destroy).
-        let mut rng = SimRng::seed_from(cli.seed.wrapping_add(runs as u64));
-        let n_faults = 1 + runs % 4;
-        let schedule = FaultSchedule::random(&mut rng, n_faults, 300, 30);
-        let outcome = match runner.run(&schedule) {
-            Ok(o) => o,
-            Err(e) => {
-                eprintln!("torture: run {runs} setup failed: {e}");
-                return ExitCode::FAILURE;
-            }
+            None => 32,
         };
-        runs += 1;
-        attempted += outcome.attempted;
-        commits += outcome.commits;
-        injected += outcome.faults.iter().filter(|f| f.injected_at.is_some()).count();
-        eprint!("\r  torture: {runs} runs, {injected} faults, {attempted} txns");
-        if outcome.diverged() {
-            eprintln!();
-            return report_divergence(runner, &schedule, &outcome, cli);
+        // One independent schedule per run index: 1–4 faults over a 300 s
+        // window, nothing before 30 s (the driver needs a little history
+        // for the faults to have something to destroy). Each schedule is a
+        // pure function of `(--seed, index)`, so running a batch across
+        // the worker pool changes neither the schedules nor which run a
+        // divergence is attributed to.
+        let results = cli.parallel(batch, |i| {
+            let idx = runs + i;
+            let mut rng = SimRng::seed_from(cli.seed.wrapping_add(idx as u64));
+            let n_faults = 1 + idx % 4;
+            let schedule = FaultSchedule::random(&mut rng, n_faults, 300, 30);
+            let outcome = runner.run(&schedule);
+            (schedule, outcome)
+        });
+        for (schedule, outcome) in results {
+            let outcome = match outcome {
+                Ok(o) => o,
+                Err(e) => {
+                    eprintln!("torture: run {runs} setup failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            runs += 1;
+            attempted += outcome.attempted;
+            commits += outcome.commits;
+            injected += outcome.faults.iter().filter(|f| f.injected_at.is_some()).count();
+            if outcome.diverged() {
+                eprintln!();
+                return report_divergence(runner, &schedule, &outcome, cli);
+            }
         }
+        eprint!("\r  torture: {runs} runs, {injected} faults, {attempted} txns");
     }
     eprintln!();
     println!(

@@ -12,7 +12,9 @@
 //!   binaries (`campaign_wallclock`, `recovery_breakdown`);
 //! * `--sweep-seconds N` / `--runs N` / `--replay PATH` / `--sabotage N`
 //!   — the torture binary's sweep budget, exact run count, single-schedule
-//!   replay mode and self-test sabotage (see `src/bin/torture.rs`).
+//!   replay mode and self-test sabotage (see `src/bin/torture.rs`);
+//! * `--max-wall-secs N` — fail the run (exit 1) if the campaign takes
+//!   longer than `N` seconds of wall clock; CI's perf-regression ceiling.
 //!
 //! [`CampaignSpec`] collects the experiments a binary builds from these
 //! options and runs them as one [`Campaign`] with a stderr progress line.
@@ -44,6 +46,8 @@ pub struct BenchCli {
     /// `--sabotage N`: arm the test-only redo-skip sabotage (the torture
     /// binary's self-test mode: the oracle must catch the divergence).
     pub sabotage: u32,
+    /// `--max-wall-secs N`: wall-clock ceiling; exceeding it is a failure.
+    pub max_wall_secs: Option<u64>,
 }
 
 impl Default for BenchCli {
@@ -59,6 +63,7 @@ impl Default for BenchCli {
             runs: None,
             replay: None,
             sabotage: 0,
+            max_wall_secs: None,
         }
     }
 }
@@ -118,6 +123,12 @@ impl BenchCli {
                 "--sabotage" => {
                     if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
                         cli.sabotage = v;
+                        i += 1;
+                    }
+                }
+                "--max-wall-secs" => {
+                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                        cli.max_wall_secs = Some(v);
                         i += 1;
                     }
                 }
@@ -241,6 +252,37 @@ impl BenchCli {
     pub fn campaign(&self) -> CampaignSpec {
         CampaignSpec { threads: self.threads, experiments: Vec::new() }
     }
+
+    /// Runs `f(0..n)` across the campaign worker pool and returns the
+    /// results in index order. For bench work that is not an
+    /// [`Experiment`] (torture runs, double-fault cells) but should still
+    /// honor `--threads` instead of running single-threaded.
+    pub fn parallel<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let workers = if self.threads == 0 {
+            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4)
+        } else {
+            self.threads
+        };
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let slots: Vec<std::sync::Mutex<Option<T>>> =
+            (0..n).map(|_| std::sync::Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers.min(n.max(1)) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    *slots[i].lock().unwrap() = Some(f(i));
+                });
+            }
+        });
+        slots.into_iter().map(|s| s.into_inner().unwrap().expect("every slot filled")).collect()
+    }
 }
 
 /// The experiments one binary wants to run, collected in table order and
@@ -350,6 +392,20 @@ mod tests {
         let none = BenchCli::from_args(&[]);
         assert_eq!((none.sweep_seconds, none.runs, none.sabotage), (None, None, 0));
         assert!(none.replay.is_none());
+        assert!(none.max_wall_secs.is_none());
+    }
+
+    #[test]
+    fn wall_clock_ceiling_parses() {
+        let cli = BenchCli::from_args(&args(&["--max-wall-secs", "120"]));
+        assert_eq!(cli.max_wall_secs, Some(120));
+    }
+
+    #[test]
+    fn parallel_preserves_index_order() {
+        let cli = BenchCli::from_args(&args(&["--threads", "3"]));
+        let out = cli.parallel(17, |i| i * i);
+        assert_eq!(out, (0..17).map(|i| i * i).collect::<Vec<_>>());
     }
 
     #[test]

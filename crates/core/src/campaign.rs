@@ -18,13 +18,14 @@
 //! }
 //! ```
 
+use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use recobench_engine::DbError;
 
-use crate::experiment::{Experiment, ExperimentOutcome};
+use crate::experiment::{Experiment, ExperimentOutcome, ExperimentScratch, ExperimentTemplate};
 
 /// An experiment whose *setup* failed (the benchmark itself was
 /// misconfigured — injected faults and failed recoveries are outcomes,
@@ -69,6 +70,7 @@ pub struct CampaignProgress {
 pub struct Campaign {
     experiments: Vec<Experiment>,
     threads: usize,
+    templates: bool,
     progress: Option<Arc<dyn Fn(CampaignProgress) + Send + Sync>>,
 }
 
@@ -77,6 +79,7 @@ impl fmt::Debug for Campaign {
         f.debug_struct("Campaign")
             .field("experiments", &self.experiments.len())
             .field("threads", &self.threads)
+            .field("templates", &self.templates)
             .field("progress", &self.progress.is_some())
             .finish()
     }
@@ -84,14 +87,24 @@ impl fmt::Debug for Campaign {
 
 impl Campaign {
     /// A campaign over `experiments`, defaulting to one worker per
-    /// available core and no progress reporting.
+    /// available core, snapshot templating on, and no progress reporting.
     pub fn new(experiments: Vec<Experiment>) -> Self {
-        Campaign { experiments, threads: 0, progress: None }
+        Campaign { experiments, threads: 0, templates: true, progress: None }
     }
 
     /// Caps the worker threads (0 = one per available core, the default).
     pub fn threads(mut self, n: usize) -> Self {
         self.threads = n;
+        self
+    }
+
+    /// Enables or disables snapshot templating (default: on). When on,
+    /// cells with equal [`Experiment::template_key`]s share one setup
+    /// template — built once, booted per cell from a copy-on-write clone.
+    /// Outcomes are byte-identical either way (regression-tested); off
+    /// exists for exactly that A/B check and for memory-starved hosts.
+    pub fn templates(mut self, on: bool) -> Self {
+        self.templates = on;
         self
     }
 
@@ -125,28 +138,62 @@ impl Campaign {
         let n = self.experiments.len();
         let next = AtomicUsize::new(0);
         let done = AtomicUsize::new(0);
+        let hits = AtomicUsize::new(0);
+        let built = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<Result<ExperimentOutcome, CampaignError>>>> =
             (0..n).map(|_| Mutex::new(None)).collect();
         let experiments = &self.experiments;
         let progress = self.progress.as_deref();
+        // Template registry, shared across workers: the first cell to need
+        // a key builds its template inside the `OnceLock` (concurrent
+        // requesters block on it, everyone else proceeds), later cells
+        // reuse the finished `Arc`.
+        type TemplateSlot = Arc<OnceLock<Result<Arc<ExperimentTemplate>, DbError>>>;
+        let registry: Mutex<BTreeMap<String, TemplateSlot>> = Mutex::new(BTreeMap::new());
+        let use_templates = self.templates;
 
         std::thread::scope(|scope| {
             for _ in 0..workers.min(n.max(1)) {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let result = experiments[i].run().map_err(|error| CampaignError {
-                        index: i,
-                        config: experiments[i].config().name.clone(),
-                        error,
-                    });
-                    let ok = result.is_ok();
-                    *slots[i].lock().unwrap() = Some(result);
-                    let completed = done.fetch_add(1, Ordering::Relaxed) + 1;
-                    if let Some(cb) = progress {
-                        cb(CampaignProgress { completed, total: n, index: i, ok });
+                scope.spawn(|| {
+                    let mut scratch = ExperimentScratch::default();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let exp = &experiments[i];
+                        let run = if use_templates {
+                            let slot = {
+                                let mut reg = registry.lock().unwrap();
+                                Arc::clone(reg.entry(exp.template_key()).or_default())
+                            };
+                            let mut was_built = false;
+                            let template = slot.get_or_init(|| {
+                                was_built = true;
+                                built.fetch_add(1, Ordering::Relaxed);
+                                exp.build_template().map(Arc::new)
+                            });
+                            if !was_built {
+                                hits.fetch_add(1, Ordering::Relaxed);
+                            }
+                            match template {
+                                Ok(t) => exp.run_with_template_in(t, &mut scratch),
+                                Err(e) => Err(e.clone()),
+                            }
+                        } else {
+                            exp.run()
+                        };
+                        let result = run.map_err(|error| CampaignError {
+                            index: i,
+                            config: exp.config().name.clone(),
+                            error,
+                        });
+                        let ok = result.is_ok();
+                        *slots[i].lock().unwrap() = Some(result);
+                        let completed = done.fetch_add(1, Ordering::Relaxed) + 1;
+                        if let Some(cb) = progress {
+                            cb(CampaignProgress { completed, total: n, index: i, ok });
+                        }
                     }
                 });
             }
@@ -157,6 +204,8 @@ impl Campaign {
                 .into_iter()
                 .map(|s| s.into_inner().unwrap().expect("every slot filled"))
                 .collect(),
+            template_hits: hits.into_inner(),
+            templates_built: built.into_inner(),
         }
     }
 }
@@ -165,12 +214,25 @@ impl Campaign {
 #[derive(Debug, Clone, PartialEq)]
 pub struct CampaignReport {
     results: Vec<Result<ExperimentOutcome, CampaignError>>,
+    template_hits: usize,
+    templates_built: usize,
 }
 
 impl CampaignReport {
     /// Number of experiments run.
     pub fn len(&self) -> usize {
         self.results.len()
+    }
+
+    /// Cells that reused an already-built setup template (0 when
+    /// templating was disabled).
+    pub fn template_hits(&self) -> usize {
+        self.template_hits
+    }
+
+    /// Distinct setup templates built (0 when templating was disabled).
+    pub fn templates_built(&self) -> usize {
+        self.templates_built
     }
 
     /// Whether the campaign was empty.
@@ -270,6 +332,50 @@ mod tests {
         let mut indices = seen.lock().unwrap().clone();
         indices.sort_unstable();
         assert_eq!(indices, vec![0, 1, 2], "every experiment ticks progress exactly once");
+    }
+
+    /// The determinism contract of DESIGN.md §9: per-cell outcomes are a
+    /// pure function of the experiment definition — not of the thread
+    /// count and not of whether setup ran fresh or replayed from a shared
+    /// snapshot template.
+    #[test]
+    fn outcomes_are_identical_across_threads_and_templating() {
+        let cells = || {
+            vec![
+                // Three cells sharing one template key (same config, scale,
+                // seed) but differing in fault — the sharing-sensitive case.
+                mk("F10G3T5", None),
+                mk("F10G3T5", Some(FaultType::ShutdownAbort)),
+                mk("F10G3T5", Some(FaultType::DeleteDatafile)),
+                // A second key, with event capture on so the prepended
+                // setup JSONL is covered too.
+                Experiment::builder(RecoveryConfig::named("F1G3T1").unwrap())
+                    .duration_secs(150)
+                    .scale(TpccScale::tiny())
+                    .seed(7)
+                    .capture_events(true)
+                    .fault(FaultType::ShutdownAbort, 60)
+                    .build(),
+            ]
+        };
+        let baseline =
+            Campaign::new(cells()).threads(1).templates(false).run();
+        assert_eq!(baseline.template_hits(), 0);
+        assert_eq!(baseline.templates_built(), 0);
+        let baseline = baseline.expect_all();
+        for (threads, templates) in [(1, true), (4, true), (4, false)] {
+            let report =
+                Campaign::new(cells()).threads(threads).templates(templates).run();
+            if templates {
+                assert_eq!(report.templates_built(), 2, "two distinct keys");
+                assert_eq!(report.template_hits(), 2, "two cells reused one");
+            }
+            let outs = report.expect_all();
+            assert_eq!(
+                outs, baseline,
+                "threads={threads} templates={templates} must replay byte-identically"
+            );
+        }
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! then the measures are evaluated.
 
 use recobench_engine::{
-    DbResult, DbServer, DiskLayout, EngineEvent, RecoveryPhase, StandbyServer,
+    DbResult, DbServer, DbSnapshot, DiskLayout, EngineEvent, RecoveryPhase, StandbyServer,
 };
 use recobench_faults::{FaultInjector, FaultPlan, FaultType};
 use recobench_sim::{SimClock, SimDuration, SimRng, SimTime};
@@ -68,6 +68,39 @@ fn observe(server: &mut DbServer, name: &'static str, spans: &SpanLog, jsonl: &O
             out.push('\n');
         });
     }
+}
+
+/// A reusable setup snapshot: the loaded-and-backed-up database image one
+/// experiment's setup phase produces, captured so that every cell with the
+/// same setup inputs can boot a copy-on-write clone instead of repeating
+/// the load. Built by [`Experiment::build_template`], consumed by
+/// [`Experiment::run_with_template`]; [`Campaign`](crate::Campaign)
+/// deduplicates templates by [`Experiment::template_key`] and shares them
+/// across worker threads.
+#[derive(Debug, Clone)]
+pub struct ExperimentTemplate {
+    snapshot: DbSnapshot,
+    schema: recobench_tpcc::TpccSchema,
+    setup_jsonl: String,
+    key: String,
+}
+
+impl ExperimentTemplate {
+    /// The setup-identity key this template was built for.
+    pub fn key(&self) -> &str {
+        &self.key
+    }
+}
+
+/// Reusable per-worker buffers for [`Experiment::run_with_template_in`]:
+/// campaign workers keep one across cells so span logs, SCN trails and
+/// event-capture strings reuse their allocations instead of regrowing from
+/// empty every experiment.
+#[derive(Debug, Default)]
+pub struct ExperimentScratch {
+    spans: Vec<(SimTime, RecoveryPhase, SimTime)>,
+    trail: Vec<(SimTime, recobench_engine::Scn)>,
+    jsonl: String,
 }
 
 /// A fully specified experiment, ready to run.
@@ -153,7 +186,10 @@ impl Experiment {
         &self.config
     }
 
-    /// Runs the experiment to completion.
+    /// Runs the experiment to completion: builds (or rebuilds) its setup
+    /// template, then runs the measured phase from it. Campaigns avoid the
+    /// rebuild by sharing templates across cells with equal
+    /// [`Experiment::template_key`]s.
     ///
     /// # Errors
     ///
@@ -161,24 +197,101 @@ impl Experiment {
     /// misconfigured); faults and failed recoveries are results, not
     /// errors.
     pub fn run(&self) -> DbResult<ExperimentOutcome> {
+        let template = self.build_template()?;
+        self.run_with_template(&template)
+    }
+
+    /// Identity of this experiment's setup phase: cells whose keys match
+    /// produce byte-identical post-setup disk images and may share one
+    /// [`ExperimentTemplate`]. Fault plan, duration, driver config and
+    /// stand-by topology are deliberately excluded — they only shape the
+    /// measured phase.
+    pub fn template_key(&self) -> String {
+        format!(
+            "{:?}|archive={}|{:?}|files={}x{}|seed={}|{:?}",
+            self.config, self.archive, self.scale, self.datafiles, self.blocks_per_file,
+            self.seed, self.layout,
+        )
+    }
+
+    /// Runs the setup phase once — create database, create schema, TPC-C
+    /// load, cold backup — and captures the result as a reusable template.
+    ///
+    /// # Errors
+    ///
+    /// Fails on setup problems (storage exhaustion, misconfiguration).
+    pub fn build_template(&self) -> DbResult<ExperimentTemplate> {
         let clock = SimClock::shared();
         let icfg = self.config.to_instance_config(self.archive);
-        let spans: SpanLog = Arc::new(Mutex::new(Vec::new()));
-        let jsonl: Option<Arc<Mutex<String>>> =
-            self.capture_events.then(|| Arc::new(Mutex::new(String::new())));
+        // Setup events are always captured into the template (they are a
+        // few hundred lines); cells that export events prepend them so the
+        // stream matches a monolithic run's.
+        let jsonl = Arc::new(Mutex::new(String::new()));
         let mut primary = DbServer::on_fresh_disks(
             "PRIMARY",
             Arc::clone(&clock),
             self.layout.clone(),
-            icfg.clone(),
+            icfg,
         );
-        observe(&mut primary, "PRIMARY", &spans, &jsonl);
+        {
+            let buf = Arc::clone(&jsonl);
+            primary.events_mut().subscribe(move |at, ev| {
+                let mut out = buf.lock().unwrap();
+                ev.write_json(at, "PRIMARY", &mut out);
+                out.push('\n');
+            });
+        }
         primary.create_database()?;
         let mut rng = SimRng::seed_from(self.seed);
         let schema = create_schema(&mut primary, self.scale, self.datafiles, self.blocks_per_file)?;
         let mut load_rng = rng.fork(1);
         load_database(&mut primary, &schema, &mut load_rng)?;
         primary.take_cold_backup()?;
+        let snapshot = primary.snapshot();
+        let setup_jsonl = jsonl.lock().unwrap().clone();
+        Ok(ExperimentTemplate { snapshot, schema, setup_jsonl, key: self.template_key() })
+    }
+
+    /// Runs the measured phase from a pre-built setup template.
+    ///
+    /// # Errors
+    ///
+    /// As [`Experiment::run`].
+    pub fn run_with_template(&self, template: &ExperimentTemplate) -> DbResult<ExperimentOutcome> {
+        self.run_with_template_in(template, &mut ExperimentScratch::default())
+    }
+
+    /// As [`Experiment::run_with_template`], reusing the caller's scratch
+    /// buffers (campaign workers keep one per thread across cells).
+    ///
+    /// # Errors
+    ///
+    /// As [`Experiment::run`].
+    pub fn run_with_template_in(
+        &self,
+        template: &ExperimentTemplate,
+        scratch: &mut ExperimentScratch,
+    ) -> DbResult<ExperimentOutcome> {
+        debug_assert_eq!(template.key, self.template_key(), "template/experiment mismatch");
+        let clock = SimClock::shared();
+        let icfg = self.config.to_instance_config(self.archive);
+        let mut span_buf = std::mem::take(&mut scratch.spans);
+        span_buf.clear();
+        let spans: SpanLog = Arc::new(Mutex::new(span_buf));
+        let jsonl: Option<Arc<Mutex<String>>> = self.capture_events.then(|| {
+            let mut s = std::mem::take(&mut scratch.jsonl);
+            s.clear();
+            s.push_str(&template.setup_jsonl);
+            Arc::new(Mutex::new(s))
+        });
+        // Boot from the snapshot: the clock lands on the capture instant
+        // and the RNG replays the setup's fork sequence, so everything
+        // downstream is byte-identical to a monolithic run.
+        let mut primary = DbServer::from_snapshot(Arc::clone(&clock), &template.snapshot);
+        observe(&mut primary, "PRIMARY", &spans, &jsonl);
+        let mut rng = SimRng::seed_from(self.seed);
+        let _load_rng = rng.fork(1);
+        let schema = template.schema;
         let mut standby = if self.standby {
             let mut sb = StandbyServer::instantiate(
                 &primary,
@@ -208,7 +321,8 @@ impl Experiment {
         let mut injected = false;
         // Rolling (time, SCN) trail so time-based incomplete recovery can
         // stop a margin before the fault, as a real `UNTIL TIME` would.
-        let mut scn_trail: Vec<(SimTime, recobench_engine::Scn)> = Vec::new();
+        let mut scn_trail = std::mem::take(&mut scratch.trail);
+        scn_trail.clear();
 
         loop {
             let now = clock.now();
@@ -354,6 +468,10 @@ impl Experiment {
             client_errors: driver.error_count(),
             total_commits: window.commits,
         };
+        let events_jsonl = jsonl.as_ref().map(|buf| std::mem::take(&mut *buf.lock().unwrap()));
+        // Hand the scratch allocations back to the worker for the next cell.
+        scratch.spans = std::mem::take(&mut *spans.lock().unwrap());
+        scratch.trail = scn_trail;
         Ok(ExperimentOutcome {
             config_name: self.config.name.clone(),
             archive: self.archive,
@@ -363,7 +481,7 @@ impl Experiment {
             measures,
             breakdown,
             timeline,
-            events_jsonl: jsonl.map(|buf| buf.lock().unwrap().clone()),
+            events_jsonl,
             recovery_records_applied: records_applied,
             recovery_archives: archives_processed,
             unrecoverable,

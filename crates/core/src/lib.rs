@@ -29,5 +29,8 @@ pub mod report;
 
 pub use campaign::{Campaign, CampaignError, CampaignProgress, CampaignReport};
 pub use configs::RecoveryConfig;
-pub use experiment::{apply_margin_cutoff, Experiment, ExperimentBuilder, ExperimentOutcome};
+pub use experiment::{
+    apply_margin_cutoff, Experiment, ExperimentBuilder, ExperimentOutcome, ExperimentScratch,
+    ExperimentTemplate,
+};
 pub use measures::{Measures, RecoveryBreakdown};

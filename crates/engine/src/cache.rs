@@ -31,7 +31,7 @@ pub struct DirtyInfo {
 /// Sentinel for "no slot" in the intrusive LRU list.
 const NIL: usize = usize::MAX;
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Slot {
     key: BlockKey,
     img: BlockImage,
@@ -70,7 +70,7 @@ pub struct CacheStats {
 /// doubly-linked recency list, so every touch, insert and eviction is
 /// O(1) — the previous implementation kept a `BTreeMap<stamp, key>`
 /// shadow structure and paid a tree rebalance per access.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct BufferCache {
     capacity: usize,
     map: FastMap<BlockKey, usize>,
@@ -80,6 +80,12 @@ pub struct BufferCache {
     head: usize,
     /// Least-recently-used slot (`NIL` when empty).
     tail: usize,
+    /// Number of dirty frames, maintained incrementally so DBWR polls
+    /// never pay an O(resident) scan just to learn "nothing to do".
+    dirty_n: usize,
+    /// Conservative lower bound on the oldest dirty `first_time` (clears
+    /// only raise the true minimum, so staleness errs toward scanning).
+    oldest_dirty: Option<SimTime>,
     stats: CacheStats,
 }
 
@@ -98,6 +104,8 @@ impl BufferCache {
             free: Vec::new(),
             head: NIL,
             tail: NIL,
+            dirty_n: 0,
+            oldest_dirty: None,
             stats: CacheStats::default(),
         }
     }
@@ -125,6 +133,15 @@ impl BufferCache {
         self.head = i;
         if self.tail == NIL {
             self.tail = i;
+        }
+    }
+
+    fn note_dirty_cleared(&mut self, was_dirty: bool) {
+        if was_dirty {
+            self.dirty_n -= 1;
+            if self.dirty_n == 0 {
+                self.oldest_dirty = None;
+            }
         }
     }
 
@@ -193,7 +210,8 @@ impl BufferCache {
         if let Some(&i) = self.map.get(&key) {
             // Replacing a resident block: fresh image, clean state.
             self.slots[i].img = img;
-            self.slots[i].dirty = None;
+            let was_dirty = self.slots[i].dirty.take().is_some();
+            self.note_dirty_cleared(was_dirty);
             self.touch(i);
             return None;
         }
@@ -225,6 +243,7 @@ impl BufferCache {
         let img = std::mem::take(&mut self.slots[i].img);
         let dirty = self.slots[i].dirty.take();
         self.free.push(i);
+        self.note_dirty_cleared(dirty.is_some());
         if dirty.is_some() {
             self.stats.dirty_evictions += 1;
         }
@@ -243,9 +262,29 @@ impl BufferCache {
             Some(d) => d.last_addr = d.last_addr.max(addr),
             None => {
                 self.slots[i].dirty =
-                    Some(DirtyInfo { first_addr: addr, first_time: now, last_addr: addr })
+                    Some(DirtyInfo { first_addr: addr, first_time: now, last_addr: addr });
+                self.dirty_n += 1;
+                self.oldest_dirty = Some(match self.oldest_dirty {
+                    Some(t) if t <= now => t,
+                    _ => now,
+                });
             }
         }
+    }
+
+    /// Lower bound on the oldest dirty frame's `first_time`, or `None`
+    /// when nothing is dirty. May lag behind the true minimum after
+    /// frames are cleaned; [`BufferCache::refresh_dirty_bound`] restores
+    /// exactness after a checkpoint pass.
+    pub fn oldest_dirty_time(&self) -> Option<SimTime> {
+        self.oldest_dirty
+    }
+
+    /// Recomputes the oldest-dirty bound exactly (O(resident); call after
+    /// a checkpoint pass, which already walked every frame).
+    pub fn refresh_dirty_bound(&mut self) {
+        self.oldest_dirty =
+            self.iter_resident().filter_map(|s| s.dirty.map(|d| d.first_time)).min();
     }
 
     /// The oldest first-change redo address among dirty frames — the
@@ -287,7 +326,8 @@ impl BufferCache {
     /// disk).
     pub fn clear_dirty(&mut self, key: BlockKey) {
         if let Some(&i) = self.map.get(&key) {
-            self.slots[i].dirty = None;
+            let was_dirty = self.slots[i].dirty.take().is_some();
+            self.note_dirty_cleared(was_dirty);
         }
     }
 
@@ -307,9 +347,9 @@ impl BufferCache {
             .collect()
     }
 
-    /// Number of dirty frames.
+    /// Number of dirty frames (maintained incrementally; O(1)).
     pub fn dirty_count(&self) -> usize {
-        self.iter_resident().filter(|s| s.dirty.is_some()).count()
+        self.dirty_n
     }
 
     /// Number of resident frames.
@@ -330,7 +370,8 @@ impl BufferCache {
             if let Some(i) = self.map.remove(&k) {
                 self.unlink(i);
                 self.slots[i].img = BlockImage::empty();
-                self.slots[i].dirty = None;
+                let was_dirty = self.slots[i].dirty.take().is_some();
+                self.note_dirty_cleared(was_dirty);
                 self.free.push(i);
             }
         }

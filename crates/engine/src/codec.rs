@@ -31,7 +31,7 @@ pub type DecodeResult<T> = Result<T, DecodeError>;
 /// take the vector out with [`Writer::into_vec`], hand it back with
 /// [`Writer::from_vec`] (or keep appending to a long-lived writer and
 /// drain it with [`Writer::take_vec`]).
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Writer {
     buf: Vec<u8>,
 }
@@ -121,7 +121,12 @@ impl Writer {
     /// Drains the accumulated bytes, leaving the writer empty but keeping
     /// it usable (the allocation moves out with the returned vector).
     pub fn take_vec(&mut self) -> Vec<u8> {
-        std::mem::take(&mut self.buf)
+        // Seed the replacement with the taken buffer's capacity: a log
+        // buffer that just held a 9 KB transaction will hold another, and
+        // starting empty would re-pay the whole realloc-and-copy chain on
+        // every commit.
+        let cap = self.buf.capacity().min(1 << 20);
+        std::mem::replace(&mut self.buf, Vec::with_capacity(cap))
     }
 
     /// Discards everything written after byte `at`, keeping the

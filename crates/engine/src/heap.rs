@@ -128,7 +128,7 @@ mod tests {
             name: "T".into(),
             owner: UserId(1),
             tablespace: TablespaceId(1),
-            indexes: vec![IndexDef { name: "PK".into(), cols: vec![0], unique: true }],
+            indexes: vec![IndexDef { name: "PK".into(), cols: vec![0], unique: true, ordered: true }],
         });
         c
     }

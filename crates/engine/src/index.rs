@@ -5,40 +5,251 @@
 //! separately modelled: conceptually index blocks live in the same
 //! datafiles as the heap (see DESIGN.md §2 for this simplification).
 
+use std::borrow::Borrow;
 use std::cell::RefCell;
+use std::collections::btree_map::Entry;
 use std::collections::BTreeMap;
 use std::ops::Bound;
 
 use crate::catalog::IndexDef;
 use crate::error::{DbError, DbResult};
+use crate::fasthash::FastMap;
 use crate::row::{encode_key_into, encode_key_value, Row, Value};
 use crate::types::RowId;
+
+thread_local! {
+    /// Scratch buffer for `&self` key probes. Thread-local rather than a
+    /// per-index `RefCell` so `Index` stays `Sync`: campaign workers share
+    /// read-only snapshot templates (which contain indexes) across threads.
+    static PROBE_SCRATCH: RefCell<Vec<u8>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Row addresses under one key. Almost every index key maps to exactly
+/// one row (all but two TPC-C indexes are unique), so the single-rid
+/// case stays inline and pays no heap allocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum RidSet {
+    One(RowId),
+    Many(Vec<RowId>),
+}
+
+impl RidSet {
+    fn as_slice(&self) -> &[RowId] {
+        match self {
+            RidSet::One(r) => std::slice::from_ref(r),
+            RidSet::Many(v) => v.as_slice(),
+        }
+    }
+
+    fn contains(&self, rid: &RowId) -> bool {
+        self.as_slice().contains(rid)
+    }
+
+    fn is_empty(&self) -> bool {
+        matches!(self, RidSet::Many(v) if v.is_empty())
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            RidSet::One(_) => 1,
+            RidSet::Many(v) => v.len(),
+        }
+    }
+
+    fn push(&mut self, rid: RowId) {
+        match self {
+            RidSet::One(r) => *self = RidSet::Many(vec![*r, rid]),
+            RidSet::Many(v) => v.push(rid),
+        }
+    }
+
+    /// Removes `rid` if present; returns whether the set is now empty
+    /// (the caller then removes the key).
+    fn remove(&mut self, rid: RowId) -> bool {
+        match self {
+            RidSet::One(r) => *r == rid,
+            RidSet::Many(v) => {
+                v.retain(|x| *x != rid);
+                v.is_empty()
+            }
+        }
+    }
+}
+
+/// Encoded key bytes with inline storage for the common short key.
+///
+/// Encoded TPC-C keys are a handful of tag-prefixed integer columns
+/// (9 bytes each), so nearly every key fits inline and tree descents
+/// compare bytes stored in the node itself instead of chasing a heap
+/// pointer per comparison. Long (string) keys spill to a `Vec`.
+#[derive(Clone)]
+enum KeyBuf {
+    Inline(u8, [u8; KeyBuf::INLINE]),
+    Heap(Vec<u8>),
+}
+
+impl KeyBuf {
+    /// Four tagged u64 columns (36 bytes) — the widest numeric PK — fit.
+    const INLINE: usize = 38;
+
+    fn from_slice(b: &[u8]) -> Self {
+        if b.len() <= Self::INLINE {
+            let mut buf = [0u8; Self::INLINE];
+            buf[..b.len()].copy_from_slice(b);
+            KeyBuf::Inline(b.len() as u8, buf)
+        } else {
+            KeyBuf::Heap(b.to_vec())
+        }
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        match self {
+            KeyBuf::Inline(n, buf) => &buf[..*n as usize],
+            KeyBuf::Heap(v) => v,
+        }
+    }
+}
+
+// Ordering delegates to the byte slice, which keeps `Ord` consistent
+// with the `Borrow<[u8]>` impl below (a `BTreeMap` requirement).
+impl PartialEq for KeyBuf {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for KeyBuf {}
+
+impl PartialOrd for KeyBuf {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for KeyBuf {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl Borrow<[u8]> for KeyBuf {
+    fn borrow(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::fmt::Debug for KeyBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
+// Hashing also delegates to the byte slice, so hash-map probes by
+// borrowed `&[u8]` land on the same bucket as the owned key.
+impl std::hash::Hash for KeyBuf {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+/// Backing store for one index: sorted tree when the schema declares the
+/// index range-scannable, fixed-seed hash map when every probe carries
+/// the full key. The hash probe is several times cheaper than a tree
+/// descent, and the fixed seed keeps iteration deterministic for a given
+/// insertion sequence.
+#[derive(Debug, Clone)]
+enum KeyStore {
+    Ordered(BTreeMap<KeyBuf, RidSet>),
+    Point(FastMap<KeyBuf, RidSet>),
+}
+
+impl KeyStore {
+    fn get(&self, key: &[u8]) -> Option<&RidSet> {
+        match self {
+            KeyStore::Ordered(m) => m.get(key),
+            KeyStore::Point(m) => m.get(key),
+        }
+    }
+
+    fn get_mut(&mut self, key: &[u8]) -> Option<&mut RidSet> {
+        match self {
+            KeyStore::Ordered(m) => m.get_mut(key),
+            KeyStore::Point(m) => m.get_mut(key),
+        }
+    }
+
+    fn remove_key(&mut self, key: &[u8]) {
+        match self {
+            KeyStore::Ordered(m) => {
+                m.remove(key);
+            }
+            KeyStore::Point(m) => {
+                m.remove(key);
+            }
+        }
+    }
+
+    /// The occupied-or-vacant insert step shared by [`Index::insert`] and
+    /// [`Index::replace`]: one descent/probe covers the existence check
+    /// and the insertion.
+    fn insert_rid(&mut self, owned: KeyBuf, rid: RowId, unique: bool, name: &str) -> DbResult<()> {
+        match self {
+            KeyStore::Ordered(m) => match m.entry(owned) {
+                Entry::Occupied(mut o) => Self::add_to(o.get_mut(), rid, unique, name),
+                Entry::Vacant(v) => {
+                    v.insert(RidSet::One(rid));
+                    Ok(())
+                }
+            },
+            KeyStore::Point(m) => match m.entry(owned) {
+                std::collections::hash_map::Entry::Occupied(mut o) => {
+                    Self::add_to(o.get_mut(), rid, unique, name)
+                }
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(RidSet::One(rid));
+                    Ok(())
+                }
+            },
+        }
+    }
+
+    fn add_to(entry: &mut RidSet, rid: RowId, unique: bool, name: &str) -> DbResult<()> {
+        if entry.contains(&rid) {
+            Ok(())
+        } else if unique && !entry.is_empty() {
+            Err(DbError::DuplicateKey { index: name.to_string() })
+        } else {
+            entry.push(rid);
+            Ok(())
+        }
+    }
+}
 
 /// One index: an ordered map from encoded key to row addresses.
 ///
 /// Key probes encode into a reusable scratch buffer and look the map up
 /// by borrowed `&[u8]`, so the per-probe `Vec<u8>` allocation the old
-/// implementation paid is gone. The scratch lives in a `RefCell` because
-/// probes take `&self`; the engine never probes one index re-entrantly.
+/// implementation paid is gone. Mutating operations reuse the index's own
+/// buffers; `&self` probes use a thread-local one.
 #[derive(Debug, Clone)]
 pub struct Index {
     def: IndexDef,
-    map: BTreeMap<Vec<u8>, Vec<RowId>>,
-    scratch: RefCell<Vec<u8>>,
+    map: KeyStore,
+    scratch: Vec<u8>,
     /// Second scratch for operations that need two keys at once
     /// ([`Index::replace`]).
-    scratch2: RefCell<Vec<u8>>,
+    scratch2: Vec<u8>,
 }
 
 impl Index {
     /// Creates an empty index for `def`.
     pub fn new(def: IndexDef) -> Self {
-        Index {
-            def,
-            map: BTreeMap::new(),
-            scratch: RefCell::new(Vec::with_capacity(32)),
-            scratch2: RefCell::new(Vec::with_capacity(32)),
-        }
+        let map = if def.ordered {
+            KeyStore::Ordered(BTreeMap::new())
+        } else {
+            KeyStore::Point(FastMap::default())
+        };
+        Index { def, map, scratch: Vec::with_capacity(32), scratch2: Vec::with_capacity(32) }
     }
 
     /// The definition this index implements.
@@ -64,6 +275,16 @@ impl Index {
         }
     }
 
+    /// Whether an update from `before` to `after` moves this index's key.
+    ///
+    /// Compares the key columns directly, so callers can skip encoding
+    /// (and uniqueness probes) for updates that leave the key in place.
+    pub fn key_changed(&self, before: &Row, after: &Row) -> bool {
+        self.def.cols.iter().any(|&c| {
+            before.get(c).unwrap_or(&Value::Null) != after.get(c).unwrap_or(&Value::Null)
+        })
+    }
+
     /// Adds `rid` under the row's key.
     ///
     /// # Errors
@@ -71,25 +292,53 @@ impl Index {
     /// Fails with [`DbError::DuplicateKey`] on a unique index whose key is
     /// already mapped to a different row.
     pub fn insert(&mut self, row: &Row, rid: RowId) -> DbResult<()> {
-        let mut key = std::mem::take(&mut *self.scratch.borrow_mut());
+        let mut key = std::mem::take(&mut self.scratch);
         self.key_of_into(row, &mut key);
-        // Probe by borrowed slice first; only a genuinely new key pays the
-        // map-key allocation (and then keeps it, so the scratch is given
-        // a fresh vector).
-        if let Some(entry) = self.map.get_mut(key.as_slice()) {
-            let result = if entry.contains(&rid) {
-                Ok(())
-            } else if self.def.unique && !entry.is_empty() {
-                Err(DbError::DuplicateKey { index: self.def.name.clone() })
-            } else {
-                entry.push(rid);
-                Ok(())
-            };
-            *self.scratch.borrow_mut() = key;
-            return result;
+        let owned = KeyBuf::from_slice(&key);
+        self.scratch = key;
+        // One descent/probe covers both the existence check and the
+        // insertion; the inline key costs no allocation to build.
+        self.map.insert_rid(owned, rid, self.def.unique, &self.def.name)
+    }
+
+    /// Rebuilds the index wholesale from `rows`, replacing any current
+    /// contents. Equivalent to inserting every row in order (on a unique
+    /// index a duplicate key keeps the first rid, exactly as repeated
+    /// [`Index::insert`] calls would), but pays one sort over the extracted
+    /// keys instead of a tree descent or hash probe per row — recovery
+    /// rebuilds hundreds of thousands of entries, where the difference is
+    /// a measurable slice of time-to-open.
+    pub fn bulk_load(&mut self, rows: &[(RowId, Row)]) {
+        let mut key = std::mem::take(&mut self.scratch);
+        let mut pairs: Vec<(KeyBuf, RowId)> = Vec::with_capacity(rows.len());
+        for (rid, row) in rows {
+            self.key_of_into(row, &mut key);
+            pairs.push((KeyBuf::from_slice(&key), *rid));
         }
-        self.map.insert(key, vec![rid]);
-        Ok(())
+        self.scratch = key;
+        // Heap scans yield rows in rid order, so sorting by (key, rid)
+        // reproduces the exact per-key rid order sequential inserts build.
+        pairs.sort_unstable();
+        let mut grouped: Vec<(KeyBuf, RidSet)> = Vec::with_capacity(pairs.len());
+        for (k, rid) in pairs {
+            match grouped.last_mut() {
+                Some((last, set)) if *last == k => {
+                    if !self.def.unique {
+                        set.push(rid);
+                    }
+                }
+                _ => grouped.push((k, RidSet::One(rid))),
+            }
+        }
+        match &mut self.map {
+            KeyStore::Ordered(m) => *m = grouped.into_iter().collect(),
+            KeyStore::Point(m) => {
+                let mut fresh = FastMap::default();
+                fresh.reserve(grouped.len());
+                fresh.extend(grouped);
+                *m = fresh;
+            }
+        }
     }
 
     /// Moves `rid` from `before`'s key to `after`'s key — a no-op when the
@@ -101,61 +350,50 @@ impl Index {
     /// Fails with [`DbError::DuplicateKey`] like [`Index::insert`] when the
     /// new key is taken on a unique index.
     pub fn replace(&mut self, before: &Row, after: &Row, rid: RowId) -> DbResult<()> {
-        let mut old_key = std::mem::take(&mut *self.scratch.borrow_mut());
-        let mut new_key = std::mem::take(&mut *self.scratch2.borrow_mut());
+        let mut old_key = std::mem::take(&mut self.scratch);
+        let mut new_key = std::mem::take(&mut self.scratch2);
         self.key_of_into(before, &mut old_key);
         self.key_of_into(after, &mut new_key);
         if old_key == new_key {
-            *self.scratch.borrow_mut() = old_key;
-            *self.scratch2.borrow_mut() = new_key;
+            self.scratch = old_key;
+            self.scratch2 = new_key;
             return Ok(());
         }
         if let Some(entry) = self.map.get_mut(old_key.as_slice()) {
-            entry.retain(|r| *r != rid);
-            if entry.is_empty() {
-                self.map.remove(old_key.as_slice());
+            if entry.remove(rid) {
+                self.map.remove_key(old_key.as_slice());
             }
         }
-        *self.scratch.borrow_mut() = old_key;
-        if let Some(entry) = self.map.get_mut(new_key.as_slice()) {
-            let result = if entry.contains(&rid) {
-                Ok(())
-            } else if self.def.unique && !entry.is_empty() {
-                Err(DbError::DuplicateKey { index: self.def.name.clone() })
-            } else {
-                entry.push(rid);
-                Ok(())
-            };
-            *self.scratch2.borrow_mut() = new_key;
-            return result;
-        }
-        self.map.insert(new_key, vec![rid]);
-        Ok(())
+        self.scratch = old_key;
+        let owned = KeyBuf::from_slice(&new_key);
+        self.scratch2 = new_key;
+        self.map.insert_rid(owned, rid, self.def.unique, &self.def.name)
     }
 
     /// Removes `rid` from under the row's key.
     pub fn remove(&mut self, row: &Row, rid: RowId) {
-        let mut key = std::mem::take(&mut *self.scratch.borrow_mut());
+        let mut key = std::mem::take(&mut self.scratch);
         self.key_of_into(row, &mut key);
         if let Some(entry) = self.map.get_mut(key.as_slice()) {
-            entry.retain(|r| *r != rid);
-            if entry.is_empty() {
-                self.map.remove(key.as_slice());
+            if entry.remove(rid) {
+                self.map.remove_key(key.as_slice());
             }
         }
-        *self.scratch.borrow_mut() = key;
+        self.scratch = key;
     }
 
     /// Row addresses with exactly the given key values, without cloning
     /// (empty slice when the key is absent).
     pub fn lookup_ref(&self, key_values: &[Value]) -> &[RowId] {
-        let mut scratch = self.scratch.borrow_mut();
-        scratch.clear();
-        encode_key_into(key_values, &mut scratch);
-        match self.map.get(scratch.as_slice()) {
-            Some(rids) => rids.as_slice(),
-            None => &[],
-        }
+        PROBE_SCRATCH.with(|s| {
+            let mut scratch = s.borrow_mut();
+            scratch.clear();
+            encode_key_into(key_values, &mut scratch);
+            match self.map.get(scratch.as_slice()) {
+                Some(rids) => rids.as_slice(),
+                None => &[],
+            }
+        })
     }
 
     /// Row addresses with exactly the given key values.
@@ -166,19 +404,21 @@ impl Index {
     /// Row addresses under the key this index extracts from `row`,
     /// without cloning any column values (empty slice when absent).
     pub fn lookup_row_ref(&self, row: &Row) -> &[RowId] {
-        let mut scratch = self.scratch.borrow_mut();
-        self.key_of_into(row, &mut scratch);
-        match self.map.get(scratch.as_slice()) {
-            Some(rids) => rids.as_slice(),
-            None => &[],
-        }
+        PROBE_SCRATCH.with(|s| {
+            let mut scratch = s.borrow_mut();
+            self.key_of_into(row, &mut scratch);
+            match self.map.get(scratch.as_slice()) {
+                Some(rids) => rids.as_slice(),
+                None => &[],
+            }
+        })
     }
 
     /// Row addresses whose keys start with the given prefix values, in key
     /// order.
     pub fn prefix_scan(&self, prefix_values: &[Value]) -> Vec<RowId> {
         self.prefix_range(prefix_values)
-            .flat_map(|(_, rids)| rids.iter().copied())
+            .flat_map(|(_, rids)| rids.as_slice().iter().copied())
             .collect()
     }
 
@@ -190,38 +430,62 @@ impl Index {
             .map(|(k, v)| (k.as_slice(), v.as_slice()))
     }
 
+    /// The smallest key with the given prefix and its rows, if any
+    /// (e.g. "oldest undelivered order of this district") — O(log n)
+    /// where a full [`Index::prefix_scan`] would walk the whole prefix.
+    pub fn first_under_prefix(&self, prefix_values: &[Value]) -> Option<(&[u8], &[RowId])> {
+        self.prefix_range(prefix_values).next().map(|(k, v)| (k.as_slice(), v.as_slice()))
+    }
+
     fn prefix_range(
         &self,
         prefix_values: &[Value],
-    ) -> std::collections::btree_map::Range<'_, Vec<u8>, Vec<RowId>> {
-        let mut scratch = self.scratch.borrow_mut();
-        scratch.clear();
-        encode_key_into(prefix_values, &mut scratch);
-        // Both bounds come from one buffer: the prefix, and the prefix
-        // followed by 0xFF (which no encoded key byte at a value boundary
-        // can reach). `range` consumes the bounds up front, so the scratch
-        // guard can drop when this function returns.
-        scratch.push(0xFF);
-        let hi: &[u8] = &scratch;
-        let lo: &[u8] = &hi[..hi.len() - 1];
-        self.map.range::<[u8], _>((Bound::Included(lo), Bound::Excluded(hi)))
+    ) -> std::collections::btree_map::Range<'_, KeyBuf, RidSet> {
+        let KeyStore::Ordered(map) = &self.map else {
+            // A prefix scan against a point index is a schema bug, not a
+            // runtime condition: surface it loudly.
+            panic!("range scan on point index {}", self.def.name);
+        };
+        PROBE_SCRATCH.with(|s| {
+            let mut scratch = s.borrow_mut();
+            scratch.clear();
+            encode_key_into(prefix_values, &mut scratch);
+            // Both bounds come from one buffer: the prefix, and the prefix
+            // followed by 0xFF (which no encoded key byte at a value
+            // boundary can reach). `range` consumes the bounds up front, so
+            // the scratch guard can drop when this function returns.
+            scratch.push(0xFF);
+            let hi: &[u8] = &scratch;
+            let lo: &[u8] = &hi[..hi.len() - 1];
+            map.range::<[u8], _>((Bound::Included(lo), Bound::Excluded(hi)))
+        })
     }
 
     /// Number of distinct keys.
     pub fn key_count(&self) -> usize {
-        self.map.len()
+        match &self.map {
+            KeyStore::Ordered(m) => m.len(),
+            KeyStore::Point(m) => m.len(),
+        }
     }
 
     /// Total number of `(key, rid)` entries across all keys.
     pub fn entry_count(&self) -> usize {
-        self.map.values().map(Vec::len).sum()
+        match &self.map {
+            KeyStore::Ordered(m) => m.values().map(RidSet::len).sum(),
+            KeyStore::Point(m) => m.values().map(RidSet::len).sum(),
+        }
     }
 
-    /// All entries as `(encoded key, rids)`, in key order — for the
-    /// integrity walkers, which need to prove every entry points at a
-    /// live heap row.
-    pub fn entries(&self) -> impl Iterator<Item = (&[u8], &[RowId])> {
-        self.map.iter().map(|(k, v)| (k.as_slice(), v.as_slice()))
+    /// All entries as `(encoded key, rids)` — in key order for ordered
+    /// indexes, in (deterministic, fixed-seed) bucket order for point
+    /// indexes. For the integrity walkers, which need to prove every
+    /// entry points at a live heap row.
+    pub fn entries(&self) -> Box<dyn Iterator<Item = (&[u8], &[RowId])> + '_> {
+        match &self.map {
+            KeyStore::Ordered(m) => Box::new(m.iter().map(|(k, v)| (k.as_slice(), v.as_slice()))),
+            KeyStore::Point(m) => Box::new(m.iter().map(|(k, v)| (k.as_slice(), v.as_slice()))),
+        }
     }
 }
 
@@ -231,7 +495,7 @@ mod tests {
     use crate::types::FileNo;
 
     fn def(unique: bool) -> IndexDef {
-        IndexDef { name: "IX".into(), cols: vec![0, 1], unique }
+        IndexDef { name: "IX".into(), cols: vec![0, 1], unique, ordered: true }
     }
 
     fn rid(b: u32) -> RowId {

@@ -13,7 +13,7 @@ use crate::types::{ObjectId, Scn};
 
 /// An open instance: buffer cache, log buffer, transaction table, live
 /// dictionary and indexes. Dropped wholesale on `SHUTDOWN ABORT`.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Instance {
     /// Live data dictionary.
     pub catalog: Catalog,
@@ -55,17 +55,15 @@ impl Instance {
     where
         I: IntoIterator<Item = (crate::types::RowId, crate::row::Row)>,
     {
+        let rows: Vec<(crate::types::RowId, crate::row::Row)> = rows.into_iter().collect();
         let mut indexes: Vec<Index> = defs.iter().cloned().map(Index::new).collect();
-        let mut entries = 0u64;
-        for (rid, row) in rows {
-            for ix in &mut indexes {
-                // Duplicate keys on a unique index cannot happen for data
-                // produced through the engine; ignore the error to keep
-                // rebuild infallible.
-                let _ = ix.insert(&row, rid);
-                entries += 1;
-            }
+        for ix in &mut indexes {
+            // Duplicate keys on a unique index cannot happen for data
+            // produced through the engine; bulk_load keeps the first rid,
+            // matching what per-row inserts would leave behind.
+            ix.bulk_load(&rows);
         }
+        let entries = (rows.len() * indexes.len()) as u64;
         self.indexes.insert(obj, indexes);
         entries
     }
@@ -103,7 +101,7 @@ mod tests {
     #[test]
     fn rebuild_indexes_replaces_state() {
         let mut i = blank_instance();
-        let defs = vec![IndexDef { name: "PK".into(), cols: vec![0], unique: true }];
+        let defs = vec![IndexDef { name: "PK".into(), cols: vec![0], unique: true, ordered: true }];
         let rid = RowId { file: FileNo(1), block: 0, slot: 0 };
         i.rebuild_indexes_for(ObjectId(1), &defs, vec![(rid, Row::new(vec![Value::U64(5)]))]);
         let ix = &i.indexes[&ObjectId(1)][0];

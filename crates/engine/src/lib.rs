@@ -46,6 +46,7 @@ pub mod recovery;
 pub mod redo;
 pub mod row;
 pub mod server;
+pub mod snapshot;
 pub mod standby;
 pub mod stats;
 pub mod tap;
@@ -59,6 +60,7 @@ pub use events::{EngineEvent, EventSink, RecoveryPhase, RecoveryProcedure};
 pub use layout::DiskLayout;
 pub use row::{Row, Value};
 pub use server::DbServer;
+pub use snapshot::DbSnapshot;
 pub use standby::StandbyServer;
 pub use tap::{DmlChange, DmlTap};
 pub use types::{ObjectId, RowId, Scn, TablespaceId, TxnId, UserId};

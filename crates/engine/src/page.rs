@@ -64,6 +64,15 @@ impl BlockImage {
 
     /// The lowest unoccupied slot number.
     pub fn next_free_slot(&self) -> u16 {
+        // Freshly filled blocks are dense (slots 0..n with no gaps), which
+        // the last entry alone proves — the common insert path is O(1).
+        let n = self.rows.len();
+        if n == 0 {
+            return 0;
+        }
+        if self.rows[n - 1].0 as usize == n - 1 {
+            return n as u16;
+        }
         let mut slot = 0u16;
         for (s, _) in &self.rows {
             if *s != slot {
@@ -113,17 +122,16 @@ impl BlockImage {
         w.into_bytes()
     }
 
-    /// Appends the encoded block to `w` without per-row allocations (each
-    /// row is written in place behind a back-patched length prefix).
+    /// Appends the encoded block to `w` without per-row allocations. The
+    /// length prefix comes straight from the row's memoized encoded length,
+    /// so no back-patch pass touches the buffer twice.
     pub fn encode_into(&self, w: &mut Writer) {
         w.put_u64(self.last_scn.0);
         w.put_u32(self.rows.len() as u32);
         for (slot, row) in &self.rows {
             w.put_u16(*slot);
-            let at = w.len();
-            w.put_u32(0);
+            w.put_u32(row.encoded_len() as u32);
             row.encode_into(w);
-            w.patch_u32(at, (w.len() - at - 4) as u32);
         }
     }
 

@@ -722,7 +722,7 @@ mod tests {
             "T",
             "tpcc",
             "TPCC",
-            vec![IndexDef { name: "PK".into(), cols: vec![0], unique: true }],
+            vec![IndexDef { name: "PK".into(), cols: vec![0], unique: true, ordered: true }],
         )
         .unwrap()
     }
@@ -869,7 +869,7 @@ mod tests {
         // Work committed after the fault (will be lost by PITR).
         let t2 = srv
             .create_table("T2", "tpcc", "TPCC",
-                vec![IndexDef { name: "PK".into(), cols: vec![0], unique: true }])
+                vec![IndexDef { name: "PK".into(), cols: vec![0], unique: true, ordered: true }])
             .unwrap();
         let txn = srv.begin().unwrap();
         srv.insert(txn, t2, row(1, "lost")).unwrap();

@@ -178,12 +178,10 @@ impl RedoRecord {
 }
 
 fn put_row(w: &mut Writer, row: &Row) {
-    // Length-prefixed row, written in place: reserve the prefix, encode,
-    // back-patch.
-    let at = w.len();
-    w.put_u32(0);
+    // Length-prefixed row, written in place; the prefix is the row's
+    // memoized encoded length, so nothing is back-patched.
+    w.put_u32(row.encoded_len() as u32);
     row.encode_into(w);
-    w.patch_u32(at, (w.len() - at - 4) as u32);
 }
 
 fn encode_rid(w: &mut Writer, rid: &RowId) {
@@ -225,7 +223,7 @@ pub fn decode_stream(segments: &[Bytes], overhead: u64) -> DecodeResult<Vec<(u64
 
 /// Volatile state of the redo subsystem: the log buffer and the write
 /// position. Recreated at instance startup from the control file.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct RedoState {
     /// Index of the group currently being written.
     pub current_group: usize,

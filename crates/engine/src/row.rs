@@ -18,8 +18,11 @@ pub enum Value {
     U64(u64),
     /// Signed integer (amounts in cents, balances).
     I64(i64),
-    /// Text.
-    Str(String),
+    /// Text. Reference-counted so that cloning a row's column vector
+    /// (copy-on-write in [`Row::set`]) bumps a pointer instead of copying
+    /// string heaps — TPC-C stock and customer rows carry ten-plus text
+    /// columns that DML before-images would otherwise reallocate.
+    Str(std::sync::Arc<str>),
     /// Raw bytes (filler columns).
     Bytes(Vec<u8>),
 }
@@ -44,7 +47,7 @@ impl Value {
     /// The string inside, if this is a `Str`.
     pub fn as_str(&self) -> Option<&str> {
         match self {
-            Value::Str(s) => Some(s),
+            Value::Str(s) => Some(&**s),
             _ => None,
         }
     }
@@ -64,13 +67,13 @@ impl From<i64> for Value {
 
 impl From<&str> for Value {
     fn from(v: &str) -> Self {
-        Value::Str(v.to_string())
+        Value::Str(v.into())
     }
 }
 
 impl From<String> for Value {
     fn from(v: String) -> Self {
-        Value::Str(v)
+        Value::Str(v.into())
     }
 }
 
@@ -199,7 +202,7 @@ impl Row {
                 0 => Value::Null,
                 1 => Value::U64(r.get_u64("u64 value")?),
                 2 => Value::I64(r.get_i64("i64 value")?),
-                3 => Value::Str(r.get_str("str value")?),
+                3 => Value::Str(r.get_str("str value")?.into()),
                 4 => Value::Bytes(r.get_bytes("bytes value")?.to_vec()),
                 _ => return Err(crate::codec::DecodeError { context: "value tag" }),
             };

@@ -1,0 +1,206 @@
+//! Point-in-time server snapshots for campaign templating.
+//!
+//! Every experiment cell pays the same setup before its measured window:
+//! create the database, load the schema, take the cold backup. The result
+//! is a pure function of the setup inputs, so a campaign captures it once
+//! as a [`DbSnapshot`] and boots every cell from a copy-on-write clone via
+//! [`DbServer::from_snapshot`]. The clone carries the complete persistent
+//! world (filesystem image, control file, backup catalog) *and* the
+//! volatile instance (buffer cache, transaction table, redo position), so
+//! a restored server is indistinguishable from one that ran the setup
+//! itself — except that its event sink starts empty and no DML tap is
+//! installed (observers are per-run, not part of database state).
+//!
+//! Restoring advances the target clock to the capture instant, so the
+//! simulated timeline of a restored run matches a monolithic run exactly:
+//! the same-seed byte-identical `ExperimentOutcome` contract (DESIGN.md
+//! §9) holds with and without templating.
+
+use std::sync::Arc;
+
+use recobench_sim::{SimClock, SimTime};
+use recobench_vfs::{FsSnapshot, SnapshotId};
+
+use crate::backup::BackupSet;
+use crate::config::InstanceConfig;
+use crate::controlfile::ControlFile;
+use crate::events::EventSink;
+use crate::instance::Instance;
+use crate::layout::DiskLayout;
+use crate::server::DbServer;
+use crate::stats::EngineStats;
+
+/// A captured server: persistent files plus volatile instance state, as of
+/// one simulated instant. Cloning shares all block payloads (COW).
+#[derive(Debug, Clone)]
+pub struct DbSnapshot {
+    name: String,
+    fs: FsSnapshot,
+    layout: DiskLayout,
+    config: InstanceConfig,
+    control: Option<ControlFile>,
+    inst: Option<Instance>,
+    backup: Option<BackupSet>,
+    stats: EngineStats,
+    next_dbwr_tick: SimTime,
+    managed_recovery: bool,
+    datafile_total: usize,
+    txn_floor: u64,
+    backups_taken: u32,
+    taken_at: SimTime,
+}
+
+impl DbSnapshot {
+    /// The simulated instant the snapshot was taken at. Restoring advances
+    /// the clock here, so restored timelines line up with monolithic ones.
+    pub fn taken_at(&self) -> SimTime {
+        self.taken_at
+    }
+
+    /// Deterministic identity of the captured filesystem image.
+    pub fn fs_id(&self) -> SnapshotId {
+        self.fs.id()
+    }
+
+    /// The server name the snapshot was captured from.
+    pub fn server_name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl DbServer {
+    /// Captures the server's complete state at the current instant.
+    ///
+    /// The event sink and DML tap are *not* part of the snapshot: they are
+    /// run-scoped observers, and [`DbServer::stats`] folds derived counters
+    /// back in, so a restored server's stats window algebra matches a
+    /// monolithic run's.
+    pub fn snapshot(&self) -> DbSnapshot {
+        DbSnapshot {
+            name: self.name.clone(),
+            fs: FsSnapshot::capture(&self.fs.lock()),
+            layout: self.layout.clone(),
+            config: self.config.clone(),
+            control: self.control.clone(),
+            inst: self.inst.clone(),
+            backup: self.backup.clone(),
+            stats: self.stats,
+            next_dbwr_tick: self.next_dbwr_tick,
+            managed_recovery: self.managed_recovery,
+            datafile_total: self.datafile_total,
+            txn_floor: self.txn_floor,
+            backups_taken: self.backups_taken,
+            taken_at: self.clock.now(),
+        }
+    }
+
+    /// Boots a server from a snapshot: a copy-on-write clone of the
+    /// captured filesystem plus the captured instance, on `clock`. The
+    /// clock is advanced to the capture instant (never rewound), so all
+    /// subsequent timing matches a server that ran the setup itself.
+    pub fn from_snapshot(clock: Arc<SimClock>, snap: &DbSnapshot) -> DbServer {
+        clock.advance_to(snap.taken_at);
+        DbServer {
+            name: snap.name.clone(),
+            clock,
+            fs: recobench_vfs::fs::shared(snap.fs.materialize()),
+            layout: snap.layout.clone(),
+            config: snap.config.clone(),
+            control: snap.control.clone(),
+            inst: snap.inst.clone(),
+            backup: snap.backup.clone(),
+            stats: snap.stats,
+            next_dbwr_tick: snap.next_dbwr_tick,
+            managed_recovery: snap.managed_recovery,
+            datafile_total: snap.datafile_total,
+            txn_floor: snap.txn_floor,
+            backups_taken: snap.backups_taken,
+            events: EventSink::new(4096),
+            dml_tap: None,
+            #[cfg(any(test, feature = "sabotage"))]
+            sabotage_skip_redo: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::IndexDef;
+    use crate::row::{Row, Value};
+
+    fn prepared() -> DbServer {
+        let mut srv = DbServer::on_fresh_disks(
+            "SNAP",
+            SimClock::shared(),
+            DiskLayout::four_disk(),
+            InstanceConfig::default(),
+        );
+        srv.create_database().unwrap();
+        srv.create_user("u").unwrap();
+        srv.create_tablespace("T", 2, 4096).unwrap();
+        let t = srv
+            .create_table("KV", "u", "T", vec![IndexDef { name: "PK".into(), cols: vec![0], unique: true, ordered: true }])
+            .unwrap();
+        for k in 0..200u64 {
+            let txn = srv.begin().unwrap();
+            srv.insert(txn, t, Row::new(vec![Value::U64(k), Value::from("payload")])).unwrap();
+            srv.commit(txn).unwrap();
+        }
+        srv.take_cold_backup().unwrap();
+        srv
+    }
+
+    fn table_of(srv: &DbServer) -> crate::types::ObjectId {
+        srv.inst.as_ref().unwrap().catalog.table_by_name("KV").unwrap()
+    }
+
+    #[test]
+    fn restored_server_matches_the_original() {
+        let src = prepared();
+        let snap = src.snapshot();
+        let restored = DbServer::from_snapshot(SimClock::shared(), &snap);
+        assert_eq!(restored.clock().now(), snap.taken_at());
+        assert!(restored.is_open());
+        assert_eq!(restored.current_scn(), src.current_scn());
+        let t = table_of(&restored);
+        assert_eq!(restored.peek_scan(t).unwrap(), src.peek_scan(t).unwrap());
+        assert!(restored.backup().is_some(), "the backup catalog survives the snapshot");
+    }
+
+    #[test]
+    fn clones_diverge_independently() {
+        let snap = prepared().snapshot();
+        let mut a = DbServer::from_snapshot(SimClock::shared(), &snap);
+        let b = DbServer::from_snapshot(SimClock::shared(), &snap);
+        let t = table_of(&a);
+        let txn = a.begin().unwrap();
+        a.insert(txn, t, Row::new(vec![Value::U64(9_999), Value::from("extra")])).unwrap();
+        a.commit(txn).unwrap();
+        assert_eq!(a.peek_scan(t).unwrap().len(), 201);
+        assert_eq!(b.peek_scan(t).unwrap().len(), 200, "sibling clone is untouched");
+    }
+
+    #[test]
+    fn identical_workloads_on_clones_replay_identically() {
+        let snap = prepared().snapshot();
+        let run = || {
+            let mut srv = DbServer::from_snapshot(SimClock::shared(), &snap);
+            let t = table_of(&srv);
+            for k in 500..540u64 {
+                let txn = srv.begin().unwrap();
+                srv.insert(txn, t, Row::new(vec![Value::U64(k), Value::from("more")])).unwrap();
+                srv.commit(txn).unwrap();
+            }
+            srv.shutdown_abort().unwrap();
+            srv.startup().unwrap();
+            (srv.clock().now(), srv.current_scn(), srv.stats(), srv.peek_scan(t).unwrap())
+        };
+        assert_eq!(run(), run(), "two clones of one snapshot are bit-for-bit replicas");
+    }
+
+    #[test]
+    fn snapshot_ids_are_deterministic() {
+        assert_eq!(prepared().snapshot().fs_id(), prepared().snapshot().fs_id());
+    }
+}

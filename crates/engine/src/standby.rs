@@ -488,7 +488,7 @@ mod tests {
                 "T",
                 "tpcc",
                 "TPCC",
-                vec![IndexDef { name: "PK".into(), cols: vec![0], unique: true }],
+                vec![IndexDef { name: "PK".into(), cols: vec![0], unique: true, ordered: true }],
             )
             .unwrap();
         for i in 0..10 {

@@ -38,7 +38,7 @@ pub enum UndoOp {
 }
 
 /// Per-transaction state.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct TxnState {
     /// Undo records in application order (rolled back in reverse).
     pub undo: Vec<UndoOp>,
@@ -47,7 +47,7 @@ pub struct TxnState {
 }
 
 /// The table of active transactions.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct TxnTable {
     active: BTreeMap<TxnId, TxnState>,
     next: u64,
@@ -108,7 +108,7 @@ impl TxnTable {
 }
 
 /// Exclusive row locks.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct LockTable {
     rows: FastMap<(ObjectId, RowId), TxnId>,
 }

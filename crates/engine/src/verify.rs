@@ -238,7 +238,7 @@ mod tests {
             "T",
             "app",
             "DATA",
-            vec![IndexDef { name: "PK".into(), cols: vec![0], unique: true }],
+            vec![IndexDef { name: "PK".into(), cols: vec![0], unique: true, ordered: true }],
         )
         .unwrap();
         srv

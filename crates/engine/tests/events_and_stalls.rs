@@ -21,7 +21,7 @@ fn server(groups: u32, redo_kb: u64, archive: bool) -> DbServer {
     srv.create_database().unwrap();
     srv.create_user("u").unwrap();
     srv.create_tablespace("D", 2, 1024).unwrap();
-    srv.create_table("T", "u", "D", vec![IndexDef { name: "PK".into(), cols: vec![0], unique: true }])
+    srv.create_table("T", "u", "D", vec![IndexDef { name: "PK".into(), cols: vec![0], unique: true, ordered: true }])
         .unwrap();
     srv
 }

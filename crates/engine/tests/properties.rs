@@ -17,7 +17,7 @@ fn value_strategy() -> impl Strategy<Value = Value> {
         Just(Value::Null),
         any::<u64>().prop_map(Value::U64),
         any::<i64>().prop_map(Value::I64),
-        "[ -~]{0,40}".prop_map(Value::Str),
+        "[ -~]{0,40}".prop_map(Value::from),
         proptest::collection::vec(any::<u8>(), 0..40).prop_map(Value::Bytes),
     ]
 }
@@ -32,7 +32,7 @@ fn shape_matched_pair() -> impl Strategy<Value = (Vec<Value>, Vec<Value>)> {
     let column = prop_oneof![
         (any::<u64>(), any::<u64>()).prop_map(|(x, y)| (Value::U64(x), Value::U64(y))),
         (any::<i64>(), any::<i64>()).prop_map(|(x, y)| (Value::I64(x), Value::I64(y))),
-        ("[ -~]{0,20}", "[ -~]{0,20}").prop_map(|(x, y)| (Value::Str(x), Value::Str(y))),
+        ("[ -~]{0,20}", "[ -~]{0,20}").prop_map(|(x, y)| (Value::from(x), Value::from(y))),
         (
             proptest::collection::vec(any::<u8>(), 0..20),
             proptest::collection::vec(any::<u8>(), 0..20)
@@ -107,7 +107,7 @@ proptest! {
         // within one key's entry list is not part of the contract (the
         // fast path keeps a rid in place where remove+insert re-appends
         // it), so entries compare as sets.
-        let def = IndexDef { name: "IX".into(), cols: vec![0], unique: false };
+        let def = IndexDef { name: "IX".into(), cols: vec![0], unique: false, ordered: true };
         let mut fast = Index::new(def.clone());
         let mut slow = Index::new(def);
         for (kb, ka, block) in ops {
@@ -223,7 +223,7 @@ proptest! {
                 name: "T".into(),
                 owner: UserId(1),
                 tablespace: TablespaceId(1),
-                indexes: vec![IndexDef { name: "PK".into(), cols: vec![0], unique: true }],
+                indexes: vec![IndexDef { name: "PK".into(), cols: vec![0], unique: true, ordered: true }],
             },
         ];
         for (file, start) in extents {
@@ -248,7 +248,7 @@ proptest! {
     fn index_insert_remove_matches_model(
         ops in proptest::collection::vec((any::<bool>(), 0u64..32, 0u32..8), 1..100)
     ) {
-        let mut ix = Index::new(IndexDef { name: "IX".into(), cols: vec![0], unique: false });
+        let mut ix = Index::new(IndexDef { name: "IX".into(), cols: vec![0], unique: false, ordered: true });
         let mut model: std::collections::BTreeMap<u64, std::collections::BTreeSet<u32>> =
             std::collections::BTreeMap::new();
         for (insert, key, block) in ops {

@@ -261,7 +261,7 @@ mod tests {
             "STOCK",
             "tpcc",
             "TPCC",
-            vec![IndexDef { name: "PK".into(), cols: vec![0], unique: true }],
+            vec![IndexDef { name: "PK".into(), cols: vec![0], unique: true, ordered: true }],
         )
         .unwrap();
         let t = srv.table_id("STOCK").unwrap();

@@ -20,6 +20,9 @@ const ORDERED_FILES: &[&str] = &[
     "crates/core/src/experiment.rs",
     "crates/faults/src/schedule.rs",
     "crates/oracle/src/diff.rs",
+    // Snapshot manifests hash to the template identity; hash-order
+    // iteration would make equal disk images disagree on their id.
+    "crates/vfs/src/snapshot.rs",
 ];
 
 /// See the module docs.

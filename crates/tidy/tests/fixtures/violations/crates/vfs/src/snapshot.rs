@@ -1,0 +1,9 @@
+//! Fixture: violations in the snapshot-manifest module — hash-order
+//! iteration and wall-clock identity both corrupt template ids.
+
+use std::collections::HashMap;
+
+pub fn manifest_of(files: &HashMap<u64, String>) -> String {
+    let stamp = std::time::SystemTime::now();
+    format!("{files:?} at {stamp:?}")
+}

@@ -32,6 +32,9 @@ fn fixtures_produce_exact_diagnostics() {
         ("crates/engine/src/recovery.rs", 24, "sabotage-isolation"),
         ("crates/engine/src/recovery.rs", 32, "unused-allow"),
         ("crates/sim/src/clock.rs", 4, "determinism"),
+        ("crates/vfs/src/snapshot.rs", 4, "ordered-serialization"),
+        ("crates/vfs/src/snapshot.rs", 6, "ordered-serialization"),
+        ("crates/vfs/src/snapshot.rs", 7, "determinism"),
         ("tests/corpus/bad.json", 1, "schema-conformance"),
         ("tests/corpus/noncanonical.json", 1, "schema-conformance"),
     ];
@@ -58,6 +61,8 @@ fn messages_name_the_offending_construct() {
     assert!(msg("crates/engine/src/recovery.rs", 13).contains("panic!("));
     assert!(msg("crates/sim/src/clock.rs", 4).contains("std::time::Instant"));
     assert!(msg("crates/engine/src/codec.rs", 3).contains("HashMap"));
+    assert!(msg("crates/vfs/src/snapshot.rs", 4).contains("HashMap"));
+    assert!(msg("crates/vfs/src/snapshot.rs", 7).contains("SystemTime"));
     assert!(msg("tests/corpus/bad.json", 1).contains("does not parse"));
     assert!(msg("tests/corpus/noncanonical.json", 1).contains("canonical"));
     assert!(msg("crates/engine/src/recovery.rs", 32).contains("suppresses nothing"));

@@ -270,20 +270,25 @@ pub fn create_schema(
 ) -> DbResult<TpccSchema> {
     server.create_user(TPCC_USER)?;
     server.create_tablespace(TPCC_TABLESPACE, datafiles, blocks_per_file)?;
-    let pk = |cols: Vec<usize>| IndexDef { name: "PK".into(), cols, unique: true };
-    let warehouse = server.create_table("WAREHOUSE", TPCC_USER, TPCC_TABLESPACE, vec![pk(vec![0])])?;
+    // Range-scanned indexes keep a sorted tree; everything probed only by
+    // its full key uses the hash-backed point store.
+    let pk = |cols: Vec<usize>| IndexDef { name: "PK".into(), cols, unique: true, ordered: true };
+    let point_pk =
+        |cols: Vec<usize>| IndexDef { name: "PK".into(), cols, unique: true, ordered: false };
+    let warehouse = server.create_table("WAREHOUSE", TPCC_USER, TPCC_TABLESPACE, vec![point_pk(vec![0])])?;
     let district =
-        server.create_table("DISTRICT", TPCC_USER, TPCC_TABLESPACE, vec![pk(vec![0, 1])])?;
+        server.create_table("DISTRICT", TPCC_USER, TPCC_TABLESPACE, vec![point_pk(vec![0, 1])])?;
     let customer = server.create_table(
         "CUSTOMER",
         TPCC_USER,
         TPCC_TABLESPACE,
         vec![
-            pk(vec![customer::C_W_ID, customer::C_D_ID, customer::C_ID]),
+            point_pk(vec![customer::C_W_ID, customer::C_D_ID, customer::C_ID]),
             IndexDef {
                 name: "CUSTOMER_BY_LAST".into(),
                 cols: vec![customer::C_W_ID, customer::C_D_ID, customer::C_LAST],
                 unique: false,
+                ordered: true,
             },
         ],
     )?;
@@ -295,6 +300,7 @@ pub fn create_schema(
             name: "HISTORY_BY_CUSTOMER".into(),
             cols: vec![history::H_W_ID, history::H_D_ID, history::H_C_ID],
             unique: false,
+            ordered: false,
         }],
     )?;
     let new_order =
@@ -304,22 +310,23 @@ pub fn create_schema(
         TPCC_USER,
         TPCC_TABLESPACE,
         vec![
-            pk(vec![orders::O_W_ID, orders::O_D_ID, orders::O_ID]),
+            point_pk(vec![orders::O_W_ID, orders::O_D_ID, orders::O_ID]),
             IndexDef {
                 name: "ORDERS_BY_CUSTOMER".into(),
                 cols: vec![orders::O_W_ID, orders::O_D_ID, orders::O_C_ID, orders::O_ID],
                 unique: false,
+                ordered: true,
             },
         ],
     )?;
     let order_line =
         server.create_table("ORDER_LINE", TPCC_USER, TPCC_TABLESPACE, vec![pk(vec![0, 1, 2, 3])])?;
-    let item = server.create_table("ITEM", TPCC_USER, TPCC_TABLESPACE, vec![pk(vec![item::I_ID])])?;
+    let item = server.create_table("ITEM", TPCC_USER, TPCC_TABLESPACE, vec![point_pk(vec![item::I_ID])])?;
     let stock = server.create_table(
         "STOCK",
         TPCC_USER,
         TPCC_TABLESPACE,
-        vec![pk(vec![stock::S_W_ID, stock::S_I_ID])],
+        vec![point_pk(vec![stock::S_W_ID, stock::S_I_ID])],
     )?;
     Ok(TpccSchema {
         warehouse,

@@ -104,7 +104,7 @@ impl FileEntry {
 /// assert_eq!(img[0], 7);
 /// # Ok::<(), recobench_vfs::VfsError>(())
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct SimFs {
     disks: Vec<Disk>,
     files: BTreeMap<FileId, FileEntry>,
@@ -533,6 +533,23 @@ impl SimFs {
             deleted: e.deleted,
             corrupt: e.corrupt,
         })
+    }
+
+    /// Metadata for every file, in creation order. The snapshot layer
+    /// derives its deterministic identity from this listing.
+    pub fn file_metas(&self) -> Vec<FileMeta> {
+        self.files
+            .iter()
+            .map(|(id, f)| FileMeta {
+                id: *id,
+                path: f.path.clone(),
+                disk: f.disk,
+                kind: f.kind,
+                size_bytes: f.size_bytes(),
+                deleted: f.deleted,
+                corrupt: f.corrupt,
+            })
+            .collect()
     }
 
     /// Metadata for every file of the given kind, in creation order.

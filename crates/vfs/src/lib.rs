@@ -20,7 +20,9 @@
 
 pub mod error;
 pub mod fs;
+pub mod snapshot;
 
 pub use error::{VfsError, VfsResult};
 pub use recobench_sim::disk::IoKind;
 pub use fs::{DiskId, FileId, FileKind, FileMeta, SharedFs, SimFs};
+pub use snapshot::{FsSnapshot, SnapshotId};

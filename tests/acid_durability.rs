@@ -24,7 +24,7 @@ fn server() -> DbServer {
         "ACCOUNTS",
         "app",
         "DATA",
-        vec![IndexDef { name: "PK".into(), cols: vec![0], unique: true }],
+        vec![IndexDef { name: "PK".into(), cols: vec![0], unique: true, ordered: true }],
     )
     .unwrap();
     srv

@@ -40,7 +40,7 @@ fn server(redo_kb: u64) -> DbServer {
     srv.create_database().unwrap();
     srv.create_user("p").unwrap();
     srv.create_tablespace("P", 2, 256).unwrap();
-    srv.create_table("KV", "p", "P", vec![IndexDef { name: "PK".into(), cols: vec![0], unique: true }])
+    srv.create_table("KV", "p", "P", vec![IndexDef { name: "PK".into(), cols: vec![0], unique: true, ordered: true }])
         .unwrap();
     srv
 }
