@@ -126,26 +126,47 @@ fn bench_transactions(c: &mut Criterion) {
     let mut g = c.benchmark_group("engine");
     g.bench_function("insert_commit", |b| {
         let (mut srv, t) = loaded_server();
+        let s = srv.connect().unwrap();
         let mut k = 0u64;
         b.iter(|| {
             k += 1;
-            let txn = srv.begin().unwrap();
-            srv.insert(txn, t, Row::new(vec![Value::U64(k), Value::from("payload")])).unwrap();
-            srv.commit(txn).unwrap();
+            srv.insert(s, t, Row::new(vec![Value::U64(k), Value::from("payload")])).unwrap();
+            srv.commit(s).unwrap();
         })
     });
     g.bench_function("read_by_pk", |b| {
         let (mut srv, t) = loaded_server();
+        let s = srv.connect().unwrap();
         for k in 0..500u64 {
-            let txn = srv.begin().unwrap();
-            srv.insert(txn, t, Row::new(vec![Value::U64(k), Value::from("payload")])).unwrap();
-            srv.commit(txn).unwrap();
+            srv.insert(s, t, Row::new(vec![Value::U64(k), Value::from("payload")])).unwrap();
+            srv.commit(s).unwrap();
         }
+        srv.disconnect(s);
         let mut k = 0u64;
         b.iter(|| {
             k = (k + 17) % 500;
             let rid = srv.lookup(t, 0, &[Value::U64(k)]).unwrap()[0];
             std::hint::black_box(srv.get_row(t, rid).unwrap());
+        })
+    });
+    g.bench_function("lock_wait_grant_cycle", |b| {
+        // One full contention round trip: holder locks, waiter queues,
+        // holder commits, grant hands over, waiter retries and commits.
+        let (mut srv, t) = loaded_server();
+        let s1 = srv.connect().unwrap();
+        let s2 = srv.connect().unwrap();
+        srv.insert(s1, t, Row::new(vec![Value::U64(0), Value::from("payload")])).unwrap();
+        srv.commit(s1).unwrap();
+        let rid = srv.lookup(t, 0, &[Value::U64(0)]).unwrap()[0];
+        b.iter(|| {
+            srv.update(s1, t, rid, Row::new(vec![Value::U64(0), Value::from("p1")])).unwrap();
+            let wait =
+                srv.update(s2, t, rid, Row::new(vec![Value::U64(0), Value::from("p2")])).unwrap_err();
+            std::hint::black_box(wait);
+            srv.commit(s1).unwrap();
+            std::hint::black_box(srv.take_lock_grants());
+            srv.update(s2, t, rid, Row::new(vec![Value::U64(0), Value::from("p2")])).unwrap();
+            srv.commit(s2).unwrap();
         })
     });
     g.finish();
@@ -158,11 +179,11 @@ fn bench_recovery(c: &mut Criterion) {
         b.iter_batched(
             || {
                 let (mut srv, t) = loaded_server();
+                let s = srv.connect().unwrap();
                 for k in 0..2000u64 {
-                    let txn = srv.begin().unwrap();
-                    srv.insert(txn, t, Row::new(vec![Value::U64(k), Value::from("payload")]))
+                    srv.insert(s, t, Row::new(vec![Value::U64(k), Value::from("payload")]))
                         .unwrap();
-                    srv.commit(txn).unwrap();
+                    srv.commit(s).unwrap();
                 }
                 srv.shutdown_abort().unwrap();
                 srv
@@ -178,11 +199,11 @@ fn bench_recovery(c: &mut Criterion) {
         b.iter_batched(
             || {
                 let (mut srv, t) = loaded_server();
+                let s = srv.connect().unwrap();
                 for k in 0..500u64 {
-                    let txn = srv.begin().unwrap();
-                    srv.insert(txn, t, Row::new(vec![Value::U64(k), Value::from("payload")]))
+                    srv.insert(s, t, Row::new(vec![Value::U64(k), Value::from("payload")]))
                         .unwrap();
-                    srv.commit(txn).unwrap();
+                    srv.commit(s).unwrap();
                 }
                 srv
             },

@@ -25,9 +25,11 @@ use recobench_core::{Campaign, Experiment, RecoveryConfig};
 use recobench_engine::codec::Writer;
 use recobench_engine::redo::{RedoOp, RedoRecord};
 use recobench_engine::row::{encode_key, encode_key_into, Row, Value};
+use recobench_engine::txn::LockTable;
 use recobench_engine::types::{FileNo, ObjectId, RowId, Scn, TxnId};
 use recobench_faults::FaultType;
-use recobench_tpcc::TpccScale;
+use recobench_sim::{SimDuration, SimTime};
+use recobench_tpcc::{DriverConfig, TpccScale};
 
 #[derive(Clone, Copy, PartialEq)]
 enum Mode {
@@ -75,9 +77,19 @@ fn main() {
 
     let micro = micro_timings();
     let rss = peak_rss_bytes();
+    // The terminal counts exercised, plus the campaign-wide lock traffic
+    // — evidence that the contended cell actually contended.
+    let mut terminals: Vec<usize> = report.outcomes().map(|o| o.terminals).collect();
+    terminals.sort_unstable();
+    terminals.dedup();
+    let terminals =
+        terminals.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(", ");
+    let lock_waits: u64 = report.outcomes().map(|o| o.lock_waits).sum();
+    let deadlocks: u64 = report.outcomes().map(|o| o.deadlocks).sum();
 
     let json = format!(
         "{{\n  \"mode\": \"{}\",\n  \"experiments\": {},\n  \"threads\": {},\n  \
+         \"terminals\": [{}],\n  \"lock_waits\": {},\n  \"deadlocks\": {},\n  \
          \"wall_clock_secs\": {:.3},\n  \"experiments_per_sec\": {:.3},\n  \
          \"template_hits\": {},\n  \"templates_built\": {},\n  \
          \"peak_rss_bytes\": {},\n  \"micro_ns\": {{\n    \"row_encode\": {:.1},\n    \
@@ -85,10 +97,15 @@ fn main() {
          \"key_encode_into\": {:.1},\n    \"redo_record_encode\": {:.1},\n    \
          \"redo_record_encode_into\": {:.1},\n    \
          \"block_encode_20rows\": {:.1},\n    \
-         \"block_encode_into_20rows\": {:.1}\n  }}\n}}\n",
+         \"block_encode_into_20rows\": {:.1},\n    \
+         \"lock_wait_grant_cycle\": {:.1},\n    \
+         \"deadlock_detect_refuse\": {:.1}\n  }}\n}}\n",
         mode.name(),
         n,
         threads,
+        terminals,
+        lock_waits,
+        deadlocks,
         wall,
         n as f64 / wall,
         report.template_hits(),
@@ -102,6 +119,8 @@ fn main() {
         micro.redo_record_encode_into,
         micro.block_encode,
         micro.block_encode_into,
+        micro.lock_wait_grant_cycle,
+        micro.deadlock_detect_refuse,
     );
     std::fs::write(&out_path, &json).expect("write BENCH_campaign.json");
     print!("{json}");
@@ -163,6 +182,23 @@ fn build_campaign(mode: Mode, seed: u64) -> Vec<Experiment> {
             );
         }
     }
+    // One contended multi-terminal cell in every mode: eight terminals
+    // with near-zero think times, so the lock manager's wait queues and
+    // deadlock detector are on the measured path too.
+    experiments.push(
+        Experiment::builder(configs[0].clone())
+            .archive_logs(true)
+            .duration_secs(2)
+            .scale(TpccScale::tiny())
+            .driver(DriverConfig {
+                terminals: 8,
+                mean_think: SimDuration::from_micros(200),
+                mean_keying: SimDuration::from_micros(50),
+                retry_interval: SimDuration::from_millis(100),
+            })
+            .seed(seed)
+            .build(),
+    );
     experiments
 }
 
@@ -175,6 +211,8 @@ struct MicroTimings {
     redo_record_encode_into: f64,
     block_encode: f64,
     block_encode_into: f64,
+    lock_wait_grant_cycle: f64,
+    deadlock_detect_refuse: f64,
 }
 
 /// Per-call times (ns) of the codec hot paths, measured with plain
@@ -234,6 +272,40 @@ fn micro_timings() -> MicroTimings {
                 bw.truncate(0);
                 img.encode_into(&mut bw);
                 std::hint::black_box(bw.len())
+            })
+        },
+        lock_wait_grant_cycle: {
+            // Hold → contended wait → release granting the waiter →
+            // final release: the lock manager's full hand-off path.
+            let mut lt = LockTable::new();
+            let (a, b) = (TxnId(1), TxnId(2));
+            let obj = ObjectId(1);
+            let rid = RowId { file: FileNo(1), block: 1, slot: 0 };
+            let locks = [(obj, rid)];
+            time_ns(200_000, || {
+                lt.lock_row(a, obj, rid, SimTime::ZERO);
+                lt.lock_row(b, obj, rid, SimTime::from_micros(5));
+                let grants = lt.release_all(a, &locks, SimTime::from_micros(9));
+                lt.release_all(b, &locks, SimTime::from_micros(12));
+                std::hint::black_box(grants.len())
+            })
+        },
+        deadlock_detect_refuse: {
+            // Two crossed holders: the closing request walks the
+            // waits-for chain and is refused as the victim.
+            let mut lt = LockTable::new();
+            let (a, b) = (TxnId(1), TxnId(2));
+            let obj = ObjectId(1);
+            let r0 = RowId { file: FileNo(1), block: 1, slot: 0 };
+            let r1 = RowId { file: FileNo(1), block: 1, slot: 1 };
+            time_ns(200_000, || {
+                lt.lock_row(a, obj, r0, SimTime::ZERO);
+                lt.lock_row(b, obj, r1, SimTime::ZERO);
+                lt.lock_row(a, obj, r1, SimTime::from_micros(3));
+                let refused = lt.lock_row(b, obj, r0, SimTime::from_micros(5));
+                lt.release_all(b, &[(obj, r1)], SimTime::from_micros(8));
+                lt.release_all(a, &[(obj, r0), (obj, r1)], SimTime::from_micros(9));
+                std::hint::black_box(matches!(refused, recobench_engine::LockOutcome::Deadlock { .. }))
             })
         },
     }

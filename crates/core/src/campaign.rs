@@ -378,6 +378,39 @@ mod tests {
         }
     }
 
+    /// The `terminals` dimension composes with snapshot templating: a
+    /// cell's outcome is a function of its terminal count and seed, never
+    /// of whether the database image was replayed from a shared template.
+    #[test]
+    fn terminals_dimension_is_deterministic_under_templating() {
+        let cell = |n: usize| {
+            Experiment::builder(RecoveryConfig::named("F10G3T5").unwrap())
+                .duration_secs(150)
+                .scale(TpccScale::tiny())
+                .seed(11)
+                .terminals(n)
+                .build()
+        };
+        let run = |templates: bool| {
+            Campaign::new(vec![cell(1), cell(8)])
+                .threads(2)
+                .templates(templates)
+                .run()
+                .expect_all()
+        };
+        let with = run(true);
+        let without = run(false);
+        assert_eq!(with, without, "templating must not leak into any terminal count");
+        assert_eq!(with[0].terminals, 1);
+        assert_eq!(with[1].terminals, 8);
+        assert!(
+            with[1].measures.tpmc > with[0].measures.tpmc,
+            "eight terminals must outrun one ({} vs {})",
+            with[1].measures.tpmc,
+            with[0].measures.tpmc
+        );
+    }
+
     #[test]
     fn expect_all_returns_input_order() {
         let outs = Campaign::new(vec![mk("F40G3T10", None), mk("F10G3T5", None)])

@@ -139,6 +139,15 @@ pub struct ExperimentOutcome {
     pub fault: Option<FaultType>,
     /// Trigger offset in seconds, if a fault was injected.
     pub trigger_secs: Option<u64>,
+    /// Emulated terminals driving the workload.
+    #[serde(default)]
+    pub terminals: usize,
+    /// Lock waits the engine recorded over the run.
+    #[serde(default)]
+    pub lock_waits: u64,
+    /// Deadlocks the engine detected (and broke) over the run.
+    #[serde(default)]
+    pub deadlocks: u64,
     /// The measures.
     pub measures: Measures,
     /// Where the recovery time went, phase by phase. `Some` exactly when
@@ -352,6 +361,10 @@ impl Experiment {
                                     using_standby = true;
                                     recovery_ready = Some(ready);
                                     records_applied = sb.records_applied;
+                                    // The terminals reconnect to a new
+                                    // node: their primary session ids must
+                                    // not leak into the stand-by's space.
+                                    driver.sever_all(clock.now());
                                 }
                                 Err(_) => unrecoverable = true,
                             }
@@ -391,6 +404,13 @@ impl Experiment {
         }
 
         // ---- Evaluate the measures -----------------------------------
+        // Drain in-flight terminals first: an uncommitted transaction or a
+        // parked lock wait must not shadow the lost-order audit.
+        if using_standby {
+            driver.quiesce(standby.as_mut().expect("stand-by present when in use").server_mut());
+        } else {
+            driver.quiesce(&mut primary);
+        }
         let active: &DbServer = if using_standby {
             standby.as_ref().expect("stand-by present when in use").server()
         } else {
@@ -478,6 +498,9 @@ impl Experiment {
             standby: self.standby,
             fault: self.fault.as_ref().map(|p| p.fault),
             trigger_secs: self.fault.as_ref().map(|p| p.trigger_after.as_micros() / 1_000_000),
+            terminals: self.driver_cfg.terminals,
+            lock_waits: window.lock_waits,
+            deadlocks: window.deadlocks,
             measures,
             breakdown,
             timeline,
@@ -535,6 +558,13 @@ impl ExperimentBuilder {
     /// Terminal-driver configuration.
     pub fn driver(mut self, cfg: DriverConfig) -> Self {
         self.exp.driver_cfg = cfg;
+        self
+    }
+
+    /// Number of emulated terminals (a campaign dimension; default 12).
+    /// Shorthand for adjusting only that field of the driver config.
+    pub fn terminals(mut self, n: usize) -> Self {
+        self.exp.driver_cfg.terminals = n;
         self
     }
 
@@ -669,6 +699,40 @@ mod tests {
             a.events_jsonl, b.events_jsonl,
             "same seed must give a byte-identical event stream"
         );
+    }
+
+    #[test]
+    fn eight_contended_terminals_wait_deadlock_and_stay_consistent() {
+        // The acceptance cell for the session API: eight terminals on the
+        // tiny two-district database with near-zero think times, so every
+        // district and stock row is fought over. The run must exhibit real
+        // lock waits *and* at least one broken deadlock, keep the TPC-C
+        // consistency conditions intact, and stay byte-deterministic.
+        let contended = DriverConfig {
+            terminals: 8,
+            mean_think: SimDuration::from_micros(200),
+            mean_keying: SimDuration::from_micros(50),
+            retry_interval: SimDuration::from_millis(100),
+        };
+        let run = || {
+            quick("F10G3T5")
+                .duration_secs(1)
+                .driver(contended)
+                .capture_events(true)
+                .run()
+                .unwrap()
+        };
+        let a = run();
+        assert_eq!(a.terminals, 8);
+        assert_eq!(a.measures.integrity_violations, 0, "interleaving must not corrupt data");
+        assert_eq!(a.measures.client_errors, 0, "deadlock aborts are replayed, not surfaced");
+        assert!(a.lock_waits >= 1, "contended run saw no lock waits");
+        assert!(a.deadlocks >= 1, "contended run broke no deadlocks");
+        let stream = a.events_jsonl.as_deref().expect("capture was requested");
+        assert!(stream.contains("lock_wait"), "event log records the waits");
+        assert!(stream.contains("deadlock_victim"), "event log records the victim");
+        let b = run();
+        assert_eq!(a, b, "same seed, same terminals: byte-identical outcome");
     }
 
     #[test]

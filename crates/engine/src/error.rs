@@ -5,7 +5,7 @@ use std::fmt;
 
 use recobench_vfs::VfsError;
 
-use crate::types::{FileNo, ObjectId, RowId, TxnId};
+use crate::types::{FileNo, ObjectId, RowId, SessionId, TxnId};
 
 /// Result alias for engine operations.
 pub type DbResult<T> = Result<T, DbError>;
@@ -75,10 +75,24 @@ pub enum DbError {
     NoSuchRow(RowId),
     /// The object was dropped or never existed.
     NoSuchObject(ObjectId),
-    /// A lock could not be granted (held by the blocking transaction).
-    LockConflict { holder: TxnId },
+    /// The statement is blocked on a row lock held by another transaction.
+    /// The session is queued FIFO behind the holder; re-issuing the same
+    /// statement after the grant arrives resumes the transaction.
+    LockWait { holder: TxnId },
+    /// Granting the requested lock would close a cycle in the waits-for
+    /// graph. The requester is the victim (it must roll back); `cycle`
+    /// lists the transactions on the cycle starting with the victim.
+    Deadlock {
+        /// The transaction chosen to abort (always the requester).
+        victim: TxnId,
+        /// The waits-for cycle, victim first.
+        cycle: Vec<TxnId>,
+    },
     /// The transaction is not active (already committed or rolled back).
     TxnNotActive(TxnId),
+    /// The session is not connected (never existed, disconnected, or
+    /// severed by an instance crash or recovery drain).
+    NoSession(SessionId),
     /// An underlying storage failure (the usual symptom of an operator
     /// fault: a deleted or corrupted file).
     Media(VfsError),
@@ -107,8 +121,12 @@ impl fmt::Display for DbError {
             DbError::DatafileOffline(n) => write!(f, "datafile {n} is offline"),
             DbError::NoSuchRow(rid) => write!(f, "no such row: {rid}"),
             DbError::NoSuchObject(o) => write!(f, "no such object: {o}"),
-            DbError::LockConflict { holder } => write!(f, "row is locked by {holder}"),
+            DbError::LockWait { holder } => write!(f, "waiting on a row lock held by {holder}"),
+            DbError::Deadlock { victim, cycle } => {
+                write!(f, "deadlock detected: {victim} aborted (cycle of {})", cycle.len())
+            }
             DbError::TxnNotActive(t) => write!(f, "transaction {t} is not active"),
+            DbError::NoSession(s) => write!(f, "session {s} is not connected"),
             DbError::Media(e) => write!(f, "media failure: {e}"),
             DbError::RecoveryRequired(what) => write!(f, "recovery required: {what}"),
             DbError::Unrecoverable(why) => write!(f, "unrecoverable: {why}"),
@@ -162,7 +180,18 @@ mod tests {
     #[test]
     fn displays_are_lowercase_and_informative() {
         assert_eq!(DbError::InstanceDown.to_string(), "instance is not open");
-        assert!(DbError::LockConflict { holder: TxnId(3) }.to_string().contains("txn#3"));
+        assert!(DbError::LockWait { holder: TxnId(3) }.to_string().contains("txn#3"));
+        let dl = DbError::Deadlock { victim: TxnId(4), cycle: vec![TxnId(4), TxnId(9)] };
+        assert!(dl.to_string().contains("txn#4"));
+        assert!(dl.to_string().contains("cycle of 2"));
+        assert!(DbError::NoSession(SessionId(8)).to_string().contains("sess#8"));
+    }
+
+    #[test]
+    fn lock_errors_are_not_service_loss() {
+        assert!(!DbError::LockWait { holder: TxnId(1) }.is_service_loss());
+        assert!(!DbError::Deadlock { victim: TxnId(1), cycle: vec![TxnId(1)] }.is_service_loss());
+        assert!(!DbError::NoSession(SessionId(1)).is_service_loss());
     }
 
     #[test]

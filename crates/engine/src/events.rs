@@ -179,6 +179,29 @@ pub enum EngineEvent {
         /// Total index entries inserted.
         entries: u64,
     },
+    /// A statement blocked on a row lock and its transaction was queued.
+    LockWait {
+        /// The blocked transaction.
+        waiter: crate::types::TxnId,
+        /// The transaction holding the lock.
+        holder: crate::types::TxnId,
+        /// Table of the contended row.
+        obj: crate::types::ObjectId,
+    },
+    /// A queued transaction was granted the lock it was waiting for.
+    LockAcquired {
+        /// The transaction that now holds the lock.
+        txn: crate::types::TxnId,
+        /// How long it waited, in simulated microseconds.
+        wait_us: u64,
+    },
+    /// A lock request closed a waits-for cycle; the requester aborted.
+    DeadlockVictim {
+        /// The transaction chosen to abort.
+        victim: crate::types::TxnId,
+        /// Number of transactions on the cycle.
+        cycle_len: u64,
+    },
 }
 
 impl EngineEvent {
@@ -198,6 +221,9 @@ impl EngineEvent {
             EngineEvent::RecoveryCompleted { .. } => "recovery_completed",
             EngineEvent::StandbyArchiveApplied { .. } => "standby_archive_applied",
             EngineEvent::IndexesRebuilt { .. } => "indexes_rebuilt",
+            EngineEvent::LockWait { .. } => "lock_wait",
+            EngineEvent::LockAcquired { .. } => "lock_acquired",
+            EngineEvent::DeadlockVictim { .. } => "deadlock_victim",
         }
     }
 
@@ -251,6 +277,15 @@ impl EngineEvent {
             }
             EngineEvent::IndexesRebuilt { tables, entries } => {
                 let _ = write!(out, ",\"tables\":{tables},\"entries\":{entries}");
+            }
+            EngineEvent::LockWait { waiter, holder, obj } => {
+                let _ = write!(out, ",\"waiter\":{},\"holder\":{},\"obj\":{}", waiter.0, holder.0, obj.0);
+            }
+            EngineEvent::LockAcquired { txn, wait_us } => {
+                let _ = write!(out, ",\"txn\":{},\"wait_us\":{wait_us}", txn.0);
+            }
+            EngineEvent::DeadlockVictim { victim, cycle_len } => {
+                let _ = write!(out, ",\"victim\":{},\"cycle_len\":{cycle_len}", victim.0);
             }
         }
         out.push('}');
@@ -331,6 +366,12 @@ impl EventSink {
             EngineEvent::StandbyArchiveApplied { records, .. } => {
                 d.recovery_records_applied += records;
             }
+            EngineEvent::LockWait { .. } => d.lock_waits += 1,
+            EngineEvent::LockAcquired { wait_us, .. } => {
+                d.lock_grants += 1;
+                d.lock_wait_micros += wait_us;
+            }
+            EngineEvent::DeadlockVictim { .. } => d.deadlocks += 1,
             EngineEvent::BackupTaken { .. }
             | EngineEvent::InstanceStopped { .. }
             | EngineEvent::InstanceOpened { .. }
@@ -509,5 +550,38 @@ mod tests {
             lines[1],
             "{\"t_us\":99,\"server\":\"PRIMARY\",\"type\":\"phase_span\",\"phase\":\"redo_apply\",\"start_us\":50}"
         );
+    }
+
+    #[test]
+    fn lock_events_serialize_and_derive_contention_counters() {
+        use crate::types::{ObjectId, TxnId};
+        let mut s = EventSink::new(8);
+        s.record(
+            SimTime::from_micros(10),
+            EngineEvent::LockWait { waiter: TxnId(2), holder: TxnId(1), obj: ObjectId(7) },
+        );
+        s.record(SimTime::from_micros(30), EngineEvent::LockAcquired { txn: TxnId(2), wait_us: 20 });
+        s.record(
+            SimTime::from_micros(50),
+            EngineEvent::DeadlockVictim { victim: TxnId(3), cycle_len: 2 },
+        );
+        let lines: Vec<String> = s.to_jsonl("P").lines().map(str::to_owned).collect();
+        assert_eq!(
+            lines[0],
+            "{\"t_us\":10,\"server\":\"P\",\"type\":\"lock_wait\",\"waiter\":2,\"holder\":1,\"obj\":7}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"t_us\":30,\"server\":\"P\",\"type\":\"lock_acquired\",\"txn\":2,\"wait_us\":20}"
+        );
+        assert_eq!(
+            lines[2],
+            "{\"t_us\":50,\"server\":\"P\",\"type\":\"deadlock_victim\",\"victim\":3,\"cycle_len\":2}"
+        );
+        let d = s.derived();
+        assert_eq!(d.lock_waits, 1);
+        assert_eq!(d.lock_grants, 1);
+        assert_eq!(d.lock_wait_micros, 20);
+        assert_eq!(d.deadlocks, 1);
     }
 }

@@ -63,5 +63,6 @@ pub use server::DbServer;
 pub use snapshot::DbSnapshot;
 pub use standby::StandbyServer;
 pub use tap::{DmlChange, DmlTap};
-pub use types::{ObjectId, RowId, Scn, TablespaceId, TxnId, UserId};
+pub use txn::{LockGrant, LockOutcome};
+pub use types::{ObjectId, RowId, Scn, SessionId, TablespaceId, TxnId, UserId};
 pub use verify::IntegrityReport;

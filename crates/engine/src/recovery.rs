@@ -71,6 +71,11 @@ impl DbServer {
             return Err(DbError::AlreadyOpen);
         }
         self.control_ref()?;
+        // Sessions never survive an instance boundary; deferred undo does
+        // (it belongs to the server, not the instance) so rollbacks parked
+        // on an offline tablespace can still finish after a clean restart.
+        self.sessions.clear();
+        self.lock_grants.clear();
         let startup_began = self.clock.now();
         self.clock.advance(self.config.costs.instance_startup);
         self.clock.advance(self.config.costs.mount_open);
@@ -162,6 +167,10 @@ impl DbServer {
     /// has been overwritten without being archived.
     pub fn recover_datafile(&mut self, path: &str) -> DbResult<ReplaySummary> {
         self.poll();
+        // Media recovery replays redo underneath live row versions; any
+        // open transaction would see its uncommitted changes vanish, so
+        // all sessions are severed first (their txns roll back).
+        self.kill_all_sessions();
         self.flush_redo()?;
         let now = self.clock.now();
         let file_no = {
@@ -241,6 +250,9 @@ impl DbServer {
         }
         // Index entries for recovered rows may have diverged; rebuild.
         self.rebuild_all_indexes()?;
+        // Rollback work deferred while this file's storage was unreachable
+        // can complete now.
+        self.drain_deferred_undo();
         self.clock.advance(self.config.costs.admin_command);
         self.events.record(
             self.clock.now(),
@@ -294,10 +306,15 @@ impl DbServer {
             backup.pieces.clone(),
             backup.nominal_bytes_per_file,
         );
-        // The damaged instance is taken down hard.
+        // The damaged instance is taken down hard, and the new incarnation
+        // starts with no clients and no pending undo: everything after the
+        // stop point — including deferred rollbacks — is discarded.
         if self.inst.is_some() {
             self.shutdown_abort()?;
         }
+        self.sessions.clear();
+        self.lock_grants.clear();
+        self.deferred_undo.clear();
         let startup_began = self.clock.now();
         self.clock.advance(self.config.costs.instance_startup);
         self.clock.advance(self.config.costs.mount_open);
@@ -735,16 +752,15 @@ mod tests {
     fn crash_recovery_preserves_committed_loses_uncommitted() {
         let mut srv = server(true);
         let t = setup_table(&mut srv);
-        let txn = srv.begin().unwrap();
-        let rid = srv.insert(txn, t, row(1, "committed")).unwrap();
-        srv.commit(txn).unwrap();
+        let s1 = srv.connect().unwrap();
+        let rid = srv.insert(s1, t, row(1, "committed")).unwrap();
+        srv.commit(s1).unwrap();
         // An uncommitted transaction in flight at crash time.
-        let txn2 = srv.begin().unwrap();
-        let rid2 = srv.insert(txn2, t, row(2, "uncommitted")).unwrap();
+        let s2 = srv.connect().unwrap();
+        let rid2 = srv.insert(s2, t, row(2, "uncommitted")).unwrap();
         // Force its change into durable redo by flushing via another commit.
-        let txn3 = srv.begin().unwrap();
-        let rid3 = srv.insert(txn3, t, row(3, "also committed")).unwrap();
-        srv.commit(txn3).unwrap();
+        let rid3 = srv.insert(s1, t, row(3, "also committed")).unwrap();
+        srv.commit(s1).unwrap();
 
         srv.shutdown_abort().unwrap();
         srv.startup().unwrap();
@@ -756,16 +772,17 @@ mod tests {
         assert!(srv.lookup(t, 0, &[Value::U64(2)]).unwrap().is_empty());
         assert_eq!(srv.stats().crash_recoveries, 1);
         assert_eq!(srv.peek_scan(t).unwrap().len(), 2);
+        assert!(!srv.session_exists(s2), "the crash severed every session");
     }
 
     #[test]
     fn crash_recovery_is_idempotent_across_repeated_crashes() {
         let mut srv = server(true);
         let t = setup_table(&mut srv);
+        let s = srv.connect().unwrap();
         for i in 0..30 {
-            let txn = srv.begin().unwrap();
-            srv.insert(txn, t, row(i, "x")).unwrap();
-            srv.commit(txn).unwrap();
+            srv.insert(s, t, row(i, "x")).unwrap();
+            srv.commit(s).unwrap();
         }
         for _ in 0..3 {
             srv.shutdown_abort().unwrap();
@@ -778,14 +795,13 @@ mod tests {
     fn crash_recovery_survives_updates_and_deletes() {
         let mut srv = server(true);
         let t = setup_table(&mut srv);
-        let txn = srv.begin().unwrap();
-        let a = srv.insert(txn, t, row(1, "a")).unwrap();
-        let b = srv.insert(txn, t, row(2, "b")).unwrap();
-        srv.commit(txn).unwrap();
-        let txn = srv.begin().unwrap();
-        srv.update(txn, t, a, row(1, "a-v2")).unwrap();
-        srv.delete(txn, t, b).unwrap();
-        srv.commit(txn).unwrap();
+        let s = srv.connect().unwrap();
+        let a = srv.insert(s, t, row(1, "a")).unwrap();
+        let b = srv.insert(s, t, row(2, "b")).unwrap();
+        srv.commit(s).unwrap();
+        srv.update(s, t, a, row(1, "a-v2")).unwrap();
+        srv.delete(s, t, b).unwrap();
+        srv.commit(s).unwrap();
         srv.shutdown_abort().unwrap();
         srv.startup().unwrap();
         assert_eq!(srv.get_row(t, a).unwrap(), row(1, "a-v2"));
@@ -796,17 +812,19 @@ mod tests {
     fn media_recovery_restores_deleted_datafile() {
         let mut srv = server(true);
         let t = setup_table(&mut srv);
-        // Load some rows, back up, then more committed work.
+        // Load some rows, back up, then more committed work. The cold
+        // backup severs the first session, so a second one follows it.
+        let s = srv.connect().unwrap();
         for i in 0..20 {
-            let txn = srv.begin().unwrap();
-            srv.insert(txn, t, row(i, "before-backup")).unwrap();
-            srv.commit(txn).unwrap();
+            srv.insert(s, t, row(i, "before-backup")).unwrap();
+            srv.commit(s).unwrap();
         }
         srv.take_cold_backup().unwrap();
+        assert!(!srv.session_exists(s), "cold backup quiesces all clients");
+        let s = srv.connect().unwrap();
         for i in 20..40 {
-            let txn = srv.begin().unwrap();
-            srv.insert(txn, t, row(i, "after-backup")).unwrap();
-            srv.commit(txn).unwrap();
+            srv.insert(s, t, row(i, "after-backup")).unwrap();
+            srv.commit(s).unwrap();
         }
         let paths = srv.datafile_paths("TPCC").unwrap();
         let victim = paths[0].clone();
@@ -835,9 +853,9 @@ mod tests {
         let mut srv = server(true);
         let t = setup_table(&mut srv);
         srv.take_cold_backup().unwrap();
-        let txn = srv.begin().unwrap();
-        let rid = srv.insert(txn, t, row(1, "x")).unwrap();
-        srv.commit(txn).unwrap();
+        let s = srv.connect().unwrap();
+        let rid = srv.insert(s, t, row(1, "x")).unwrap();
+        srv.commit(s).unwrap();
         let victim = {
             let inst = srv.inst.as_ref().unwrap();
             inst.catalog.datafiles[&rid.file].path.clone()
@@ -852,16 +870,16 @@ mod tests {
     fn pitr_undoes_a_committed_drop_and_loses_the_tail() {
         let mut srv = server(true);
         let t = setup_table(&mut srv);
+        let s = srv.connect().unwrap();
         for i in 0..10 {
-            let txn = srv.begin().unwrap();
-            srv.insert(txn, t, row(i, "pre-backup")).unwrap();
-            srv.commit(txn).unwrap();
+            srv.insert(s, t, row(i, "pre-backup")).unwrap();
+            srv.commit(s).unwrap();
         }
         srv.take_cold_backup().unwrap();
+        let s = srv.connect().unwrap();
         for i in 10..20 {
-            let txn = srv.begin().unwrap();
-            srv.insert(txn, t, row(i, "pre-fault")).unwrap();
-            srv.commit(txn).unwrap();
+            srv.insert(s, t, row(i, "pre-fault")).unwrap();
+            srv.commit(s).unwrap();
         }
         let stop = srv.current_scn().next();
         // The operator mistake: a committed DROP TABLE.
@@ -871,9 +889,8 @@ mod tests {
             .create_table("T2", "tpcc", "TPCC",
                 vec![IndexDef { name: "PK".into(), cols: vec![0], unique: true, ordered: true }])
             .unwrap();
-        let txn = srv.begin().unwrap();
-        srv.insert(txn, t2, row(1, "lost")).unwrap();
-        srv.commit(txn).unwrap();
+        srv.insert(s, t2, row(1, "lost")).unwrap();
+        srv.commit(s).unwrap();
 
         let summary = srv.recover_database_until(stop).unwrap();
         assert!(summary.applied > 0);
@@ -885,9 +902,9 @@ mod tests {
         assert!(srv.table_id("T2").is_err());
         assert_eq!(srv.stats().incomplete_recoveries, 1);
         // The database remains usable in the new incarnation.
-        let txn = srv.begin().unwrap();
-        srv.insert(txn, t, row(100, "new-incarnation")).unwrap();
-        srv.commit(txn).unwrap();
+        let s = srv.connect().unwrap();
+        srv.insert(s, t, row(100, "new-incarnation")).unwrap();
+        srv.commit(s).unwrap();
         assert_eq!(srv.peek_scan(t).unwrap().len(), 21);
     }
 
@@ -896,10 +913,10 @@ mod tests {
         let mut srv = server(true);
         let t = setup_table(&mut srv);
         srv.take_cold_backup().unwrap();
+        let s = srv.connect().unwrap();
         for i in 0..15 {
-            let txn = srv.begin().unwrap();
-            srv.insert(txn, t, row(i, "data")).unwrap();
-            srv.commit(txn).unwrap();
+            srv.insert(s, t, row(i, "data")).unwrap();
+            srv.commit(s).unwrap();
         }
         let stop = srv.current_scn().next();
         srv.drop_tablespace("TPCC").unwrap();
@@ -915,10 +932,10 @@ mod tests {
         let t = setup_table(&mut srv);
         srv.take_cold_backup().unwrap();
         // Enough work to cycle all three 64 KiB groups several times.
+        let s = srv.connect().unwrap();
         for i in 0..400 {
-            let txn = srv.begin().unwrap();
-            srv.insert(txn, t, row(i, "spin-the-logs-around-plenty")).unwrap();
-            srv.commit(txn).unwrap();
+            srv.insert(s, t, row(i, "spin-the-logs-around-plenty")).unwrap();
+            srv.commit(s).unwrap();
         }
         assert!(srv.stats().log_switches > 3);
         let victim = srv.datafile_paths("TPCC").unwrap()[0].clone();

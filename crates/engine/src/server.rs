@@ -16,6 +16,7 @@
 //! it costs, so the workload driver measures throughput and recovery time
 //! simply by reading the clock.
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use recobench_sim::{SimClock, SimTime};
@@ -37,11 +38,18 @@ use crate::row::{Row, Value};
 use crate::events::{EngineEvent, EventSink};
 use crate::stats::EngineStats;
 use crate::tap::{DmlChange, DmlTap};
-use crate::txn::{TxnTable, UndoOp};
-use crate::types::{FileNo, ObjectId, RedoAddr, RowId, Scn, TablespaceId, TxnId, UserId};
+use crate::txn::{LockGrant, LockOutcome, TxnTable, UndoOp};
+use crate::types::{FileNo, ObjectId, RedoAddr, RowId, Scn, SessionId, TablespaceId, TxnId, UserId};
 
 /// Cache key alias re-used across the engine.
 pub(crate) type BlockKey = (FileNo, u32);
+
+/// Per-session state: the transaction the session currently has open, if
+/// any (transactions begin implicitly on the first DML statement).
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct SessionState {
+    txn: Option<TxnId>,
+}
 
 /// A database server (one simulated machine).
 #[derive(Debug)]
@@ -64,6 +72,23 @@ pub struct DbServer {
     /// (reuse would confuse replay-time transaction tracking).
     pub(crate) txn_floor: u64,
     pub(crate) backups_taken: u32,
+    /// Connected sessions (volatile: an instance crash severs them all).
+    /// BTreeMap so drain/abort sweeps run in deterministic id order.
+    pub(crate) sessions: BTreeMap<SessionId, SessionState>,
+    /// Session id allocator; never reused within a server's lifetime.
+    pub(crate) next_session: u64,
+    /// Sessions whose pending lock was granted since the last
+    /// [`DbServer::take_lock_grants`], with the grant instant — the
+    /// workload driver's wake-up list.
+    pub(crate) lock_grants: Vec<(SessionId, SimTime)>,
+    /// Undo that could not be applied at rollback because its storage was
+    /// offline or damaged (per transaction, in original undo order). The
+    /// owning transactions have **no** terminal record in the redo stream
+    /// yet, so replay still rolls them back; when the storage comes back
+    /// without a replay (ONLINE tablespace), the deferred undo is applied
+    /// and the transaction resolved then — the engine's version of
+    /// Oracle's deferred rollback segments.
+    pub(crate) deferred_undo: Vec<(TxnId, Vec<UndoOp>)>,
     pub(crate) events: EventSink,
     /// Observer of the acknowledged operation stream (differential
     /// oracles). `None` in normal operation — the write path pays one
@@ -101,6 +126,10 @@ impl DbServer {
             datafile_total: 0,
             txn_floor: 0,
             backups_taken: 0,
+            sessions: BTreeMap::new(),
+            next_session: 0,
+            lock_grants: Vec::new(),
+            deferred_undo: Vec::new(),
             events: EventSink::new(4096),
             dml_tap: None,
             #[cfg(any(test, feature = "sabotage"))]
@@ -161,6 +190,10 @@ impl DbServer {
         s.crash_recoveries = d.crash_recoveries;
         s.media_recoveries = d.media_recoveries;
         s.incomplete_recoveries = d.incomplete_recoveries;
+        s.lock_waits = d.lock_waits;
+        s.lock_grants = d.lock_grants;
+        s.lock_wait_micros = d.lock_wait_micros;
+        s.deadlocks = d.deadlocks;
         s
     }
 
@@ -329,6 +362,12 @@ impl DbServer {
         self.inst = None;
         self.managed_recovery = false;
         self.next_dbwr_tick = SimTime::MAX;
+        // Sessions die with the instance; crash recovery rolls their
+        // in-flight transactions back from redo, so pending deferred undo
+        // is void too.
+        self.sessions.clear();
+        self.lock_grants.clear();
+        self.deferred_undo.clear();
         self.events.record(now, EngineEvent::InstanceStopped { clean: false });
         Ok(())
     }
@@ -341,6 +380,9 @@ impl DbServer {
     /// Fails if the instance is down.
     pub fn shutdown_normal(&mut self) -> DbResult<()> {
         self.inst_ref()?;
+        // Drain clients first: in-flight work is rolled back so the clean
+        // checkpoint below captures only committed state.
+        self.kill_all_sessions();
         self.flush_redo()?;
         let done = self.full_checkpoint()?;
         self.clock.advance_to(done);
@@ -938,20 +980,114 @@ impl DbServer {
     }
 
     // ------------------------------------------------------------------
-    // DML
+    // Sessions
     // ------------------------------------------------------------------
 
-    /// Starts a transaction.
+    /// Connects a new session. All DML, commit and rollback flow through
+    /// it; a transaction begins implicitly on the session's first DML
+    /// statement. Sessions are severed by instance crashes and recovery
+    /// procedures — a severed id fails subsequent calls with
+    /// [`DbError::NoSession`].
     ///
     /// # Errors
     ///
-    /// Fails if the instance is down.
-    pub fn begin(&mut self) -> DbResult<TxnId> {
+    /// Fails if the instance is not open for work.
+    pub fn connect(&mut self) -> DbResult<SessionId> {
         self.poll();
+        if !self.is_open() {
+            return Err(DbError::InstanceDown);
+        }
+        self.next_session += 1;
+        let sid = SessionId(self.next_session);
+        self.sessions.insert(sid, SessionState::default());
+        Ok(sid)
+    }
+
+    /// Disconnects a session, rolling back any in-flight transaction.
+    /// Disconnecting an unknown (already severed) session is a no-op.
+    pub fn disconnect(&mut self, s: SessionId) {
+        if let Some(sess) = self.sessions.remove(&s) {
+            if let Some(txn) = sess.txn {
+                let _ = self.rollback_txn(txn);
+            }
+        }
+    }
+
+    /// Whether `s` is currently connected.
+    pub fn session_exists(&self, s: SessionId) -> bool {
+        self.sessions.contains_key(&s)
+    }
+
+    /// The transaction the session has open, if any (for observability and
+    /// tests; clients never need the id).
+    pub fn session_txn_id(&self, s: SessionId) -> Option<TxnId> {
+        self.sessions.get(&s).and_then(|sess| sess.txn)
+    }
+
+    /// Number of connected sessions.
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Drains the wake-up list: sessions whose pending lock was granted
+    /// (by a holder's commit or rollback) since the last call, with the
+    /// grant instants. The workload driver unparks these terminals and
+    /// reschedules them at the grant time.
+    pub fn take_lock_grants(&mut self) -> Vec<(SessionId, SimTime)> {
+        std::mem::take(&mut self.lock_grants)
+    }
+
+    /// Disconnects every session, rolling back in-flight transactions:
+    /// recovery procedures, cold backups and orderly shutdown drain their
+    /// clients first. Deterministic (ascending session id) order.
+    pub(crate) fn kill_all_sessions(&mut self) {
+        while let Some((&sid, _)) = self.sessions.iter().next() {
+            self.disconnect(sid);
+        }
+        self.lock_grants.clear();
+    }
+
+    /// The session's open transaction, starting one if none is open.
+    fn txn_for(&mut self, s: SessionId) -> DbResult<TxnId> {
+        let sess = self.sessions.get(&s).ok_or(DbError::NoSession(s))?;
+        if let Some(txn) = sess.txn {
+            return Ok(txn);
+        }
         let id = self.inst_mut()?.txns.begin();
         self.txn_floor = self.txn_floor.max(id.0);
+        if let Some(sess) = self.sessions.get_mut(&s) {
+            sess.txn = Some(id);
+        }
         Ok(id)
     }
+
+    /// Records granted locks on their new holders, emits the
+    /// `lock_acquired` events, and queues the owning sessions for driver
+    /// wake-up. A grant to a transaction that died while queued (possible
+    /// only if bookkeeping breaks) is passed on to the next waiter.
+    fn apply_lock_grants(&mut self, mut grants: Vec<LockGrant>) {
+        let now = self.clock.now();
+        while let Some(g) = grants.pop() {
+            let Some(inst) = self.inst.as_mut() else { return };
+            if inst.txns.get_mut(g.txn).map(|st| st.locks.push((g.obj, g.rid))).is_err() {
+                grants.extend(inst.locks.release_all(g.txn, &[(g.obj, g.rid)], now));
+                continue;
+            }
+            self.events.record(now, EngineEvent::LockAcquired { txn: g.txn, wait_us: g.wait_us });
+            let owner = self
+                .sessions
+                .iter()
+                .find(|(_, sess)| sess.txn == Some(g.txn))
+                .map(|(&sid, _)| sid);
+            if let Some(sid) = owner {
+                self.lock_grants.push((sid, now));
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // DML
+    // ------------------------------------------------------------------
 
     fn check_unique(&self, obj: ObjectId, row: &Row, exclude: Option<RowId>) -> DbResult<()> {
         let inst = self.inst_ref()?;
@@ -1018,17 +1154,16 @@ impl DbServer {
         Ok(())
     }
 
-    /// Inserts a row, returning its physical address.
+    /// Inserts a row under session `s`, returning its physical address. A
+    /// transaction begins implicitly if the session has none open.
     ///
     /// # Errors
     ///
     /// Fails on duplicate keys, storage exhaustion, offline storage, media
-    /// damage, or a dead transaction.
-    pub fn insert(&mut self, txn: TxnId, obj: ObjectId, row: Row) -> DbResult<RowId> {
+    /// damage, or a severed session.
+    pub fn insert(&mut self, s: SessionId, obj: ObjectId, row: Row) -> DbResult<RowId> {
         self.poll();
-        if !self.inst_ref()?.txns.is_active(txn) {
-            return Err(DbError::TxnNotActive(txn));
-        }
+        let txn = self.txn_for(s)?;
         self.inst_ref()?.catalog.table(obj)?;
         self.insert_one(txn, obj, row)
     }
@@ -1036,6 +1171,7 @@ impl DbServer {
     /// Per-row insert body shared with [`DbServer::insert_batch`]; assumes
     /// the transaction and table were already validated.
     fn insert_one(&mut self, txn: TxnId, obj: ObjectId, row: Row) -> DbResult<RowId> {
+        self.wait_on_vacated_unique(txn, obj, &row)?;
         let (key, slot) = self.find_insert_slot(obj, row.encoded_len())?;
         let rid = RowId { file: key.0, block: key.1, slot };
         // Index insertion doubles as the uniqueness check: each tree
@@ -1056,14 +1192,14 @@ impl DbServer {
                 }
             }
         }
-        let locked = (|| -> DbResult<()> {
-            let inst = self.inst_mut()?;
-            inst.locks.lock_row(txn, obj, rid)?;
-            let st = inst.txns.get_mut(txn)?;
-            st.locks.push((obj, rid));
+        let locked = self.lock_for_dml(txn, obj, rid).and_then(|newly| {
+            let st = self.inst_mut()?.txns.get_mut(txn)?;
+            if newly {
+                st.locks.push((obj, rid));
+            }
             st.undo.push(UndoOp::UndoInsert { obj, rid });
             Ok(())
-        })();
+        });
         if let Err(e) = locked {
             self.unwind_index_insert(obj, &row, rid);
             return Err(e);
@@ -1096,6 +1232,63 @@ impl DbServer {
         Ok(rid)
     }
 
+    /// Acquires the row lock a DML statement needs, recording contention
+    /// events. `Ok(true)` means newly acquired (the caller records it on
+    /// the transaction); a contended lock queues the transaction and
+    /// surfaces as [`DbError::LockWait`] **before any state is mutated**,
+    /// so the statement can simply be retried once the lock is granted. A
+    /// request that would deadlock is refused: the requester is the victim
+    /// and must roll back.
+    fn lock_for_dml(&mut self, txn: TxnId, obj: ObjectId, rid: RowId) -> DbResult<bool> {
+        let now = self.clock.now();
+        match self.inst_mut()?.locks.lock_row(txn, obj, rid, now) {
+            LockOutcome::Acquired => Ok(true),
+            LockOutcome::AlreadyHeld => Ok(false),
+            LockOutcome::Waiting { holder } => {
+                self.events.record(now, EngineEvent::LockWait { waiter: txn, holder, obj });
+                Err(DbError::LockWait { holder })
+            }
+            LockOutcome::Deadlock { cycle } => {
+                self.events.record(
+                    now,
+                    EngineEvent::DeadlockVictim { victim: txn, cycle_len: cycle.len() as u64 },
+                );
+                Err(DbError::Deadlock { victim: txn, cycle })
+            }
+        }
+    }
+
+    /// Blocks a writer whose unique key was *vacated* by a live
+    /// transaction — an uncommitted delete, or an update that moved the
+    /// key away. The key is absent from the index, but the vacating
+    /// transaction would resurrect it on rollback, so the key is not
+    /// free: the writer queues behind that transaction's row lock (the
+    /// TX enqueue Oracle takes on a unique index entry) and retries the
+    /// statement once it ends. Keys still present in the index are left
+    /// to the ordinary duplicate check.
+    fn wait_on_vacated_unique(&mut self, txn: TxnId, obj: ObjectId, row: &Row) -> DbResult<()> {
+        let vacated = {
+            let inst = self.inst_ref()?;
+            if inst.txns.active_count() <= 1 {
+                return Ok(());
+            }
+            let Some(indexes) = inst.indexes.get(&obj) else { return Ok(()) };
+            indexes
+                .iter()
+                .filter(|ix| ix.def().unique && ix.lookup_row_ref(row).is_empty())
+                .find_map(|ix| {
+                    inst.txns.vacated_by_other(txn, obj, |before| !ix.key_changed(before, row))
+                })
+        };
+        if let Some((_, rid)) = vacated {
+            let newly = self.lock_for_dml(txn, obj, rid)?;
+            if newly {
+                self.inst_mut()?.txns.get_mut(txn)?.locks.push((obj, rid));
+            }
+        }
+        Ok(())
+    }
+
     /// Best-effort removal of `row`'s index entries after a failed insert.
     fn unwind_index_insert(&mut self, obj: ObjectId, row: &Row, rid: RowId) {
         if let Ok(inst) = self.inst_mut() {
@@ -1121,11 +1314,9 @@ impl DbServer {
     /// As [`DbServer::insert`]; on a mid-batch error the earlier rows stay
     /// inserted (under the still-open transaction, so the caller's rollback
     /// removes them — the same contract as a loop of single inserts).
-    pub fn insert_batch(&mut self, txn: TxnId, obj: ObjectId, rows: Vec<Row>) -> DbResult<Vec<RowId>> {
+    pub fn insert_batch(&mut self, s: SessionId, obj: ObjectId, rows: Vec<Row>) -> DbResult<Vec<RowId>> {
         self.poll();
-        if !self.inst_ref()?.txns.is_active(txn) {
-            return Err(DbError::TxnNotActive(txn));
-        }
+        let txn = self.txn_for(s)?;
         self.inst_ref()?.catalog.table(obj)?;
         let block_size = self.config.block_size;
         let mut rids = Vec::with_capacity(rows.len());
@@ -1188,6 +1379,7 @@ impl DbServer {
         row: Row,
         staged: &mut Vec<(u16, Row, Scn)>,
     ) -> DbResult<()> {
+        self.wait_on_vacated_unique(txn, obj, &row)?;
         {
             let inst = self.inst_mut()?;
             if let Some(indexes) = inst.indexes.get_mut(&obj) {
@@ -1202,14 +1394,14 @@ impl DbServer {
                 }
             }
         }
-        let locked = (|| -> DbResult<()> {
-            let inst = self.inst_mut()?;
-            inst.locks.lock_row(txn, obj, rid)?;
-            let st = inst.txns.get_mut(txn)?;
-            st.locks.push((obj, rid));
+        let locked = self.lock_for_dml(txn, obj, rid).and_then(|newly| {
+            let st = self.inst_mut()?.txns.get_mut(txn)?;
+            if newly {
+                st.locks.push((obj, rid));
+            }
             st.undo.push(UndoOp::UndoInsert { obj, rid });
             Ok(())
-        })();
+        });
         if let Err(e) = locked {
             self.unwind_index_insert(obj, &row, rid);
             return Err(e);
@@ -1261,17 +1453,16 @@ impl DbServer {
         })
     }
 
-    /// Replaces the row at `rid`.
+    /// Replaces the row at `rid` under session `s`.
     ///
     /// # Errors
     ///
-    /// Fails if the row does not exist, is locked elsewhere, or storage is
-    /// unavailable.
-    pub fn update(&mut self, txn: TxnId, obj: ObjectId, rid: RowId, row: Row) -> DbResult<()> {
+    /// Fails if the row does not exist or storage is unavailable; a
+    /// contended row queues the session ([`DbError::LockWait`] — retry the
+    /// statement after the grant) or aborts it ([`DbError::Deadlock`]).
+    pub fn update(&mut self, s: SessionId, obj: ObjectId, rid: RowId, row: Row) -> DbResult<()> {
         self.poll();
-        if !self.inst_ref()?.txns.is_active(txn) {
-            return Err(DbError::TxnNotActive(txn));
-        }
+        let txn = self.txn_for(s)?;
         let key = (rid.file, rid.block);
         let before =
             self.with_block(key, |img| img.row(rid.slot).cloned())?.ok_or(DbError::NoSuchRow(rid))?;
@@ -1296,10 +1487,14 @@ impl DbServer {
             });
         if moves_unique_key {
             self.check_unique(obj, &row, Some(rid))?;
+            self.wait_on_vacated_unique(txn, obj, &row)?;
         }
+        // The lock precedes every mutation: a `LockWait` return leaves no
+        // trace, so the retried statement re-reads and re-runs cleanly.
+        let newly = self.lock_for_dml(txn, obj, rid)?;
         {
             let inst = self.inst_mut()?;
-            if inst.locks.lock_row(txn, obj, rid)? {
+            if newly {
                 inst.txns.get_mut(txn)?.locks.push((obj, rid));
             }
             inst.txns.get_mut(txn)?.undo.push(UndoOp::UndoUpdate { obj, rid, before: before.clone() });
@@ -1336,23 +1531,23 @@ impl DbServer {
         Ok(())
     }
 
-    /// Deletes the row at `rid`.
+    /// Deletes the row at `rid` under session `s`.
     ///
     /// # Errors
     ///
-    /// Fails if the row does not exist, is locked elsewhere, or storage is
-    /// unavailable.
-    pub fn delete(&mut self, txn: TxnId, obj: ObjectId, rid: RowId) -> DbResult<()> {
+    /// Fails if the row does not exist or storage is unavailable; a
+    /// contended row queues the session ([`DbError::LockWait`]) or aborts
+    /// it ([`DbError::Deadlock`]).
+    pub fn delete(&mut self, s: SessionId, obj: ObjectId, rid: RowId) -> DbResult<()> {
         self.poll();
-        if !self.inst_ref()?.txns.is_active(txn) {
-            return Err(DbError::TxnNotActive(txn));
-        }
+        let txn = self.txn_for(s)?;
         let key = (rid.file, rid.block);
         let before =
             self.with_block(key, |img| img.row(rid.slot).cloned())?.ok_or(DbError::NoSuchRow(rid))?;
+        let newly = self.lock_for_dml(txn, obj, rid)?;
         {
             let inst = self.inst_mut()?;
-            if inst.locks.lock_row(txn, obj, rid)? {
+            if newly {
                 inst.txns.get_mut(txn)?.locks.push((obj, rid));
             }
             inst.txns.get_mut(txn)?.undo.push(UndoOp::UndoDelete { obj, rid, before: before.clone() });
@@ -1588,60 +1783,127 @@ impl DbServer {
         Ok(ix.first_under_prefix(prefix).map(|(_, rids)| rids.to_vec()).unwrap_or_default())
     }
 
-    /// Commits: the commit record is written and the log buffer flushed —
-    /// the caller waits out the log write, which is the durability
-    /// guarantee.
+    /// Commits session `s`'s open transaction: the commit record is
+    /// written and the log buffer flushed — the caller waits out the log
+    /// write, which is the durability guarantee. A session with no open
+    /// transaction commits trivially.
     ///
     /// # Errors
     ///
-    /// Fails if the transaction is not active or the log write fails.
-    pub fn commit(&mut self, txn: TxnId) -> DbResult<()> {
+    /// Fails if the session is severed or the log write fails (the
+    /// transaction is then still open; roll it back).
+    pub fn commit(&mut self, s: SessionId) -> DbResult<()> {
         self.poll();
-        if !self.inst_ref()?.txns.is_active(txn) {
-            return Err(DbError::TxnNotActive(txn));
+        let sess = self.sessions.get(&s).ok_or(DbError::NoSession(s))?;
+        let Some(txn) = sess.txn else { return Ok(()) };
+        self.commit_txn(txn)?;
+        if let Some(sess) = self.sessions.get_mut(&s) {
+            sess.txn = None;
         }
+        Ok(())
+    }
+
+    /// Rolls back session `s`'s open transaction (a no-op if none is
+    /// open): undoes its changes (writing compensating redo) and releases
+    /// its locks. Changes to storage that has since become unreadable are
+    /// deferred — recovery or onlining of that storage discards them.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the session is severed.
+    pub fn rollback(&mut self, s: SessionId) -> DbResult<()> {
+        self.poll();
+        let sess = self.sessions.get(&s).ok_or(DbError::NoSession(s))?;
+        let Some(txn) = sess.txn else { return Ok(()) };
+        if let Some(sess) = self.sessions.get_mut(&s) {
+            sess.txn = None;
+        }
+        self.rollback_txn(txn)
+    }
+
+    fn commit_txn(&mut self, txn: TxnId) -> DbResult<()> {
         let scn = self.inst_mut()?.next_scn();
         let rec = RedoRecord { scn, txn: Some(txn), op: RedoOp::Commit };
         self.append_record(&rec)?;
         self.flush_redo()?;
+        let now = self.clock.now();
         let inst = self.inst_mut()?;
         let st = inst.txns.finish(txn)?;
-        inst.locks.release_all(txn, &st.locks);
+        let grants = inst.locks.release_all(txn, &st.locks, now);
         self.stats.commits += 1;
         if self.dml_tap.is_some() {
             self.emit_dml(DmlChange::Commit { txn, scn });
         }
+        self.apply_lock_grants(grants);
         self.clock.advance(self.config.costs.cpu_commit);
         Ok(())
     }
 
-    /// Rolls back: undoes the transaction's changes (writing compensating
-    /// redo) and releases its locks. Changes to storage that has since
-    /// become unreadable are skipped — recovery of that storage will
-    /// discard them anyway.
-    ///
-    /// # Errors
-    ///
-    /// Fails if the transaction is not active.
-    pub fn rollback(&mut self, txn: TxnId) -> DbResult<()> {
-        self.poll();
+    fn rollback_txn(&mut self, txn: TxnId) -> DbResult<()> {
         let st = self.inst_mut()?.txns.finish(txn)?;
+        let mut deferred: Vec<UndoOp> = Vec::new();
         for op in st.undo.iter().rev() {
-            // Best-effort: damaged blocks are skipped.
-            let _ = self.apply_undo_logged(txn, op);
+            // Best-effort: undo targeting unreachable storage is deferred.
+            if self.apply_undo_logged(txn, op).is_err() {
+                deferred.push(op.clone());
+            }
         }
-        let scn = self.inst_mut()?.next_scn();
-        let rec = RedoRecord { scn, txn: Some(txn), op: RedoOp::Rollback };
-        self.append_record(&rec)?;
-        self.flush_redo()?;
+        // Locks release (and waiters wake) before the terminal record so a
+        // failed log write can never strand a granted waiter.
+        let now = self.clock.now();
         let inst = self.inst_mut()?;
-        inst.locks.release_all(txn, &st.locks);
+        let grants = inst.locks.release_all(txn, &st.locks, now);
         self.stats.rollbacks += 1;
         if self.dml_tap.is_some() {
             self.emit_dml(DmlChange::Rollback { txn });
         }
+        self.apply_lock_grants(grants);
         self.clock.advance(self.config.costs.cpu_commit);
+        if deferred.is_empty() {
+            let scn = self.inst_mut()?.next_scn();
+            let rec = RedoRecord { scn, txn: Some(txn), op: RedoOp::Rollback };
+            self.append_record(&rec)?;
+            self.flush_redo()?;
+        } else {
+            // No terminal record: the transaction stays unresolved in the
+            // redo stream, so any replay covering the unreachable storage
+            // rolls the skipped changes back itself. If the storage comes
+            // back *without* a replay (ONLINE tablespace), the deferred
+            // undo is applied and the transaction resolved then.
+            deferred.reverse();
+            self.deferred_undo.push((txn, deferred));
+            self.flush_redo()?;
+        }
         Ok(())
+    }
+
+    /// Applies deferred rollback undo whose storage may have come back,
+    /// writing the owning transactions' terminal records once fully
+    /// undone. Called after media recovery and tablespace onlining.
+    pub(crate) fn drain_deferred_undo(&mut self) {
+        if self.deferred_undo.is_empty() || self.inst.is_none() {
+            return;
+        }
+        let pending = std::mem::take(&mut self.deferred_undo);
+        for (txn, ops) in pending {
+            let mut still: Vec<UndoOp> = Vec::new();
+            for op in ops.iter().rev() {
+                // Replay may already have rolled the change back; the
+                // application is idempotent, so re-applying is harmless.
+                if self.apply_undo_logged(txn, op).is_err() {
+                    still.push(op.clone());
+                }
+            }
+            if still.is_empty() {
+                if let Ok(scn) = self.inst_mut().map(|i| i.next_scn()) {
+                    let rec = RedoRecord { scn, txn: Some(txn), op: RedoOp::Rollback };
+                    let _ = self.append_record(&rec);
+                }
+            } else {
+                still.reverse();
+                self.deferred_undo.push((txn, still));
+            }
+        }
     }
 
     fn apply_undo_logged(&mut self, txn: TxnId, op: &UndoOp) -> DbResult<()> {
@@ -1870,6 +2132,9 @@ impl DbServer {
     /// Fails if the instance is down or a copy fails.
     pub fn take_cold_backup(&mut self) -> DbResult<()> {
         self.poll();
+        // Cold means cold: no client may be mid-transaction while the
+        // datafiles are copied.
+        self.kill_all_sessions();
         self.checkpoint_now()?;
         let now = self.clock.now();
         let (files, position, scn, snapshot) = {
@@ -2015,6 +2280,9 @@ impl DbServer {
         self.poll();
         let ts = self.inst_ref()?.catalog.tablespace_by_name(name)?;
         self.control_mut()?.ts_offline.retain(|t| *t != ts);
+        // Rollbacks that could not reach this tablespace while it was
+        // offline finish now that its blocks are readable again.
+        self.drain_deferred_undo();
         self.clock.advance(self.config.costs.admin_command);
         Ok(())
     }
@@ -2131,27 +2399,27 @@ mod tests {
     fn insert_commit_read_back() {
         let mut srv = test_server(small_config());
         let t = setup_table(&mut srv);
-        let txn = srv.begin().unwrap();
-        let rid = srv.insert(txn, t, row(1, "hello")).unwrap();
-        srv.commit(txn).unwrap();
+        let s = srv.connect().unwrap();
+        let rid = srv.insert(s, t, row(1, "hello")).unwrap();
+        srv.commit(s).unwrap();
         assert_eq!(srv.get_row(t, rid).unwrap(), row(1, "hello"));
         assert_eq!(srv.lookup(t, 0, &[Value::U64(1)]).unwrap(), vec![rid]);
         assert_eq!(srv.stats().commits, 1);
+        assert!(srv.session_txn_id(s).is_none(), "commit closes the open txn");
     }
 
     #[test]
     fn rollback_restores_prior_state() {
         let mut srv = test_server(small_config());
         let t = setup_table(&mut srv);
-        let txn = srv.begin().unwrap();
-        let rid = srv.insert(txn, t, row(1, "a")).unwrap();
-        srv.commit(txn).unwrap();
+        let s = srv.connect().unwrap();
+        let rid = srv.insert(s, t, row(1, "a")).unwrap();
+        srv.commit(s).unwrap();
 
-        let txn2 = srv.begin().unwrap();
-        srv.update(txn2, t, rid, row(1, "changed")).unwrap();
-        let rid2 = srv.insert(txn2, t, row(2, "new")).unwrap();
-        srv.delete(txn2, t, rid).unwrap();
-        srv.rollback(txn2).unwrap();
+        srv.update(s, t, rid, row(1, "changed")).unwrap();
+        let rid2 = srv.insert(s, t, row(2, "new")).unwrap();
+        srv.delete(s, t, rid).unwrap();
+        srv.rollback(s).unwrap();
 
         assert_eq!(srv.get_row(t, rid).unwrap(), row(1, "a"));
         assert!(matches!(srv.get_row(t, rid2), Err(DbError::NoSuchRow(_))));
@@ -2166,19 +2434,19 @@ mod tests {
         // be lost behind the advanced recovery position.
         let mut srv = test_server(small_config());
         let t = setup_table(&mut srv);
-        let txn = srv.begin().unwrap();
+        let s = srv.connect().unwrap();
         let vals: Vec<String> =
             (0..120usize).map(|k| "x".repeat(600 + (k % 11) * 37)).collect();
         let rows: Vec<Row> =
             vals.iter().enumerate().map(|(k, v)| row(k as u64, v)).collect();
         let switches_before = srv.stats().log_switches;
-        let rids = srv.insert_batch(txn, t, rows.clone()).unwrap();
+        let rids = srv.insert_batch(s, t, rows.clone()).unwrap();
         assert_eq!(rids.len(), rows.len());
         assert!(
             srv.stats().log_switches > switches_before,
             "the batch must straddle a log switch for this test to bite"
         );
-        srv.commit(txn).unwrap();
+        srv.commit(s).unwrap();
         srv.shutdown_abort().unwrap();
         srv.startup().unwrap();
         assert_eq!(
@@ -2197,11 +2465,11 @@ mod tests {
     fn duplicate_key_rejected_without_side_effects() {
         let mut srv = test_server(small_config());
         let t = setup_table(&mut srv);
-        let txn = srv.begin().unwrap();
-        srv.insert(txn, t, row(1, "a")).unwrap();
-        let err = srv.insert(txn, t, row(1, "dup")).unwrap_err();
+        let s = srv.connect().unwrap();
+        srv.insert(s, t, row(1, "a")).unwrap();
+        let err = srv.insert(s, t, row(1, "dup")).unwrap_err();
         assert!(matches!(err, DbError::DuplicateKey { .. }));
-        srv.commit(txn).unwrap();
+        srv.commit(s).unwrap();
         assert_eq!(srv.peek_scan(t).unwrap().len(), 1);
     }
 
@@ -2211,10 +2479,10 @@ mod tests {
         let t = setup_table(&mut srv);
         // 64 KiB logs with ~700-byte records: a few hundred inserts switch
         // several times.
+        let s = srv.connect().unwrap();
         for i in 0..200 {
-            let txn = srv.begin().unwrap();
-            srv.insert(txn, t, row(i, "payload-payload-payload")).unwrap();
-            srv.commit(txn).unwrap();
+            srv.insert(s, t, row(i, "payload-payload-payload")).unwrap();
+            srv.commit(s).unwrap();
         }
         let s = srv.stats();
         assert!(s.log_switches >= 2, "expected switches, got {}", s.log_switches);
@@ -2229,29 +2497,28 @@ mod tests {
         cfg.archive_mode = false;
         let mut srv = test_server(cfg);
         let t = setup_table(&mut srv);
+        let s = srv.connect().unwrap();
         for i in 0..200 {
-            let txn = srv.begin().unwrap();
-            srv.insert(txn, t, row(i, "payload-payload-payload")).unwrap();
-            srv.commit(txn).unwrap();
+            srv.insert(s, t, row(i, "payload-payload-payload")).unwrap();
+            srv.commit(s).unwrap();
         }
-        let s = srv.stats();
-        assert!(s.log_switches >= 2);
-        assert_eq!(s.archives_created, 0);
+        let st = srv.stats();
+        assert!(st.log_switches >= 2);
+        assert_eq!(st.archives_created, 0);
     }
 
     #[test]
     fn offline_tablespace_blocks_dml_then_online_restores() {
         let mut srv = test_server(small_config());
         let t = setup_table(&mut srv);
-        let txn = srv.begin().unwrap();
-        let rid = srv.insert(txn, t, row(1, "a")).unwrap();
-        srv.commit(txn).unwrap();
+        let s = srv.connect().unwrap();
+        let rid = srv.insert(s, t, row(1, "a")).unwrap();
+        srv.commit(s).unwrap();
 
         srv.offline_tablespace("TPCC").unwrap();
         assert!(matches!(srv.get_row(t, rid), Err(DbError::TablespaceOffline(_))));
-        let txn2 = srv.begin().unwrap();
-        assert!(srv.insert(txn2, t, row(2, "b")).is_err());
-        srv.rollback(txn2).ok();
+        assert!(srv.insert(s, t, row(2, "b")).is_err());
+        srv.rollback(s).ok();
 
         srv.online_tablespace("TPCC").unwrap();
         assert_eq!(srv.get_row(t, rid).unwrap(), row(1, "a"));
@@ -2263,9 +2530,9 @@ mod tests {
         cfg.cache_blocks = 2; // tiny cache: the block falls out quickly
         let mut srv = test_server(cfg);
         let t = setup_table(&mut srv);
-        let txn = srv.begin().unwrap();
-        let rid = srv.insert(txn, t, row(1, "a")).unwrap();
-        srv.commit(txn).unwrap();
+        let s = srv.connect().unwrap();
+        let rid = srv.insert(s, t, row(1, "a")).unwrap();
+        srv.commit(s).unwrap();
         let path = {
             let inst = srv.inst.as_ref().unwrap();
             inst.catalog.datafiles[&rid.file].path.clone()
@@ -2287,9 +2554,9 @@ mod tests {
     fn drop_table_makes_object_unknown() {
         let mut srv = test_server(small_config());
         let t = setup_table(&mut srv);
-        let txn = srv.begin().unwrap();
-        srv.insert(txn, t, row(1, "a")).unwrap();
-        srv.commit(txn).unwrap();
+        let s = srv.connect().unwrap();
+        srv.insert(s, t, row(1, "a")).unwrap();
+        srv.commit(s).unwrap();
         srv.drop_table("T").unwrap();
         assert!(srv.get_row(t, RowId { file: FileNo(1), block: 0, slot: 0 }).is_err());
         assert!(srv.table_id("T").is_err());
@@ -2312,9 +2579,9 @@ mod tests {
     fn clean_shutdown_and_restart_preserves_data() {
         let mut srv = test_server(small_config());
         let t = setup_table(&mut srv);
-        let txn = srv.begin().unwrap();
-        let rid = srv.insert(txn, t, row(7, "persist")).unwrap();
-        srv.commit(txn).unwrap();
+        let s = srv.connect().unwrap();
+        let rid = srv.insert(s, t, row(7, "persist")).unwrap();
+        srv.commit(s).unwrap();
         srv.shutdown_normal().unwrap();
         assert!(!srv.is_open());
         srv.startup().unwrap();
@@ -2339,8 +2606,102 @@ mod tests {
         let mut srv = test_server(small_config());
         let t = setup_table(&mut srv);
         srv.shutdown_abort().unwrap();
-        assert!(matches!(srv.begin(), Err(DbError::InstanceDown)));
+        assert!(matches!(srv.connect(), Err(DbError::InstanceDown)));
         assert!(matches!(srv.get_row(t, RowId { file: FileNo(1), block: 0, slot: 0 }),
             Err(DbError::InstanceDown)));
+    }
+
+    #[test]
+    fn dml_on_unknown_session_is_rejected() {
+        let mut srv = test_server(small_config());
+        let t = setup_table(&mut srv);
+        let ghost = SessionId(99);
+        assert!(matches!(srv.insert(ghost, t, row(1, "x")), Err(DbError::NoSession(_))));
+        assert!(matches!(srv.commit(ghost), Err(DbError::NoSession(_))));
+        assert!(matches!(srv.rollback(ghost), Err(DbError::NoSession(_))));
+    }
+
+    #[test]
+    fn commit_and_rollback_without_open_txn_are_noops() {
+        let mut srv = test_server(small_config());
+        let _t = setup_table(&mut srv);
+        let s = srv.connect().unwrap();
+        srv.commit(s).unwrap();
+        srv.rollback(s).unwrap();
+        assert_eq!(srv.stats().commits, 0);
+        assert_eq!(srv.stats().rollbacks, 0);
+    }
+
+    #[test]
+    fn disconnect_rolls_back_the_open_txn() {
+        let mut srv = test_server(small_config());
+        let t = setup_table(&mut srv);
+        let s = srv.connect().unwrap();
+        srv.insert(s, t, row(1, "doomed")).unwrap();
+        srv.disconnect(s);
+        assert!(!srv.session_exists(s));
+        assert!(srv.peek_scan(t).unwrap().is_empty(), "uncommitted work is rolled back");
+        assert_eq!(srv.stats().rollbacks, 1);
+    }
+
+    #[test]
+    fn lock_wait_then_grant_after_commit() {
+        let mut srv = test_server(small_config());
+        let t = setup_table(&mut srv);
+        let writer = srv.connect().unwrap();
+        let rid = srv.insert(writer, t, row(1, "v1")).unwrap();
+        srv.commit(writer).unwrap();
+
+        srv.update(writer, t, rid, row(1, "v2")).unwrap();
+        let reader = srv.connect().unwrap();
+        let err = srv.update(reader, t, rid, row(1, "v3")).unwrap_err();
+        let holder = srv.session_txn_id(writer).unwrap();
+        assert_eq!(err, DbError::LockWait { holder });
+        // Nothing of the blocked statement took effect.
+        assert_eq!(srv.get_row(t, rid).unwrap(), row(1, "v2"));
+
+        srv.commit(writer).unwrap();
+        let grants = srv.take_lock_grants();
+        assert_eq!(grants.len(), 1);
+        assert_eq!(grants[0].0, reader);
+        // The granted session retries and sees the committed image.
+        srv.update(reader, t, rid, row(1, "v3")).unwrap();
+        srv.commit(reader).unwrap();
+        assert_eq!(srv.get_row(t, rid).unwrap(), row(1, "v3"));
+        let st = srv.stats();
+        assert_eq!(st.lock_waits, 1);
+        assert_eq!(st.lock_grants, 1);
+        assert_eq!(st.deadlocks, 0);
+    }
+
+    #[test]
+    fn deadlock_victim_is_the_requester_and_survivor_completes() {
+        let mut srv = test_server(small_config());
+        let t = setup_table(&mut srv);
+        let setup = srv.connect().unwrap();
+        let ra = srv.insert(setup, t, row(1, "a")).unwrap();
+        let rb = srv.insert(setup, t, row(2, "b")).unwrap();
+        srv.commit(setup).unwrap();
+
+        let s1 = srv.connect().unwrap();
+        let s2 = srv.connect().unwrap();
+        srv.update(s1, t, ra, row(1, "a1")).unwrap();
+        srv.update(s2, t, rb, row(2, "b2")).unwrap();
+        assert!(matches!(srv.update(s1, t, rb, row(2, "b1")), Err(DbError::LockWait { .. })));
+        let err = srv.update(s2, t, ra, row(1, "a2")).unwrap_err();
+        let victim = srv.session_txn_id(s2).unwrap();
+        assert!(
+            matches!(err, DbError::Deadlock { victim: v, .. } if v == victim),
+            "the requester that closed the cycle is the victim, got {err:?}"
+        );
+        // Victim rolls back; its row lock release unblocks s1.
+        srv.rollback(s2).unwrap();
+        let grants = srv.take_lock_grants();
+        assert_eq!(grants.iter().map(|g| g.0).collect::<Vec<_>>(), vec![s1]);
+        srv.update(s1, t, rb, row(2, "b1")).unwrap();
+        srv.commit(s1).unwrap();
+        assert_eq!(srv.get_row(t, ra).unwrap(), row(1, "a1"));
+        assert_eq!(srv.get_row(t, rb).unwrap(), row(2, "b1"));
+        assert_eq!(srv.stats().deadlocks, 1);
     }
 }

@@ -32,6 +32,11 @@ use crate::stats::EngineStats;
 
 /// A captured server: persistent files plus volatile instance state, as of
 /// one simulated instant. Cloning shares all block payloads (COW).
+///
+/// Sessions are *not* captured: like the event sink and DML tap they are
+/// client-side observers of the database, not database state. A restored
+/// server starts with no connections (and therefore no pending lock
+/// grants or deferred undo — both are owned by some session's txn).
 #[derive(Debug, Clone)]
 pub struct DbSnapshot {
     name: String,
@@ -115,6 +120,10 @@ impl DbServer {
             datafile_total: snap.datafile_total,
             txn_floor: snap.txn_floor,
             backups_taken: snap.backups_taken,
+            sessions: std::collections::BTreeMap::new(),
+            next_session: 0,
+            lock_grants: Vec::new(),
+            deferred_undo: Vec::new(),
             events: EventSink::new(4096),
             dml_tap: None,
             #[cfg(any(test, feature = "sabotage"))]
@@ -142,11 +151,12 @@ mod tests {
         let t = srv
             .create_table("KV", "u", "T", vec![IndexDef { name: "PK".into(), cols: vec![0], unique: true, ordered: true }])
             .unwrap();
+        let s = srv.connect().unwrap();
         for k in 0..200u64 {
-            let txn = srv.begin().unwrap();
-            srv.insert(txn, t, Row::new(vec![Value::U64(k), Value::from("payload")])).unwrap();
-            srv.commit(txn).unwrap();
+            srv.insert(s, t, Row::new(vec![Value::U64(k), Value::from("payload")])).unwrap();
+            srv.commit(s).unwrap();
         }
+        srv.disconnect(s);
         srv.take_cold_backup().unwrap();
         srv
     }
@@ -174,9 +184,9 @@ mod tests {
         let mut a = DbServer::from_snapshot(SimClock::shared(), &snap);
         let b = DbServer::from_snapshot(SimClock::shared(), &snap);
         let t = table_of(&a);
-        let txn = a.begin().unwrap();
-        a.insert(txn, t, Row::new(vec![Value::U64(9_999), Value::from("extra")])).unwrap();
-        a.commit(txn).unwrap();
+        let s = a.connect().unwrap();
+        a.insert(s, t, Row::new(vec![Value::U64(9_999), Value::from("extra")])).unwrap();
+        a.commit(s).unwrap();
         assert_eq!(a.peek_scan(t).unwrap().len(), 201);
         assert_eq!(b.peek_scan(t).unwrap().len(), 200, "sibling clone is untouched");
     }
@@ -187,10 +197,10 @@ mod tests {
         let run = || {
             let mut srv = DbServer::from_snapshot(SimClock::shared(), &snap);
             let t = table_of(&srv);
+            let s = srv.connect().unwrap();
             for k in 500..540u64 {
-                let txn = srv.begin().unwrap();
-                srv.insert(txn, t, Row::new(vec![Value::U64(k), Value::from("more")])).unwrap();
-                srv.commit(txn).unwrap();
+                srv.insert(s, t, Row::new(vec![Value::U64(k), Value::from("more")])).unwrap();
+                srv.commit(s).unwrap();
             }
             srv.shutdown_abort().unwrap();
             srv.startup().unwrap();

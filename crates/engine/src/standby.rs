@@ -491,10 +491,10 @@ mod tests {
                 vec![IndexDef { name: "PK".into(), cols: vec![0], unique: true, ordered: true }],
             )
             .unwrap();
+        let s = p.connect().unwrap();
         for i in 0..10 {
-            let txn = p.begin().unwrap();
-            p.insert(txn, t, Row::new(vec![Value::U64(i), Value::from("seed")])).unwrap();
-            p.commit(txn).unwrap();
+            p.insert(s, t, Row::new(vec![Value::U64(i), Value::from("seed")])).unwrap();
+            p.commit(s).unwrap();
         }
         p.take_cold_backup().unwrap();
         (p, t)
@@ -508,11 +508,11 @@ mod tests {
             StandbyServer::instantiate(&p, "STBY", Arc::clone(&clock), DiskLayout::four_disk(), cfg(64))
                 .unwrap();
         // Generate enough work to switch logs several times (archives ship).
+        let s = p.connect().unwrap();
         for i in 100..300 {
-            let txn = p.begin().unwrap();
-            p.insert(txn, t, Row::new(vec![Value::U64(i), Value::from("workload-row-payload")]))
+            p.insert(s, t, Row::new(vec![Value::U64(i), Value::from("workload-row-payload")]))
                 .unwrap();
-            p.commit(txn).unwrap();
+            p.commit(s).unwrap();
             sb.sync(&p).unwrap();
         }
         assert!(sb.archives_shipped > 0, "archives must have shipped");
@@ -531,9 +531,9 @@ mod tests {
         // (never archived) group are lost.
         assert!(rows.len() < 10 + 200, "tail of redo must be lost");
         // The stand-by accepts new work.
-        let txn = srv.begin().unwrap();
-        srv.insert(txn, t, Row::new(vec![Value::U64(9_999), Value::from("post-failover")])).unwrap();
-        srv.commit(txn).unwrap();
+        let s = srv.connect().unwrap();
+        srv.insert(s, t, Row::new(vec![Value::U64(9_999), Value::from("post-failover")])).unwrap();
+        srv.commit(s).unwrap();
     }
 
     #[test]
@@ -544,10 +544,10 @@ mod tests {
             StandbyServer::instantiate(&p, "STBY", Arc::clone(&clock), DiskLayout::four_disk(), cfg(64))
                 .unwrap();
         // A little work — not enough to fill a 64 KiB log.
+        let s = p.connect().unwrap();
         for i in 100..105 {
-            let txn = p.begin().unwrap();
-            p.insert(txn, t, Row::new(vec![Value::U64(i), Value::from("x")])).unwrap();
-            p.commit(txn).unwrap();
+            p.insert(s, t, Row::new(vec![Value::U64(i), Value::from("x")])).unwrap();
+            p.commit(s).unwrap();
         }
         p.shutdown_abort().unwrap();
         sb.sync(&p).unwrap();

@@ -43,6 +43,15 @@ pub struct EngineStats {
     pub media_recoveries: u64,
     /// Point-in-time (incomplete) recoveries performed.
     pub incomplete_recoveries: u64,
+    /// Statements that blocked on a contended row lock.
+    pub lock_waits: u64,
+    /// Lock waits that resolved with a grant (the rest aborted or were
+    /// severed by recovery).
+    pub lock_grants: u64,
+    /// Total simulated microseconds spent waiting for granted locks.
+    pub lock_wait_micros: u64,
+    /// Deadlocks detected (one victim aborted each).
+    pub deadlocks: u64,
 }
 
 impl EngineStats {
@@ -77,6 +86,10 @@ impl EngineStats {
             incomplete_recoveries: self
                 .incomplete_recoveries
                 .saturating_sub(earlier.incomplete_recoveries),
+            lock_waits: self.lock_waits.saturating_sub(earlier.lock_waits),
+            lock_grants: self.lock_grants.saturating_sub(earlier.lock_grants),
+            lock_wait_micros: self.lock_wait_micros.saturating_sub(earlier.lock_wait_micros),
+            deadlocks: self.deadlocks.saturating_sub(earlier.deadlocks),
         }
     }
 }

@@ -38,6 +38,19 @@ impl fmt::Display for TxnId {
     }
 }
 
+/// Session identifier: one connected client of a [`crate::DbServer`].
+///
+/// Sessions are volatile — an instance crash disconnects every session —
+/// and are never reused within one server's lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SessionId(pub u64);
+
+impl fmt::Display for SessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sess#{}", self.0)
+    }
+}
+
 /// Identifier of a user (schema owner).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct UserId(pub u32);
@@ -135,6 +148,7 @@ mod tests {
     #[test]
     fn display_forms() {
         assert_eq!(Scn(7).to_string(), "scn#7");
+        assert_eq!(SessionId(5).to_string(), "sess#5");
         assert_eq!(
             RowId { file: FileNo(3), block: 9, slot: 2 }.to_string(),
             "3:9:2"

@@ -248,10 +248,10 @@ mod tests {
     fn healthy_database_verifies_clean() {
         let mut srv = server();
         let t = srv.table_id("T").unwrap();
+        let s = srv.connect().unwrap();
         for i in 0..25u64 {
-            let txn = srv.begin().unwrap();
-            srv.insert(txn, t, Row::new(vec![Value::U64(i), Value::from("v")])).unwrap();
-            srv.commit(txn).unwrap();
+            srv.insert(s, t, Row::new(vec![Value::U64(i), Value::from("v")])).unwrap();
+            srv.commit(s).unwrap();
         }
         let report = srv.verify_integrity().unwrap();
         assert!(report.is_clean(), "violations: {:?}", report.violations);
@@ -264,10 +264,10 @@ mod tests {
     fn verify_survives_recovery_round_trip() {
         let mut srv = server();
         let t = srv.table_id("T").unwrap();
+        let s = srv.connect().unwrap();
         for i in 0..30u64 {
-            let txn = srv.begin().unwrap();
-            srv.insert(txn, t, Row::new(vec![Value::U64(i), Value::from("v")])).unwrap();
-            srv.commit(txn).unwrap();
+            srv.insert(s, t, Row::new(vec![Value::U64(i), Value::from("v")])).unwrap();
+            srv.commit(s).unwrap();
         }
         srv.shutdown_abort().unwrap();
         srv.startup().unwrap();
@@ -300,9 +300,9 @@ mod tests {
     fn stale_index_entry_is_detected() {
         let mut srv = server();
         let t = srv.table_id("T").unwrap();
-        let txn = srv.begin().unwrap();
-        let rid = srv.insert(txn, t, Row::new(vec![Value::U64(1), Value::from("v")])).unwrap();
-        srv.commit(txn).unwrap();
+        let s = srv.connect().unwrap();
+        let rid = srv.insert(s, t, Row::new(vec![Value::U64(1), Value::from("v")])).unwrap();
+        srv.commit(s).unwrap();
         // Corrupt the index directly: remove the entry behind the heap's back.
         let inst = srv.inst.as_mut().unwrap();
         let row = Row::new(vec![Value::U64(1), Value::from("v")]);

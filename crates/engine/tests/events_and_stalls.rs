@@ -28,12 +28,13 @@ fn server(groups: u32, redo_kb: u64, archive: bool) -> DbServer {
 
 fn churn_from(srv: &mut DbServer, start: u64, n: u64) {
     let t = srv.table_id("T").unwrap();
+    let s = srv.connect().unwrap();
     for i in start..start + n {
-        let txn = srv.begin().unwrap();
-        srv.insert(txn, t, Row::new(vec![Value::U64(i), Value::from("some-payload-bytes-here")]))
+        srv.insert(s, t, Row::new(vec![Value::U64(i), Value::from("some-payload-bytes-here")]))
             .unwrap();
-        srv.commit(txn).unwrap();
+        srv.commit(s).unwrap();
     }
+    srv.disconnect(s);
 }
 
 fn churn(srv: &mut DbServer, n: u64) {

@@ -265,17 +265,18 @@ mod tests {
         )
         .unwrap();
         let t = srv.table_id("STOCK").unwrap();
+        let s = srv.connect().unwrap();
         for i in 0..30 {
-            let txn = srv.begin().unwrap();
-            srv.insert(txn, t, Row::new(vec![Value::U64(i), Value::from("stock-row")])).unwrap();
-            srv.commit(txn).unwrap();
+            srv.insert(s, t, Row::new(vec![Value::U64(i), Value::from("stock-row")])).unwrap();
+            srv.commit(s).unwrap();
         }
         srv.take_cold_backup().unwrap();
+        let s = srv.connect().unwrap();
         for i in 30..60 {
-            let txn = srv.begin().unwrap();
-            srv.insert(txn, t, Row::new(vec![Value::U64(i), Value::from("stock-row")])).unwrap();
-            srv.commit(txn).unwrap();
+            srv.insert(s, t, Row::new(vec![Value::U64(i), Value::from("stock-row")])).unwrap();
+            srv.commit(s).unwrap();
         }
+        srv.disconnect(s);
         srv
     }
 

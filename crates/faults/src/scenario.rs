@@ -147,18 +147,19 @@ mod tests {
         )
         .unwrap();
         let t = srv.table_id("STOCK").unwrap();
+        let s = srv.connect().unwrap();
         for i in 0..20 {
-            let txn = srv.begin().unwrap();
-            srv.insert(txn, t, Row::new(vec![Value::U64(i), Value::from("pre-backup")])).unwrap();
-            srv.commit(txn).unwrap();
+            srv.insert(s, t, Row::new(vec![Value::U64(i), Value::from("pre-backup")])).unwrap();
+            srv.commit(s).unwrap();
         }
         srv.take_cold_backup().unwrap();
+        let s = srv.connect().unwrap();
         for i in 20..160 {
-            let txn = srv.begin().unwrap();
-            srv.insert(txn, t, Row::new(vec![Value::U64(i), Value::from("post-backup-payload")]))
+            srv.insert(s, t, Row::new(vec![Value::U64(i), Value::from("post-backup-payload")]))
                 .unwrap();
-            srv.commit(txn).unwrap();
+            srv.commit(s).unwrap();
         }
+        srv.disconnect(s);
         assert!(srv.stats().archives_created > 0, "archives exist to sabotage");
         srv
     }
@@ -170,9 +171,10 @@ mod tests {
         assert!(destroyed > 1);
         // Service is untouched: the first fault is invisible.
         let t = srv.table_id("STOCK").unwrap();
-        let txn = srv.begin().unwrap();
-        srv.insert(txn, t, Row::new(vec![Value::U64(999), Value::from("still fine")])).unwrap();
-        srv.commit(txn).unwrap();
+        let s = srv.connect().unwrap();
+        srv.insert(s, t, Row::new(vec![Value::U64(999), Value::from("still fine")])).unwrap();
+        srv.commit(s).unwrap();
+        srv.disconnect(s);
         assert!(srv.is_open());
     }
 

@@ -261,6 +261,10 @@ impl TortureRunner {
             });
         }
 
+        // Drain in-flight terminals: the differential oracle compares
+        // committed state, so an open transaction or a parked lock wait
+        // must not linger into the diff.
+        driver.quiesce(&mut srv);
         let timeline = driver.availability_timeline(t0, end);
         let divergences = if unrecoverable || !srv.is_open() {
             Vec::new()

@@ -186,9 +186,10 @@ mod tests {
         // Corrupt W_YTD out from under the districts.
         let (rid, mut row) = srv.peek_scan(schema.warehouse).unwrap().remove(0);
         row.set(schema::warehouse::W_YTD, Value::I64(1));
-        let txn = srv.begin().unwrap();
-        srv.update(txn, schema.warehouse, rid, row).unwrap();
-        srv.commit(txn).unwrap();
+        let s = srv.connect().unwrap();
+        srv.update(s, schema.warehouse, rid, row).unwrap();
+        srv.commit(s).unwrap();
+        srv.disconnect(s);
         let report = check_consistency(&srv, &schema).unwrap();
         assert_eq!(report.violation_count(), 1);
         assert!(report.violations[0].starts_with("C1"));
@@ -198,9 +199,9 @@ mod tests {
     fn detects_c2_and_c4_violations() {
         let (mut srv, schema) = loaded();
         // A phantom order header with no lines breaks both C2 and C4.
-        let txn = srv.begin().unwrap();
+        let s = srv.connect().unwrap();
         srv.insert(
-            txn,
+            s,
             schema.orders,
             Row::new(vec![
                 Value::U64(1),
@@ -213,7 +214,8 @@ mod tests {
             ]),
         )
         .unwrap();
-        srv.commit(txn).unwrap();
+        srv.commit(s).unwrap();
+        srv.disconnect(s);
         let report = check_consistency(&srv, &schema).unwrap();
         assert!(!report.is_consistent());
         assert!(report.violations.iter().any(|v| v.starts_with("C2")));

@@ -2,6 +2,16 @@
 //! emulator", extended (as §4 of the paper describes) to record the base
 //! data for the recovery and integrity measures.
 //!
+//! The driver multiplexes N simulated terminals onto one single-threaded
+//! server as a discrete-event scheduler: each terminal cycles through
+//! *think → keying → statements → commit*, yielding to the other
+//! terminals between statements. A statement that hits a lock conflict
+//! parks its terminal (no reschedule) until the engine reports the grant;
+//! a deadlock victim rolls back and replays the same transaction after a
+//! think time. Interleaving arises naturally because every engine call
+//! advances the shared [`SimClock`](recobench_sim::SimClock) while other
+//! terminals' ready times stand still.
+//!
 //! Every measure is taken **from the end-user point of view**:
 //!
 //! * *throughput* (tpmC) counts committed New-Order transactions per
@@ -13,12 +23,12 @@
 //! * *lost transactions* are commit acknowledgements recorded client-side
 //!   whose effects are absent from the database after recovery.
 
-use recobench_engine::{DbError, DbServer};
+use recobench_engine::{DbError, DbResult, DbServer, SessionId};
 use recobench_sim::{EventQueue, SimDuration, SimRng, SimTime};
 use serde::{Deserialize, Serialize};
 
 use crate::schema::{ix, TpccSchema};
-use crate::tx::{self, Audit, TxnKind};
+use crate::tx::{Audit, InFlight, StmtResult, TxnKind};
 use recobench_engine::row::Value;
 
 /// Driver configuration.
@@ -26,19 +36,31 @@ use recobench_engine::row::Value;
 pub struct DriverConfig {
     /// Number of emulated terminals.
     pub terminals: usize,
-    /// Mean keying+think time between a terminal's transactions
-    /// (uniformly jittered ±50 %). Scaled down from the spec's tens of
-    /// seconds, like the database itself.
+    /// Mean think time between a terminal's transactions (uniformly
+    /// jittered ±50 %). Scaled down from the spec's tens of seconds, like
+    /// the database itself.
     pub mean_think: SimDuration,
+    /// Mean keying time between drawing a transaction's inputs and
+    /// submitting its first statement (uniformly jittered ±50 %).
+    #[serde(default = "default_mean_keying")]
+    pub mean_keying: SimDuration,
     /// How long a terminal waits before retrying after an error.
     pub retry_interval: SimDuration,
 }
 
+fn default_mean_keying() -> SimDuration {
+    SimDuration::from_millis(90)
+}
+
 impl Default for DriverConfig {
     fn default() -> Self {
+        // Think + keying sum to the 340 ms cycle the calibration was done
+        // against (DESIGN.md §6): the old single think time implicitly
+        // lumped keying, so splitting it must not change the redo rate.
         DriverConfig {
             terminals: 12,
-            mean_think: SimDuration::from_millis(340),
+            mean_think: SimDuration::from_millis(250),
+            mean_keying: default_mean_keying(),
             retry_interval: SimDuration::from_millis(1_000),
         }
     }
@@ -141,6 +163,27 @@ pub struct MixCounts {
     pub stock_level: u64,
 }
 
+/// One emulated terminal: its engine session, the transaction it is in the
+/// middle of (if any), and whether it is parked on a lock wait.
+#[derive(Debug, Default)]
+struct Terminal {
+    sid: Option<SessionId>,
+    inflight: Option<InFlight>,
+    blocked: bool,
+}
+
+/// What to do with a terminal after one of its statements ran.
+enum StmtFate {
+    /// More statements remain; terminal stays runnable.
+    Continue,
+    /// Terminal parked on a lock wait; the grant will reschedule it.
+    Parked,
+    /// Deadlock victim: rolled back, transaction will replay.
+    Replay,
+    /// The transaction finished or failed.
+    Finished(StepEvent),
+}
+
 /// The terminal driver.
 #[derive(Debug)]
 pub struct TpccDriver {
@@ -148,6 +191,7 @@ pub struct TpccDriver {
     cfg: DriverConfig,
     rng: SimRng,
     ready: EventQueue<usize>,
+    terminals: Vec<Terminal>,
     /// Client-side audit log of acknowledged New-Order commits.
     committed_orders: Vec<CommittedOrder>,
     /// Timestamps of every successful transaction completion.
@@ -157,6 +201,7 @@ pub struct TpccDriver {
     counts: MixCounts,
     attempted: u64,
     deliberate_rollbacks: u64,
+    deadlock_aborts: u64,
 }
 
 impl TpccDriver {
@@ -169,23 +214,26 @@ impl TpccDriver {
             let offset = SimDuration::from_micros(rng.gen_range(0..cfg.mean_think.as_micros().max(1)));
             ready.push(start + offset, t);
         }
+        let terminals = (0..cfg.terminals).map(|_| Terminal::default()).collect();
         TpccDriver {
             schema,
             cfg,
             rng,
             ready,
+            terminals,
             committed_orders: Vec::new(),
             successes: Vec::new(),
             errors: Vec::new(),
             counts: MixCounts::default(),
             attempted: 0,
             deliberate_rollbacks: 0,
+            deadlock_aborts: 0,
         }
     }
 
-    /// When the next terminal is ready to submit a transaction.
+    /// When the next terminal is ready to run.
     pub fn next_ready(&self) -> SimTime {
-        self.ready.peek_time().expect("terminals are always rescheduled")
+        self.ready.peek_time().expect("runnable terminals are always rescheduled")
     }
 
     fn think(&mut self) -> SimDuration {
@@ -193,19 +241,74 @@ impl TpccDriver {
         SimDuration::from_micros(self.rng.gen_range(mean / 2..=mean * 3 / 2))
     }
 
-    /// Runs one terminal's next transaction against `server`, advancing
-    /// the shared clock through the terminal's ready time and the
-    /// transaction's execution.
-    pub fn step(&mut self, server: &mut DbServer) -> StepEvent {
-        let (ready_at, terminal) = self.ready.pop().expect("terminals are always rescheduled");
-        server.clock().advance_to(ready_at);
-        server.poll();
-        let kind = TxnKind::draw(&mut self.rng);
-        self.attempted += 1;
-        let result = tx::execute(server, &self.schema, &mut self.rng, kind);
+    fn keying(&mut self) -> SimDuration {
+        let mean = self.cfg.mean_keying.as_micros().max(1);
+        SimDuration::from_micros(self.rng.gen_range(mean / 2..=mean * 3 / 2))
+    }
+
+    /// Unparks terminals whose pending lock the engine granted since the
+    /// last call, rescheduling each at its grant instant.
+    fn wake_granted(&mut self, server: &mut DbServer) {
+        for (sid, at) in server.take_lock_grants() {
+            if let Some(t) = self.terminals.iter().position(|term| term.sid == Some(sid)) {
+                if self.terminals[t].blocked {
+                    self.terminals[t].blocked = false;
+                    self.ready.push(at, t);
+                }
+            }
+        }
+    }
+
+    /// Fails parked terminals whose session the server severed (crash,
+    /// cold backup, recovery): their grant will never come, so the client
+    /// sees an error and retries from scratch after the retry interval.
+    fn sweep_severed(&mut self, server: &mut DbServer) {
+        let now = server.clock().now();
+        for t in 0..self.terminals.len() {
+            let severed = {
+                let term = &self.terminals[t];
+                term.blocked && !term.sid.is_some_and(|sid| server.session_exists(sid))
+            };
+            if severed {
+                let term = &mut self.terminals[t];
+                term.blocked = false;
+                term.sid = None;
+                term.inflight = None;
+                self.errors.push(now);
+                self.ready.push(now + self.cfg.retry_interval, t);
+            }
+        }
+    }
+
+    fn ensure_session(&mut self, server: &mut DbServer, t: usize) -> DbResult<()> {
+        match self.terminals[t].sid {
+            Some(sid) if server.session_exists(sid) => Ok(()),
+            _ => {
+                let sid = server.connect()?;
+                self.terminals[t].sid = Some(sid);
+                Ok(())
+            }
+        }
+    }
+
+    /// Runs one statement of terminal `t`'s in-flight transaction and
+    /// classifies the outcome. Does not reschedule — the caller owns the
+    /// scheduling policy (stepping vs draining).
+    fn run_statement(&mut self, server: &mut DbServer, t: usize) -> StmtFate {
+        let sid = self.terminals[t].sid.expect("an in-flight terminal keeps its session");
+        let result = {
+            let schema = self.schema;
+            self.terminals[t]
+                .inflight
+                .as_mut()
+                .expect("caller checked in-flight")
+                .step(server, sid, &schema)
+        };
         let now = server.clock().now();
         match result {
-            Ok(outcome) => {
+            Ok(StmtResult::Continue) => StmtFate::Continue,
+            Ok(StmtResult::Done(outcome)) => {
+                self.terminals[t].inflight = None;
                 if outcome.committed {
                     self.successes.push(now);
                     match outcome.kind {
@@ -221,15 +324,160 @@ impl TpccDriver {
                 } else {
                     self.deliberate_rollbacks += 1;
                 }
-                let think = self.think();
-                self.ready.push(now + think, terminal);
-                StepEvent { at: now, kind, ok: outcome.committed, error: false }
+                StmtFate::Finished(StepEvent { at: now, kind: outcome.kind, ok: outcome.committed, error: false })
+            }
+            Err(DbError::LockWait { .. }) => {
+                self.terminals[t].blocked = true;
+                StmtFate::Parked
+            }
+            Err(DbError::Deadlock { .. }) => {
+                // This transaction is the victim: the engine already chose
+                // it deterministically. Roll back (releasing our locks and
+                // waking the survivor) and replay the same inputs.
+                let _ = server.rollback(sid);
+                self.deadlock_aborts += 1;
+                if let Some(f) = self.terminals[t].inflight.as_mut() {
+                    f.restart();
+                }
+                StmtFate::Replay
             }
             Err(_e) => {
+                let kind = self.terminals[t]
+                    .inflight
+                    .as_ref()
+                    .map_or(TxnKind::NewOrder, InFlight::kind);
+                let _ = server.rollback(sid);
+                if !server.session_exists(sid) {
+                    self.terminals[t].sid = None;
+                }
+                self.terminals[t].inflight = None;
+                self.terminals[t].blocked = false;
                 self.errors.push(now);
-                self.ready.push(now + self.cfg.retry_interval, terminal);
-                StepEvent { at: now, kind, ok: false, error: true }
+                StmtFate::Finished(StepEvent { at: now, kind, ok: false, error: true })
             }
+        }
+    }
+
+    /// Advances the simulation until one terminal's transaction completes
+    /// (or fails), interleaving other terminals' statements along the way.
+    /// The shared clock moves through ready times and the engine work each
+    /// statement performs.
+    pub fn step(&mut self, server: &mut DbServer) -> StepEvent {
+        loop {
+            self.wake_granted(server);
+            self.sweep_severed(server);
+            let (ready_at, t) = self
+                .ready
+                .pop()
+                .expect("a runnable terminal always exists (deadlock detection keeps chains acyclic)");
+            server.clock().advance_to(ready_at);
+            server.poll();
+            let now = server.clock().now();
+            if self.terminals[t].inflight.is_none() {
+                // Idle: draw the next transaction and key it in.
+                let kind = TxnKind::draw(&mut self.rng);
+                self.attempted += 1;
+                if self.ensure_session(server, t).is_err() {
+                    self.errors.push(now);
+                    self.ready.push(now + self.cfg.retry_interval, t);
+                    return StepEvent { at: now, kind, ok: false, error: true };
+                }
+                let inflight = InFlight::new(&self.schema, &mut self.rng, kind, now.as_micros());
+                self.terminals[t].inflight = Some(inflight);
+                let keying = self.keying();
+                self.ready.push(now + keying, t);
+                continue;
+            }
+            match self.run_statement(server, t) {
+                StmtFate::Continue => {
+                    // Yield between statements: equal-time FIFO lets other
+                    // ready terminals interleave.
+                    self.ready.push(server.clock().now(), t);
+                }
+                StmtFate::Parked => {}
+                StmtFate::Replay => {
+                    let think = self.think();
+                    self.ready.push(server.clock().now() + think, t);
+                }
+                StmtFate::Finished(ev) => {
+                    let delay = if ev.error { self.cfg.retry_interval } else { self.think() };
+                    self.ready.push(ev.at + delay, t);
+                    return ev;
+                }
+            }
+        }
+    }
+
+    /// Drops every terminal's client-side connection state. The harness
+    /// calls this when it redirects the driver at a *different* server
+    /// (stand-by failover): the old node's session ids mean nothing there
+    /// and could even collide with ids the new node hands out. Terminals
+    /// that were mid-transaction record a client-visible error and retry.
+    pub fn sever_all(&mut self, now: SimTime) {
+        for t in 0..self.terminals.len() {
+            let term = &mut self.terminals[t];
+            let had_work = term.inflight.is_some();
+            term.sid = None;
+            term.inflight = None;
+            if term.blocked {
+                // Parked terminals are not in the ready queue; requeue.
+                term.blocked = false;
+                self.ready.push(now + self.cfg.retry_interval, t);
+            }
+            if had_work {
+                self.errors.push(now);
+            }
+        }
+    }
+
+    /// Drains every in-flight transaction to completion without starting
+    /// new ones, then rolls back and disconnects whatever could not finish
+    /// and reseeds the ready queue. The experiment harness calls this
+    /// before evaluating oracles so no uncommitted terminal state shadows
+    /// the comparison.
+    pub fn quiesce(&mut self, server: &mut DbServer) {
+        let mut guard = 0u32;
+        while self.terminals.iter().any(|term| term.inflight.is_some()) && guard < 1_000_000 {
+            guard += 1;
+            self.wake_granted(server);
+            self.sweep_severed(server);
+            let Some((ready_at, t)) = self.ready.pop() else { break };
+            server.clock().advance_to(ready_at);
+            server.poll();
+            if self.terminals[t].inflight.is_none() {
+                continue; // drained — do not submit new work
+            }
+            match self.run_statement(server, t) {
+                StmtFate::Continue => {
+                    self.ready.push(server.clock().now(), t);
+                }
+                StmtFate::Parked => {}
+                StmtFate::Replay => {
+                    // Retry immediately: the drain wants completion, not
+                    // realistic pacing.
+                    self.ready.push(server.clock().now(), t);
+                }
+                StmtFate::Finished(_) => {}
+            }
+        }
+        // Force whatever is left (e.g. a terminal parked forever because
+        // the survivor of its conflict was itself drained mid-wait).
+        for term in &mut self.terminals {
+            if let Some(sid) = term.sid.take() {
+                if server.session_exists(sid) {
+                    server.disconnect(sid); // rolls back any open txn
+                }
+            }
+            term.inflight = None;
+            term.blocked = false;
+        }
+        // All terminals idle: reseed the ready queue so stepping can
+        // resume afterwards.
+        self.ready.clear();
+        let now = server.clock().now();
+        for t in 0..self.terminals.len() {
+            let offset = SimDuration::from_micros(self.rng.gen_range(0..self.cfg.mean_think.as_micros().max(1)));
+            self.ready.push(now + offset, t);
         }
     }
 
@@ -309,7 +557,8 @@ impl TpccDriver {
         self.counts
     }
 
-    /// Attempts, including failures and deliberate rollbacks.
+    /// Attempts, including failures and deliberate rollbacks. A deadlock
+    /// replay is the *same* attempt, not a new one.
     pub fn attempted(&self) -> u64 {
         self.attempted
     }
@@ -317,6 +566,11 @@ impl TpccDriver {
     /// Errored attempts so far.
     pub fn error_count(&self) -> u64 {
         self.errors.len() as u64
+    }
+
+    /// Transactions aborted as deadlock victims and replayed.
+    pub fn deadlock_aborts(&self) -> u64 {
+        self.deadlock_aborts
     }
 
     /// Every errored attempt's timestamp, in submission order — the raw
@@ -398,6 +652,17 @@ mod tests {
         (srv, schema)
     }
 
+    /// Aggressive pacing: near-zero think/keying keeps many transactions
+    /// in flight at once, forcing lock contention on the tiny scale.
+    fn contended_cfg(terminals: usize) -> DriverConfig {
+        DriverConfig {
+            terminals,
+            mean_think: SimDuration::from_micros(200),
+            mean_keying: SimDuration::from_micros(50),
+            retry_interval: SimDuration::from_millis(100),
+        }
+    }
+
     #[test]
     fn driver_executes_and_advances_time() {
         let (mut srv, schema) = loaded();
@@ -411,7 +676,34 @@ mod tests {
         assert!(driver.counts().new_order > 0);
         assert!(driver.counts().payment > 0);
         assert_eq!(driver.error_count(), 0);
-        assert_eq!(driver.attempted(), 200);
+        // Completions pace attempts: every step finishes one transaction,
+        // and at most `terminals` submissions are still in flight.
+        assert!(driver.attempted() >= 200);
+        assert!(driver.attempted() <= 200 + DriverConfig::default().terminals as u64);
+        driver.quiesce(&mut srv);
+        assert_eq!(srv.session_count(), 0, "quiesce disconnects every terminal");
+    }
+
+    #[test]
+    fn contended_run_interleaves_waits_and_stays_consistent() {
+        let (mut srv, schema) = loaded();
+        let start = srv.clock().now();
+        let mut driver = TpccDriver::new(schema, contended_cfg(8), SimRng::seed_from(9), start);
+        for _ in 0..400 {
+            driver.step(&mut srv);
+        }
+        driver.quiesce(&mut srv);
+        let stats = srv.stats();
+        assert!(stats.lock_waits > 0, "8 fast terminals on tiny scale must contend");
+        assert!(
+            stats.lock_grants <= stats.lock_waits,
+            "a grant only ever resolves a recorded wait"
+        );
+        assert_eq!(driver.deadlock_aborts(), stats.deadlocks, "driver and engine agree");
+        assert_eq!(driver.error_count(), 0, "waits and deadlocks are not client errors");
+        let report = crate::consistency::check_consistency(&srv, &schema).unwrap();
+        assert!(report.is_consistent(), "violations: {:?}", report.violations);
+        assert!(srv.verify_integrity().unwrap().is_clean());
     }
 
     #[test]
@@ -541,5 +833,28 @@ mod tests {
         }
         srv.recover_database_until(stop).unwrap();
         assert!(driver.audit_lost_orders(&srv).unwrap() > 0, "PITR sacrifices the tail");
+    }
+
+    #[test]
+    fn same_seed_same_terminals_is_deterministic() {
+        let run = |seed: u64| {
+            let (mut srv, schema) = loaded();
+            let start = srv.clock().now();
+            let mut driver = TpccDriver::new(schema, contended_cfg(8), SimRng::seed_from(seed), start);
+            let mut trace = Vec::new();
+            for _ in 0..150 {
+                let ev = driver.step(&mut srv);
+                trace.push((ev.at, ev.kind, ev.ok, ev.error));
+            }
+            driver.quiesce(&mut srv);
+            (trace, srv.peek_scan(schema.orders).unwrap(), srv.stats().deadlocks)
+        };
+        let (t1, rows1, d1) = run(7);
+        let (t2, rows2, d2) = run(7);
+        assert_eq!(t1, t2, "step traces replay byte-identically");
+        assert_eq!(rows1, rows2, "final table state replays identically");
+        assert_eq!(d1, d2);
+        let (t3, _, _) = run(8);
+        assert_ne!(t1, t3, "a different seed takes a different path");
     }
 }

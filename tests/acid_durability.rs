@@ -38,19 +38,18 @@ fn account(id: u64, balance: i64) -> Row {
 fn atomicity_transfer_is_all_or_nothing_across_crash() {
     let mut srv = server();
     let t = srv.table_id("ACCOUNTS").unwrap();
-    let txn = srv.begin().unwrap();
-    let a = srv.insert(txn, t, account(1, 100)).unwrap();
-    let b = srv.insert(txn, t, account(2, 100)).unwrap();
-    srv.commit(txn).unwrap();
+    let s1 = srv.connect().unwrap();
+    let a = srv.insert(s1, t, account(1, 100)).unwrap();
+    let b = srv.insert(s1, t, account(2, 100)).unwrap();
+    srv.commit(s1).unwrap();
 
     // A transfer that crashes mid-flight must leave both sides intact.
-    let txn = srv.begin().unwrap();
-    srv.update(txn, t, a, account(1, 0)).unwrap();
+    srv.update(s1, t, a, account(1, 0)).unwrap();
     // Force the half-done change into the durable log via an unrelated
-    // commit, then crash before the transfer commits.
-    let txn2 = srv.begin().unwrap();
-    let c = srv.insert(txn2, t, account(3, 7)).unwrap();
-    srv.commit(txn2).unwrap();
+    // session's commit, then crash before the transfer commits.
+    let s2 = srv.connect().unwrap();
+    let c = srv.insert(s2, t, account(3, 7)).unwrap();
+    srv.commit(s2).unwrap();
     srv.shutdown_abort().unwrap();
     srv.startup().unwrap();
 
@@ -75,9 +74,10 @@ fn durability_every_acked_commit_survives_repeated_crashes() {
     for round in 0..5u64 {
         for i in 0..20u64 {
             let id = round * 100 + i;
-            let txn = srv.begin().unwrap();
-            srv.insert(txn, t, account(id, id as i64)).unwrap();
-            srv.commit(txn).unwrap();
+            let s = srv.connect().unwrap();
+            srv.insert(s, t, account(id, id as i64)).unwrap();
+            srv.commit(s).unwrap();
+            srv.disconnect(s);
             acked.push(id);
         }
         srv.shutdown_abort().unwrap();
@@ -93,37 +93,126 @@ fn durability_every_acked_commit_survives_repeated_crashes() {
 }
 
 #[test]
-fn isolation_conflicting_writes_are_rejected() {
+fn isolation_conflicting_write_waits_and_rollback_cancels_the_wait() {
     let mut srv = server();
     let t = srv.table_id("ACCOUNTS").unwrap();
-    let txn = srv.begin().unwrap();
-    let a = srv.insert(txn, t, account(1, 50)).unwrap();
-    srv.commit(txn).unwrap();
+    let s1 = srv.connect().unwrap();
+    let a = srv.insert(s1, t, account(1, 50)).unwrap();
+    srv.commit(s1).unwrap();
 
-    let t1 = srv.begin().unwrap();
-    srv.update(t1, t, a, account(1, 60)).unwrap();
-    let t2 = srv.begin().unwrap();
-    let err = srv.update(t2, t, a, account(1, 70)).unwrap_err();
-    assert!(matches!(err, DbError::LockConflict { .. }));
-    srv.rollback(t2).unwrap();
-    srv.commit(t1).unwrap();
+    srv.update(s1, t, a, account(1, 60)).unwrap();
+    let s2 = srv.connect().unwrap();
+    let err = srv.update(s2, t, a, account(1, 70)).unwrap_err();
+    let holder = srv.session_txn_id(s1).unwrap();
+    assert!(
+        matches!(err, DbError::LockWait { holder: h } if h == holder),
+        "second writer queues behind the first: {err}"
+    );
+    // Rolling the waiter back cancels its queued request, so the later
+    // commit grants the lock to nobody.
+    srv.rollback(s2).unwrap();
+    srv.commit(s1).unwrap();
+    assert!(srv.take_lock_grants().is_empty(), "cancelled wait must not be granted");
     assert_eq!(srv.get_row(t, a).unwrap(), account(1, 60));
+}
+
+#[test]
+fn isolation_deadlock_aborts_the_closing_requester_only() {
+    let mut srv = server();
+    let t = srv.table_id("ACCOUNTS").unwrap();
+    let s1 = srv.connect().unwrap();
+    let a = srv.insert(s1, t, account(1, 10)).unwrap();
+    let b = srv.insert(s1, t, account(2, 20)).unwrap();
+    srv.commit(s1).unwrap();
+
+    let s2 = srv.connect().unwrap();
+    srv.update(s1, t, a, account(1, 11)).unwrap();
+    srv.update(s2, t, b, account(2, 21)).unwrap();
+    // s1 queues behind s2 on `b`…
+    assert!(matches!(srv.update(s1, t, b, account(2, 22)), Err(DbError::LockWait { .. })));
+    // …so s2 asking for `a` closes the cycle and dies as the victim.
+    let err = srv.update(s2, t, a, account(1, 12)).unwrap_err();
+    let victim = srv.session_txn_id(s2).unwrap();
+    match err {
+        DbError::Deadlock { victim: v, cycle } => {
+            assert_eq!(v, victim, "the requester that closed the cycle is the victim");
+            assert!(cycle.contains(&victim));
+        }
+        other => panic!("expected a deadlock, got {other}"),
+    }
+    srv.rollback(s2).unwrap();
+    // The victim's rollback frees `b`; the survivor is granted its wait
+    // and finishes the transfer.
+    let grants = srv.take_lock_grants();
+    assert_eq!(grants.len(), 1);
+    assert_eq!(grants[0].0, s1);
+    srv.update(s1, t, b, account(2, 22)).unwrap();
+    srv.commit(s1).unwrap();
+    assert_eq!(srv.get_row(t, a).unwrap(), account(1, 11));
+    assert_eq!(srv.get_row(t, b).unwrap(), account(2, 22));
+    let stats = srv.stats();
+    assert_eq!(stats.deadlocks, 1);
+    assert!(stats.lock_waits >= 1 && stats.lock_grants >= 1);
+}
+
+#[test]
+fn isolation_vacated_unique_key_blocks_the_reinserter() {
+    // An uncommitted delete leaves its unique key out of the index, but
+    // the key is not free: rollback would resurrect it. A concurrent
+    // insert of the same key must queue behind the deleting transaction
+    // and, once the delete commits, succeed on retry.
+    let mut srv = server();
+    let t = srv.table_id("ACCOUNTS").unwrap();
+    let s1 = srv.connect().unwrap();
+    let a = srv.insert(s1, t, account(1, 50)).unwrap();
+    srv.commit(s1).unwrap();
+
+    srv.delete(s1, t, a).unwrap();
+    let s2 = srv.connect().unwrap();
+    let holder = srv.session_txn_id(s1).unwrap();
+    let err = srv.insert(s2, t, account(1, 99)).unwrap_err();
+    assert!(
+        matches!(err, DbError::LockWait { holder: h } if h == holder),
+        "reinserter queues behind the uncommitted delete: {err}"
+    );
+    srv.commit(s1).unwrap();
+    let grants = srv.take_lock_grants();
+    assert_eq!(grants.len(), 1);
+    assert_eq!(grants[0].0, s2);
+    let b = srv.insert(s2, t, account(1, 99)).unwrap();
+    srv.commit(s2).unwrap();
+    assert_eq!(srv.get_row(t, b).unwrap(), account(1, 99));
+
+    // The mirror case: if the delete rolls back instead, the retried
+    // insert collides with the resurrected row.
+    srv.delete(s2, t, b).unwrap();
+    assert!(matches!(srv.insert(s1, t, account(1, 7)), Err(DbError::LockWait { .. })));
+    srv.rollback(s2).unwrap();
+    assert_eq!(srv.take_lock_grants().len(), 1);
+    assert!(
+        matches!(srv.insert(s1, t, account(1, 7)), Err(DbError::DuplicateKey { .. })),
+        "rollback resurrected the key, so the retry must now collide"
+    );
+    srv.rollback(s1).unwrap();
+    srv.disconnect(s1);
+    srv.disconnect(s2);
 }
 
 #[test]
 fn media_recovery_reconstructs_committed_state_exactly() {
     let mut srv = server();
     let t = srv.table_id("ACCOUNTS").unwrap();
+    let s = srv.connect().unwrap();
     for i in 0..40u64 {
-        let txn = srv.begin().unwrap();
-        srv.insert(txn, t, account(i, 2 * i as i64)).unwrap();
-        srv.commit(txn).unwrap();
+        srv.insert(s, t, account(i, 2 * i as i64)).unwrap();
+        srv.commit(s).unwrap();
     }
+    // The cold backup severs every session; reconnect for the tail.
     srv.take_cold_backup().unwrap();
+    let s = srv.connect().unwrap();
     for i in 40..80u64 {
-        let txn = srv.begin().unwrap();
-        srv.insert(txn, t, account(i, 2 * i as i64)).unwrap();
-        srv.commit(txn).unwrap();
+        srv.insert(s, t, account(i, 2 * i as i64)).unwrap();
+        srv.commit(s).unwrap();
     }
     let before: Vec<_> = srv.peek_scan(t).unwrap();
 

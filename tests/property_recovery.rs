@@ -52,7 +52,7 @@ fn run_model(ops: &[Op], redo_kb: u64, crash: bool) {
     let t = srv.table_id("KV").unwrap();
     let mut committed: BTreeMap<u64, i64> = BTreeMap::new();
     let mut pending: BTreeMap<u64, Option<i64>> = BTreeMap::new(); // None = deleted
-    let mut txn = srv.begin().unwrap();
+    let s = srv.connect().unwrap();
 
     let lookup = |srv: &mut DbServer, key: u64| {
         srv.lookup(t, 0, &[Value::U64(key)]).unwrap().first().copied()
@@ -61,13 +61,13 @@ fn run_model(ops: &[Op], redo_kb: u64, crash: bool) {
         match op {
             Op::Insert { key, val } => {
                 if lookup(&mut srv, *key).is_none() {
-                    srv.insert(txn, t, Row::new(vec![Value::U64(*key), Value::I64(*val)])).unwrap();
+                    srv.insert(s, t, Row::new(vec![Value::U64(*key), Value::I64(*val)])).unwrap();
                     pending.insert(*key, Some(*val));
                 }
             }
             Op::Update { key, val } => {
                 if let Some(rid) = lookup(&mut srv, *key) {
-                    match srv.update(txn, t, rid, Row::new(vec![Value::U64(*key), Value::I64(*val)]))
+                    match srv.update(s, t, rid, Row::new(vec![Value::U64(*key), Value::I64(*val)]))
                     {
                         Ok(()) => {
                             pending.insert(*key, Some(*val));
@@ -78,13 +78,13 @@ fn run_model(ops: &[Op], redo_kb: u64, crash: bool) {
             }
             Op::Delete { key } => {
                 if let Some(rid) = lookup(&mut srv, *key) {
-                    if srv.delete(txn, t, rid).is_ok() {
+                    if srv.delete(s, t, rid).is_ok() {
                         pending.insert(*key, None);
                     }
                 }
             }
             Op::Commit => {
-                srv.commit(txn).unwrap();
+                srv.commit(s).unwrap();
                 for (k, v) in std::mem::take(&mut pending) {
                     match v {
                         Some(v) => {
@@ -95,12 +95,10 @@ fn run_model(ops: &[Op], redo_kb: u64, crash: bool) {
                         }
                     }
                 }
-                txn = srv.begin().unwrap();
             }
             Op::Rollback => {
-                srv.rollback(txn).unwrap();
+                srv.rollback(s).unwrap();
                 pending.clear();
-                txn = srv.begin().unwrap();
             }
         }
     }
@@ -109,7 +107,8 @@ fn run_model(ops: &[Op], redo_kb: u64, crash: bool) {
         srv.shutdown_abort().unwrap();
         srv.startup().unwrap();
     } else {
-        srv.rollback(txn).unwrap();
+        srv.rollback(s).unwrap();
+        srv.disconnect(s);
     }
 
     let actual: BTreeMap<u64, i64> = srv
@@ -152,17 +151,17 @@ proptest! {
         // the second recovery must not change anything.
         let mut srv = server(64);
         let t = srv.table_id("KV").unwrap();
-        let txn = srv.begin().unwrap();
+        let s = srv.connect().unwrap();
         let mut n = 0u64;
         for op in &ops {
             if let Op::Insert { key, val } = op {
                 if srv.lookup(t, 0, &[Value::U64(*key)]).unwrap().is_empty() {
-                    srv.insert(txn, t, Row::new(vec![Value::U64(*key), Value::I64(*val)])).unwrap();
+                    srv.insert(s, t, Row::new(vec![Value::U64(*key), Value::I64(*val)])).unwrap();
                     n += 1;
                 }
             }
         }
-        srv.commit(txn).unwrap();
+        srv.commit(s).unwrap();
         srv.shutdown_abort().unwrap();
         srv.startup().unwrap();
         let first: Vec<_> = srv.peek_scan(t).unwrap();
