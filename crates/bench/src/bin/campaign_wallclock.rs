@@ -27,7 +27,8 @@ use recobench_engine::redo::{RedoOp, RedoRecord};
 use recobench_engine::row::{encode_key, encode_key_into, Row, Value};
 use recobench_engine::txn::LockTable;
 use recobench_engine::types::{FileNo, ObjectId, RowId, Scn, TxnId};
-use recobench_faults::FaultType;
+use recobench_faults::{FaultSchedule, FaultType, ScheduledFault, StorageFaultType, TortureFaultKind};
+use recobench_oracle::TortureRunner;
 use recobench_sim::{SimDuration, SimTime};
 use recobench_tpcc::{DriverConfig, TpccScale};
 
@@ -76,6 +77,7 @@ fn main() {
     assert_eq!(failures, 0, "campaign had setup failures");
 
     let micro = micro_timings();
+    let storage = storage_fault_cell();
     let rss = peak_rss_bytes();
     // The terminal counts exercised, plus the campaign-wide lock traffic
     // — evidence that the contended cell actually contended.
@@ -92,7 +94,8 @@ fn main() {
          \"terminals\": [{}],\n  \"lock_waits\": {},\n  \"deadlocks\": {},\n  \
          \"wall_clock_secs\": {:.3},\n  \"experiments_per_sec\": {:.3},\n  \
          \"template_hits\": {},\n  \"templates_built\": {},\n  \
-         \"peak_rss_bytes\": {},\n  \"micro_ns\": {{\n    \"row_encode\": {:.1},\n    \
+         \"peak_rss_bytes\": {},\n  \"storage_faults\": {},\n  \
+         \"micro_ns\": {{\n    \"row_encode\": {:.1},\n    \
          \"row_encode_into\": {:.1},\n    \"key_encode\": {:.1},\n    \
          \"key_encode_into\": {:.1},\n    \"redo_record_encode\": {:.1},\n    \
          \"redo_record_encode_into\": {:.1},\n    \
@@ -111,6 +114,7 @@ fn main() {
         report.template_hits(),
         report.templates_built(),
         rss.map_or("null".to_string(), |b| b.to_string()),
+        storage,
         micro.row_encode,
         micro.row_encode_into,
         micro.key_encode,
@@ -200,6 +204,56 @@ fn build_campaign(mode: Mode, seed: u64) -> Vec<Experiment> {
             .build(),
     );
     experiments
+}
+
+/// The storage-faultload cell: one fixed five-fault schedule (torn write,
+/// partial append, bit rot, disk full, slow I/O) against the differential
+/// oracle, reporting per-fault-class recovery time in simulated µs (for
+/// slow I/O, which degrades service without an outage, the window of
+/// degraded operation). The cell fails hard on any divergence — it
+/// doubles as a smoke check of the storage fault layer.
+fn storage_fault_cell() -> String {
+    let classes = [
+        (StorageFaultType::SlowIo, 60),
+        (StorageFaultType::TornWrite, 120),
+        (StorageFaultType::BitRot, 200),
+        (StorageFaultType::DiskFull, 300),
+        (StorageFaultType::PartialAppend, 400),
+    ];
+    let schedule = FaultSchedule {
+        seed: 29,
+        duration_secs: 600,
+        faults: classes
+            .iter()
+            .map(|&(s, at_secs)| ScheduledFault {
+                kind: TortureFaultKind::Storage(s),
+                at_secs,
+            })
+            .collect(),
+    };
+    let outcome = TortureRunner::default().run(&schedule).expect("storage cell setup");
+    assert!(
+        !outcome.diverged() && !outcome.unrecoverable,
+        "storage-fault cell diverged: {:?}",
+        outcome.divergences
+    );
+    let per_class = outcome
+        .faults
+        .iter()
+        .map(|f| {
+            let us = match (f.injected_at, f.ready_at) {
+                (Some(i), Some(r)) if r > i => (r.as_micros() - i.as_micros()).to_string(),
+                _ => "null".to_string(),
+            };
+            format!("\"{}_recovery_us\": {us}", f.scheduled.kind)
+        })
+        .collect::<Vec<_>>()
+        .join(",\n    ");
+    format!(
+        "{{\n    {per_class},\n    \"commits\": {},\n    \"divergences\": {}\n  }}",
+        outcome.commits,
+        outcome.divergences.len()
+    )
 }
 
 struct MicroTimings {

@@ -16,6 +16,10 @@
 //!   diverge; this is how the harness proves the oracle catches real
 //!   corruption, and how corpus reproducers were first harvested.
 //!
+//! `--faultload storage` swaps the sweep's pool for the five
+//! storage-hardware fault kinds (torn/partial/corrupt/full/slow I/O);
+//! `--faultload extended` draws from both pools together.
+//!
 //! Every schedule is derived from `--seed`, so a failing sweep is
 //! reproducible by rerunning with the same seed.
 
@@ -23,17 +27,26 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use recobench_bench::BenchCli;
-use recobench_faults::FaultSchedule;
+use recobench_faults::{FaultSchedule, TortureFaultKind};
 use recobench_oracle::{shrink_schedule, TortureOptions, TortureOutcome, TortureRunner};
 use recobench_sim::SimRng;
 
 fn main() -> ExitCode {
     let cli = BenchCli::parse();
+    let pool = match cli.faultload.as_deref() {
+        None | Some("standard") => TortureFaultKind::all().to_vec(),
+        Some("storage") => TortureFaultKind::storage().to_vec(),
+        Some("extended") => TortureFaultKind::all_extended().to_vec(),
+        Some(other) => {
+            eprintln!("torture: unknown --faultload {other} (standard, storage, extended)");
+            return ExitCode::FAILURE;
+        }
+    };
     let opts = TortureOptions { sabotage_skip_redo: cli.sabotage, ..TortureOptions::default() };
     let runner = TortureRunner::new(opts);
     match &cli.replay {
         Some(path) => replay(&runner, path),
-        None => sweep(&runner, &cli),
+        None => sweep(&runner, &cli, &pool),
     }
 }
 
@@ -67,7 +80,7 @@ fn replay(runner: &TortureRunner, path: &str) -> ExitCode {
     }
 }
 
-fn sweep(runner: &TortureRunner, cli: &BenchCli) -> ExitCode {
+fn sweep(runner: &TortureRunner, cli: &BenchCli, pool: &[TortureFaultKind]) -> ExitCode {
     let budget_secs = cli.sweep_seconds.unwrap_or(60);
     #[allow(clippy::disallowed_methods)] // wall-clock sweep budget is this binary’s purpose
     let started = Instant::now();
@@ -92,7 +105,7 @@ fn sweep(runner: &TortureRunner, cli: &BenchCli) -> ExitCode {
             let idx = runs + i;
             let mut rng = SimRng::seed_from(cli.seed.wrapping_add(idx as u64));
             let n_faults = 1 + idx % 4;
-            let schedule = FaultSchedule::random(&mut rng, n_faults, 300, 30);
+            let schedule = FaultSchedule::random_from(&mut rng, pool, n_faults, 300, 30);
             let outcome = runner.run(&schedule);
             (schedule, outcome)
         });

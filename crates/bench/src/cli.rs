@@ -13,6 +13,10 @@
 //! * `--sweep-seconds N` / `--runs N` / `--replay PATH` / `--sabotage N`
 //!   — the torture binary's sweep budget, exact run count, single-schedule
 //!   replay mode and self-test sabotage (see `src/bin/torture.rs`);
+//! * `--faultload NAME` — the torture sweep's fault pool: `standard`
+//!   (the seven operator faults, the default), `storage` (the five
+//!   storage-hardware faults: torn/partial/corrupt/full/slow I/O), or
+//!   `extended` (both pools together);
 //! * `--max-wall-secs N` — fail the run (exit 1) if the campaign takes
 //!   longer than `N` seconds of wall clock; CI's perf-regression ceiling.
 //!
@@ -46,6 +50,9 @@ pub struct BenchCli {
     /// `--sabotage N`: arm the test-only redo-skip sabotage (the torture
     /// binary's self-test mode: the oracle must catch the divergence).
     pub sabotage: u32,
+    /// `--faultload NAME`: the torture sweep's fault pool (`standard`,
+    /// `storage`, or `extended`; default `standard`).
+    pub faultload: Option<String>,
     /// `--max-wall-secs N`: wall-clock ceiling; exceeding it is a failure.
     pub max_wall_secs: Option<u64>,
 }
@@ -63,6 +70,7 @@ impl Default for BenchCli {
             runs: None,
             replay: None,
             sabotage: 0,
+            faultload: None,
             max_wall_secs: None,
         }
     }
@@ -123,6 +131,12 @@ impl BenchCli {
                 "--sabotage" => {
                     if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
                         cli.sabotage = v;
+                        i += 1;
+                    }
+                }
+                "--faultload" => {
+                    if let Some(v) = args.get(i + 1) {
+                        cli.faultload = Some(v.clone());
                         i += 1;
                     }
                 }
@@ -384,14 +398,18 @@ mod tests {
             "2",
             "--replay",
             "tests/corpus/a.json",
+            "--faultload",
+            "storage",
         ]));
         assert_eq!(cli.sweep_seconds, Some(45));
         assert_eq!(cli.runs, Some(3));
         assert_eq!(cli.sabotage, 2);
         assert_eq!(cli.replay.as_deref(), Some("tests/corpus/a.json"));
+        assert_eq!(cli.faultload.as_deref(), Some("storage"));
         let none = BenchCli::from_args(&[]);
         assert_eq!((none.sweep_seconds, none.runs, none.sabotage), (None, None, 0));
         assert!(none.replay.is_none());
+        assert!(none.faultload.is_none());
         assert!(none.max_wall_secs.is_none());
     }
 

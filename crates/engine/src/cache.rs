@@ -272,6 +272,25 @@ impl BufferCache {
         }
     }
 
+    /// Re-marks a resident block dirty with bookkeeping saved before a
+    /// failed write-out (ENOSPC): the change is still only in memory, so
+    /// the original first-change address must survive for the checkpoint
+    /// position to stay behind its redo.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is not resident.
+    pub fn restore_dirty(&mut self, key: BlockKey, info: DirtyInfo) {
+        let &i = self.map.get(&key).expect("restored block must be resident");
+        if self.slots[i].dirty.replace(info).is_none() {
+            self.dirty_n += 1;
+        }
+        self.oldest_dirty = Some(match self.oldest_dirty {
+            Some(t) if t <= info.first_time => t,
+            _ => info.first_time,
+        });
+    }
+
     /// Lower bound on the oldest dirty frame's `first_time`, or `None`
     /// when nothing is dirty. May lag behind the true minimum after
     /// frames are cleaned; [`BufferCache::refresh_dirty_bound`] restores

@@ -30,6 +30,10 @@ pub struct WriteOutcome {
     pub complete_at: SimTime,
     /// Blocks written.
     pub blocks: u64,
+    /// Disk that rejected a write with ENOSPC, if any. The affected
+    /// blocks stay dirty in the cache; the caller must not advance the
+    /// checkpoint position past their redo.
+    pub disk_full: Option<recobench_vfs::DiskId>,
 }
 
 impl WriteOutcome {
@@ -59,7 +63,8 @@ where
     let batch = cache.dirty_matching(pred);
     let mut complete_at = now;
     let mut blocks = 0u64;
-    for (key, _) in batch {
+    let mut disk_full = None;
+    for (key, info) in batch {
         cache.clear_dirty(key);
         let Some(df) = catalog.datafiles.get(&key.0) else { continue };
         let mut w = crate::codec::Writer::new();
@@ -71,13 +76,26 @@ where
                 complete_at = complete_at.max(done);
                 blocks += 1;
             }
+            Err(recobench_vfs::VfsError::DiskFull { disk, .. }) => {
+                // ENOSPC: the image never reached disk and exists nowhere
+                // else, so the frame must stay dirty — a later checkpoint
+                // (after the operator frees space) retries it.
+                cache.restore_dirty(key, info);
+                disk_full.get_or_insert(recobench_vfs::DiskId(disk));
+            }
+            Err(recobench_vfs::VfsError::Interrupted(_)) => {
+                // The machine is dying mid-write-out (crash-at-write
+                // fault). Keep the frame dirty; the caller sees the fired
+                // crash and refuses to record the checkpoint.
+                cache.restore_dirty(key, info);
+            }
             Err(_) => {
                 // The file is gone (operator fault). The change survives in
                 // the redo stream; media recovery will replay it.
             }
         }
     }
-    WriteOutcome { complete_at, blocks }
+    WriteOutcome { complete_at, blocks, disk_full }
 }
 
 #[cfg(test)]
@@ -159,6 +177,36 @@ mod tests {
         let (mut fs, cat, mut cache) = setup();
         let now = SimTime::from_secs(5);
         let out = write_dirty(&mut fs, &cat, &mut cache, now, |_, _| true);
-        assert_eq!(out, WriteOutcome { complete_at: now, blocks: 0 });
+        assert_eq!(out, WriteOutcome { complete_at: now, blocks: 0, disk_full: None });
+    }
+
+    #[test]
+    fn crash_mid_writeout_keeps_unwritten_blocks_dirty() {
+        let (mut fs, cat, mut cache) = setup();
+        dirty_block(&mut cache, 1, 1);
+        dirty_block(&mut cache, 2, 2);
+        fs.arm_fault(recobench_vfs::FaultArm::CrashAtWrite { nth: 2, keep_num: 0, keep_den: 1 })
+            .unwrap();
+        let out = write_dirty(&mut fs, &cat, &mut cache, SimTime::from_secs(1), |_, _| true);
+        assert_eq!(out.blocks, 1);
+        assert!(fs.crash_write_fired());
+        assert_eq!(cache.dirty_count(), 1, "the block the crash ate stays dirty");
+    }
+
+    #[test]
+    fn enospc_keeps_the_block_dirty() {
+        let (mut fs, cat, mut cache) = setup();
+        dirty_block(&mut cache, 4, 9);
+        fs.arm_fault(recobench_vfs::FaultArm::DiskFull { disk: DiskId(0), after_bytes: 0 })
+            .unwrap();
+        let out = write_dirty(&mut fs, &cat, &mut cache, SimTime::from_secs(2), |_, _| true);
+        assert_eq!(out.blocks, 0);
+        assert_eq!(out.disk_full, Some(DiskId(0)));
+        assert_eq!(cache.dirty_count(), 1, "the unwritten change must stay dirty");
+        // Space freed: the retry drains the backlog.
+        fs.clear_faults();
+        let out = write_dirty(&mut fs, &cat, &mut cache, SimTime::from_secs(3), |_, _| true);
+        assert_eq!((out.blocks, out.disk_full), (1, None));
+        assert_eq!(cache.dirty_count(), 0);
     }
 }

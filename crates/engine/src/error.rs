@@ -96,6 +96,19 @@ pub enum DbError {
     /// An underlying storage failure (the usual symptom of an operator
     /// fault: a deleted or corrupted file).
     Media(VfsError),
+    /// A stored block's CRC did not cover its payload: silent corruption
+    /// (bit-rot or a torn write) caught by the per-block checksum.
+    ChecksumMismatch {
+        /// Path of the datafile holding the bad block.
+        path: String,
+        /// Block number within the file.
+        block: u64,
+    },
+    /// A disk ran out of space (`ENOSPC`) under a write.
+    DiskFull {
+        /// The full disk's index.
+        disk: usize,
+    },
     /// The database needs recovery before it can be opened.
     RecoveryRequired(String),
     /// The requested recovery is impossible with the available logs and
@@ -128,6 +141,10 @@ impl fmt::Display for DbError {
             DbError::TxnNotActive(t) => write!(f, "transaction {t} is not active"),
             DbError::NoSession(s) => write!(f, "session {s} is not connected"),
             DbError::Media(e) => write!(f, "media failure: {e}"),
+            DbError::ChecksumMismatch { path, block } => {
+                write!(f, "checksum mismatch in block {block} of {path}")
+            }
+            DbError::DiskFull { disk } => write!(f, "disk {disk} full (ENOSPC)"),
             DbError::RecoveryRequired(what) => write!(f, "recovery required: {what}"),
             DbError::Unrecoverable(why) => write!(f, "unrecoverable: {why}"),
             DbError::BadAdminCommand(why) => write!(f, "invalid administrative command: {why}"),
@@ -148,7 +165,10 @@ impl Error for DbError {
 
 impl From<VfsError> for DbError {
     fn from(e: VfsError) -> Self {
-        DbError::Media(e)
+        match e {
+            VfsError::DiskFull { disk, .. } => DbError::DiskFull { disk },
+            other => DbError::Media(other),
+        }
     }
 }
 
@@ -198,6 +218,17 @@ mod tests {
     fn media_error_chains_source() {
         let e = DbError::Media(VfsError::Deleted("/u02/a.dbf".into()));
         assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn storage_fault_errors_are_typed() {
+        let e: DbError = VfsError::DiskFull { disk: 2, path: "/u01/a.dbf".into() }.into();
+        assert_eq!(e, DbError::DiskFull { disk: 2 });
+        assert!(e.to_string().contains("ENOSPC"));
+        assert!(!e.is_service_loss(), "ENOSPC fails the statement, not the service");
+        let c = DbError::ChecksumMismatch { path: "/u01/a.dbf".into(), block: 7 };
+        assert!(c.to_string().contains("block 7"));
+        assert!(!c.is_service_loss());
     }
 
     #[test]

@@ -202,6 +202,14 @@ pub enum EngineEvent {
         /// Number of transactions on the cycle.
         cycle_len: u64,
     },
+    /// A stored block failed its CRC check on read: silent corruption
+    /// (bit-rot or a torn write) detected by the checksum layer.
+    ChecksumMismatch {
+        /// Path of the file holding the bad block.
+        path: String,
+        /// Block number within the file.
+        block: u64,
+    },
 }
 
 impl EngineEvent {
@@ -224,6 +232,7 @@ impl EngineEvent {
             EngineEvent::LockWait { .. } => "lock_wait",
             EngineEvent::LockAcquired { .. } => "lock_acquired",
             EngineEvent::DeadlockVictim { .. } => "deadlock_victim",
+            EngineEvent::ChecksumMismatch { .. } => "checksum_mismatch",
         }
     }
 
@@ -286,6 +295,9 @@ impl EngineEvent {
             }
             EngineEvent::DeadlockVictim { victim, cycle_len } => {
                 let _ = write!(out, ",\"victim\":{},\"cycle_len\":{cycle_len}", victim.0);
+            }
+            EngineEvent::ChecksumMismatch { path, block } => {
+                let _ = write!(out, ",\"path\":\"{path}\",\"block\":{block}");
             }
         }
         out.push('}');
@@ -372,6 +384,7 @@ impl EventSink {
                 d.lock_wait_micros += wait_us;
             }
             EngineEvent::DeadlockVictim { .. } => d.deadlocks += 1,
+            EngineEvent::ChecksumMismatch { .. } => d.checksum_mismatches += 1,
             EngineEvent::BackupTaken { .. }
             | EngineEvent::InstanceStopped { .. }
             | EngineEvent::InstanceOpened { .. }
@@ -583,5 +596,19 @@ mod tests {
         assert_eq!(d.lock_grants, 1);
         assert_eq!(d.lock_wait_micros, 20);
         assert_eq!(d.deadlocks, 1);
+    }
+
+    #[test]
+    fn checksum_mismatch_serializes_and_derives() {
+        let mut s = EventSink::new(4);
+        s.record(
+            SimTime::from_micros(7),
+            EngineEvent::ChecksumMismatch { path: "/u01/tpcc_data01.dbf".into(), block: 42 },
+        );
+        assert_eq!(
+            s.to_jsonl("P").trim_end(),
+            "{\"t_us\":7,\"server\":\"P\",\"type\":\"checksum_mismatch\",\"path\":\"/u01/tpcc_data01.dbf\",\"block\":42}"
+        );
+        assert_eq!(s.derived().checksum_mismatches, 1);
     }
 }

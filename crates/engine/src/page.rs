@@ -7,9 +7,26 @@
 
 use bytes::Bytes;
 
-use crate::codec::{DecodeResult, Reader, Writer};
+use crate::codec::{crc32, DecodeError, DecodeResult, Reader, Writer};
 use crate::row::Row;
 use crate::types::Scn;
+
+/// Current on-disk block image format: v2, with a per-block CRC-32.
+///
+/// The catalog's `block_format` advertises this, but decoding is
+/// self-describing — each stored image carries its own format tag — so
+/// snapshots written before checksums existed still load.
+pub const BLOCK_FORMAT: u8 = 2;
+
+/// First byte of a v2 (checksummed) block image. Legacy images start with
+/// the big-endian block SCN, whose leading byte is zero at any attainable
+/// SCN, and never-written blocks read back all-zero — so a nonzero magic
+/// cleanly separates the formats.
+const BLOCK_MAGIC: u8 = 0xB1;
+
+/// Bytes of v2 header in front of the legacy payload: magic, format
+/// version, CRC-32 of everything after the header.
+const CHECKSUM_HEADER: usize = 6;
 
 /// Decoded image of one datafile block.
 #[derive(Debug, Clone, PartialEq)]
@@ -123,9 +140,14 @@ impl BlockImage {
     }
 
     /// Appends the encoded block to `w` without per-row allocations. The
-    /// length prefix comes straight from the row's memoized encoded length,
-    /// so no back-patch pass touches the buffer twice.
+    /// row length prefixes come straight from the memoized encoded lengths;
+    /// the only back-patch is the CRC-32 over the finished payload, which
+    /// makes every stored block self-verifying.
     pub fn encode_into(&self, w: &mut Writer) {
+        let header = w.len();
+        w.put_u8(BLOCK_MAGIC);
+        w.put_u8(BLOCK_FORMAT);
+        w.put_u32(0); // CRC back-patched once the payload is encoded
         w.put_u64(self.last_scn.0);
         w.put_u32(self.rows.len() as u32);
         for (slot, row) in &self.rows {
@@ -133,18 +155,41 @@ impl BlockImage {
             w.put_u32(row.encoded_len() as u32);
             row.encode_into(w);
         }
+        let crc = crc32(&w.as_slice()[header + CHECKSUM_HEADER..]);
+        w.patch_u32(header + 2, crc);
     }
 
     /// Decodes a stored block image. An all-zero (never written) image
-    /// decodes as an empty block.
+    /// decodes as an empty block; a legacy (pre-checksum) image decodes
+    /// without verification; a v2 image must pass its CRC.
     ///
     /// # Errors
     ///
-    /// Fails on malformed bytes.
+    /// Fails on malformed bytes; fails with a checksum-mismatch error
+    /// (see [`DecodeError::is_checksum_mismatch`]) when a v2 image's CRC
+    /// does not cover its payload — bit-rot or a torn write.
     pub fn decode(buf: Bytes) -> DecodeResult<BlockImage> {
         if buf.is_empty() || buf.iter().all(|&b| b == 0) {
             return Ok(BlockImage::empty());
         }
+        if buf[0] == BLOCK_MAGIC {
+            if buf.len() < CHECKSUM_HEADER {
+                return Err(DecodeError { context: "block checksum header" });
+            }
+            if buf[1] != BLOCK_FORMAT {
+                return Err(DecodeError { context: "block format version" });
+            }
+            let stored = u32::from_be_bytes([buf[2], buf[3], buf[4], buf[5]]);
+            if crc32(&buf[CHECKSUM_HEADER..]) != stored {
+                return Err(DecodeError::checksum_mismatch());
+            }
+            return Self::decode_body(buf.slice(CHECKSUM_HEADER..buf.len()));
+        }
+        // Legacy image from before checksums existed: no header to verify.
+        Self::decode_body(buf)
+    }
+
+    fn decode_body(buf: Bytes) -> DecodeResult<BlockImage> {
         let mut r = Reader::new(buf);
         let last_scn = Scn(r.get_u64("block scn")?);
         let n = r.get_u32("block row count")?;
@@ -240,5 +285,51 @@ mod tests {
         b.put(0, row(1), Scn(10));
         b.put(1, row(2), Scn(4));
         assert_eq!(b.last_scn, Scn(10));
+    }
+
+    #[test]
+    fn checksum_catches_a_single_flipped_bit() {
+        let mut b = BlockImage::empty();
+        b.put(0, row(10), Scn(7));
+        let encoded = b.encode();
+        assert_eq!(encoded[0], super::BLOCK_MAGIC);
+        // Flip one payload bit anywhere past the header.
+        for at in super::CHECKSUM_HEADER..encoded.len() {
+            let mut rotted = encoded.to_vec();
+            rotted[at] ^= 0b0100;
+            let err = BlockImage::decode(Bytes::from(rotted)).unwrap_err();
+            assert!(err.is_checksum_mismatch(), "bit flip at byte {at} must fail the CRC");
+        }
+        // A flipped header CRC bit also fails verification.
+        let mut rotted = encoded.to_vec();
+        rotted[3] ^= 1;
+        assert!(BlockImage::decode(Bytes::from(rotted)).unwrap_err().is_checksum_mismatch());
+    }
+
+    #[test]
+    fn legacy_unchecksummed_images_still_decode() {
+        // A v1 image: SCN + row count + rows, no magic/CRC header — what a
+        // snapshot from before checksums existed holds.
+        let mut b = BlockImage::empty();
+        b.put(2, row(42), Scn(9));
+        let mut w = Writer::new();
+        w.put_u64(b.last_scn.0);
+        w.put_u32(1);
+        w.put_u16(2);
+        w.put_u32(row(42).encoded_len() as u32);
+        row(42).encode_into(&mut w);
+        let legacy = BlockImage::decode(w.into_bytes()).unwrap();
+        assert_eq!(legacy.last_scn, Scn(9));
+        assert_eq!(legacy.row(2), b.row(2));
+    }
+
+    #[test]
+    fn torn_prefix_of_an_image_fails_to_decode() {
+        let mut b = BlockImage::empty();
+        b.put(0, row(1), Scn(3));
+        b.put(1, row(2), Scn(3));
+        let encoded = b.encode();
+        let torn = encoded.slice(0..encoded.len() / 2);
+        assert!(BlockImage::decode(torn).unwrap_err().is_checksum_mismatch());
     }
 }

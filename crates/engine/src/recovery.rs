@@ -21,7 +21,7 @@ use recobench_vfs::IoKind;
 use crate::controlfile::{CkptRecord, SeqLocation};
 use crate::error::{DbError, DbResult};
 use crate::events::{EngineEvent, RecoveryPhase, RecoveryProcedure};
-use crate::redo::{decode_stream, RedoOp, RedoRecord};
+use crate::redo::{decode_stream_tolerant, RedoOp, RedoRecord};
 use crate::server::DbServer;
 use crate::txn::UndoOp;
 use crate::types::{FileNo, RedoAddr, Scn, TxnId};
@@ -97,8 +97,9 @@ impl DbServer {
         self.control_mut()?.clean_shutdown = false;
         let mut recovered_records = 0;
         if !clean {
+            let from = self.restore_fractured_datafiles(ckpt.position)?;
             let summary = self.replay(ReplayOpts {
-                from: ckpt.position,
+                from,
                 available_at: crash_time,
                 stop_scn: None,
                 only_file: None,
@@ -117,6 +118,75 @@ impl DbServer {
         self.finalize_open()?;
         self.events.record(self.clock.now(), EngineEvent::InstanceOpened { recovered_records });
         Ok(())
+    }
+
+    /// A crash can tear the very datafile write it interrupted, leaving a
+    /// "fractured" block: half new image, half old, failing its checksum.
+    /// The block's change history is durable in the redo stream, but the
+    /// torn image is useless as a replay base — so any datafile caught in
+    /// that state is restored from the cold backup and crash replay starts
+    /// from the backup position instead of the checkpoint (idempotent SCN
+    /// checks make the longer pass safe for healthy files). Returns the
+    /// position replay must start from.
+    ///
+    /// Only *quiet* damage is repaired here: a readable file with a block
+    /// that fails to decode. Loud damage (a deleted file) keeps its
+    /// existing failure mode, and offline files stay media recovery's
+    /// business.
+    fn restore_fractured_datafiles(&mut self, from: RedoAddr) -> DbResult<RedoAddr> {
+        let files: Vec<(FileNo, recobench_vfs::FileId, String)> = {
+            let inst = self.inst.as_ref().ok_or(DbError::InstanceDown)?;
+            inst.catalog
+                .datafiles
+                .iter()
+                .map(|(no, df)| (*no, df.vfs_id, df.path.clone()))
+                .collect()
+        };
+        let mut from = from;
+        for (file_no, vfs_id, path) in files {
+            let offline = {
+                let control = self.control_ref()?;
+                let df_ts = {
+                    let inst = self.inst.as_ref().ok_or(DbError::InstanceDown)?;
+                    inst.catalog.datafiles[&file_no].tablespace
+                };
+                control.file_state(file_no).offline || control.is_ts_offline(df_ts)
+            };
+            if offline {
+                continue;
+            }
+            let readable = self.fs.lock().peek_blocks_written(vfs_id).is_ok();
+            if !readable || !self.scan_for_bad_blocks(vfs_id, &path) {
+                continue;
+            }
+            let backup = self.backup.as_ref().ok_or_else(|| {
+                DbError::Unrecoverable(format!("datafile {path} torn by crash and no backup exists"))
+            })?;
+            let piece = backup.piece_for(file_no).ok_or_else(|| {
+                DbError::Unrecoverable(format!("no backup piece for torn datafile {path}"))
+            })?;
+            let position = backup.position;
+            let nominal = backup.nominal_bytes_per_file;
+            let backup_disk = self.layout.backup_disk;
+            let began = self.clock.now();
+            {
+                let mut fs = self.fs.lock();
+                let done = fs.restore_into(piece, vfs_id, began)?;
+                let file_disk = fs.meta(vfs_id)?.disk;
+                let d1 = fs.charge_io(backup_disk, IoKind::Read, nominal, began)?;
+                let d2 = fs.charge_io(file_disk, IoKind::Write, nominal, began)?;
+                drop(fs);
+                self.clock.advance_to(done.max(d1).max(d2));
+            }
+            self.events.record(
+                self.clock.now(),
+                EngineEvent::PhaseSpan { phase: RecoveryPhase::MediaRestore, started_at: began },
+            );
+            let inst = self.inst.as_mut().ok_or(DbError::InstanceDown)?;
+            inst.cache.invalidate_file(file_no);
+            from = from.min(position);
+        }
+        Ok(from)
     }
 
     fn finish_crash_recovery(&mut self, summary: &ReplaySummary) -> DbResult<()> {
@@ -187,6 +257,10 @@ impl DbServer {
             };
             (df.vfs_id, damaged)
         };
+        // Deletion and vfs-level corruption are loud; a torn write or
+        // bit-rot is not — the file reads fine and only the per-block CRC
+        // knows. Scan before concluding the file is healthy.
+        let damaged = damaged || self.scan_for_bad_blocks(vfs_id, path);
         let from = if damaged {
             // Restore the file from the cold backup.
             let backup = self.backup.as_ref().ok_or_else(|| {
@@ -263,6 +337,34 @@ impl DbServer {
             },
         );
         Ok(summary)
+    }
+
+    /// Checksum-walks every written block of a datafile. Returns `true`
+    /// if any block fails to decode (the file needs a restore), recording
+    /// a [`EngineEvent::ChecksumMismatch`] for each CRC failure.
+    fn scan_for_bad_blocks(&mut self, vfs_id: recobench_vfs::FileId, path: &str) -> bool {
+        let blocks = {
+            let fs = self.fs.lock();
+            match fs.peek_blocks_written(vfs_id) {
+                Ok(b) => b,
+                // Unreadable at the vfs level — damaged by definition.
+                Err(_) => return true,
+            }
+        };
+        let mut bad = false;
+        for (block, bytes) in blocks {
+            if let Err(e) = crate::page::BlockImage::decode(bytes) {
+                bad = true;
+                if e.is_checksum_mismatch() {
+                    self.stats.checksum_mismatches += 1;
+                    self.events.record(
+                        self.clock.now(),
+                        EngineEvent::ChecksumMismatch { path: path.to_string(), block },
+                    );
+                }
+            }
+        }
+        bad
     }
 
     fn rebuild_all_indexes(&mut self) -> DbResult<()> {
@@ -487,8 +589,14 @@ impl DbServer {
                 self.clock.now(),
                 EngineEvent::PhaseSpan { phase: RecoveryPhase::RedoScan, started_at: scan_began },
             );
-            let records = decode_stream(&segments, overhead)
-                .map_err(|_| DbError::Unrecoverable(format!("log seq {seq} is corrupt")))?;
+            // A torn tail on the *current* log is what a crash mid-flush
+            // leaves behind: Oracle treats the last intact record as
+            // end-of-log and opens anyway. Anywhere earlier in the chain
+            // the same damage means lost committed history — unrecoverable.
+            let (records, truncated) = decode_stream_tolerant(&segments, overhead);
+            if truncated && seq != end_seq {
+                return Err(DbError::Unrecoverable(format!("log seq {seq} is corrupt")));
+            }
             let applied_before = summary.applied;
             let skipped_before = summary.skipped;
             let apply_began = self.clock.now();

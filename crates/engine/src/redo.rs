@@ -206,19 +206,40 @@ fn decode_rid(r: &mut Reader) -> DecodeResult<RowId> {
 ///
 /// Fails on malformed bytes.
 pub fn decode_stream(segments: &[Bytes], overhead: u64) -> DecodeResult<Vec<(u64, RedoRecord)>> {
+    let (records, truncated) = decode_stream_tolerant(segments, overhead);
+    if truncated {
+        return Err(DecodeError { context: "redo stream tail" });
+    }
+    Ok(records)
+}
+
+/// Like [`decode_stream`], but tolerant of a torn tail: decodes records
+/// until the stream either ends cleanly or stops mid-record, returning the
+/// cleanly decoded prefix plus whether a torn tail was found.
+///
+/// This is the Oracle end-of-log convention for the *current* online log —
+/// a crash can interrupt LGWR mid-write, and everything before the torn
+/// record is still valid, durable redo. Callers must only tolerate
+/// truncation on the head sequence of the log chain; a torn *archived* or
+/// mid-chain sequence means real data loss.
+pub fn decode_stream_tolerant(segments: &[Bytes], overhead: u64) -> (Vec<(u64, RedoRecord)>, bool) {
     let mut out = Vec::new();
     let mut offset = 0u64;
     for seg in segments {
         let mut r = Reader::new(seg.clone());
         while r.remaining() > 0 {
             let before = r.remaining();
-            let rec = RedoRecord::decode_from(&mut r)?;
-            let consumed = (before - r.remaining()) as u64;
-            out.push((offset, rec));
-            offset += consumed + overhead;
+            match RedoRecord::decode_from(&mut r) {
+                Ok(rec) => {
+                    let consumed = (before - r.remaining()) as u64;
+                    out.push((offset, rec));
+                    offset += consumed + overhead;
+                }
+                Err(_) => return (out, true),
+            }
         }
     }
-    Ok(out)
+    (out, false)
 }
 
 /// Volatile state of the redo subsystem: the log buffer and the write
@@ -420,6 +441,37 @@ mod tests {
         assert_eq!(recs[0].0, 0);
         assert_eq!(recs[1].0, len_a + 100);
         assert_eq!(recs[1].1, b);
+    }
+
+    #[test]
+    fn tolerant_decode_returns_the_clean_prefix_of_a_torn_stream() {
+        let a = RedoRecord { scn: Scn(1), txn: Some(TxnId(1)), op: RedoOp::Commit };
+        let b = RedoRecord {
+            scn: Scn(2),
+            txn: Some(TxnId(2)),
+            op: RedoOp::Insert { obj: ObjectId(1), rid: rid(), row: row(7) },
+        };
+        let mut seg = a.encode().to_vec();
+        let eb = b.encode();
+        // Tear the second record at every interior point: the first must
+        // always survive, the second never half-apply.
+        for cut in 1..eb.len() {
+            let mut torn = seg.clone();
+            torn.extend_from_slice(&eb[..cut]);
+            let (records, truncated) = decode_stream_tolerant(&[Bytes::from(torn)], 10);
+            assert!(truncated, "cut at {cut} must be seen as torn");
+            assert_eq!(records.len(), 1);
+            assert_eq!(records[0].1, a);
+            // The strict decoder refuses the same stream outright.
+            let mut torn2 = seg.clone();
+            torn2.extend_from_slice(&eb[..cut]);
+            assert!(decode_stream(&[Bytes::from(torn2)], 10).is_err());
+        }
+        // An untorn stream decodes identically through both entry points.
+        seg.extend_from_slice(&eb);
+        let (records, truncated) = decode_stream_tolerant(&[Bytes::from(seg.clone())], 10);
+        assert!(!truncated);
+        assert_eq!(records, decode_stream(&[Bytes::from(seg)], 10).unwrap());
     }
 
     #[test]

@@ -242,6 +242,32 @@ impl DbServer {
         self.sabotage_skip_redo
     }
 
+    /// Test-only sabotage: flips one bit in one written block of the file
+    /// at `path` via the vfs bit-rot fault — silent on-disk corruption the
+    /// per-block checksum layer must catch. Clean cached frames for the
+    /// file are dropped so the next engine read sees the rotted disk image
+    /// rather than a stale in-memory copy. Never use outside tests.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no live file has this path.
+    #[cfg(any(test, feature = "sabotage"))]
+    #[doc(hidden)]
+    pub fn sabotage_bit_rot(&mut self, path: &str, seed: u64) -> DbResult<()> {
+        self.fs.lock().arm_fault(recobench_vfs::FaultArm::BitRot {
+            target: recobench_vfs::FileMatch::Path(path.to_string()),
+            seed,
+        })?;
+        if let Some(file_no) =
+            self.inst.as_ref().and_then(|i| i.catalog.datafile_by_path(path).ok())
+        {
+            if let Some(inst) = self.inst.as_mut() {
+                inst.cache.invalidate_file(file_no);
+            }
+        }
+        Ok(())
+    }
+
     /// The most recent backup, if one was taken.
     pub fn backup(&self) -> Option<&BackupSet> {
         self.backup.as_ref()
@@ -522,8 +548,20 @@ impl DbServer {
         };
         let done = {
             let mut fs = self.fs.lock();
-            let (done, ()) = fs.append_padded(group_vfs, payload, pad, now)?;
-            done
+            match fs.append_padded(group_vfs, payload, pad, now) {
+                Ok((done, ())) => done,
+                Err(e) => {
+                    drop(fs);
+                    // The buffer was already consumed, so the durable log
+                    // and the in-memory stream can no longer agree — the
+                    // same bind Oracle's LGWR is in when a log write
+                    // fails, and the answer is the same: the instance
+                    // dies on the spot and crash recovery re-derives the
+                    // truth from the durable prefix of the log.
+                    let _ = self.shutdown_abort();
+                    return Err(DbError::from(e));
+                }
+            }
         };
         self.clock.advance_to(done);
         let control = self.control_mut()?;
@@ -634,14 +672,30 @@ impl DbServer {
     pub(crate) fn full_checkpoint(&mut self) -> DbResult<SimTime> {
         self.flush_redo()?;
         let now = self.clock.now();
-        let (out, position, scn, snapshot) = {
+        let (out, position, scn, snapshot, crashed) = {
             let mut fs = self.fs.lock();
             let inst = self.inst.as_mut().ok_or(DbError::InstanceDown)?;
             let out = checkpoint::write_dirty(&mut fs, &inst.catalog, &mut inst.cache, now, |_, _| true);
             let position = RedoAddr { seq: inst.redo.current_seq, offset: 0 };
-            (out, position, inst.scn, Arc::new(inst.catalog.clone()))
+            let crashed = fs.crash_write_fired();
+            (out, position, inst.scn, Arc::new(inst.catalog.clone()), crashed)
         };
         self.stats.blocks_written += out.blocks;
+        if crashed {
+            // The machine died mid-write-out: some blocks never reached
+            // disk. Recording this checkpoint would claim they did, so the
+            // instance dies instead and crash recovery replays from the
+            // previous record.
+            let _ = self.shutdown_abort();
+            return Err(DbError::Media(VfsError::Interrupted("checkpoint write-out".into())));
+        }
+        if let Some(disk) = out.disk_full {
+            // Some dirty blocks never reached disk (ENOSPC) and were kept
+            // dirty; advancing the checkpoint past their redo would lose
+            // them at the next crash. Keep the old position and surface
+            // the condition to the operator.
+            return Err(DbError::DiskFull { disk: disk.0 });
+        }
         self.events.record(now, out.checkpoint_event());
         let control = self.control_mut()?;
         control.add_checkpoint(CkptRecord {
@@ -738,8 +792,10 @@ impl DbServer {
             self.clock.advance_to(done);
             bytes
         };
-        let img = BlockImage::decode(bytes)
-            .map_err(|_| DbError::Media(VfsError::Corrupt(self.datafile_path(key.0))))?;
+        let img = match BlockImage::decode(bytes) {
+            Ok(img) => img,
+            Err(e) => return Err(self.block_decode_failed(key, &e)),
+        };
         let evicted = {
             let inst = self.inst.as_mut().ok_or(DbError::InstanceDown)?;
             inst.cache.insert(key, img)
@@ -750,16 +806,46 @@ impl DbServer {
                 if let Ok((ev_vfs, _)) = self.datafile_info(ev.key.0) {
                     let now = self.clock.now();
                     let mut fs = self.fs.lock();
-                    if let Ok((done, ())) = fs.write_block(ev_vfs, ev.key.1 as u64, ev.img.encode(), now)
-                    {
-                        drop(fs);
-                        self.clock.advance_to(done);
-                        self.stats.blocks_written += 1;
+                    match fs.write_block(ev_vfs, ev.key.1 as u64, ev.img.encode(), now) {
+                        Ok((done, ())) => {
+                            drop(fs);
+                            self.clock.advance_to(done);
+                            self.stats.blocks_written += 1;
+                        }
+                        Err(VfsError::DiskFull { disk, .. }) => {
+                            // The evicted image exists nowhere once it
+                            // leaves the cache; swallowing ENOSPC here
+                            // would lose the update. Fail the operation
+                            // that forced the eviction instead.
+                            return Err(DbError::DiskFull { disk });
+                        }
+                        Err(_) => {
+                            // File gone (operator fault): redo survives,
+                            // media recovery replays the change.
+                        }
                     }
                 }
             }
         }
         Ok(())
+    }
+
+    /// Classifies a block decode failure: a CRC failure surfaces as the
+    /// typed [`DbError::ChecksumMismatch`] with an event and a counter
+    /// bump; structural garbage keeps the media-corruption shape.
+    fn block_decode_failed(&mut self, key: BlockKey, e: &crate::codec::DecodeError) -> DbError {
+        let path = self.datafile_path(key.0);
+        if e.is_checksum_mismatch() {
+            let block = key.1 as u64;
+            self.stats.checksum_mismatches += 1;
+            self.events.record(
+                self.clock.now(),
+                EngineEvent::ChecksumMismatch { path: path.clone(), block },
+            );
+            DbError::ChecksumMismatch { path, block }
+        } else {
+            DbError::Media(VfsError::Corrupt(path))
+        }
     }
 
     pub(crate) fn with_block<R>(
@@ -2037,7 +2123,7 @@ impl DbServer {
                     .ok_or_else(|| DbError::NotFound(format!("datafile {}", file.0)))?;
                 let bytes = fs.peek_block(df.vfs_id, block as u64)?;
                 img_owned = BlockImage::decode(bytes)
-                    .map_err(|_| DbError::Media(VfsError::Corrupt(df.path.clone())))?;
+                    .map_err(|e| peek_decode_failed(&e, &df.path, block as u64))?;
                 &img_owned
             };
             for (slot, row) in img.iter() {
@@ -2068,7 +2154,7 @@ impl DbServer {
         let fs = self.fs.lock();
         let bytes = fs.peek_block(df.vfs_id, rid.block as u64)?;
         let img = BlockImage::decode(bytes)
-            .map_err(|_| DbError::Media(VfsError::Corrupt(df.path.clone())))?;
+            .map_err(|e| peek_decode_failed(&e, &df.path, rid.block as u64))?;
         Ok(img.row(rid.slot).cloned())
     }
 
@@ -2314,6 +2400,17 @@ impl Instance {
     }
 }
 
+/// Decode-failure classification for the read-only peek paths (no `&mut`
+/// access, so no event is recorded; the typed error still distinguishes a
+/// CRC failure from structural garbage).
+fn peek_decode_failed(e: &crate::codec::DecodeError, path: &str, block: u64) -> DbError {
+    if e.is_checksum_mismatch() {
+        DbError::ChecksumMismatch { path: path.to_string(), block }
+    } else {
+        DbError::Media(VfsError::Corrupt(path.to_string()))
+    }
+}
+
 /// Batched zero-cost row reader (see [`DbServer::peek_reader`]).
 ///
 /// Holds a shared borrow of the server, so the audited state cannot move
@@ -2350,7 +2447,7 @@ impl PeekReader<'_> {
             .ok_or_else(|| DbError::NotFound(format!("datafile {}", rid.file.0)))?;
         let bytes = self.server.fs.lock().peek_block(df.vfs_id, rid.block as u64)?;
         let img = BlockImage::decode(bytes)
-            .map_err(|_| DbError::Media(VfsError::Corrupt(df.path.clone())))?;
+            .map_err(|e| peek_decode_failed(&e, &df.path, rid.block as u64))?;
         let row = img.row(rid.slot).cloned();
         self.decoded.insert(key, img);
         Ok(row)

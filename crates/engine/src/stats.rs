@@ -52,6 +52,9 @@ pub struct EngineStats {
     pub lock_wait_micros: u64,
     /// Deadlocks detected (one victim aborted each).
     pub deadlocks: u64,
+    /// Stored blocks whose CRC failed verification (silent corruption
+    /// caught by the checksum layer).
+    pub checksum_mismatches: u64,
 }
 
 impl EngineStats {
@@ -90,6 +93,7 @@ impl EngineStats {
             lock_grants: self.lock_grants.saturating_sub(earlier.lock_grants),
             lock_wait_micros: self.lock_wait_micros.saturating_sub(earlier.lock_wait_micros),
             deadlocks: self.deadlocks.saturating_sub(earlier.deadlocks),
+            checksum_mismatches: self.checksum_mismatches.saturating_sub(earlier.checksum_mismatches),
         }
     }
 }

@@ -20,4 +20,6 @@ pub mod taxonomy;
 pub use injector::{FaultInjector, FaultOutcome, FaultPlan, FaultTarget, InjectionRecord};
 pub use scenario::{DoubleFaultOutcome, DoubleFaultPlan, Sabotage};
 pub use schedule::{FaultSchedule, ScheduledFault, TortureFaultKind};
-pub use taxonomy::{FaultClass, FaultType, OperatorFaultType, Portability, RecoveryKind};
+pub use taxonomy::{
+    FaultClass, FaultType, OperatorFaultType, Portability, RecoveryKind, StorageFaultType,
+};

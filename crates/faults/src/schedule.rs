@@ -12,11 +12,11 @@
 //! {"seed":7,"duration_secs":300,"faults":[{"fault":"shutdown_abort","at_secs":42}]}
 //! ```
 
-use crate::taxonomy::FaultType;
+use crate::taxonomy::{FaultType, StorageFaultType};
 use recobench_sim::SimRng;
 
-/// What to inject: one of the paper's six operator faults, or a raw
-/// instance kill.
+/// What to inject: one of the paper's six operator faults, a raw
+/// instance kill, or a storage-hardware fault armed on the vfs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TortureFaultKind {
     /// One of the six operator fault types of the paper's experiments,
@@ -27,11 +27,19 @@ pub enum TortureFaultKind {
     /// background process). Recovery is a plain restart with crash
     /// recovery — no DBA diagnosis beyond noticing the instance is gone.
     InstanceKill,
+    /// A storage-hardware fault armed on the simulated filesystem
+    /// (`recobench_vfs::FaultArm`): torn write, partial append, bit-rot,
+    /// disk-full, or slow I/O. Recovery is detection (checksum scan,
+    /// write error, or latency) plus the appropriate media/crash
+    /// procedure.
+    Storage(StorageFaultType),
 }
 
 impl TortureFaultKind {
-    /// Every kind, in a fixed order (the six operator faults in the
-    /// paper's order, then the kill).
+    /// The original seven kinds, in a fixed order (the six operator
+    /// faults in the paper's order, then the kill). Kept at exactly seven
+    /// entries so schedules drawn from historical seeds replay unchanged;
+    /// the storage kinds live in [`TortureFaultKind::all_extended`].
     pub fn all() -> [TortureFaultKind; 7] {
         [
             TortureFaultKind::Operator(FaultType::ShutdownAbort),
@@ -41,6 +49,35 @@ impl TortureFaultKind {
             TortureFaultKind::Operator(FaultType::SetTablespaceOffline),
             TortureFaultKind::Operator(FaultType::DeleteUsersObject),
             TortureFaultKind::InstanceKill,
+        ]
+    }
+
+    /// Every kind including the five storage-hardware faults.
+    pub fn all_extended() -> [TortureFaultKind; 12] {
+        [
+            TortureFaultKind::Operator(FaultType::ShutdownAbort),
+            TortureFaultKind::Operator(FaultType::DeleteDatafile),
+            TortureFaultKind::Operator(FaultType::DeleteTablespace),
+            TortureFaultKind::Operator(FaultType::SetDatafileOffline),
+            TortureFaultKind::Operator(FaultType::SetTablespaceOffline),
+            TortureFaultKind::Operator(FaultType::DeleteUsersObject),
+            TortureFaultKind::InstanceKill,
+            TortureFaultKind::Storage(StorageFaultType::TornWrite),
+            TortureFaultKind::Storage(StorageFaultType::PartialAppend),
+            TortureFaultKind::Storage(StorageFaultType::BitRot),
+            TortureFaultKind::Storage(StorageFaultType::DiskFull),
+            TortureFaultKind::Storage(StorageFaultType::SlowIo),
+        ]
+    }
+
+    /// The five storage-hardware kinds (the `--faultload storage` pool).
+    pub fn storage() -> [TortureFaultKind; 5] {
+        [
+            TortureFaultKind::Storage(StorageFaultType::TornWrite),
+            TortureFaultKind::Storage(StorageFaultType::PartialAppend),
+            TortureFaultKind::Storage(StorageFaultType::BitRot),
+            TortureFaultKind::Storage(StorageFaultType::DiskFull),
+            TortureFaultKind::Storage(StorageFaultType::SlowIo),
         ]
     }
 
@@ -56,12 +93,13 @@ impl TortureFaultKind {
             }
             TortureFaultKind::Operator(FaultType::DeleteUsersObject) => "delete_users_object",
             TortureFaultKind::InstanceKill => "instance_kill",
+            TortureFaultKind::Storage(s) => s.name(),
         }
     }
 
-    /// Inverse of [`TortureFaultKind::name`].
+    /// Inverse of [`TortureFaultKind::name`], over the extended set.
     pub fn from_name(name: &str) -> Option<TortureFaultKind> {
-        TortureFaultKind::all().into_iter().find(|k| k.name() == name)
+        TortureFaultKind::all_extended().into_iter().find(|k| k.name() == name)
     }
 }
 
@@ -112,7 +150,30 @@ impl FaultSchedule {
     /// ramped up before the first injection (the paper triggers at
     /// steady state for the same reason).
     pub fn random(rng: &mut SimRng, n_faults: usize, duration_secs: u64, min_at: u64) -> FaultSchedule {
-        let kinds = TortureFaultKind::all();
+        Self::random_from(rng, &TortureFaultKind::all(), n_faults, duration_secs, min_at)
+    }
+
+    /// Like [`FaultSchedule::random`] but drawing only from the five
+    /// storage-hardware fault kinds — the `--faultload storage` pool.
+    pub fn random_storage(
+        rng: &mut SimRng,
+        n_faults: usize,
+        duration_secs: u64,
+        min_at: u64,
+    ) -> FaultSchedule {
+        Self::random_from(rng, &TortureFaultKind::storage(), n_faults, duration_secs, min_at)
+    }
+
+    /// Draws a random schedule from an explicit kind pool. The draw order
+    /// (kind, then time, per fault; schedule seed last) is part of the
+    /// corpus contract — changing it invalidates committed seeds.
+    pub fn random_from(
+        rng: &mut SimRng,
+        kinds: &[TortureFaultKind],
+        n_faults: usize,
+        duration_secs: u64,
+        min_at: u64,
+    ) -> FaultSchedule {
         let span = duration_secs.saturating_sub(min_at).max(1);
         let faults = (0..n_faults)
             .map(|_| ScheduledFault {
@@ -373,10 +434,62 @@ mod tests {
 
     #[test]
     fn every_kind_round_trips_by_name() {
-        for kind in TortureFaultKind::all() {
+        for kind in TortureFaultKind::all_extended() {
             assert_eq!(TortureFaultKind::from_name(kind.name()), Some(kind));
         }
         assert_eq!(TortureFaultKind::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn extended_set_extends_the_original_seven() {
+        let legacy = TortureFaultKind::all();
+        let extended = TortureFaultKind::all_extended();
+        assert_eq!(legacy.len(), 7, "historical seeds depend on a 7-kind pool");
+        assert_eq!(extended.len(), 12);
+        assert_eq!(&extended[..7], &legacy[..], "legacy kinds keep their draw order");
+        assert_eq!(&extended[7..], &TortureFaultKind::storage()[..]);
+    }
+
+    #[test]
+    fn storage_schedule_json_round_trips() {
+        let schedule = FaultSchedule {
+            seed: 11,
+            duration_secs: 120,
+            faults: vec![
+                ScheduledFault {
+                    kind: TortureFaultKind::Storage(StorageFaultType::TornWrite),
+                    at_secs: 30,
+                },
+                ScheduledFault {
+                    kind: TortureFaultKind::Storage(StorageFaultType::DiskFull),
+                    at_secs: 75,
+                },
+            ],
+        };
+        let json = schedule.to_json();
+        assert!(json.contains("\"fault\":\"torn_write\""));
+        assert!(json.contains("\"fault\":\"disk_full\""));
+        let parsed = FaultSchedule::from_json(&json).unwrap();
+        assert_eq!(parsed, schedule);
+        assert_eq!(parsed.to_json(), json);
+    }
+
+    #[test]
+    fn random_storage_draws_only_storage_kinds() {
+        let mut a = SimRng::seed_from(5);
+        let mut b = SimRng::seed_from(5);
+        let s1 = FaultSchedule::random_storage(&mut a, 8, 200, 20);
+        let s2 = FaultSchedule::random_storage(&mut b, 8, 200, 20);
+        assert_eq!(s1, s2);
+        assert_eq!(s1.faults.len(), 8);
+        for f in &s1.faults {
+            assert!(
+                matches!(f.kind, TortureFaultKind::Storage(_)),
+                "non-storage kind {} in storage faultload",
+                f.kind
+            );
+            assert!((20..200).contains(&f.at_secs));
+        }
     }
 
     #[test]

@@ -343,6 +343,94 @@ impl FaultType {
     }
 }
 
+/// Storage-hardware fault types injected through the simulated
+/// filesystem's fault layer (`recobench_vfs::FaultArm`), extending the
+/// paper's operator faultload with the hardware failures a storage
+/// administrator also has to survive: torn block writes, interrupted log
+/// appends, silent bit-rot, disk-space exhaustion, and a limping disk.
+///
+/// All five resolve with *complete* recovery — none of them is a
+/// committed operator mistake, so no history needs to be sacrificed. The
+/// first three are detected by the engine's per-block CRC checksums (and
+/// by the torn-tail end-of-log rule for the redo log); the last two are
+/// loud at the vfs level (`ENOSPC` / latency).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StorageFaultType {
+    /// A block write persists only a prefix of the new image; the rest of
+    /// the block keeps its previous contents (torn page).
+    TornWrite,
+    /// A redo-log append is interrupted mid-write: a prefix of the span
+    /// persists and the writer sees an error (torn log tail).
+    PartialAppend,
+    /// One bit of one written block flips silently on the media.
+    BitRot,
+    /// The disk runs out of space: writes fail with `ENOSPC` until the
+    /// operator frees space.
+    DiskFull,
+    /// A limping disk: every I/O internally retries, multiplying service
+    /// time. A pure performance fault — no data is damaged.
+    SlowIo,
+}
+
+impl StorageFaultType {
+    /// All five, in a fixed order.
+    pub fn all() -> [StorageFaultType; 5] {
+        [
+            StorageFaultType::TornWrite,
+            StorageFaultType::PartialAppend,
+            StorageFaultType::BitRot,
+            StorageFaultType::DiskFull,
+            StorageFaultType::SlowIo,
+        ]
+    }
+
+    /// Stable snake_case name used in schedule JSON and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            StorageFaultType::TornWrite => "torn_write",
+            StorageFaultType::PartialAppend => "partial_append",
+            StorageFaultType::BitRot => "bit_rot",
+            StorageFaultType::DiskFull => "disk_full",
+            StorageFaultType::SlowIo => "slow_io",
+        }
+    }
+
+    /// Human-readable description of the hardware failure.
+    pub fn description(self) -> &'static str {
+        match self {
+            StorageFaultType::TornWrite => "torn block write (prefix of the image persists)",
+            StorageFaultType::PartialAppend => "interrupted redo append (torn log tail)",
+            StorageFaultType::BitRot => "silent single-bit rot in a written block",
+            StorageFaultType::DiskFull => "disk out of space (ENOSPC on writes)",
+            StorageFaultType::SlowIo => "limping disk (every I/O retried, multiplying latency)",
+        }
+    }
+
+    /// The taxonomy class the fault maps into: storage administration —
+    /// the same territory the paper's removed/corrupted-file faults cover.
+    pub fn class(self) -> FaultClass {
+        FaultClass::StorageAdministration
+    }
+
+    /// Storage-hardware faults never require sacrificing committed
+    /// history: detection plus media or crash recovery restores them.
+    pub fn recovery_kind(self) -> RecoveryKind {
+        RecoveryKind::Complete
+    }
+}
+
+impl fmt::Display for StorageFaultType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            StorageFaultType::TornWrite => "Torn block write",
+            StorageFaultType::PartialAppend => "Partial redo append",
+            StorageFaultType::BitRot => "Silent bit-rot",
+            StorageFaultType::DiskFull => "Disk full",
+            StorageFaultType::SlowIo => "Slow I/O",
+        })
+    }
+}
+
 impl fmt::Display for FaultType {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(match self {
@@ -413,6 +501,19 @@ mod tests {
             OperatorFaultType::KillUserSession.representative(),
             Some(FaultType::ShutdownAbort)
         );
+    }
+
+    #[test]
+    fn storage_faults_are_complete_recovery_storage_class() {
+        assert_eq!(StorageFaultType::all().len(), 5);
+        for s in StorageFaultType::all() {
+            assert_eq!(s.class(), FaultClass::StorageAdministration);
+            assert_eq!(s.recovery_kind(), RecoveryKind::Complete);
+            assert!(!s.name().is_empty());
+            assert!(!s.description().is_empty());
+            assert!(!s.to_string().is_empty());
+            assert!(s.name().chars().all(|c| c.is_ascii_lowercase() || c == '_'));
+        }
     }
 
     #[test]

@@ -125,7 +125,18 @@ pub fn diff_states(server: &DbServer, model: &RefModel) -> DbResult<Vec<Divergen
     let mut engine_rows: BTreeMap<(ObjectId, RowId), Row> = BTreeMap::new();
     for obj in engine_tables.keys() {
         if expected.contains_key(obj) {
-            for (rid, row) in server.peek_scan(*obj)? {
+            // An unreadable heap (e.g. a block failing its checksum) is a
+            // finding in its own right, not a reason to abort the diff —
+            // the model's rows for it then surface as lost.
+            let rows = match server.peek_scan(*obj) {
+                Ok(rows) => rows,
+                Err(e) => {
+                    divergences
+                        .push(Divergence::Integrity(format!("table {} unreadable: {e}", obj.0)));
+                    continue;
+                }
+            };
+            for (rid, row) in rows {
                 engine_rows.insert((*obj, rid), row);
             }
         }

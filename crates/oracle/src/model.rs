@@ -226,6 +226,53 @@ impl RefModel {
     pub fn open_txns(&self) -> usize {
         self.pending.len()
     }
+
+    /// Ids of the buffered (uncommitted) transactions, for post-crash
+    /// in-doubt resolution.
+    pub fn open_txn_ids(&self) -> Vec<TxnId> {
+        self.pending.keys().copied().collect()
+    }
+
+    /// Resolves a transaction left *in doubt* by a crash: the commit call
+    /// errored because the instance died mid-flush, yet the commit marker
+    /// may still have reached the durable prefix of the log — in which
+    /// case crash recovery replays the whole transaction anyway. The
+    /// client heard "error", the database says "committed", and both are
+    /// right; only the model has to pick a side.
+    ///
+    /// Replay is atomic (all of the transaction or none of it), so
+    /// probing the recovered engine for the first buffered row effect
+    /// decides which happened; the ops are then applied or discarded to
+    /// match. Returns `true` if the engine durably committed it.
+    ///
+    /// `scn` orders the entry in the log if it committed; pass the
+    /// engine's post-recovery SCN (commit SCNs are monotone, so it sorts
+    /// after everything already logged). A transaction resolved as
+    /// committed does **not** count as acknowledged — no ack was heard.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the engine cannot be inspected.
+    pub fn resolve_in_doubt(
+        &mut self,
+        server: &DbServer,
+        txn: TxnId,
+        scn: Scn,
+    ) -> DbResult<bool> {
+        let Some(ops) = self.pending.remove(&txn) else { return Ok(false) };
+        let committed = match ops.first() {
+            None => false,
+            Some(RowOp::Put { obj, rid, row }) => {
+                server.peek_row(*obj, *rid)?.as_ref() == Some(row)
+            }
+            Some(RowOp::Del { obj, rid }) => server.peek_row(*obj, *rid)?.is_none(),
+        };
+        if committed {
+            apply(&mut self.state, &ops);
+            self.log.push(LogEntry { scn, ops });
+        }
+        Ok(committed)
+    }
 }
 
 /// Applies committed ops to a state map, last writer wins.

@@ -329,6 +329,13 @@ impl TortureRunner {
                     Err(_) => report.unrecoverable = true,
                 }
             }
+            TortureFaultKind::Storage(s) => {
+                if !srv.is_open() {
+                    report.skipped = Some("instance already down".to_string());
+                    return report;
+                }
+                self.one_storage_fault(s, f, &mut report, srv, driver, model, spans_us);
+            }
             TortureFaultKind::Operator(fault) => {
                 let injector = FaultInjector::new(FaultPlan::new(fault, f.at_secs));
                 let mut record = match injector.inject(srv) {
@@ -379,5 +386,197 @@ impl TortureRunner {
             }
         }
         report
+    }
+
+    /// Injects one storage fault and drives its recovery. The five kinds
+    /// have three distinct shapes:
+    ///
+    /// * **torn write / bit-rot** — silent datafile damage: the engine
+    ///   notices nothing until the per-block checksum probe runs, then
+    ///   media-recovers each damaged file;
+    /// * **partial append / disk full** — loud failures: a redo flush
+    ///   dies mid-write and takes the instance with it (crash recovery
+    ///   tolerates the torn tail), or a checkpoint hits `ENOSPC` and
+    ///   retries after the operator frees space;
+    /// * **slow I/O** — pure degradation: service continues, commits
+    ///   drag, nothing to recover — so no outage and no recovery span.
+    #[allow(clippy::too_many_arguments)]
+    fn one_storage_fault(
+        &self,
+        s: recobench_faults::StorageFaultType,
+        f: ScheduledFault,
+        report: &mut FaultReport,
+        srv: &mut DbServer,
+        driver: &mut TpccDriver,
+        model: &Arc<Mutex<RefModel>>,
+        spans_us: &mut Vec<(u64, u64)>,
+    ) {
+        use recobench_faults::StorageFaultType;
+        use recobench_vfs::{FaultArm, FileKind, FileMatch};
+        match s {
+            StorageFaultType::TornWrite | StorageFaultType::BitRot => {
+                let at = srv.clock().now();
+                let armed = {
+                    let mut fs = srv.fs().lock();
+                    if s == StorageFaultType::TornWrite {
+                        fs.arm_fault(FaultArm::TornWrite {
+                            target: FileMatch::Kind(FileKind::Data),
+                            keep_num: 1,
+                            keep_den: 2,
+                        })
+                    } else {
+                        fs.arm_fault(FaultArm::BitRot {
+                            target: FileMatch::Kind(FileKind::Data),
+                            seed: f.at_secs ^ 0xB17_0B07,
+                        })
+                    }
+                };
+                if let Err(e) = armed {
+                    report.skipped = Some(format!("injection failed: {e}"));
+                    return;
+                }
+                if s == StorageFaultType::TornWrite {
+                    // The tear waits for a datafile write; force one with
+                    // a checkpoint, then disarm whether or not it fired.
+                    let _ = srv.checkpoint_now();
+                    let fired = !srv.fs().lock().fault_pending();
+                    srv.fs().lock().clear_faults();
+                    if !fired {
+                        report.skipped = Some("no datafile write to tear".to_string());
+                        return;
+                    }
+                }
+                // Detection: the damage is silent — only the block
+                // checksums know. The probe names the files to repair.
+                let bad = match srv.datafiles_with_bad_checksums() {
+                    Ok(b) => b,
+                    Err(_) => {
+                        report.unrecoverable = true;
+                        return;
+                    }
+                };
+                if bad.is_empty() {
+                    report.skipped = Some("damage landed harmlessly".to_string());
+                    return;
+                }
+                report.injected_at = Some(at);
+                driver.record_outage(at);
+                srv.clock().advance(SimDuration::from_secs(1));
+                for path in &bad {
+                    if srv.recover_datafile(path).is_err() {
+                        report.unrecoverable = true;
+                        return;
+                    }
+                }
+                let ready = srv.clock().now();
+                spans_us.push((at.as_micros(), ready.as_micros()));
+                report.ready_at = Some(ready);
+            }
+            StorageFaultType::PartialAppend => {
+                let armed = srv.fs().lock().arm_fault(FaultArm::PartialAppend {
+                    target: FileMatch::Kind(FileKind::Redo),
+                    keep_num: 1,
+                    keep_den: 2,
+                });
+                if let Err(e) = armed {
+                    report.skipped = Some(format!("injection failed: {e}"));
+                    return;
+                }
+                // The next redo flush dies mid-write and the instance dies
+                // with it (LGWR semantics). Step the workload until that
+                // happens; commits flush, so it is at most a step or two.
+                let mut fired = false;
+                for _ in 0..400 {
+                    if !srv.is_open() {
+                        fired = true;
+                        break;
+                    }
+                    driver.step(srv);
+                }
+                if !fired {
+                    srv.fs().lock().clear_faults();
+                    report.skipped = Some("no redo flush to interrupt".to_string());
+                    return;
+                }
+                let at = srv.clock().now();
+                report.injected_at = Some(at);
+                driver.record_outage(at);
+                srv.fs().lock().clear_faults();
+                srv.clock().advance(SimDuration::from_secs(1));
+                if srv.startup().is_err() {
+                    report.unrecoverable = true;
+                    return;
+                }
+                // The torn flush may or may not have made the in-flight
+                // commit durable before it died; the client only heard an
+                // error. Ask the recovered engine which way it went and
+                // settle every dead transaction the same way it did.
+                {
+                    let scn = srv.current_scn();
+                    let mut m = model.lock().unwrap();
+                    for txn in m.open_txn_ids() {
+                        if m.resolve_in_doubt(srv, txn, scn).is_err() {
+                            report.unrecoverable = true;
+                            return;
+                        }
+                    }
+                }
+                let ready = srv.clock().now();
+                spans_us.push((at.as_micros(), ready.as_micros()));
+                report.ready_at = Some(ready);
+            }
+            StorageFaultType::DiskFull => {
+                let at = srv.clock().now();
+                let armed = srv.fs().lock().arm_fault(FaultArm::DiskFull {
+                    disk: DiskLayout::four_disk().data_disks[0],
+                    after_bytes: 0,
+                });
+                if let Err(e) = armed {
+                    report.skipped = Some(format!("injection failed: {e}"));
+                    return;
+                }
+                report.injected_at = Some(at);
+                driver.record_outage(at);
+                // The next checkpoint hits ENOSPC: the affected blocks
+                // stay dirty, the recovery position holds, and the
+                // operator gets the alarm.
+                let _ = srv.checkpoint_now();
+                srv.clock().advance(SimDuration::from_secs(1));
+                // Operator frees space; the retried checkpoint drains the
+                // write-out backlog.
+                srv.fs().lock().clear_faults();
+                match srv.checkpoint_now() {
+                    Ok(()) => {
+                        let ready = srv.clock().now();
+                        spans_us.push((at.as_micros(), ready.as_micros()));
+                        report.ready_at = Some(ready);
+                    }
+                    Err(_) => report.unrecoverable = true,
+                }
+            }
+            StorageFaultType::SlowIo => {
+                let armed = srv.fs().lock().arm_fault(FaultArm::SlowIo {
+                    disk: DiskLayout::four_disk().redo_disk,
+                    multiplier: 8,
+                });
+                if let Err(e) = armed {
+                    report.skipped = Some(format!("injection failed: {e}"));
+                    return;
+                }
+                report.injected_at = Some(srv.clock().now());
+                // A limping disk degrades service but never interrupts
+                // it: commits keep succeeding (slowly), so there is no
+                // outage and no recovery span — only a slower stretch on
+                // the availability timeline.
+                for _ in 0..64 {
+                    if !srv.is_open() {
+                        break;
+                    }
+                    driver.step(srv);
+                }
+                srv.fs().lock().clear_faults();
+                report.ready_at = Some(srv.clock().now());
+            }
+        }
     }
 }

@@ -10,11 +10,18 @@
 //!   sabotage), the oracle must **catch** the corruption and the shrinker
 //!   must reduce the schedule to a tiny reproducer, deterministically.
 
-use recobench_faults::{FaultSchedule, FaultType, ScheduledFault, TortureFaultKind};
+use recobench_faults::{
+    FaultSchedule, FaultType, ScheduledFault, StorageFaultType, TortureFaultKind,
+};
 use recobench_oracle::{shrink_schedule, TortureOptions, TortureOutcome, TortureRunner};
+use recobench_sim::SimRng;
 
 fn op(fault: FaultType, at_secs: u64) -> ScheduledFault {
     ScheduledFault { kind: TortureFaultKind::Operator(fault), at_secs }
+}
+
+fn storage(s: StorageFaultType, at_secs: u64) -> ScheduledFault {
+    ScheduledFault { kind: TortureFaultKind::Storage(s), at_secs }
 }
 
 fn kill(at_secs: u64) -> ScheduledFault {
@@ -134,6 +141,49 @@ fn broken_engine_is_caught_and_shrunk() {
     assert!(fails(&minimal), "the shrunk schedule must still fail");
     // Shrinking is itself deterministic, byte for byte.
     assert_eq!(minimal.to_json(), shrink_schedule(&schedule, fails).to_json());
+}
+
+/// The storage faultload: one fault of each of the five hardware kinds,
+/// spaced out over a run. All five must inject and recover, the state
+/// must match the model — and slow I/O, which degrades service without
+/// interrupting it, must contribute *no* recovery window.
+#[test]
+fn storage_faultload_all_five_kinds_match_model() {
+    let schedule = sched(
+        29,
+        600,
+        vec![
+            storage(StorageFaultType::SlowIo, 60),
+            storage(StorageFaultType::TornWrite, 120),
+            storage(StorageFaultType::BitRot, 200),
+            storage(StorageFaultType::DiskFull, 300),
+            storage(StorageFaultType::PartialAppend, 400),
+        ],
+    );
+    let outcome = TortureRunner::default().run(&schedule).unwrap();
+    assert_clean(&outcome);
+    for f in &outcome.faults {
+        assert!(f.injected_at.is_some(), "every storage fault must inject: {f:?}");
+        assert!(f.ready_at.is_some(), "every storage fault must recover: {f:?}");
+    }
+    assert_eq!(
+        outcome.recovery_spans_us.len(),
+        4,
+        "four outages: slow I/O never takes service down"
+    );
+    // The extended schedule round-trips through JSON byte-for-byte.
+    assert_eq!(FaultSchedule::from_json(&schedule.to_json()).unwrap().to_json(), schedule.to_json());
+}
+
+/// Randomly drawn storage schedules replay deterministically and leave
+/// the engine matching the model, like the operator pool always has.
+#[test]
+fn random_storage_schedule_is_deterministic_and_clean() {
+    let schedule = FaultSchedule::random_storage(&mut SimRng::seed_from(91), 4, 500, 60);
+    let a = TortureRunner::default().run(&schedule).unwrap();
+    let b = TortureRunner::default().run(&schedule).unwrap();
+    assert_eq!(a, b, "same storage schedule ⇒ identical outcome");
+    assert_clean(&a);
 }
 
 /// A second fault arriving while the database is still recovering from

@@ -28,6 +28,14 @@ pub enum VfsError {
     WrongAccessStyle(String),
     /// The owning disk has been taken offline or removed.
     DiskUnavailable(usize),
+    /// The owning disk ran out of space (`ENOSPC`): an armed
+    /// [`FaultArm::DiskFull`](crate::FaultArm::DiskFull) budget was
+    /// exhausted before this write.
+    DiskFull { disk: usize, path: String },
+    /// The write was interrupted partway (simulated crash or power loss):
+    /// a prefix of the data may have reached the platter, but the caller
+    /// must not assume any of it is durable.
+    Interrupted(String),
 }
 
 impl fmt::Display for VfsError {
@@ -42,6 +50,10 @@ impl fmt::Display for VfsError {
             VfsError::AlreadyExists(p) => write!(f, "file already exists: {p}"),
             VfsError::WrongAccessStyle(p) => write!(f, "wrong access style for {p}"),
             VfsError::DiskUnavailable(d) => write!(f, "disk {d} unavailable"),
+            VfsError::DiskFull { disk, path } => {
+                write!(f, "disk {disk} full (ENOSPC) writing {path}")
+            }
+            VfsError::Interrupted(p) => write!(f, "write interrupted: {p}"),
         }
     }
 }
@@ -57,6 +69,8 @@ mod tests {
         let e = VfsError::OutOfRange { file: "a.dbf".into(), block: 9, blocks: 4 };
         assert_eq!(e.to_string(), "block 9 out of range for a.dbf (4 blocks)");
         assert!(VfsError::Deleted("x".into()).to_string().contains("deleted"));
+        assert!(VfsError::DiskFull { disk: 1, path: "a.dbf".into() }.to_string().contains("ENOSPC"));
+        assert!(VfsError::Interrupted("r1".into()).to_string().contains("interrupted"));
     }
 
     #[test]

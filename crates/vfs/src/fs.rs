@@ -1,6 +1,6 @@
 //! The simulated filesystem: disks and files.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use bytes::Bytes;
@@ -68,6 +68,10 @@ struct FileEntry {
     kind: FileKind,
     deleted: bool,
     corrupt: bool,
+    /// Individually corrupted blocks of a block file (block-granular
+    /// damage from [`SimFs::corrupt_path`]); reads of these blocks fail
+    /// while the rest of the file stays readable. An overwrite heals.
+    corrupt_blocks: BTreeSet<u64>,
     content: Content,
 }
 
@@ -82,12 +86,121 @@ impl FileEntry {
         Ok(())
     }
 
+    /// Like [`FileEntry::check_readable`], but also fails if *any* block is
+    /// individually corrupt — for whole-file reads (copies, restores) that
+    /// would hit every block.
+    fn check_fully_readable(&self) -> VfsResult<()> {
+        self.check_readable()?;
+        if !self.corrupt_blocks.is_empty() {
+            return Err(VfsError::Corrupt(self.path.clone()));
+        }
+        Ok(())
+    }
+
+    fn is_corrupt(&self) -> bool {
+        self.corrupt || !self.corrupt_blocks.is_empty()
+    }
+
     fn size_bytes(&self) -> u64 {
         match &self.content {
             Content::Blocks { block_size, nblocks, .. } => *nblocks * *block_size as u64,
             Content::Append { len, .. } => *len,
         }
     }
+}
+
+/// Selects which files a storage fault applies to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FileMatch {
+    /// Exactly the live file with this path.
+    Path(String),
+    /// Any file of this kind.
+    Kind(FileKind),
+}
+
+impl FileMatch {
+    fn matches(&self, path: &str, kind: FileKind) -> bool {
+        match self {
+            FileMatch::Path(p) => p == path,
+            FileMatch::Kind(k) => *k == kind,
+        }
+    }
+}
+
+/// A storage fault armed on the filesystem via [`SimFs::arm_fault`].
+///
+/// These model the hardware/OS end of the faultload — what a flaky disk or
+/// an abrupt power loss does underneath the DBMS — as opposed to the
+/// operator faults injected by path (`delete_path` / `corrupt_path`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultArm {
+    /// One-shot **torn block write**: the next block write to a matching
+    /// file silently persists only the first `keep_num/keep_den` of the new
+    /// image; the rest of the block keeps its previous contents. The caller
+    /// is told the write succeeded — only a checksum can catch it.
+    TornWrite { target: FileMatch, keep_num: u32, keep_den: u32 },
+    /// One-shot **interrupted append**: the next append to a matching file
+    /// persists only the first `keep_num/keep_den` of its bytes and then
+    /// fails with [`VfsError::Interrupted`] — a torn tail is left on disk
+    /// and the caller knows the write did not complete.
+    PartialAppend { target: FileMatch, keep_num: u32, keep_den: u32 },
+    /// Immediate **silent bit-rot**: flips one bit of one already-written
+    /// block of the first matching block file, chosen deterministically
+    /// from `seed`. Applied when armed; no error is ever returned by the
+    /// filesystem — detection is entirely up to block checksums.
+    BitRot { target: FileMatch, seed: u64 },
+    /// **Disk full** (`ENOSPC`): after `after_bytes` more bytes are
+    /// written to `disk`, every subsequent write to it fails with
+    /// [`VfsError::DiskFull`] until the arm is cleared.
+    DiskFull { disk: DiskId, after_bytes: u64 },
+    /// **Limping disk**: every I/O on `disk` is charged `multiplier` times
+    /// its normal service demand (the disk internally retries, so its byte
+    /// counters inflate accordingly). A multiplier of 0 or 1 clears it.
+    SlowIo { disk: DiskId, multiplier: u32 },
+    /// **Crash at a write point**: counting durable writes (block writes
+    /// and appends) from the moment of arming, the `nth` one (1-based)
+    /// persists only `keep_num/keep_den` of its bytes and fails with
+    /// [`VfsError::Interrupted`]; every write after it fails the same way
+    /// until [`SimFs::clear_faults`] — the machine is dead. Used by the
+    /// crash-at-every-write-point sweep.
+    CrashAtWrite { nth: u64, keep_num: u32, keep_den: u32 },
+}
+
+/// Armed-fault bookkeeping. Lives on the [`SimFs`] and is cloned with it
+/// into snapshots; the snapshot identity hashes file metadata only, so this
+/// state never perturbs [`SnapshotId`](crate::SnapshotId)s.
+#[derive(Debug, Clone, Default)]
+struct FaultState {
+    /// Durable-write attempts (block writes + appends) observed over the
+    /// filesystem's lifetime; the write-point sweep enumerates sites with
+    /// this counter.
+    writes_observed: u64,
+    torn: Option<(FileMatch, u32, u32)>,
+    partial: Option<(FileMatch, u32, u32)>,
+    /// Remaining write budget per disk index; once 0, writes fail ENOSPC.
+    full: BTreeMap<usize, u64>,
+    /// Service-demand multiplier per disk index (absent = 1).
+    slow: BTreeMap<usize, u32>,
+    /// Writes left until the armed crash fires, plus the tear fraction.
+    crash_in: Option<(u64, u32, u32)>,
+    crash_fired: bool,
+}
+
+/// Deterministic 64-bit mixer (splitmix64 finalizer) used to derive fault
+/// targets from seeds without a RNG dependency.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Fraction `num/den` of `len`, clamped to `len`; `den == 0` keeps nothing.
+fn keep_bytes(len: usize, num: u32, den: u32) -> usize {
+    if den == 0 {
+        return 0;
+    }
+    ((len as u128 * num as u128 / den as u128) as usize).min(len)
 }
 
 /// The simulated filesystem: a set of disks and the files on them.
@@ -109,6 +222,7 @@ pub struct SimFs {
     disks: Vec<Disk>,
     files: BTreeMap<FileId, FileEntry>,
     next_id: u64,
+    faults: FaultState,
 }
 
 impl SimFs {
@@ -118,6 +232,7 @@ impl SimFs {
             disks: profiles.into_iter().map(Disk::new).collect(),
             files: BTreeMap::new(),
             next_id: 1,
+            faults: FaultState::default(),
         }
     }
 
@@ -189,6 +304,7 @@ impl SimFs {
                 kind,
                 deleted: false,
                 corrupt: false,
+                corrupt_blocks: BTreeSet::new(),
                 content: Content::Blocks { block_size, nblocks, data: BTreeMap::new() },
             },
         );
@@ -214,6 +330,7 @@ impl SimFs {
                 kind,
                 deleted: false,
                 corrupt: false,
+                corrupt_blocks: BTreeSet::new(),
                 content: Content::Append { segments: Vec::new(), len: 0 },
             },
         );
@@ -230,6 +347,9 @@ impl SimFs {
         let (disk, bytes, img) = {
             let e = self.entry(id)?;
             e.check_readable()?;
+            if e.corrupt_blocks.contains(&block) {
+                return Err(VfsError::Corrupt(e.path.clone()));
+            }
             match &e.content {
                 Content::Blocks { block_size, nblocks, data } => {
                     if block >= *nblocks {
@@ -248,7 +368,7 @@ impl SimFs {
                 Content::Append { .. } => return Err(VfsError::WrongAccessStyle(e.path.clone())),
             }
         };
-        let done = self.disk_mut(disk)?.submit(now, IoKind::Read, bytes, false);
+        let done = self.charge(disk, IoKind::Read, bytes, false, now)?;
         Ok((done, img))
     }
 
@@ -265,13 +385,13 @@ impl SimFs {
         image: Bytes,
         now: SimTime,
     ) -> VfsResult<(SimTime, ())> {
-        let (disk, bytes) = {
-            let e = self.entry_mut(id)?;
+        let (disk, bytes, path, kind) = {
+            let e = self.entry(id)?;
             if e.deleted {
                 return Err(VfsError::Deleted(e.path.clone()));
             }
-            match &mut e.content {
-                Content::Blocks { block_size, nblocks, data } => {
+            match &e.content {
+                Content::Blocks { block_size, nblocks, .. } => {
                     if block >= *nblocks {
                         return Err(VfsError::OutOfRange {
                             file: e.path.clone(),
@@ -279,13 +399,46 @@ impl SimFs {
                             blocks: *nblocks,
                         });
                     }
-                    data.insert(block, image);
-                    (e.disk, *block_size as u64)
+                    (e.disk, *block_size as u64, e.path.clone(), e.kind)
                 }
                 Content::Append { .. } => return Err(VfsError::WrongAccessStyle(e.path.clone())),
             }
         };
-        let done = self.disk_mut(disk)?.submit(now, IoKind::Write, bytes, false);
+        self.faults.writes_observed += 1;
+        let crash = self.crash_gate(&path)?;
+        self.consume_disk_budget(disk, bytes, &path)?;
+        let tear = crash.or_else(|| self.take_one_shot_torn(&path, kind));
+        let persisted = match tear {
+            None => image,
+            Some((num, den)) => {
+                // The prefix of the new image lands; the tail of whatever
+                // was on the platter before survives underneath it.
+                let k = keep_bytes(image.len(), num, den);
+                let old = match &self.entry(id)?.content {
+                    Content::Blocks { data, .. } => data.get(&block).cloned().unwrap_or_default(),
+                    Content::Append { .. } => unreachable!("validated as a block file"),
+                };
+                let mut buf = image[..k].to_vec();
+                if old.len() > k {
+                    buf.extend_from_slice(&old[k..]);
+                }
+                Bytes::from(buf)
+            }
+        };
+        {
+            let e = self.entry_mut(id)?;
+            e.corrupt_blocks.remove(&block);
+            match &mut e.content {
+                Content::Blocks { data, .. } => {
+                    data.insert(block, persisted);
+                }
+                Content::Append { .. } => unreachable!("validated as a block file"),
+            }
+        }
+        let done = self.charge(disk, IoKind::Write, bytes, false, now)?;
+        if crash.is_some() {
+            return Err(VfsError::Interrupted(path));
+        }
         Ok((done, ()))
     }
 
@@ -315,22 +468,48 @@ impl SimFs {
         pad: u64,
         now: SimTime,
     ) -> VfsResult<(SimTime, ())> {
-        let (disk, bytes) = {
-            let e = self.entry_mut(id)?;
+        let (disk, path, kind) = {
+            let e = self.entry(id)?;
             if e.deleted {
                 return Err(VfsError::Deleted(e.path.clone()));
             }
-            match &mut e.content {
-                Content::Append { segments, len } => {
-                    let n = data.len() as u64 + pad;
-                    *len += n;
-                    segments.push(data);
-                    (e.disk, n)
-                }
+            match &e.content {
+                Content::Append { .. } => (e.disk, e.path.clone(), e.kind),
                 Content::Blocks { .. } => return Err(VfsError::WrongAccessStyle(e.path.clone())),
             }
         };
-        let done = self.disk_mut(disk)?.submit(now, IoKind::Write, bytes, true);
+        let n = data.len() as u64 + pad;
+        self.faults.writes_observed += 1;
+        let crash = self.crash_gate(&path)?;
+        let partial = if crash.is_none() { self.take_one_shot_partial(&path, kind) } else { None };
+        let tear = crash.or(partial);
+        self.consume_disk_budget(disk, n, &path)?;
+        let (persist, charged) = match tear {
+            None => (data, n),
+            Some((num, den)) => {
+                // The write stops `num/den` of the way through the padded
+                // span; only the informative bytes inside the kept prefix
+                // reach the platter.
+                let k = keep_bytes(n as usize, num, den) as u64;
+                (data.slice(0..k.min(data.len() as u64) as usize), k)
+            }
+        };
+        {
+            let e = self.entry_mut(id)?;
+            match &mut e.content {
+                Content::Append { segments, len } => {
+                    *len += charged;
+                    if !persist.is_empty() {
+                        segments.push(persist);
+                    }
+                }
+                Content::Blocks { .. } => unreachable!("validated as an append file"),
+            }
+        }
+        let done = self.charge(disk, IoKind::Write, charged.max(1), true, now)?;
+        if tear.is_some() {
+            return Err(VfsError::Interrupted(path));
+        }
         Ok((done, ()))
     }
 
@@ -348,7 +527,7 @@ impl SimFs {
                 Content::Blocks { .. } => return Err(VfsError::WrongAccessStyle(e.path.clone())),
             }
         };
-        let done = self.disk_mut(disk)?.submit(now, IoKind::Read, bytes, true);
+        let done = self.charge(disk, IoKind::Read, bytes, true, now)?;
         Ok((done, segs))
     }
 
@@ -372,7 +551,7 @@ impl SimFs {
                 Content::Blocks { .. } => return Err(VfsError::WrongAccessStyle(e.path.clone())),
             }
         };
-        let done = self.disk_mut(disk)?.submit(now, IoKind::Read, bytes, true);
+        let done = self.charge(disk, IoKind::Read, bytes, true, now)?;
         Ok((done, segs))
     }
 
@@ -386,6 +565,9 @@ impl SimFs {
     pub fn peek_block(&self, id: FileId, block: u64) -> VfsResult<Bytes> {
         let e = self.entry(id)?;
         e.check_readable()?;
+        if e.corrupt_blocks.contains(&block) {
+            return Err(VfsError::Corrupt(e.path.clone()));
+        }
         match &e.content {
             Content::Blocks { block_size, nblocks, data } => {
                 if block >= *nblocks {
@@ -409,7 +591,7 @@ impl SimFs {
     /// block-addressed.
     pub fn peek_blocks_written(&self, id: FileId) -> VfsResult<Vec<(u64, Bytes)>> {
         let e = self.entry(id)?;
-        e.check_readable()?;
+        e.check_fully_readable()?;
         match &e.content {
             Content::Blocks { data, .. } => Ok(data.iter().map(|(b, img)| (*b, img.clone())).collect()),
             Content::Append { .. } => Err(VfsError::WrongAccessStyle(e.path.clone())),
@@ -438,7 +620,7 @@ impl SimFs {
     ///
     /// Fails if the disk does not exist.
     pub fn charge_io(&mut self, disk: DiskId, kind: IoKind, bytes: u64, now: SimTime) -> VfsResult<SimTime> {
-        Ok(self.disk_mut(disk)?.submit(now, kind, bytes, true))
+        self.charge(disk, kind, bytes, true, now)
     }
 
     /// Truncates an append-only file to empty (instantaneous metadata op).
@@ -481,15 +663,50 @@ impl SimFs {
         Ok(id)
     }
 
-    /// Marks a file's contents corrupt **by path**; reads fail afterwards.
+    /// Corrupts a file's contents **by path** — block-granular and
+    /// deterministic per `seed`.
+    ///
+    /// For a block file with written blocks, `1 + seed % 3` of them (chosen
+    /// deterministically from `seed`) become individually unreadable; the
+    /// rest of the file stays readable, so shrunk fault schedules keep the
+    /// damage minimal. Overwriting a damaged block heals it. Append files —
+    /// and block files nothing has been written to — fall back to the old
+    /// whole-file corrupt mark. Returns the id and the damaged block
+    /// indexes (empty for the whole-file fallback).
     ///
     /// # Errors
     ///
     /// Fails if no live file has this path.
-    pub fn corrupt_path(&mut self, path: &str) -> VfsResult<FileId> {
+    pub fn corrupt_path(&mut self, path: &str, seed: u64) -> VfsResult<(FileId, Vec<u64>)> {
         let id = self.lookup(path)?;
-        self.entry_mut(id)?.corrupt = true;
-        Ok(id)
+        let e = self.entry_mut(id)?;
+        let written: Vec<u64> = match &e.content {
+            Content::Blocks { data, .. } => data.keys().copied().collect(),
+            Content::Append { .. } => Vec::new(),
+        };
+        if written.is_empty() {
+            e.corrupt = true;
+            return Ok((id, Vec::new()));
+        }
+        let n_damage = (1 + mix64(seed) % 3).min(written.len() as u64);
+        let mut damaged = Vec::new();
+        for i in 0..n_damage {
+            let block = written[(mix64(seed ^ (i + 1)) % written.len() as u64) as usize];
+            if e.corrupt_blocks.insert(block) {
+                damaged.push(block);
+            }
+        }
+        damaged.sort_unstable();
+        Ok((id, damaged))
+    }
+
+    /// Block indexes of `id` currently marked individually corrupt.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the id has been purged.
+    pub fn corrupt_blocks(&self, id: FileId) -> VfsResult<Vec<u64>> {
+        Ok(self.entry(id)?.corrupt_blocks.iter().copied().collect())
     }
 
     /// Removes a file entry entirely (e.g. dropping an archived log after a
@@ -531,7 +748,7 @@ impl SimFs {
             kind: e.kind,
             size_bytes: e.size_bytes(),
             deleted: e.deleted,
-            corrupt: e.corrupt,
+            corrupt: e.is_corrupt(),
         })
     }
 
@@ -547,7 +764,7 @@ impl SimFs {
                 kind: f.kind,
                 size_bytes: f.size_bytes(),
                 deleted: f.deleted,
-                corrupt: f.corrupt,
+                corrupt: f.is_corrupt(),
             })
             .collect()
     }
@@ -564,7 +781,7 @@ impl SimFs {
                 kind: f.kind,
                 size_bytes: f.size_bytes(),
                 deleted: f.deleted,
-                corrupt: f.corrupt,
+                corrupt: f.is_corrupt(),
             })
             .collect()
     }
@@ -587,15 +804,16 @@ impl SimFs {
     ) -> VfsResult<(SimTime, FileId)> {
         let (src_disk, size, content) = {
             let e = self.entry(src)?;
-            e.check_readable()?;
+            e.check_fully_readable()?;
             (e.disk, e.size_bytes(), e.content.clone())
         };
         self.check_path_free(dst_path)?;
         if dst_disk.0 >= self.disks.len() {
             return Err(VfsError::DiskUnavailable(dst_disk.0));
         }
-        let read_done = self.disk_mut(src_disk)?.submit(now, IoKind::Read, size, true);
-        let write_done = self.disk_mut(dst_disk)?.submit(now, IoKind::Write, size, true);
+        self.consume_disk_budget(dst_disk, size, dst_path)?;
+        let read_done = self.charge(src_disk, IoKind::Read, size, true, now)?;
+        let write_done = self.charge(dst_disk, IoKind::Write, size, true, now)?;
         let id = self.alloc_id();
         self.files.insert(
             id,
@@ -605,6 +823,7 @@ impl SimFs {
                 kind: dst_kind,
                 deleted: false,
                 corrupt: false,
+                corrupt_blocks: BTreeSet::new(),
                 content,
             },
         );
@@ -621,19 +840,194 @@ impl SimFs {
     pub fn restore_into(&mut self, src: FileId, dst: FileId, now: SimTime) -> VfsResult<SimTime> {
         let (src_disk, size, content) = {
             let e = self.entry(src)?;
-            e.check_readable()?;
+            e.check_fully_readable()?;
             (e.disk, e.size_bytes(), e.content.clone())
         };
-        let dst_disk = {
+        let dst_disk = self.entry(dst)?.disk;
+        self.consume_disk_budget(dst_disk, size, "restore destination")?;
+        {
             let e = self.entry_mut(dst)?;
             e.content = content;
             e.deleted = false;
             e.corrupt = false;
-            e.disk
-        };
-        let read_done = self.disk_mut(src_disk)?.submit(now, IoKind::Read, size, true);
-        let write_done = self.disk_mut(dst_disk)?.submit(now, IoKind::Write, size, true);
+            e.corrupt_blocks.clear();
+        }
+        let read_done = self.charge(src_disk, IoKind::Read, size, true, now)?;
+        let write_done = self.charge(dst_disk, IoKind::Write, size, true, now)?;
         Ok(read_done.max(write_done))
+    }
+
+    // ---- storage-fault layer -------------------------------------------
+
+    /// Arms a storage fault. One-shot arms ([`FaultArm::TornWrite`],
+    /// [`FaultArm::PartialAppend`], [`FaultArm::CrashAtWrite`]) replace any
+    /// previously armed fault of the same kind; [`FaultArm::BitRot`] is
+    /// applied immediately; [`FaultArm::DiskFull`] and [`FaultArm::SlowIo`]
+    /// stay in force until cleared.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the arm names a disk that does not exist, if a crash arm
+    /// asks for the 0th write, or if a bit-rot arm matches no block file
+    /// with written blocks.
+    pub fn arm_fault(&mut self, arm: FaultArm) -> VfsResult<()> {
+        match arm {
+            FaultArm::TornWrite { target, keep_num, keep_den } => {
+                self.faults.torn = Some((target, keep_num, keep_den));
+            }
+            FaultArm::PartialAppend { target, keep_num, keep_den } => {
+                self.faults.partial = Some((target, keep_num, keep_den));
+            }
+            FaultArm::BitRot { target, seed } => return self.apply_bit_rot(&target, seed),
+            FaultArm::DiskFull { disk, after_bytes } => {
+                if disk.0 >= self.disks.len() {
+                    return Err(VfsError::DiskUnavailable(disk.0));
+                }
+                self.faults.full.insert(disk.0, after_bytes);
+            }
+            FaultArm::SlowIo { disk, multiplier } => {
+                if disk.0 >= self.disks.len() {
+                    return Err(VfsError::DiskUnavailable(disk.0));
+                }
+                if multiplier <= 1 {
+                    self.faults.slow.remove(&disk.0);
+                } else {
+                    self.faults.slow.insert(disk.0, multiplier);
+                }
+            }
+            FaultArm::CrashAtWrite { nth, keep_num, keep_den } => {
+                if nth == 0 {
+                    return Err(VfsError::NotFound("crash-at-write point 0".to_string()));
+                }
+                self.faults.crash_in = Some((nth, keep_num, keep_den));
+                self.faults.crash_fired = false;
+            }
+        }
+        Ok(())
+    }
+
+    /// Disarms every armed storage fault (the dead machine comes back, the
+    /// full disk gets space, the limping disk is replaced). The lifetime
+    /// write counter is **not** reset.
+    pub fn clear_faults(&mut self) {
+        let writes = self.faults.writes_observed;
+        self.faults = FaultState { writes_observed: writes, ..FaultState::default() };
+    }
+
+    /// Durable-write attempts (block writes and appends) observed over the
+    /// filesystem's lifetime. The crash-at-every-write-point sweep
+    /// enumerates crash sites with this counter.
+    pub fn writes_observed(&self) -> u64 {
+        self.faults.writes_observed
+    }
+
+    /// Whether an armed [`FaultArm::CrashAtWrite`] has fired.
+    pub fn crash_write_fired(&self) -> bool {
+        self.faults.crash_fired
+    }
+
+    /// Whether a one-shot write fault (torn write, partial append, or
+    /// crash-at-write) is still armed and waiting for its trigger. Fault
+    /// harnesses poll this to learn when the damage has landed.
+    pub fn fault_pending(&self) -> bool {
+        self.faults.torn.is_some()
+            || self.faults.partial.is_some()
+            || self.faults.crash_in.is_some()
+    }
+
+    /// Flips one bit of one written block of the first live file matching
+    /// `target`, chosen deterministically from `seed`.
+    fn apply_bit_rot(&mut self, target: &FileMatch, seed: u64) -> VfsResult<()> {
+        let victim = self.files.iter_mut().find_map(|(_, e)| {
+            if e.deleted || !target.matches(&e.path, e.kind) {
+                return None;
+            }
+            match &mut e.content {
+                Content::Blocks { data, .. } if !data.is_empty() => Some(data),
+                _ => None,
+            }
+        });
+        let Some(data) = victim else {
+            return Err(VfsError::NotFound("bit-rot target with written blocks".to_string()));
+        };
+        let keys: Vec<u64> = data.keys().copied().collect();
+        let block = keys[(mix64(seed) % keys.len() as u64) as usize];
+        let img = data.get(&block).expect("chosen from written keys");
+        if img.is_empty() {
+            return Err(VfsError::NotFound("bit-rot target block is empty".to_string()));
+        }
+        let bit = mix64(seed ^ 0x5bd1_e995) % (img.len() as u64 * 8);
+        let mut buf = img.to_vec();
+        buf[(bit / 8) as usize] ^= 1 << (bit % 8);
+        data.insert(block, Bytes::from(buf));
+        Ok(())
+    }
+
+    /// Charges an I/O on `disk`, honouring any armed slow-I/O multiplier: a
+    /// limping disk internally retries the whole operation `multiplier`
+    /// times, so both its service time and its byte counters inflate.
+    fn charge(
+        &mut self,
+        disk: DiskId,
+        kind: IoKind,
+        bytes: u64,
+        sequential: bool,
+        now: SimTime,
+    ) -> VfsResult<SimTime> {
+        let mult = (*self.faults.slow.get(&disk.0).unwrap_or(&1)).max(1);
+        let d = self.disk_mut(disk)?;
+        let mut done = now;
+        for _ in 0..mult {
+            done = d.submit(done, kind, bytes, sequential);
+        }
+        Ok(done)
+    }
+
+    /// Debits an ENOSPC budget if one is armed on `disk`.
+    fn consume_disk_budget(&mut self, disk: DiskId, bytes: u64, path: &str) -> VfsResult<()> {
+        if let Some(rem) = self.faults.full.get_mut(&disk.0) {
+            if *rem < bytes {
+                *rem = 0;
+                return Err(VfsError::DiskFull { disk: disk.0, path: path.to_string() });
+            }
+            *rem -= bytes;
+        }
+        Ok(())
+    }
+
+    /// Counts down an armed crash point. Returns the tear fraction when
+    /// this write is the crash point; errors when the machine is already
+    /// dead.
+    fn crash_gate(&mut self, path: &str) -> VfsResult<Option<(u32, u32)>> {
+        if self.faults.crash_fired {
+            return Err(VfsError::Interrupted(path.to_string()));
+        }
+        if let Some((left, num, den)) = &mut self.faults.crash_in {
+            *left -= 1;
+            if *left == 0 {
+                let frac = (*num, *den);
+                self.faults.crash_in = None;
+                self.faults.crash_fired = true;
+                return Ok(Some(frac));
+            }
+        }
+        Ok(None)
+    }
+
+    fn take_one_shot_torn(&mut self, path: &str, kind: FileKind) -> Option<(u32, u32)> {
+        if self.faults.torn.as_ref().is_some_and(|(t, _, _)| t.matches(path, kind)) {
+            let (_, num, den) = self.faults.torn.take().expect("checked above");
+            return Some((num, den));
+        }
+        None
+    }
+
+    fn take_one_shot_partial(&mut self, path: &str, kind: FileKind) -> Option<(u32, u32)> {
+        if self.faults.partial.as_ref().is_some_and(|(t, _, _)| t.matches(path, kind)) {
+            let (_, num, den) = self.faults.partial.take().expect("checked above");
+            return Some((num, den));
+        }
+        None
     }
 }
 
@@ -718,9 +1112,40 @@ mod tests {
     fn corrupt_path_fails_reads_but_not_meta() {
         let mut fs = fs4();
         let f = fs.create_block_file("/u02/users01.dbf", DiskId(1), FileKind::Data, 512, 2).unwrap();
-        fs.corrupt_path("/u02/users01.dbf").unwrap();
+        // No blocks written yet: falls back to the whole-file corrupt mark.
+        let (_, damaged) = fs.corrupt_path("/u02/users01.dbf", 42).unwrap();
+        assert!(damaged.is_empty());
         assert!(matches!(fs.read_block(f, 0, SimTime::ZERO).unwrap_err(), VfsError::Corrupt(_)));
         assert!(fs.meta(f).unwrap().corrupt);
+    }
+
+    #[test]
+    fn corrupt_path_is_block_granular_and_deterministic() {
+        let mk = || {
+            let mut fs = fs4();
+            let f = fs.create_block_file("/u02/u.dbf", DiskId(1), FileKind::Data, 512, 8).unwrap();
+            for b in 0..8 {
+                fs.write_block(f, b, Bytes::from(vec![b as u8 + 1; 512]), SimTime::ZERO).unwrap();
+            }
+            (fs, f)
+        };
+        let (mut fs, f) = mk();
+        let (_, damaged) = fs.corrupt_path("/u02/u.dbf", 9).unwrap();
+        assert!(!damaged.is_empty() && damaged.len() <= 3);
+        let (mut fs2, _) = mk();
+        let (_, damaged2) = fs2.corrupt_path("/u02/u.dbf", 9).unwrap();
+        assert_eq!(damaged, damaged2, "same seed damages the same blocks");
+        // Damaged blocks fail, the rest of the file stays readable.
+        assert!(matches!(fs.read_block(f, damaged[0], SimTime::ZERO).unwrap_err(), VfsError::Corrupt(_)));
+        let healthy = (0..8).find(|b| !damaged.contains(b)).unwrap();
+        assert!(fs.read_block(f, healthy, SimTime::ZERO).is_ok());
+        assert!(fs.meta(f).unwrap().corrupt, "metadata still reports damage");
+        assert_eq!(fs.corrupt_blocks(f).unwrap(), damaged);
+        // Whole-file reads refuse to cross the bad block.
+        assert!(fs.peek_blocks_written(f).is_err());
+        // An overwrite heals the block.
+        fs.write_block(f, damaged[0], Bytes::from(vec![9u8; 512]), SimTime::ZERO).unwrap();
+        assert!(fs.read_block(f, damaged[0], SimTime::ZERO).is_ok());
     }
 
     #[test]
@@ -833,5 +1258,164 @@ mod extended_tests {
         let t = fs.charge_io(DiskId(0), IoKind::Read, 20 * 1024 * 1024, SimTime::ZERO).unwrap();
         assert!(t.as_secs_f64() > 0.9, "20 MB at 20 MB/s is about a second");
         assert!(fs.charge_io(DiskId(5), IoKind::Read, 1, SimTime::ZERO).is_err());
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+
+    fn fs1() -> SimFs {
+        SimFs::new(vec![DiskProfile::server_2000(); 2])
+    }
+
+    #[test]
+    fn torn_write_keeps_prefix_of_new_and_tail_of_old() {
+        let mut fs = fs1();
+        let f = fs.create_block_file("/d.dbf", DiskId(0), FileKind::Data, 8, 2).unwrap();
+        fs.write_block(f, 0, Bytes::from(vec![1u8; 8]), SimTime::ZERO).unwrap();
+        fs.arm_fault(FaultArm::TornWrite {
+            target: FileMatch::Path("/d.dbf".into()),
+            keep_num: 1,
+            keep_den: 2,
+        })
+        .unwrap();
+        // The torn write reports success — the damage is silent.
+        fs.write_block(f, 0, Bytes::from(vec![2u8; 8]), SimTime::ZERO).unwrap();
+        let (_, got) = fs.read_block(f, 0, SimTime::ZERO).unwrap();
+        assert_eq!(&got[..], &[2, 2, 2, 2, 1, 1, 1, 1]);
+        // One-shot: the next write is whole.
+        fs.write_block(f, 0, Bytes::from(vec![3u8; 8]), SimTime::ZERO).unwrap();
+        let (_, got) = fs.read_block(f, 0, SimTime::ZERO).unwrap();
+        assert!(got.iter().all(|&b| b == 3));
+    }
+
+    #[test]
+    fn torn_write_matches_by_kind() {
+        let mut fs = fs1();
+        let f = fs.create_block_file("/d.dbf", DiskId(0), FileKind::Data, 4, 1).unwrap();
+        fs.arm_fault(FaultArm::TornWrite {
+            target: FileMatch::Kind(FileKind::Data),
+            keep_num: 0,
+            keep_den: 1,
+        })
+        .unwrap();
+        fs.write_block(f, 0, Bytes::from(vec![7u8; 4]), SimTime::ZERO).unwrap();
+        let (_, got) = fs.read_block(f, 0, SimTime::ZERO).unwrap();
+        assert!(got.is_empty(), "nothing of the new image persisted over the unwritten block");
+    }
+
+    #[test]
+    fn partial_append_persists_prefix_and_errors() {
+        let mut fs = fs1();
+        let f = fs.create_append_file("/r1.log", DiskId(0), FileKind::Redo).unwrap();
+        fs.append(f, Bytes::from_static(b"first"), SimTime::ZERO).unwrap();
+        fs.arm_fault(FaultArm::PartialAppend {
+            target: FileMatch::Kind(FileKind::Redo),
+            keep_num: 1,
+            keep_den: 2,
+        })
+        .unwrap();
+        let err = fs.append(f, Bytes::from_static(b"second"), SimTime::ZERO).unwrap_err();
+        assert!(matches!(err, VfsError::Interrupted(_)));
+        let (_, segs) = fs.read_all(f, SimTime::ZERO).unwrap();
+        assert_eq!(segs, vec![Bytes::from_static(b"first"), Bytes::from_static(b"sec")]);
+        assert_eq!(fs.meta(f).unwrap().size_bytes, 8, "five whole bytes plus the torn three");
+        // One-shot: appends work again.
+        fs.append(f, Bytes::from_static(b"third"), SimTime::ZERO).unwrap();
+    }
+
+    #[test]
+    fn bit_rot_flips_exactly_one_bit_deterministically() {
+        let mut fs = fs1();
+        let f = fs.create_block_file("/d.dbf", DiskId(0), FileKind::Data, 16, 4).unwrap();
+        for b in 0..4 {
+            fs.write_block(f, b, Bytes::from(vec![0u8; 16]), SimTime::ZERO).unwrap();
+        }
+        fs.arm_fault(FaultArm::BitRot { target: FileMatch::Path("/d.dbf".into()), seed: 5 }).unwrap();
+        let mut flipped = Vec::new();
+        for b in 0..4 {
+            let (_, img) = fs.read_block(f, b, SimTime::ZERO).unwrap();
+            let ones: u32 = img.iter().map(|x| x.count_ones()).sum();
+            if ones > 0 {
+                flipped.push((b, ones));
+            }
+        }
+        assert_eq!(flipped.len(), 1, "exactly one block touched");
+        assert_eq!(flipped[0].1, 1, "exactly one bit flipped");
+        // Rot targeting a file with no written blocks is rejected.
+        fs.create_block_file("/e.dbf", DiskId(0), FileKind::Data, 16, 4).unwrap();
+        let err = fs
+            .arm_fault(FaultArm::BitRot { target: FileMatch::Path("/e.dbf".into()), seed: 5 })
+            .unwrap_err();
+        assert!(matches!(err, VfsError::NotFound(_)));
+    }
+
+    #[test]
+    fn disk_full_fires_after_budget_and_spares_other_disks() {
+        let mut fs = fs1();
+        let f = fs.create_block_file("/d.dbf", DiskId(0), FileKind::Data, 512, 8).unwrap();
+        let g = fs.create_block_file("/e.dbf", DiskId(1), FileKind::Data, 512, 8).unwrap();
+        fs.arm_fault(FaultArm::DiskFull { disk: DiskId(0), after_bytes: 1024 }).unwrap();
+        fs.write_block(f, 0, Bytes::from(vec![1u8; 512]), SimTime::ZERO).unwrap();
+        fs.write_block(f, 1, Bytes::from(vec![1u8; 512]), SimTime::ZERO).unwrap();
+        let err = fs.write_block(f, 2, Bytes::from(vec![1u8; 512]), SimTime::ZERO).unwrap_err();
+        assert!(matches!(err, VfsError::DiskFull { disk: 0, .. }));
+        assert!(fs.write_block(g, 0, Bytes::from(vec![1u8; 512]), SimTime::ZERO).is_ok());
+        // Reads are unaffected; clearing the arm frees the space.
+        assert!(fs.read_block(f, 0, SimTime::ZERO).is_ok());
+        fs.clear_faults();
+        assert!(fs.write_block(f, 2, Bytes::from(vec![1u8; 512]), SimTime::ZERO).is_ok());
+    }
+
+    #[test]
+    fn slow_io_inflates_service_time() {
+        let measure = |mult: u32| {
+            let mut fs = fs1();
+            let f = fs.create_block_file("/d.dbf", DiskId(0), FileKind::Data, 8192, 4).unwrap();
+            if mult > 1 {
+                fs.arm_fault(FaultArm::SlowIo { disk: DiskId(0), multiplier: mult }).unwrap();
+            }
+            let (t, _) = fs.read_block(f, 0, SimTime::ZERO).unwrap();
+            t
+        };
+        let normal = measure(1);
+        let limping = measure(8);
+        assert!(
+            limping.as_micros() > 2 * normal.as_micros(),
+            "8x multiplier must visibly slow the disk ({normal:?} vs {limping:?})"
+        );
+    }
+
+    #[test]
+    fn crash_at_write_counts_tears_and_kills_the_machine() {
+        let mut fs = fs1();
+        let f = fs.create_append_file("/r1.log", DiskId(0), FileKind::Redo).unwrap();
+        fs.arm_fault(FaultArm::CrashAtWrite { nth: 3, keep_num: 1, keep_den: 2 }).unwrap();
+        fs.append(f, Bytes::from_static(b"aaaa"), SimTime::ZERO).unwrap();
+        fs.append(f, Bytes::from_static(b"bbbb"), SimTime::ZERO).unwrap();
+        assert!(!fs.crash_write_fired());
+        let err = fs.append(f, Bytes::from_static(b"cccc"), SimTime::ZERO).unwrap_err();
+        assert!(matches!(err, VfsError::Interrupted(_)));
+        assert!(fs.crash_write_fired());
+        // The machine is dead: every further write fails, reads still work.
+        let err = fs.append(f, Bytes::from_static(b"dddd"), SimTime::ZERO).unwrap_err();
+        assert!(matches!(err, VfsError::Interrupted(_)));
+        let (_, segs) = fs.read_all(f, SimTime::ZERO).unwrap();
+        assert_eq!(segs, vec![Bytes::from_static(b"aaaa"), Bytes::from_static(b"bbbb"), Bytes::from_static(b"cc")]);
+        // Power restored: writes work again and the counter kept counting.
+        fs.clear_faults();
+        assert!(fs.append(f, Bytes::from_static(b"eeee"), SimTime::ZERO).is_ok());
+        assert_eq!(fs.writes_observed(), 5);
+    }
+
+    #[test]
+    fn snapshot_identity_ignores_armed_faults() {
+        use crate::snapshot::FsSnapshot;
+        let mut fs = fs1();
+        fs.create_block_file("/d.dbf", DiskId(0), FileKind::Data, 512, 8).unwrap();
+        let clean = FsSnapshot::capture(&fs).id();
+        fs.arm_fault(FaultArm::DiskFull { disk: DiskId(0), after_bytes: 1 }).unwrap();
+        assert_eq!(FsSnapshot::capture(&fs).id(), clean);
     }
 }

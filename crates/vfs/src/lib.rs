@@ -15,6 +15,11 @@
 //! server would damage a real installation. That is what the fault injector
 //! uses.
 //!
+//! Below the operator's surface sits the *hardware's*: storage faults armed
+//! through [`FaultArm`] — torn block writes, interrupted appends, silent
+//! bit-rot, `ENOSPC`, limping disks and crash-at-write-point kills — model
+//! what a failing disk or abrupt power loss does underneath the DBMS.
+//!
 //! All operations charge service time on the owning disk and return the
 //! completion instant so callers can advance their simulated clock.
 
@@ -24,5 +29,5 @@ pub mod snapshot;
 
 pub use error::{VfsError, VfsResult};
 pub use recobench_sim::disk::IoKind;
-pub use fs::{DiskId, FileId, FileKind, FileMeta, SharedFs, SimFs};
+pub use fs::{DiskId, FaultArm, FileId, FileKind, FileMatch, FileMeta, SharedFs, SimFs};
 pub use snapshot::{FsSnapshot, SnapshotId};
