@@ -22,6 +22,7 @@ use crate::events::{EngineEvent, EventSink};
 /// # Errors
 ///
 /// Fails if the sequence is unknown, no longer online, or the copy fails.
+// tidy-entry(recovery)
 pub(crate) fn archive_seq(
     fs: &mut SimFs,
     control: &mut ControlFile,
@@ -35,7 +36,8 @@ pub(crate) fn archive_seq(
         .get(&seq)
         .and_then(|loc| loc.group)
         .ok_or_else(|| DbError::BadAdminCommand(format!("log seq {seq} is not online")))?;
-    let group_file = control.groups[group_idx].vfs_id;
+    let group_file =
+        control.groups.get(group_idx).ok_or(RecoveryError::SeqLocationLost(seq))?.vfs_id;
     let path = format!("/arch/{}_{:06}.arc", control.db_name, seq);
     let (done, archive_id) = fs.copy_file(group_file, &path, archive_disk, FileKind::Archive, now)?;
     let loc = control.seqs.get_mut(&seq).ok_or(RecoveryError::SeqLocationLost(seq))?;

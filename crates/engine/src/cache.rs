@@ -111,23 +111,29 @@ impl BufferCache {
     }
 
     fn unlink(&mut self, i: usize) {
+        // tidy-allow(panic-freedom): callers pass slab indices from the resident map
         let (prev, next) = (self.slots[i].prev, self.slots[i].next);
         if prev == NIL {
             self.head = next;
         } else {
+            // tidy-allow(panic-freedom): intrusive LRU links are valid slab indices or NIL, branched away above
             self.slots[prev].next = next;
         }
         if next == NIL {
             self.tail = prev;
         } else {
+            // tidy-allow(panic-freedom): intrusive LRU links are valid slab indices or NIL, branched away above
             self.slots[next].prev = prev;
         }
     }
 
     fn push_front(&mut self, i: usize) {
+        // tidy-allow(panic-freedom): callers pass slab indices from the resident map
         self.slots[i].prev = NIL;
+        // tidy-allow(panic-freedom): callers pass slab indices from the resident map
         self.slots[i].next = self.head;
         if self.head != NIL {
+            // tidy-allow(panic-freedom): head is a valid slab index or NIL, branched away above
             self.slots[self.head].prev = i;
         }
         self.head = i;
@@ -257,6 +263,7 @@ impl BufferCache {
     /// Panics if the block is not resident (changes always go through a
     /// resident frame).
     pub fn mark_dirty(&mut self, key: BlockKey, addr: RedoAddr, now: SimTime) {
+        // tidy-allow(panic-freedom): documented `# Panics` invariant — changes only flow through resident frames
         let &i = self.map.get(&key).expect("dirtied block must be resident");
         match &mut self.slots[i].dirty {
             Some(d) => d.last_addr = d.last_addr.max(addr),
@@ -281,6 +288,7 @@ impl BufferCache {
     ///
     /// Panics if the block is not resident.
     pub fn restore_dirty(&mut self, key: BlockKey, info: DirtyInfo) {
+        // tidy-allow(panic-freedom): documented `# Panics` invariant — the failed write-out left the frame resident
         let &i = self.map.get(&key).expect("restored block must be resident");
         if self.slots[i].dirty.replace(info).is_none() {
             self.dirty_n += 1;

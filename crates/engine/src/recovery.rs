@@ -66,6 +66,7 @@ impl DbServer {
     ///
     /// Fails if already open, no database exists, or required redo is
     /// unavailable.
+    // tidy-entry(recovery)
     pub fn startup(&mut self) -> DbResult<()> {
         if self.inst.is_some() {
             return Err(DbError::AlreadyOpen);
@@ -133,6 +134,7 @@ impl DbServer {
     /// that fails to decode. Loud damage (a deleted file) keeps its
     /// existing failure mode, and offline files stay media recovery's
     /// business.
+    // tidy-entry(recovery)
     fn restore_fractured_datafiles(&mut self, from: RedoAddr) -> DbResult<RedoAddr> {
         let files: Vec<(FileNo, recobench_vfs::FileId, String)> = {
             let inst = self.inst.as_ref().ok_or(DbError::InstanceDown)?;
@@ -148,7 +150,11 @@ impl DbServer {
                 let control = self.control_ref()?;
                 let df_ts = {
                     let inst = self.inst.as_ref().ok_or(DbError::InstanceDown)?;
-                    inst.catalog.datafiles[&file_no].tablespace
+                    inst.catalog
+                        .datafiles
+                        .get(&file_no)
+                        .ok_or_else(|| DbError::NotFound(format!("datafile {file_no}")))?
+                        .tablespace
                 };
                 control.file_state(file_no).offline || control.is_ts_offline(df_ts)
             };
@@ -235,6 +241,7 @@ impl DbServer {
     ///
     /// Fails if there is no backup when one is needed, or if required redo
     /// has been overwritten without being archived.
+    // tidy-entry(recovery)
     pub fn recover_datafile(&mut self, path: &str) -> DbResult<ReplaySummary> {
         self.poll();
         // Media recovery replays redo underneath live row versions; any
@@ -249,7 +256,11 @@ impl DbServer {
         };
         let (vfs_id, damaged) = {
             let inst = self.inst.as_ref().ok_or(DbError::InstanceDown)?;
-            let df = &inst.catalog.datafiles[&file_no];
+            let df = inst
+                .catalog
+                .datafiles
+                .get(&file_no)
+                .ok_or_else(|| DbError::NotFound(format!("datafile {file_no}")))?;
             let fs = self.fs.lock();
             let damaged = match fs.meta(df.vfs_id) {
                 Ok(m) => m.deleted || m.corrupt,
@@ -397,6 +408,7 @@ impl DbServer {
     ///
     /// Fails without a backup, or if the archive chain from the backup is
     /// broken.
+    // tidy-entry(recovery)
     pub fn recover_database_until(&mut self, stop_scn: Scn) -> DbResult<ReplaySummary> {
         let backup = self.backup.as_ref().ok_or_else(|| {
             DbError::Unrecoverable("point-in-time recovery requires a backup".into())
@@ -494,6 +506,7 @@ impl DbServer {
 
     /// `ALTER DATABASE OPEN RESETLOGS`: discard the online logs and start
     /// a new incarnation at the next sequence number.
+    // tidy-entry(recovery)
     fn open_resetlogs(&mut self) -> DbResult<()> {
         let new_seq = {
             let control = self.control_ref()?;
@@ -559,7 +572,14 @@ impl DbServer {
             let start_offset = if seq == opts.from.seq { opts.from.offset } else { 0 };
             let scan_began = self.clock.now();
             let (segments, from_archive) = if let Some(group) = loc.group {
-                let vfs_id = self.control_ref()?.groups[group].vfs_id;
+                let vfs_id = self
+                    .control_ref()?
+                    .groups
+                    .get(group)
+                    .ok_or_else(|| {
+                        DbError::Unrecoverable(format!("log seq {seq} maps to a missing redo group"))
+                    })?
+                    .vfs_id;
                 let now = self.clock.now();
                 let mut fs = self.fs.lock();
                 let (done, segs) = fs.read_from(vfs_id, start_offset, now)?;

@@ -439,6 +439,7 @@ impl DbServer {
             // Incremental checkpointing failures are impossible in normal
             // operation; if storage is damaged the write helper skips the
             // affected blocks.
+            // tidy-allow(error-swallow): background DBWR tick is best-effort; damaged blocks are retried next tick
             let _ = self.incremental_eval(t);
         }
     }
@@ -544,7 +545,12 @@ impl DbServer {
             let group = inst.redo.current_group;
             let (payload, pad, flushed) = inst.redo.take_buffer();
             let control = self.control.as_ref().ok_or_else(|| DbError::NotFound("database".into()))?;
-            (payload, pad, flushed, control.groups[group].vfs_id)
+            let group_vfs = control
+                .groups
+                .get(group)
+                .ok_or_else(|| DbError::Unrecoverable(format!("redo group {group} missing")))?
+                .vfs_id;
+            (payload, pad, flushed, group_vfs)
         };
         let done = {
             let mut fs = self.fs.lock();
@@ -558,6 +564,7 @@ impl DbServer {
                     // fails, and the answer is the same: the instance
                     // dies on the spot and crash recovery re-derives the
                     // truth from the durable prefix of the log.
+                    // tidy-allow(error-swallow): already aborting; the original log-write error is what propagates
                     let _ = self.shutdown_abort();
                     return Err(DbError::from(e));
                 }
@@ -669,6 +676,7 @@ impl DbServer {
     /// Writes all dirty blocks and records a checkpoint at the current log
     /// position. Returns the completion instant (the caller decides whether
     /// to wait on it).
+    // tidy-entry(recovery)
     pub(crate) fn full_checkpoint(&mut self) -> DbResult<SimTime> {
         self.flush_redo()?;
         let now = self.clock.now();
@@ -686,6 +694,7 @@ impl DbServer {
             // disk. Recording this checkpoint would claim they did, so the
             // instance dies instead and crash recovery replays from the
             // previous record.
+            // tidy-allow(error-swallow): already aborting; the checkpoint interruption is what propagates
             let _ = self.shutdown_abort();
             return Err(DbError::Media(VfsError::Interrupted("checkpoint write-out".into())));
         }
@@ -713,6 +722,7 @@ impl DbServer {
     /// # Errors
     ///
     /// Fails if the instance is down.
+    // tidy-entry(recovery)
     pub fn checkpoint_now(&mut self) -> DbResult<()> {
         self.poll();
         let done = self.full_checkpoint()?;
@@ -806,6 +816,7 @@ impl DbServer {
                 if let Ok((ev_vfs, _)) = self.datafile_info(ev.key.0) {
                     let now = self.clock.now();
                     let mut fs = self.fs.lock();
+                    // tidy-allow(lock-discipline): eviction write-back of a clean-ordered dirty frame; its redo was flushed above
                     match fs.write_block(ev_vfs, ev.key.1 as u64, ev.img.encode(), now) {
                         Ok((done, ())) => {
                             drop(fs);
@@ -1054,6 +1065,7 @@ impl DbServer {
             let mut fs = self.fs.lock();
             for (_, path) in &files {
                 // The files may already be damaged; dropping is best-effort.
+                // tidy-allow(error-swallow): dropping a tablespace whose files are already damaged must still succeed
                 let _ = fs.delete_path(path);
             }
         }
@@ -1094,6 +1106,7 @@ impl DbServer {
     pub fn disconnect(&mut self, s: SessionId) {
         if let Some(sess) = self.sessions.remove(&s) {
             if let Some(txn) = sess.txn {
+                // tidy-allow(error-swallow): disconnect is infallible by contract; a failed rollback is redone by crash recovery
                 let _ = self.rollback_txn(txn);
             }
         }
@@ -1983,6 +1996,7 @@ impl DbServer {
             if still.is_empty() {
                 if let Ok(scn) = self.inst_mut().map(|i| i.next_scn()) {
                     let rec = RedoRecord { scn, txn: Some(txn), op: RedoOp::Rollback };
+                    // tidy-allow(error-swallow): the rollback marker is an optimization; undo application already succeeded
                     let _ = self.append_record(&rec);
                 }
             } else {
@@ -2284,6 +2298,7 @@ impl DbServer {
             let mut fs = self.fs.lock();
             for piece in b.pieces.values() {
                 if let Ok(meta) = fs.meta(*piece) {
+                    // tidy-allow(error-swallow): simulates an operator reclaiming space; missing pieces are the faultload
                     let _ = fs.delete_path(&meta.path);
                 }
             }

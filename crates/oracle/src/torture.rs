@@ -378,6 +378,7 @@ impl TortureRunner {
                         // but the state is no longer specified, so the
                         // differential check is off from here.
                         if !srv.is_open() {
+                            // tidy-allow(error-swallow): best-effort restart after failed recovery; the report already says unrecoverable
                             let _ = srv.startup();
                         }
                         report.unrecoverable = true;
@@ -438,6 +439,7 @@ impl TortureRunner {
                 if s == StorageFaultType::TornWrite {
                     // The tear waits for a datafile write; force one with
                     // a checkpoint, then disarm whether or not it fired.
+                    // tidy-allow(error-swallow): the checkpoint exists to trigger the armed tear; failure IS the scenario
                     let _ = srv.checkpoint_now();
                     let fired = !srv.fs().lock().fault_pending();
                     srv.fs().lock().clear_faults();
@@ -540,6 +542,7 @@ impl TortureRunner {
                 // The next checkpoint hits ENOSPC: the affected blocks
                 // stay dirty, the recovery position holds, and the
                 // operator gets the alarm.
+                // tidy-allow(error-swallow): the ENOSPC failure is the injected fault under test
                 let _ = srv.checkpoint_now();
                 srv.clock().advance(SimDuration::from_secs(1));
                 // Operator frees space; the retried checkpoint drains the

@@ -18,7 +18,7 @@
 //! probing the recovered engine ([`RefModel::resolve_in_doubt`]): either
 //! answer is legal, but the engine must then *match* the answer it gave.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, VecDeque};
 use std::sync::{Arc, Mutex};
 
 use recobench_engine::{
@@ -34,12 +34,16 @@ use recobench_vfs::FaultArm;
 const TXNS: u64 = 210;
 
 fn build_server() -> (DbServer, ObjectId) {
+    build_server_with_cache(64)
+}
+
+fn build_server_with_cache(cache_blocks: usize) -> (DbServer, ObjectId) {
     let cfg = InstanceConfig::builder()
         .redo_file_bytes(64 * 1024)
         .redo_groups(3)
         .checkpoint_timeout_secs(300)
         .archive_mode(true)
-        .cache_blocks(64)
+        .cache_blocks(cache_blocks)
         .build();
     let mut srv =
         DbServer::on_fresh_disks("SWEEP", SimClock::shared(), DiskLayout::four_disk(), cfg);
@@ -173,6 +177,120 @@ fn crash_at(n: u64) -> u64 {
         divergences[0]
     );
     m.surviving_commits()
+}
+
+/// The checked-in coverage manifest: every engine source site that the
+/// sweep's workload (and its crash recoveries) drives through the VFS
+/// durable-write surface. `recobench-tidy`'s `write-site-coverage` lint
+/// statically enumerates the engine's write sites and fails CI when one
+/// is missing from this manifest — a new write path cannot ship until
+/// the sweep demonstrably exercises it.
+const COVERAGE_MANIFEST: &str =
+    concat!(env!("CARGO_MANIFEST_DIR"), "/tests/write_site_coverage.json");
+
+/// Collects this filesystem's observed caller sites, keeping only engine
+/// sources (the sweep also drives vfs-internal and harness writes, which
+/// tidy does not count).
+fn collect_engine_sites(srv: &DbServer, into: &mut BTreeSet<(String, u32)>) {
+    for (file, line) in srv.fs().lock().write_sites_observed() {
+        if file.starts_with("crates/engine/src/") {
+            into.insert((file.to_string(), line));
+        }
+    }
+}
+
+fn render_manifest(sites: &BTreeSet<(String, u32)>) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"generated_by\": ");
+    out.push_str(
+        "\"UPDATE_WRITE_SITES=1 cargo test -p recobench-oracle --test write_point_sweep\",\n",
+    );
+    out.push_str("  \"sites\": [\n");
+    for (i, (file, line)) in sites.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"file\": \"{file}\", \"line\": {line}}}{}\n",
+            if i + 1 < sites.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Proves the sweep exercises every engine write site the static
+/// analysis can see — the dynamic half of the coverage cross-check.
+///
+/// A baseline run plus a spread of crash-recovery runs union their
+/// observed `#[track_caller]` write sites; the result must match the
+/// checked-in manifest exactly. Set `UPDATE_WRITE_SITES=1` to
+/// regenerate after intentionally adding or moving a write site (tidy
+/// then re-verifies the static side).
+#[test]
+fn sweep_observes_the_manifest_write_sites_exactly() {
+    let mut observed = BTreeSet::new();
+    {
+        let (mut srv, t) = build_server();
+        assert!(!run_workload(&mut srv, t), "no fault armed, nothing can fire");
+        collect_engine_sites(&srv, &mut observed);
+    }
+    // A starved cache plus fat rows (few per block) forces dirty-frame
+    // evictions, driving the read-path write-back site
+    // (`ensure_resident_raw`) that the roomy baseline never touches: the
+    // working set spans many dirty blocks, and each miss-read evicts one.
+    {
+        let (mut srv, t) = build_server_with_cache(4);
+        let s = srv.connect().unwrap();
+        let filler: String = "x".repeat(2048);
+        let mut rids = Vec::new();
+        for i in 0..60u64 {
+            let row = Row::new(vec![Value::U64(i), Value::Str(filler.as_str().into())]);
+            rids.push(srv.insert(s, t, row).unwrap());
+            srv.commit(s).unwrap();
+        }
+        // Revisit the oldest rows: every read is a miss that evicts a
+        // still-dirty frame.
+        for (i, &rid) in rids.iter().take(20).enumerate() {
+            let row = Row::new(vec![Value::U64(1000 + i as u64), Value::Str(filler.as_str().into())]);
+            srv.update(s, t, rid, row).unwrap();
+            srv.commit(s).unwrap();
+        }
+        collect_engine_sites(&srv, &mut observed);
+    }
+    // Crash points spread across the run: early (recovery from almost
+    // nothing), mid-checkpoint, and late — their recoveries drive the
+    // restore/replay write paths the clean run never touches.
+    for n in [1, 7, 60, 121, 200] {
+        let (mut srv, t) = build_server();
+        srv.fs()
+            .lock()
+            .arm_fault(FaultArm::CrashAtWrite { nth: n, keep_num: (n % 3) as u32, keep_den: 2 })
+            .unwrap();
+        assert!(run_workload(&mut srv, t), "write site {n} was never reached");
+        if srv.is_open() {
+            srv.shutdown_abort().unwrap();
+        }
+        srv.fs().lock().clear_faults();
+        srv.startup().unwrap_or_else(|e| panic!("recovery failed at write site {n}: {e}"));
+        collect_engine_sites(&srv, &mut observed);
+    }
+    assert!(!observed.is_empty(), "the sweep workload must drive engine write sites");
+    let rendered = render_manifest(&observed);
+    if std::env::var_os("UPDATE_WRITE_SITES").is_some() {
+        std::fs::write(COVERAGE_MANIFEST, &rendered).expect("write coverage manifest");
+        println!("wrote {} site(s) to {COVERAGE_MANIFEST}", observed.len());
+        return;
+    }
+    let on_disk = std::fs::read_to_string(COVERAGE_MANIFEST).unwrap_or_else(|e| {
+        panic!(
+            "{COVERAGE_MANIFEST} unreadable ({e}); run \
+             UPDATE_WRITE_SITES=1 cargo test -p recobench-oracle --test write_point_sweep"
+        )
+    });
+    assert_eq!(
+        on_disk, rendered,
+        "observed write sites diverge from the checked-in manifest; \
+         if a write site was intentionally added or moved, regenerate with \
+         UPDATE_WRITE_SITES=1 and let tidy re-verify the static side"
+    );
 }
 
 /// The sweep itself. Every write site of the workload is a crash point;

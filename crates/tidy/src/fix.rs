@@ -1,0 +1,259 @@
+//! `tidy --fix`: mechanical rewrites for the diagnostics that have one.
+//!
+//! Three fix classes, all line-based so `--dry-run` can show an honest
+//! diff:
+//!
+//! * **sorted-uses** — re-sort the offending `use` block in place;
+//! * **unused-allow** (stale) — delete the dead waiver comment (the whole
+//!   line when the line is only the comment, otherwise the comment tail);
+//! * **everything else waivable** — insert a `// tidy-allow(<lint>):
+//!   FIXME — justify this waiver` template above the offending line. The
+//!   FIXME reason keeps the tree red (the waiver-hygiene check flags
+//!   placeholder justifications), so `--fix` never silently launders a
+//!   real finding; it only drafts the waiver for a human to justify.
+//!
+//! `--fix --dry-run` prints the per-file diffs and writes nothing.
+
+use std::collections::BTreeMap;
+
+use crate::lints::sorted_uses;
+use crate::{Diagnostic, Workspace};
+
+/// One planned line edit (0-based line indexes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Edit {
+    /// Insert `text` as a new line *above* line `line`.
+    Insert {
+        /// 0-based insertion point.
+        line: usize,
+        /// The full new line.
+        text: String,
+    },
+    /// Delete line `line` entirely.
+    Delete {
+        /// 0-based line to remove.
+        line: usize,
+    },
+    /// Replace line `line` with `text` (used to strip a trailing comment).
+    Replace {
+        /// 0-based line.
+        line: usize,
+        /// Replacement content.
+        text: String,
+    },
+    /// Replace the inclusive 0-based block `start..=end` with `lines`.
+    ReplaceBlock {
+        /// First line of the block.
+        start: usize,
+        /// Last line of the block.
+        end: usize,
+        /// Replacement lines.
+        lines: Vec<String>,
+    },
+}
+
+/// The fix plan: per-file ordered edits.
+pub type Plan = BTreeMap<String, Vec<Edit>>;
+
+/// Lints whose only mechanical fix is a waiver template. `unused-allow`
+/// and `sorted-uses` have real fixes; schema findings are data bugs a
+/// waiver must not paper over.
+fn template_waivable(lint: &str) -> bool {
+    !matches!(lint, "unused-allow" | "sorted-uses" | "schema-conformance")
+}
+
+/// Builds the fix plan for `diagnostics`.
+pub fn plan(ws: &Workspace, diagnostics: &[Diagnostic]) -> Plan {
+    let mut plan: Plan = BTreeMap::new();
+    for d in diagnostics {
+        let Some(f) = ws.file(&d.file) else { continue };
+        match d.lint {
+            "sorted-uses" => {
+                for (start, end) in sorted_uses::unsorted_blocks(&f.lines) {
+                    if start + 1 != d.line {
+                        continue;
+                    }
+                    let mut sorted: Vec<String> = f.lines[start..=end].to_vec();
+                    sorted.sort();
+                    plan.entry(d.file.clone()).or_default().push(Edit::ReplaceBlock {
+                        start,
+                        end,
+                        lines: sorted,
+                    });
+                }
+            }
+            "unused-allow" => {
+                if d.message.contains("FIXME") {
+                    continue; // a placeholder justification needs a human
+                }
+                let Some(line) = f.lines.get(d.line.saturating_sub(1)) else { continue };
+                let Some(pos) = line.find("// tidy-allow(") else { continue };
+                let edit = if line[..pos].trim().is_empty() {
+                    Edit::Delete { line: d.line - 1 }
+                } else {
+                    Edit::Replace { line: d.line - 1, text: line[..pos].trim_end().to_string() }
+                };
+                plan.entry(d.file.clone()).or_default().push(edit);
+            }
+            lint if template_waivable(lint) && d.line > 0 => {
+                let indent: String = f
+                    .lines
+                    .get(d.line - 1)
+                    .map(|l| l.chars().take_while(|c| c.is_whitespace()).collect())
+                    .unwrap_or_default();
+                plan.entry(d.file.clone()).or_default().push(Edit::Insert {
+                    line: d.line - 1,
+                    text: format!("{indent}// tidy-allow({}): FIXME — justify this waiver", lint),
+                });
+            }
+            _ => {}
+        }
+    }
+    for edits in plan.values_mut() {
+        edits.sort_by_key(|e| std::cmp::Reverse(edit_line(e)));
+        edits.dedup();
+    }
+    plan
+}
+
+fn edit_line(e: &Edit) -> usize {
+    match e {
+        Edit::Insert { line, .. } | Edit::Delete { line } | Edit::Replace { line, .. } => *line,
+        Edit::ReplaceBlock { start, .. } => *start,
+    }
+}
+
+/// Applies one file's edits (already sorted bottom-up) to its lines.
+pub fn apply_edits(lines: &[String], edits: &[Edit]) -> Vec<String> {
+    let mut out: Vec<String> = lines.to_vec();
+    for e in edits {
+        match e {
+            Edit::Insert { line, text } => {
+                let at = (*line).min(out.len());
+                out.insert(at, text.clone());
+            }
+            Edit::Delete { line } => {
+                if *line < out.len() {
+                    out.remove(*line);
+                }
+            }
+            Edit::Replace { line, text } => {
+                if *line < out.len() {
+                    out[*line] = text.clone();
+                }
+            }
+            Edit::ReplaceBlock { start, end, lines: repl } => {
+                if *start < out.len() && *end < out.len() && start <= end {
+                    out.splice(*start..=*end, repl.iter().cloned());
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Renders a minimal unified-style diff of one file's planned edits.
+pub fn render_diff(rel: &str, before: &[String], after: &[String]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "--- a/{rel}\n+++ b/{rel}");
+    // Simple line-sync diff: good enough for insert/delete/replace plans.
+    let mut i = 0usize;
+    let mut j = 0usize;
+    while i < before.len() || j < after.len() {
+        match (before.get(i), after.get(j)) {
+            (Some(b), Some(a)) if b == a => {
+                i += 1;
+                j += 1;
+            }
+            (b, a) => {
+                // Find the next resync point.
+                let resync = before[i..]
+                    .iter()
+                    .enumerate()
+                    .find_map(|(di, bl)| after[j..].iter().position(|al| al == bl).map(|dj| (di, dj)));
+                let (di, dj) = resync.unwrap_or((before.len() - i, after.len() - j));
+                for k in 0..di {
+                    let _ = writeln!(out, "-{}:{}: {}", rel, i + k + 1, before[i + k]);
+                }
+                for k in 0..dj {
+                    let _ = writeln!(out, "+{}:{}: {}", rel, j + k + 1, after[j + k]);
+                }
+                i += di.max(usize::from(b.is_some() && a.is_some() && di == 0 && dj == 0));
+                j += dj;
+                if di == 0 && dj == 0 {
+                    break;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Executes the plan: writes files (or, with `dry_run`, returns the diffs
+/// without touching disk). Returns the rendered diff text and the number
+/// of files changed.
+///
+/// # Errors
+///
+/// Fails if a file cannot be written.
+pub fn run(ws: &Workspace, diagnostics: &[Diagnostic], dry_run: bool) -> Result<(String, usize), String> {
+    let plan = plan(ws, diagnostics);
+    let mut diff = String::new();
+    let mut changed = 0usize;
+    for (rel, edits) in &plan {
+        let Some(f) = ws.file(rel) else { continue };
+        let after = apply_edits(&f.lines, edits);
+        if after == f.lines {
+            continue;
+        }
+        diff.push_str(&render_diff(rel, &f.lines, &after));
+        changed += 1;
+        if !dry_run {
+            let text = after.join("\n") + "\n";
+            std::fs::write(&f.abs, text)
+                .map_err(|e| format!("cannot write {}: {e}", f.abs.display()))?;
+        }
+    }
+    Ok((diff, changed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines(src: &str) -> Vec<String> {
+        src.lines().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn edits_apply_bottom_up() {
+        let before = lines("a\nb\nc\nd");
+        let edits = vec![
+            Edit::Delete { line: 3 },
+            Edit::Replace { line: 2, text: "C".into() },
+            Edit::Insert { line: 1, text: "x".into() },
+        ];
+        assert_eq!(apply_edits(&before, &edits), lines("a\nx\nb\nC"));
+    }
+
+    #[test]
+    fn block_replace_sorts_a_use_block() {
+        let before = lines("use b;\nuse a;\nfn f() {}");
+        let edits = vec![Edit::ReplaceBlock {
+            start: 0,
+            end: 1,
+            lines: vec!["use a;".into(), "use b;".into()],
+        }];
+        assert_eq!(apply_edits(&before, &edits), lines("use a;\nuse b;\nfn f() {}"));
+    }
+
+    #[test]
+    fn diff_shows_insertions_and_deletions() {
+        let before = lines("one\ntwo\nthree");
+        let after = lines("one\nTWO\nthree");
+        let d = render_diff("f.rs", &before, &after);
+        assert!(d.contains("-f.rs:2: two"), "{d}");
+        assert!(d.contains("+f.rs:2: TWO"), "{d}");
+    }
+}

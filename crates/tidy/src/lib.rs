@@ -6,14 +6,27 @@
 //! failure instead of panicking. Ordinary clippy cannot express those
 //! rules — they are about *this* repo's layering — so, in the style of
 //! rustc's `tidy` pass, this crate walks the workspace sources and data
-//! files and enforces them with `file:line` diagnostics:
+//! files and enforces them with `file:line` diagnostics. v2 parses every
+//! Rust file ([`lex`] → [`items`]) into an approximate intra-workspace
+//! call graph with dataflow-lite receiver resolution ([`callgraph`]), so
+//! lints can reason about reachability, not just text:
 //!
 //! * [`lints::determinism`] — no wall-clock or env-seeded randomness
-//!   outside `crates/bench`;
-//! * [`lints::panic_freedom`] — no `unwrap()`/`expect()`/`panic!` in the
-//!   engine's recovery-path modules;
+//!   outside `crates/bench` (alias-aware through the use table);
+//! * [`lints::panic_freedom`] — nothing reachable from a
+//!   `// tidy-entry(recovery)` fn may `unwrap()`/`expect()`/`panic!` or
+//!   index with an unguarded `[]`; diagnostics carry the call path;
+//! * [`lints::error_swallow`] — engine/oracle code never discards a
+//!   typed error (`let _ =`, statement `.ok();`, dropped results);
+//! * [`lints::lock_discipline`] — `lock_row` only via the `lock_for_dml`
+//!   chokepoint, locks before WAL append, session-path VFS writes only
+//!   inside the sanctioned writers;
+//! * [`lints::write_site_coverage`] — every static engine `SimFs` write
+//!   site appears in the crash sweep's coverage manifest;
 //! * [`lints::ordered_serialization`] — no `HashMap`/`HashSet` in modules
-//!   whose output must be byte-stable;
+//!   whose output must be byte-stable (alias- and type-alias-aware);
+//! * [`lints::sorted_uses`] — import blocks in byte-stable modules are
+//!   sorted (auto-fixable with [`fix`]);
 //! * [`lints::schema_conformance`] — event enum ↔ JSONL exporter
 //!   coverage, and corpus / benchmark artifacts parse against their
 //!   schemas;
@@ -28,12 +41,18 @@
 //! ```
 //!
 //! Waivers that no longer suppress anything are themselves reported
-//! (`unused-allow`), so stale exemptions cannot accumulate.
+//! (`unused-allow`), so stale exemptions cannot accumulate; `FIXME`
+//! placeholder justifications (what `--fix` drafts) are flagged even
+//! while they suppress.
 
 use std::fmt;
 use std::path::{Path, PathBuf};
 
+pub mod callgraph;
+pub mod fix;
+pub mod items;
 pub mod json;
+pub mod lex;
 pub mod lints;
 pub mod source;
 
@@ -50,12 +69,15 @@ const SKIP_PREFIXES: &[&str] = &["crates/tidy/tests/fixtures"];
 /// File extensions collected by the walker (source + data artifacts).
 const EXTENSIONS: &[&str] = &["rs", "json", "jsonl"];
 
-/// The walked workspace: every lintable file, with sources pre-analyzed.
+/// The walked workspace: every lintable file, with sources pre-analyzed
+/// and the Rust files parsed into the call-graph model.
 pub struct Workspace {
     /// Absolute workspace root.
     pub root: PathBuf,
     /// All collected files, sorted by relative path for stable output.
     pub files: Vec<SourceFile>,
+    /// Items + approximate call graph over every `.rs` file.
+    pub model: callgraph::Model,
 }
 
 impl Workspace {
@@ -72,7 +94,16 @@ impl Workspace {
         let mut files = Vec::new();
         walk(&root, &root, &mut files)?;
         files.sort_by(|a, b| a.rel.cmp(&b.rel));
-        Ok(Workspace { root, files })
+        let parsed = files
+            .iter()
+            .filter(|f| f.is_rust())
+            .map(|f| callgraph::FileModel {
+                rel: f.rel.clone(),
+                items: items::parse(&f.text(), &f.lines, &|l| f.in_test_region(l)),
+            })
+            .collect();
+        let model = callgraph::Model::build(parsed);
+        Ok(Workspace { root, files, model })
     }
 
     /// The file with this workspace-relative path, if it was collected.
@@ -149,6 +180,7 @@ struct AllowState {
     file: String,
     line: usize,
     lint: String,
+    reason: String,
     used: bool,
 }
 
@@ -162,6 +194,7 @@ impl Diagnostics {
                     file: f.rel.clone(),
                     line: a.line,
                     lint: a.lint.clone(),
+                    reason: a.reason.clone(),
                     used: false,
                 });
             }
@@ -207,9 +240,24 @@ impl Diagnostics {
                         a.lint
                     ),
                 });
+            } else if a.reason.contains("FIXME") {
+                // `--fix` inserts waiver templates with a FIXME reason so
+                // the tree stays red until a human justifies them.
+                self.violations.push(Diagnostic {
+                    lint: "unused-allow",
+                    file: a.file.clone(),
+                    line: a.line,
+                    message: format!(
+                        "tidy-allow({}) has a FIXME placeholder justification; write a real one",
+                        a.lint
+                    ),
+                });
             }
         }
         self.violations.sort_by(|a, b| (&a.file, a.line, a.lint).cmp(&(&b.file, b.line, b.lint)));
+        // Two hazards on one line produce identical diagnostics (and one
+        // waiver covers both); report each line's finding once.
+        self.violations.dedup();
         self.violations
     }
 }
@@ -233,13 +281,44 @@ pub fn run(ws: &Workspace) -> Vec<Diagnostic> {
     diags.finish()
 }
 
+/// Cost of one tidy run, recorded in the JSON report so analysis cost is
+/// tracked alongside the BENCH artifacts.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunStats {
+    /// Wall-clock of load + analysis, milliseconds.
+    pub millis: u128,
+    /// Files walked.
+    pub files: usize,
+    /// Functions in the call-graph model.
+    pub fns: usize,
+    /// Resolved call-graph edges.
+    pub edges: usize,
+}
+
+impl RunStats {
+    /// Fills the model-shaped fields from a workspace.
+    pub fn for_workspace(ws: &Workspace, millis: u128) -> RunStats {
+        RunStats {
+            millis,
+            files: ws.files.len(),
+            fns: ws.model.fns.len(),
+            edges: ws.model.edge_count(),
+        }
+    }
+}
+
 /// Renders the machine-readable JSON report (one stable shape the CI job
 /// uploads as an artifact).
-pub fn json_report(ws: &Workspace, diagnostics: &[Diagnostic]) -> String {
+pub fn json_report(ws: &Workspace, diagnostics: &[Diagnostic], stats: &RunStats) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
     out.push_str("{\n  \"tool\": \"recobench-tidy\",\n");
     let _ = writeln!(out, "  \"files_checked\": {},", ws.files.len());
+    let _ = writeln!(
+        out,
+        "  \"runtime\": {{\"millis\": {}, \"files\": {}, \"fns\": {}, \"call_graph_edges\": {}}},",
+        stats.millis, stats.files, stats.fns, stats.edges
+    );
     out.push_str("  \"lints\": [");
     for (i, l) in lints::all().iter().enumerate() {
         if i > 0 {

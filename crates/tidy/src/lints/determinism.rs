@@ -48,5 +48,54 @@ impl Lint for Determinism {
                 }
             }
         }
+        // Alias-aware pass: `use std::time::Instant as Clock; Clock::now()`
+        // evades the textual patterns; resolve bindings through the use
+        // table (including one level of workspace re-exports).
+        let m = &ws.model;
+        for (fi, fm) in m.files.iter().enumerate() {
+            if EXEMPT_PREFIXES.iter().any(|p| fm.rel.starts_with(p)) {
+                continue;
+            }
+            let aliased: Vec<(String, &'static str)> = fm
+                .items
+                .uses
+                .iter()
+                .filter_map(|u| {
+                    let resolved = m.resolve_use(fi, &u.binding)?;
+                    let why = forbidden_clock_path(&resolved)?;
+                    // Only the *aliased* form needs this pass — the direct
+                    // name is already caught textually above.
+                    (!resolved.ends_with(&u.binding)).then(|| (u.binding.clone(), why))
+                })
+                .collect();
+            if aliased.is_empty() {
+                continue;
+            }
+            for t in &fm.items.toks {
+                if let Some((_, why)) =
+                    aliased.iter().find(|(b, _)| t.is_ident(b))
+                {
+                    diags.emit(
+                        self.name(),
+                        &fm.rel,
+                        t.line,
+                        format!("aliased import of a forbidden source: {why}"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Why a resolved import path is forbidden, if it is.
+fn forbidden_clock_path(path: &str) -> Option<&'static str> {
+    if path.ends_with("time::Instant") || path.ends_with("time::SystemTime") {
+        Some("wall-clock time; use the simulated clock (recobench_sim::SimClock)")
+    } else if path.ends_with("hash_map::RandomState") || path.ends_with("RandomState") {
+        Some("env-seeded hashing gives run-dependent iteration order; use BTreeMap or fasthash")
+    } else if path.ends_with("thread_rng") || path.ends_with("ThreadRng") {
+        Some("env-seeded randomness; use recobench_sim::SimRng with an explicit seed")
+    } else {
+        None
     }
 }

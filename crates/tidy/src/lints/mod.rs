@@ -7,17 +7,25 @@
 use crate::Lint;
 
 pub mod determinism;
+pub mod error_swallow;
+pub mod lock_discipline;
 pub mod ordered_serialization;
 pub mod panic_freedom;
 pub mod sabotage_isolation;
 pub mod schema_conformance;
+pub mod sorted_uses;
+pub mod write_site_coverage;
 
 /// Every registered lint, in the order they run and are listed.
 pub fn all() -> Vec<Box<dyn Lint>> {
     vec![
         Box::new(determinism::Determinism),
         Box::new(panic_freedom::PanicFreedom),
+        Box::new(error_swallow::ErrorSwallow),
+        Box::new(lock_discipline::LockDiscipline),
+        Box::new(write_site_coverage::WriteSiteCoverage),
         Box::new(ordered_serialization::OrderedSerialization),
+        Box::new(sorted_uses::SortedUses),
         Box::new(schema_conformance::SchemaConformance),
         Box::new(sabotage_isolation::SabotageIsolation),
     ]

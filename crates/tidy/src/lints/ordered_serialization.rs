@@ -54,5 +54,58 @@ impl Lint for OrderedSerialization {
                 }
             }
         }
+        // Alias-aware pass: a hash container smuggled in as
+        // `use std::collections::HashMap as Map` (possibly through a
+        // workspace `pub use` re-export) or a `type Fast = HashMap<…>`
+        // alias defined elsewhere evades the name match above; resolve
+        // bindings through the use table and the workspace alias table.
+        let m = &ws.model;
+        for (fi, fm) in m.files.iter().enumerate() {
+            if !ORDERED_FILES.contains(&fm.rel.as_str()) {
+                continue;
+            }
+            let mut hashy: Vec<String> = fm
+                .items
+                .uses
+                .iter()
+                .filter_map(|u| {
+                    let resolved = m.resolve_use(fi, &u.binding)?;
+                    (is_hash_container(&resolved) && !resolved.ends_with(&u.binding))
+                        .then(|| u.binding.clone())
+                })
+                .collect();
+            // Workspace type aliases whose target is a hash container
+            // (e.g. `pub type FastMap<K, V> = HashMap<K, V, FastState>`).
+            for fm2 in &m.files {
+                for a in &fm2.items.aliases {
+                    if is_hash_container(&a.target) && !hashy.contains(&a.name) {
+                        hashy.push(a.name.clone());
+                    }
+                }
+            }
+            for t in &fm.items.toks {
+                if hashy.iter().any(|b| t.is_ident(b)) {
+                    diags.emit(
+                        self.name(),
+                        &fm.rel,
+                        t.line,
+                        format!(
+                            "`{}` resolves to a std hash container; iteration order is \
+                             env-seeded — use BTreeMap/BTreeSet or a Vec",
+                            t.text
+                        ),
+                    );
+                }
+            }
+        }
     }
+}
+
+/// Whether a resolved path or alias target names a std hash container.
+fn is_hash_container(path_or_target: &str) -> bool {
+    ["HashMap", "HashSet"].iter().any(|h| {
+        path_or_target.ends_with(h)
+            || path_or_target.contains(&format!("{h} <"))
+            || path_or_target.contains(&format!("{h}<"))
+    })
 }

@@ -1,4 +1,5 @@
-//! Fixture: ordered-serialization violations in a byte-stable module.
+//! Fixture: ordered-serialization violations in a byte-stable module,
+//! plus a helper whose panic is reached transitively from recovery.
 
 use std::collections::HashMap;
 
@@ -8,4 +9,12 @@ pub fn size(m: &HashMap<u32, u32>) -> usize {
 
 pub fn waived_inline(m: &std::collections::HashMap<u32, u32>) -> usize { // tidy-allow(ordered-serialization): len() leaks no iteration order
     m.len()
+}
+
+pub fn decode_header(x: Option<u32>) -> u32 {
+    x.expect("fixture: panics on a path reached from recovery::startup")
+}
+
+pub fn lookup(m: &crate::recovery::FastMap, k: u32) -> u32 {
+    *m.get(&k).unwrap_or(&0)
 }

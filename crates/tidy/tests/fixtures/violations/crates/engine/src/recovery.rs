@@ -1,10 +1,18 @@
-//! Fixture: seeded panic-freedom and sabotage-isolation violations.
+//! Fixture: transitive panic-freedom over the call graph, plus the
+//! sabotage-isolation and stale-waiver seeds.
 
 pub struct Srv;
 
 impl Srv {
     #[cfg(any(test, feature = "sabotage"))]
     pub fn sabotage_skip_redo_records(&mut self, _n: u32) {}
+}
+
+// tidy-entry(recovery)
+pub fn startup(x: Option<u32>, buf: &[u8], i: usize) -> u32 {
+    let v = redo_apply(x);
+    let b = u32::from(buf[i]);
+    v + b + clamped(buf, i) + decode_header(x) + waived(x) + drafted(x)
 }
 
 pub fn redo_apply(x: Option<u32>) -> u32 {
@@ -15,9 +23,22 @@ pub fn redo_apply(x: Option<u32>) -> u32 {
     v
 }
 
+pub fn clamped(buf: &[u8], i: usize) -> u32 {
+    u32::from(buf[i % buf.len()])
+}
+
 pub fn waived(x: Option<u32>) -> u32 {
     // tidy-allow(panic-freedom): fixture proves a justified waiver suppresses
     x.expect("covered by the waiver on the line above")
+}
+
+pub fn drafted(x: Option<u32>) -> u32 {
+    // tidy-allow(panic-freedom): FIXME — justify this waiver
+    x.expect("suppressed, but the placeholder reason is itself flagged")
+}
+
+pub fn dead_code_helper(x: Option<u32>) -> u32 {
+    x.unwrap()
 }
 
 pub fn ungated(server: &mut Srv) {
@@ -31,6 +52,8 @@ pub fn gated(server: &mut Srv) {
 
 // tidy-allow(determinism): stale waiver; nothing below touches the clock
 pub fn quiet() {}
+
+pub type FastMap = std::collections::HashMap<u32, u32>;
 
 #[cfg(test)]
 mod tests {

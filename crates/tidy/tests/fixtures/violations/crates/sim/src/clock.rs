@@ -1,5 +1,11 @@
-//! Fixture: determinism violation in a simulated-clock module.
+//! Fixture: determinism violations — textual and alias-smuggled.
+
+use std::time::{Instant as Tick};
 
 pub fn wall_us() -> u128 {
     std::time::Instant::now().elapsed().as_micros()
+}
+
+pub fn tick_us() -> u128 {
+    Tick::now().elapsed().as_micros()
 }

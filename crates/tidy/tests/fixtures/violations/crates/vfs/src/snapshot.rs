@@ -1,9 +1,10 @@
 //! Fixture: violations in the snapshot-manifest module — hash-order
-//! iteration and wall-clock identity both corrupt template ids.
+//! iteration, wall-clock identity, and an unsorted import block.
 
 use std::collections::HashMap;
+use std::cmp::Ordering;
 
-pub fn manifest_of(files: &HashMap<u64, String>) -> String {
+pub fn manifest_of(files: &HashMap<u64, String>, _o: Ordering) -> String {
     let stamp = std::time::SystemTime::now();
     format!("{files:?} at {stamp:?}")
 }

@@ -223,6 +223,14 @@ pub struct SimFs {
     files: BTreeMap<FileId, FileEntry>,
     next_id: u64,
     faults: FaultState,
+    /// Caller sites (source file, 1-based line) that invoked a durable
+    /// write entry point (`write_block` / `append` / `append_padded`),
+    /// captured via `#[track_caller]`. Feeds the write-site coverage
+    /// manifest the crash sweep cross-checks against `tidy
+    /// --write-sites`; deliberately NOT reset by
+    /// [`SimFs::clear_faults`], so sites observed before a crash survive
+    /// the recovery run.
+    write_sites: BTreeSet<(&'static str, u32)>,
 }
 
 impl SimFs {
@@ -233,6 +241,7 @@ impl SimFs {
             files: BTreeMap::new(),
             next_id: 1,
             faults: FaultState::default(),
+            write_sites: BTreeSet::new(),
         }
     }
 
@@ -378,6 +387,7 @@ impl SimFs {
     ///
     /// Fails if the file is missing, deleted, corrupt, not block-addressed,
     /// or the index is out of range.
+    #[track_caller]
     pub fn write_block(
         &mut self,
         id: FileId,
@@ -385,6 +395,7 @@ impl SimFs {
         image: Bytes,
         now: SimTime,
     ) -> VfsResult<(SimTime, ())> {
+        self.note_write_site();
         let (disk, bytes, path, kind) = {
             let e = self.entry(id)?;
             if e.deleted {
@@ -416,8 +427,10 @@ impl SimFs {
                 let k = keep_bytes(image.len(), num, den);
                 let old = match &self.entry(id)?.content {
                     Content::Blocks { data, .. } => data.get(&block).cloned().unwrap_or_default(),
+                    // tidy-allow(panic-freedom): content kind is fixed at create and validated on entry to write_block
                     Content::Append { .. } => unreachable!("validated as a block file"),
                 };
+                // tidy-allow(panic-freedom): keep_bytes clamps k to image.len()
                 let mut buf = image[..k].to_vec();
                 if old.len() > k {
                     buf.extend_from_slice(&old[k..]);
@@ -432,6 +445,7 @@ impl SimFs {
                 Content::Blocks { data, .. } => {
                     data.insert(block, persisted);
                 }
+                // tidy-allow(panic-freedom): content kind is fixed at create and validated on entry to write_block
                 Content::Append { .. } => unreachable!("validated as a block file"),
             }
         }
@@ -447,7 +461,10 @@ impl SimFs {
     /// # Errors
     ///
     /// Fails if the file is missing, deleted or not append-only.
+    #[track_caller]
     pub fn append(&mut self, id: FileId, data: Bytes, now: SimTime) -> VfsResult<(SimTime, ())> {
+        // `#[track_caller]` is transitive: the inner call records the
+        // caller of `append`, not this line.
         self.append_padded(id, data, 0, now)
     }
 
@@ -461,6 +478,7 @@ impl SimFs {
     /// # Errors
     ///
     /// Fails if the file is missing, deleted or not append-only.
+    #[track_caller]
     pub fn append_padded(
         &mut self,
         id: FileId,
@@ -468,6 +486,7 @@ impl SimFs {
         pad: u64,
         now: SimTime,
     ) -> VfsResult<(SimTime, ())> {
+        self.note_write_site();
         let (disk, path, kind) = {
             let e = self.entry(id)?;
             if e.deleted {
@@ -503,6 +522,7 @@ impl SimFs {
                         segments.push(persist);
                     }
                 }
+                // tidy-allow(panic-freedom): content kind is fixed at create and validated on entry to append
                 Content::Blocks { .. } => unreachable!("validated as an append file"),
             }
         }
@@ -921,6 +941,23 @@ impl SimFs {
         self.faults.writes_observed
     }
 
+    /// Records the `#[track_caller]` location of the durable-write entry
+    /// point currently executing. Its own `#[track_caller]` keeps the
+    /// attribution on the *external* caller of `write_block`/`append*`.
+    #[track_caller]
+    fn note_write_site(&mut self) {
+        let loc = std::panic::Location::caller();
+        self.write_sites.insert((loc.file(), loc.line()));
+    }
+
+    /// Every caller site (source file, 1-based line) that has invoked a
+    /// durable-write entry point on this filesystem, sorted. The
+    /// write-point sweep unions these across its runs into the coverage
+    /// manifest that `tidy --write-sites` is checked against.
+    pub fn write_sites_observed(&self) -> Vec<(&'static str, u32)> {
+        self.write_sites.iter().copied().collect()
+    }
+
     /// Whether an armed [`FaultArm::CrashAtWrite`] has fired.
     pub fn crash_write_fired(&self) -> bool {
         self.faults.crash_fired
@@ -1015,19 +1052,23 @@ impl SimFs {
     }
 
     fn take_one_shot_torn(&mut self, path: &str, kind: FileKind) -> Option<(u32, u32)> {
-        if self.faults.torn.as_ref().is_some_and(|(t, _, _)| t.matches(path, kind)) {
-            let (_, num, den) = self.faults.torn.take().expect("checked above");
-            return Some((num, den));
+        match self.faults.torn.take() {
+            Some((t, num, den)) if t.matches(path, kind) => Some((num, den)),
+            other => {
+                self.faults.torn = other;
+                None
+            }
         }
-        None
     }
 
     fn take_one_shot_partial(&mut self, path: &str, kind: FileKind) -> Option<(u32, u32)> {
-        if self.faults.partial.as_ref().is_some_and(|(t, _, _)| t.matches(path, kind)) {
-            let (_, num, den) = self.faults.partial.take().expect("checked above");
-            return Some((num, den));
+        match self.faults.partial.take() {
+            Some((t, num, den)) if t.matches(path, kind) => Some((num, den)),
+            other => {
+                self.faults.partial = other;
+                None
+            }
         }
-        None
     }
 }
 
@@ -1288,6 +1329,29 @@ mod fault_tests {
         fs.write_block(f, 0, Bytes::from(vec![3u8; 8]), SimTime::ZERO).unwrap();
         let (_, got) = fs.read_block(f, 0, SimTime::ZERO).unwrap();
         assert!(got.iter().all(|&b| b == 3));
+    }
+
+    #[test]
+    fn write_sites_attribute_to_caller_and_survive_clear_faults() {
+        let mut fs = fs1();
+        let f = fs.create_block_file("/w.dbf", DiskId(0), FileKind::Data, 4, 8).unwrap();
+        let r = fs.create_append_file("/w.log", DiskId(0), FileKind::Redo).unwrap();
+        assert!(fs.write_sites_observed().is_empty(), "creation is not a write site");
+        fs.write_block(f, 0, Bytes::from(vec![1u8; 8]), SimTime::ZERO).unwrap();
+        let block_line = line!() - 1;
+        // `append` delegates to `append_padded`; `#[track_caller]` must
+        // attribute the site here, not inside the delegation.
+        fs.append(r, Bytes::from_static(b"x"), SimTime::ZERO).unwrap();
+        let append_line = line!() - 1;
+        let sites = fs.write_sites_observed();
+        assert_eq!(sites.len(), 2);
+        assert!(sites.iter().all(|(file, _)| file.ends_with("fs.rs")));
+        let lines: Vec<u32> = sites.iter().map(|&(_, l)| l).collect();
+        assert!(lines.contains(&block_line), "write_block site {lines:?} vs {block_line}");
+        assert!(lines.contains(&append_line), "append site {lines:?} vs {append_line}");
+        // Fault disarm (the recovery boundary) must not lose coverage.
+        fs.clear_faults();
+        assert_eq!(fs.write_sites_observed().len(), 2);
     }
 
     #[test]

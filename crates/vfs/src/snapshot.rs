@@ -92,9 +92,9 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use crate::fs::FileKind;
     use recobench_sim::{DiskProfile, SimTime};
+    use super::*;
 
     fn sample_fs() -> SimFs {
         let mut fs = SimFs::new(vec![DiskProfile::server_2000(); 2]);
