@@ -18,7 +18,9 @@
 //!
 //! `--faultload storage` swaps the sweep's pool for the five
 //! storage-hardware fault kinds (torn/partial/corrupt/full/slow I/O);
-//! `--faultload extended` draws from both pools together.
+//! `--faultload replica` draws from the four replica-set kinds (the
+//! runner auto-provisions a two-node fan-out for them); `--faultload
+//! extended` draws from every pool together.
 //!
 //! Every schedule is derived from `--seed`, so a failing sweep is
 //! reproducible by rerunning with the same seed.
@@ -36,9 +38,10 @@ fn main() -> ExitCode {
     let pool = match cli.faultload.as_deref() {
         None | Some("standard") => TortureFaultKind::all().to_vec(),
         Some("storage") => TortureFaultKind::storage().to_vec(),
+        Some("replica") => TortureFaultKind::replica().to_vec(),
         Some("extended") => TortureFaultKind::all_extended().to_vec(),
         Some(other) => {
-            eprintln!("torture: unknown --faultload {other} (standard, storage, extended)");
+            eprintln!("torture: unknown --faultload {other} (standard, storage, replica, extended)");
             return ExitCode::FAILURE;
         }
     };

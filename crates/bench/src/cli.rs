@@ -15,8 +15,9 @@
 //!   replay mode and self-test sabotage (see `src/bin/torture.rs`);
 //! * `--faultload NAME` — the torture sweep's fault pool: `standard`
 //!   (the seven operator faults, the default), `storage` (the five
-//!   storage-hardware faults: torn/partial/corrupt/full/slow I/O), or
-//!   `extended` (both pools together);
+//!   storage-hardware faults: torn/partial/corrupt/full/slow I/O),
+//!   `replica` (the four replica-set faults), or `extended` (every pool
+//!   together);
 //! * `--max-wall-secs N` — fail the run (exit 1) if the campaign takes
 //!   longer than `N` seconds of wall clock; CI's perf-regression ceiling.
 //!
@@ -51,7 +52,7 @@ pub struct BenchCli {
     /// binary's self-test mode: the oracle must catch the divergence).
     pub sabotage: u32,
     /// `--faultload NAME`: the torture sweep's fault pool (`standard`,
-    /// `storage`, or `extended`; default `standard`).
+    /// `storage`, `replica`, or `extended`; default `standard`).
     pub faultload: Option<String>,
     /// `--max-wall-secs N`: wall-clock ceiling; exceeding it is a failure.
     pub max_wall_secs: Option<u64>,

@@ -8,7 +8,8 @@
 //! then the measures are evaluated.
 
 use recobench_engine::{
-    DbResult, DbServer, DbSnapshot, DiskLayout, EngineEvent, RecoveryPhase, StandbyServer,
+    DbResult, DbServer, DbSnapshot, DiskLayout, EngineEvent, FailoverPolicy, RecoveryPhase,
+    ReplicaSet, ReplicaTopology,
 };
 use recobench_faults::{FaultInjector, FaultPlan, FaultType};
 use recobench_sim::{SimClock, SimDuration, SimRng, SimTime};
@@ -52,7 +53,7 @@ pub fn apply_margin_cutoff(
 
 /// Subscribes the experiment's observers on one server's event sink: the
 /// span collector always, plus the JSONL writer when event capture is on.
-fn observe(server: &mut DbServer, name: &'static str, spans: &SpanLog, jsonl: &Option<Arc<Mutex<String>>>) {
+fn observe(server: &mut DbServer, name: &str, spans: &SpanLog, jsonl: &Option<Arc<Mutex<String>>>) {
     let sink = server.events_mut();
     let spans = Arc::clone(spans);
     sink.subscribe(move |at, ev| {
@@ -62,9 +63,10 @@ fn observe(server: &mut DbServer, name: &'static str, spans: &SpanLog, jsonl: &O
     });
     if let Some(buf) = jsonl {
         let buf = Arc::clone(buf);
+        let name = name.to_string();
         sink.subscribe(move |at, ev| {
             let mut out = buf.lock().unwrap();
-            ev.write_json(at, name, &mut out);
+            ev.write_json(at, &name, &mut out);
             out.push('\n');
         });
     }
@@ -109,6 +111,9 @@ pub struct Experiment {
     config: RecoveryConfig,
     archive: bool,
     standby: bool,
+    topology: ReplicaTopology,
+    policy: FailoverPolicy,
+    second_fault_secs: Option<u64>,
     fault: Option<FaultPlan>,
     duration: SimDuration,
     seed: u64,
@@ -135,6 +140,15 @@ pub struct ExperimentOutcome {
     pub archive: bool,
     /// Whether a stand-by database was used.
     pub standby: bool,
+    /// Replica topology behind the primary (`none` when unprotected).
+    #[serde(default)]
+    pub topology: String,
+    /// Failover policy in force for the replica set.
+    #[serde(default)]
+    pub policy: String,
+    /// Failovers the replica set completed during the run.
+    #[serde(default)]
+    pub failovers: u64,
     /// The injected fault, if any.
     pub fault: Option<FaultType>,
     /// Trigger offset in seconds, if a fault was injected.
@@ -177,6 +191,9 @@ impl Experiment {
                 config,
                 archive: true,
                 standby: false,
+                topology: ReplicaTopology::none(),
+                policy: FailoverPolicy::Manual,
+                second_fault_secs: None,
                 fault: None,
                 duration: SimDuration::from_secs(1_200),
                 seed: 1,
@@ -301,18 +318,34 @@ impl Experiment {
         let mut rng = SimRng::seed_from(self.seed);
         let _load_rng = rng.fork(1);
         let schema = template.schema;
-        let mut standby = if self.standby {
-            let mut sb = StandbyServer::instantiate(
+        // `standby(true)` is the paper's single-stand-by setup and maps to
+        // a one-node topology; an explicit topology wins over the flag.
+        let topo = if !self.topology.is_empty() {
+            self.topology.clone()
+        } else if self.standby {
+            ReplicaTopology::single()
+        } else {
+            ReplicaTopology::none()
+        };
+        let mut rset: Option<ReplicaSet> = if topo.is_empty() {
+            None
+        } else {
+            let mut rs = ReplicaSet::instantiate(
                 &primary,
-                "STANDBY",
+                &topo,
+                self.policy,
                 Arc::clone(&clock),
                 DiskLayout::four_disk(),
                 icfg,
             )?;
-            observe(sb.server_mut(), "STANDBY", &spans, &jsonl);
-            Some(sb)
-        } else {
-            None
+            {
+                let spans = Arc::clone(&spans);
+                let jsonl = jsonl.clone();
+                rs.set_observer(Box::new(move |server, name| {
+                    observe(server, name, &spans, &jsonl);
+                }));
+            }
+            Some(rs)
         };
 
         let t0 = clock.now();
@@ -328,6 +361,7 @@ impl Experiment {
         let mut unrecoverable = false;
         let mut using_standby = false;
         let mut injected = false;
+        let mut second_done = false;
         // Rolling (time, SCN) trail so time-based incomplete recovery can
         // stop a margin before the fault, as a real `UNTIL TIME` would.
         let mut scn_trail = std::mem::take(&mut scratch.trail);
@@ -345,28 +379,33 @@ impl Experiment {
                     let tt = inj.trigger_time(t0);
                     if tt <= driver.next_ready() && tt <= end {
                         clock.advance_to(tt);
-                        if let Some(sb) = standby.as_mut() {
-                            let _ = sb.sync(&primary);
+                        if let Some(rs) = rset.as_mut() {
+                            let _ = rs.sync_all(&primary);
                         }
                         let mut record = inj.inject(&mut primary)?;
                         fault_time = Some(record.injected_at);
                         driver.record_outage(record.injected_at);
                         apply_margin_cutoff(&mut record, &scn_trail, inj.plan().pitr_margin);
                         injected = true;
-                        if let Some(sb) = standby.as_mut() {
-                            // Fail over to the stand-by, whatever the fault.
-                            let _ = sb.sync(&primary);
-                            match sb.activate() {
-                                Ok(ready) => {
+                        if let Some(rs) = rset.as_mut() {
+                            // Fail over to the replica set, whatever the
+                            // fault.
+                            match rs.fail_over(Some(&mut primary)) {
+                                Ok(Some(ready)) => {
                                     using_standby = true;
                                     recovery_ready = Some(ready);
-                                    records_applied = sb.records_applied;
+                                    records_applied = rs
+                                        .promoted()
+                                        .and_then(|k| rs.node(k))
+                                        .map_or(0, |sb| sb.records_applied);
                                     // The terminals reconnect to a new
                                     // node: their primary session ids must
                                     // not leak into the stand-by's space.
-                                    driver.sever_all(clock.now());
+                                    driver.sever_all(ready);
                                 }
-                                Err(_) => unrecoverable = true,
+                                // Quorum denied or promotion failed: the
+                                // service stays down.
+                                Ok(None) | Err(_) => unrecoverable = true,
                             }
                         } else {
                             match inj.recover(&mut primary, &record) {
@@ -382,13 +421,39 @@ impl Experiment {
                     }
                 }
             }
+            // The double-fault scenario: the just-promoted node dies too,
+            // and the controller must promote a second survivor.
+            if let (Some(secs), false, true) = (self.second_fault_secs, second_done, using_standby)
+            {
+                let at = t0 + SimDuration::from_secs(secs);
+                if at <= end && (at <= now || at <= driver.next_ready()) {
+                    if at > now {
+                        clock.advance_to(at);
+                    }
+                    second_done = true;
+                    if let Some(rs) = rset.as_mut() {
+                        if let Ok(killed) = rs.kill_promoted() {
+                            driver.record_outage(killed);
+                            match rs.fail_over(None) {
+                                Ok(Some(ready)) => driver.sever_all(ready),
+                                Ok(None) | Err(_) => unrecoverable = true,
+                            }
+                        }
+                    }
+                    continue;
+                }
+            }
             if driver.next_ready() >= end {
                 clock.advance_to(end);
                 break;
             }
             if using_standby {
-                let sb = standby.as_mut().expect("stand-by present when in use");
-                driver.step(sb.server_mut());
+                if let Some(active) = rset.as_mut().and_then(ReplicaSet::active_mut) {
+                    driver.step(active);
+                }
+                if let Some(rs) = rset.as_mut() {
+                    let _ = rs.sync_followers();
+                }
             } else {
                 driver.step(&mut primary);
                 if !injected {
@@ -397,8 +462,8 @@ impl Experiment {
                         _ => scn_trail.push((clock.now(), primary.current_scn())),
                     }
                 }
-                if let Some(sb) = standby.as_mut() {
-                    let _ = sb.sync(&primary);
+                if let Some(rs) = rset.as_mut() {
+                    let _ = rs.sync_all(&primary);
                 }
             }
         }
@@ -407,14 +472,19 @@ impl Experiment {
         // Drain in-flight terminals first: an uncommitted transaction or a
         // parked lock wait must not shadow the lost-order audit.
         if using_standby {
-            driver.quiesce(standby.as_mut().expect("stand-by present when in use").server_mut());
+            if let Some(active) = rset.as_mut().and_then(ReplicaSet::active_mut) {
+                driver.quiesce(active);
+            }
         } else {
             driver.quiesce(&mut primary);
         }
-        let active: &DbServer = if using_standby {
-            standby.as_ref().expect("stand-by present when in use").server()
-        } else {
-            &primary
+        let active: &DbServer = match rset
+            .as_ref()
+            .filter(|_| using_standby)
+            .and_then(|rs| rs.promoted().and_then(|k| rs.node(k)))
+        {
+            Some(sb) => sb.server(),
+            None => &primary,
         };
         let warm_up = SimDuration::from_secs(60).min(self.duration / 10);
         let perf_end = fault_time.unwrap_or(end).min(end);
@@ -495,7 +565,10 @@ impl Experiment {
         Ok(ExperimentOutcome {
             config_name: self.config.name.clone(),
             archive: self.archive,
-            standby: self.standby,
+            standby: self.standby || !topo.is_empty(),
+            topology: topo.name().to_string(),
+            policy: self.policy.name().to_string(),
+            failovers: rset.as_ref().map_or(0, ReplicaSet::failovers),
             fault: self.fault.as_ref().map(|p| p.fault),
             trigger_secs: self.fault.as_ref().map(|p| p.trigger_after.as_micros() / 1_000_000),
             terminals: self.driver_cfg.terminals,
@@ -534,6 +607,27 @@ impl ExperimentBuilder {
     /// Adds a stand-by database that takes over on the fault.
     pub fn standby(mut self, on: bool) -> Self {
         self.exp.standby = on;
+        self
+    }
+
+    /// Puts a replica set of shape `topo` behind the primary; overrides
+    /// [`standby`](ExperimentBuilder::standby).
+    pub fn topology(mut self, topo: ReplicaTopology) -> Self {
+        self.exp.topology = topo;
+        self
+    }
+
+    /// Selects who may decide the primary is dead, and how.
+    pub fn failover_policy(mut self, policy: FailoverPolicy) -> Self {
+        self.exp.policy = policy;
+        self
+    }
+
+    /// Kills the promoted replica `secs` after workload start (the
+    /// double-fault scenario). Only fires after a first fault has already
+    /// failed the service over to the replica set.
+    pub fn second_fault_secs(mut self, secs: u64) -> Self {
+        self.exp.second_fault_secs = Some(secs);
         self
     }
 

@@ -35,6 +35,20 @@ pub enum RecoveryError {
         /// The datafile missing from the cloned catalog.
         file: FileNo,
     },
+    /// A shipped archived log failed to decode on the stand-by: media
+    /// corruption of the shipped copy (in transit or at rest). Distinct
+    /// from [`RecoveryError::ArchiveGap`] — the bytes arrived but are bad.
+    ShippedArchiveCorrupt {
+        /// The corrupt log sequence.
+        seq: u64,
+    },
+    /// A stand-by needs a log sequence its upstream has applied but no
+    /// longer holds a shippable copy of: a redo gap. The stand-by cannot
+    /// make progress without being re-instantiated from a fresh backup.
+    ArchiveGap {
+        /// The first missing log sequence.
+        seq: u64,
+    },
 }
 
 impl fmt::Display for RecoveryError {
@@ -48,6 +62,12 @@ impl fmt::Display for RecoveryError {
             }
             RecoveryError::BackupCatalogMismatch { file } => {
                 write!(f, "backup piece for datafile {} missing from the backup catalog", file.0)
+            }
+            RecoveryError::ShippedArchiveCorrupt { seq } => {
+                write!(f, "shipped log seq {seq} is corrupt on the stand-by archive copy")
+            }
+            RecoveryError::ArchiveGap { seq } => {
+                write!(f, "redo gap: log seq {seq} is no longer available from the upstream")
             }
         }
     }
@@ -236,6 +256,18 @@ mod tests {
         assert!(DbError::InstanceDown.is_service_loss());
         assert!(!DbError::NoSuchRow(RowId { file: crate::types::FileNo(1), block: 0, slot: 0 })
             .is_service_loss());
+    }
+
+    #[test]
+    fn shipping_errors_distinguish_gap_from_corruption() {
+        let corrupt: DbError = RecoveryError::ShippedArchiveCorrupt { seq: 7 }.into();
+        assert!(corrupt.to_string().contains("seq 7"));
+        assert!(corrupt.to_string().contains("corrupt"));
+        let gap: DbError = RecoveryError::ArchiveGap { seq: 9 }.into();
+        assert!(gap.to_string().contains("redo gap"));
+        assert!(gap.to_string().contains("seq 9"));
+        assert_ne!(corrupt, gap);
+        assert!(corrupt.is_service_loss(), "a broken standby copy voids the recovery attempt");
     }
 
     #[test]

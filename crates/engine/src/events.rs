@@ -210,6 +210,35 @@ pub enum EngineEvent {
         /// Block number within the file.
         block: u64,
     },
+    /// The failover controller observed the primary dead and began a
+    /// promotion (quorum reached, or an operator decided).
+    FailoverStarted {
+        /// Replicas that voted the primary dead.
+        votes: u64,
+        /// Replicas enrolled in the set (the quorum denominator).
+        replicas: u64,
+    },
+    /// A stand-by finished activating and is now the primary.
+    ReplicaPromoted {
+        /// Index of the promoted replica within the set.
+        replica: u64,
+        /// Log sequence it had applied through at promotion.
+        applied_seq: u64,
+    },
+    /// A surviving stand-by was re-instantiated to follow the newly
+    /// promoted primary.
+    ReplicaResync {
+        /// Index of the resynced replica within the set.
+        replica: u64,
+        /// Log sequence the fresh instantiation starts from.
+        applied_seq: u64,
+    },
+    /// A repaired ex-primary rejoined the set as a freshly instantiated
+    /// stand-by of the current primary.
+    FailbackComplete {
+        /// Index the rejoining machine was enrolled at.
+        replica: u64,
+    },
 }
 
 impl EngineEvent {
@@ -233,6 +262,10 @@ impl EngineEvent {
             EngineEvent::LockAcquired { .. } => "lock_acquired",
             EngineEvent::DeadlockVictim { .. } => "deadlock_victim",
             EngineEvent::ChecksumMismatch { .. } => "checksum_mismatch",
+            EngineEvent::FailoverStarted { .. } => "failover_started",
+            EngineEvent::ReplicaPromoted { .. } => "replica_promoted",
+            EngineEvent::ReplicaResync { .. } => "replica_resync",
+            EngineEvent::FailbackComplete { .. } => "failback_complete",
         }
     }
 
@@ -298,6 +331,18 @@ impl EngineEvent {
             }
             EngineEvent::ChecksumMismatch { path, block } => {
                 let _ = write!(out, ",\"path\":\"{path}\",\"block\":{block}");
+            }
+            EngineEvent::FailoverStarted { votes, replicas } => {
+                let _ = write!(out, ",\"votes\":{votes},\"replicas\":{replicas}");
+            }
+            EngineEvent::ReplicaPromoted { replica, applied_seq } => {
+                let _ = write!(out, ",\"replica\":{replica},\"applied_seq\":{applied_seq}");
+            }
+            EngineEvent::ReplicaResync { replica, applied_seq } => {
+                let _ = write!(out, ",\"replica\":{replica},\"applied_seq\":{applied_seq}");
+            }
+            EngineEvent::FailbackComplete { replica } => {
+                let _ = write!(out, ",\"replica\":{replica}");
             }
         }
         out.push('}');
@@ -385,6 +430,10 @@ impl EventSink {
             }
             EngineEvent::DeadlockVictim { .. } => d.deadlocks += 1,
             EngineEvent::ChecksumMismatch { .. } => d.checksum_mismatches += 1,
+            EngineEvent::FailoverStarted { .. } => d.failovers += 1,
+            EngineEvent::ReplicaPromoted { .. } => d.promotions += 1,
+            EngineEvent::ReplicaResync { .. } => d.replica_resyncs += 1,
+            EngineEvent::FailbackComplete { .. } => d.failbacks += 1,
             EngineEvent::BackupTaken { .. }
             | EngineEvent::InstanceStopped { .. }
             | EngineEvent::InstanceOpened { .. }
@@ -596,6 +645,40 @@ mod tests {
         assert_eq!(d.lock_grants, 1);
         assert_eq!(d.lock_wait_micros, 20);
         assert_eq!(d.deadlocks, 1);
+    }
+
+    #[test]
+    fn replica_events_serialize_and_derive_failover_counters() {
+        let mut s = EventSink::new(8);
+        s.record(SimTime::from_micros(5), EngineEvent::FailoverStarted { votes: 2, replicas: 2 });
+        s.record(
+            SimTime::from_micros(9),
+            EngineEvent::ReplicaPromoted { replica: 1, applied_seq: 14 },
+        );
+        s.record(SimTime::from_micros(12), EngineEvent::ReplicaResync { replica: 0, applied_seq: 15 });
+        s.record(SimTime::from_micros(20), EngineEvent::FailbackComplete { replica: 2 });
+        let lines: Vec<String> = s.to_jsonl("STANDBY2").lines().map(str::to_owned).collect();
+        assert_eq!(
+            lines[0],
+            "{\"t_us\":5,\"server\":\"STANDBY2\",\"type\":\"failover_started\",\"votes\":2,\"replicas\":2}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"t_us\":9,\"server\":\"STANDBY2\",\"type\":\"replica_promoted\",\"replica\":1,\"applied_seq\":14}"
+        );
+        assert_eq!(
+            lines[2],
+            "{\"t_us\":12,\"server\":\"STANDBY2\",\"type\":\"replica_resync\",\"replica\":0,\"applied_seq\":15}"
+        );
+        assert_eq!(
+            lines[3],
+            "{\"t_us\":20,\"server\":\"STANDBY2\",\"type\":\"failback_complete\",\"replica\":2}"
+        );
+        let d = s.derived();
+        assert_eq!(d.failovers, 1);
+        assert_eq!(d.promotions, 1);
+        assert_eq!(d.replica_resyncs, 1);
+        assert_eq!(d.failbacks, 1);
     }
 
     #[test]

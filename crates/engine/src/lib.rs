@@ -44,6 +44,7 @@ pub mod layout;
 pub mod page;
 pub mod recovery;
 pub mod redo;
+pub mod replica;
 pub mod row;
 pub mod server;
 pub mod snapshot;
@@ -58,6 +59,7 @@ pub use config::{CostModel, InstanceConfig};
 pub use error::{DbError, DbResult, RecoveryError};
 pub use events::{EngineEvent, EventSink, RecoveryPhase, RecoveryProcedure};
 pub use layout::DiskLayout;
+pub use replica::{FailoverPolicy, ReplicaSet, ReplicaSpec, ReplicaStatus, ReplicaTopology};
 pub use row::{Row, Value};
 pub use server::DbServer;
 pub use snapshot::DbSnapshot;

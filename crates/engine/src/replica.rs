@@ -1,0 +1,972 @@
+//! Replica sets: N warm stand-bys in configurable topologies with a
+//! deterministic quorum-based failover controller.
+//!
+//! The paper's §5.3 measures exactly one stand-by and one manual
+//! activation. Real COTS deployments survive operator faults through
+//! replica *topologies* — several stand-bys fanning out from the primary,
+//! or cascaded chains where each stand-by ships from the one above it —
+//! governed by a failover *policy*: who decides the primary is dead, and
+//! what happens to the survivors afterwards.
+//!
+//! Everything here is deterministic: votes are counted over a fixed node
+//! order, the promotion candidate is the most-advanced `applied_seq` with
+//! ties broken by the lowest replica id, and every delay (heartbeat
+//! timeout, fencing round-trip) is a fixed simulated duration. Two runs
+//! with the same seed take byte-identical failover decisions.
+
+use std::sync::Arc;
+
+use recobench_sim::{SimClock, SimDuration, SimTime};
+
+use crate::config::InstanceConfig;
+use crate::error::{DbError, DbResult, RecoveryError};
+use crate::events::EngineEvent;
+use crate::layout::DiskLayout;
+use crate::server::DbServer;
+use crate::standby::StandbyServer;
+use crate::types::Scn;
+
+/// Heartbeat timeout charged before an automatic policy declares the
+/// primary dead.
+const HEARTBEAT_TIMEOUT: SimDuration = SimDuration::from_secs(1);
+
+/// STONITH round-trip charged by [`FailoverPolicy::AutoWithFencing`] to
+/// force the old primary down before promoting.
+const FENCE_ROUND_TRIP: SimDuration = SimDuration::from_millis(500);
+
+/// Who decides the primary is dead, and how.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailoverPolicy {
+    /// An operator activates a stand-by by hand (the paper's §5.3
+    /// procedure). No quorum is required — the operator is the authority —
+    /// and no detection delay is charged here (the harness models operator
+    /// reaction separately).
+    Manual,
+    /// Automatic: a majority of enrolled stand-bys must observe the
+    /// primary dead before the most advanced one is promoted. Charges one
+    /// heartbeat timeout of detection delay.
+    AutoQuorum,
+    /// [`FailoverPolicy::AutoQuorum`] plus STONITH fencing: before
+    /// promotion the controller force-kills the old primary if it still
+    /// answers, so a merely partitioned primary cannot cause split-brain.
+    AutoWithFencing,
+}
+
+impl FailoverPolicy {
+    /// Stable snake_case name used in reports and bench JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            FailoverPolicy::Manual => "manual",
+            FailoverPolicy::AutoQuorum => "auto_quorum",
+            FailoverPolicy::AutoWithFencing => "auto_fencing",
+        }
+    }
+}
+
+/// One stand-by's place in the topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaSpec {
+    /// `None`: ships from the primary. `Some(i)`: ships from replica `i`
+    /// (cascaded; must be an earlier index).
+    pub upstream: Option<usize>,
+    /// Extra network lag added to every archive ship to this replica.
+    pub ship_lag: SimDuration,
+    /// Extra delay before each shipped archive's background apply begins.
+    pub apply_delay: SimDuration,
+}
+
+/// A replica-set shape: how many stand-bys and who ships from whom.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaTopology {
+    name: String,
+    specs: Vec<ReplicaSpec>,
+}
+
+impl ReplicaTopology {
+    /// No replicas at all (the paper's unprotected baseline).
+    pub fn none() -> ReplicaTopology {
+        ReplicaTopology { name: "none".into(), specs: Vec::new() }
+    }
+
+    /// The paper's configuration: one stand-by shipping from the primary.
+    pub fn single() -> ReplicaTopology {
+        let mut t = Self::fan_out(1);
+        t.name = "single".into();
+        t
+    }
+
+    /// `n` stand-bys, each shipping directly from the primary.
+    pub fn fan_out(n: usize) -> ReplicaTopology {
+        ReplicaTopology {
+            name: format!("fanout{n}"),
+            specs: (0..n)
+                .map(|_| ReplicaSpec {
+                    upstream: None,
+                    ship_lag: SimDuration::ZERO,
+                    apply_delay: SimDuration::ZERO,
+                })
+                .collect(),
+        }
+    }
+
+    /// A chain `depth` deep: replica 0 ships from the primary, replica 1
+    /// from replica 0, and so on. Only the head loads the primary's
+    /// archive disk.
+    pub fn cascade(depth: usize) -> ReplicaTopology {
+        ReplicaTopology {
+            name: format!("cascade{depth}"),
+            specs: (0..depth)
+                .map(|i| ReplicaSpec {
+                    upstream: i.checked_sub(1),
+                    ship_lag: SimDuration::ZERO,
+                    apply_delay: SimDuration::ZERO,
+                })
+                .collect(),
+        }
+    }
+
+    /// Sets replica `i`'s ship lag and apply delay (builder-style). Out of
+    /// range indexes are ignored.
+    pub fn lag(mut self, i: usize, ship_lag: SimDuration, apply_delay: SimDuration) -> Self {
+        if let Some(spec) = self.specs.get_mut(i) {
+            spec.ship_lag = ship_lag;
+            spec.apply_delay = apply_delay;
+        }
+        self
+    }
+
+    /// The topology's stable name (`none`, `single`, `fanout2`,
+    /// `cascade3`, …).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of replicas.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Whether the topology has no replicas.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// The per-replica specs.
+    pub fn specs(&self) -> &[ReplicaSpec] {
+        &self.specs
+    }
+}
+
+/// What a replica is currently doing (reporting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicaStatus {
+    /// In managed recovery, applying shipped archives.
+    Following,
+    /// Promoted: this node is the current primary.
+    Promoted,
+    /// Isolated by a network partition: cannot vote, ship, or be promoted.
+    Partitioned,
+    /// Shipping broke (corrupt copy or redo gap); frozen until resynced.
+    Broken,
+    /// The machine is down.
+    Dead,
+}
+
+/// Callback invoked whenever the set creates a stand-by server
+/// (instantiation, resync, failback) so harnesses can attach span
+/// collectors and JSONL writers to it.
+pub type ReplicaObserver = Box<dyn FnMut(&mut DbServer, &str) + Send>;
+
+struct ReplicaNode {
+    standby: StandbyServer,
+    name: String,
+    upstream: Option<usize>,
+    ship_lag: SimDuration,
+    apply_delay: SimDuration,
+    partitioned: bool,
+    dead: bool,
+    broken: Option<RecoveryError>,
+}
+
+/// N stand-bys plus the deterministic failover controller that governs
+/// them.
+pub struct ReplicaSet {
+    nodes: Vec<ReplicaNode>,
+    policy: FailoverPolicy,
+    topology_name: String,
+    promoted: Option<usize>,
+    failovers: u64,
+    clock: Arc<SimClock>,
+    layout: DiskLayout,
+    config: InstanceConfig,
+    next_name: usize,
+    observer: Option<ReplicaObserver>,
+}
+
+impl std::fmt::Debug for ReplicaSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplicaSet")
+            .field("topology", &self.topology_name)
+            .field("policy", &self.policy.name())
+            .field("nodes", &self.nodes.len())
+            .field("promoted", &self.promoted)
+            .field("failovers", &self.failovers)
+            .finish()
+    }
+}
+
+impl ReplicaSet {
+    /// Instantiates every replica in `topology` from the primary's most
+    /// recent cold backup. Nodes are named `STANDBY1`, `STANDBY2`, … in
+    /// topology order.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the primary has no backup or a stand-by machine cannot be
+    /// built.
+    pub fn instantiate(
+        primary: &DbServer,
+        topology: &ReplicaTopology,
+        policy: FailoverPolicy,
+        clock: Arc<SimClock>,
+        layout: DiskLayout,
+        config: InstanceConfig,
+    ) -> DbResult<ReplicaSet> {
+        let mut nodes = Vec::with_capacity(topology.len());
+        for (i, spec) in topology.specs().iter().enumerate() {
+            let name = format!("STANDBY{}", i + 1);
+            let mut standby = StandbyServer::instantiate(
+                primary,
+                &name,
+                Arc::clone(&clock),
+                layout.clone(),
+                config.clone(),
+            )?;
+            standby.set_lags(spec.ship_lag, spec.apply_delay);
+            nodes.push(ReplicaNode {
+                standby,
+                name,
+                upstream: spec.upstream,
+                ship_lag: spec.ship_lag,
+                apply_delay: spec.apply_delay,
+                partitioned: false,
+                dead: false,
+                broken: None,
+            });
+        }
+        Ok(ReplicaSet {
+            nodes,
+            policy,
+            topology_name: topology.name().to_string(),
+            promoted: None,
+            failovers: 0,
+            clock,
+            layout,
+            config,
+            next_name: topology.len() + 1,
+            observer: None,
+        })
+    }
+
+    /// Registers the observer called for every stand-by server the set
+    /// creates, and immediately invokes it on the existing nodes.
+    pub fn set_observer(&mut self, mut observer: ReplicaObserver) {
+        for node in &mut self.nodes {
+            observer(node.standby.server_mut(), &node.name);
+        }
+        self.observer = Some(observer);
+    }
+
+    /// Number of enrolled replicas (including dead and partitioned ones).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the set has no replicas.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The governing policy.
+    pub fn policy(&self) -> FailoverPolicy {
+        self.policy
+    }
+
+    /// The topology's stable name.
+    pub fn topology_name(&self) -> &str {
+        &self.topology_name
+    }
+
+    /// Index of the currently promoted replica, if a failover happened.
+    pub fn promoted(&self) -> Option<usize> {
+        self.promoted
+    }
+
+    /// Failovers completed so far.
+    pub fn failovers(&self) -> u64 {
+        self.failovers
+    }
+
+    /// Replica `i`'s stand-by (reporting/tests).
+    pub fn node(&self, i: usize) -> Option<&StandbyServer> {
+        self.nodes.get(i).map(|n| &n.standby)
+    }
+
+    /// What replica `i` is currently doing.
+    pub fn status(&self, i: usize) -> Option<ReplicaStatus> {
+        let node = self.nodes.get(i)?;
+        Some(if node.dead {
+            ReplicaStatus::Dead
+        } else if self.promoted == Some(i) {
+            ReplicaStatus::Promoted
+        } else if node.partitioned {
+            ReplicaStatus::Partitioned
+        } else if node.broken.is_some() {
+            ReplicaStatus::Broken
+        } else {
+            ReplicaStatus::Following
+        })
+    }
+
+    /// The promoted replica's server (the current primary after a
+    /// failover), for the workload driver.
+    pub fn active_mut(&mut self) -> Option<&mut DbServer> {
+        let k = self.promoted?;
+        Some(self.nodes.get_mut(k)?.standby.server_mut())
+    }
+
+    /// The highest commit SCN the promoted replica had applied when it
+    /// activated: the differential oracle truncates its reference model to
+    /// this boundary after a failover.
+    pub fn promoted_last_commit_scn(&self) -> Option<Scn> {
+        let k = self.promoted?;
+        Some(self.nodes.get(k)?.standby.last_commit_scn())
+    }
+
+    /// Isolates replica `i` behind a network partition: it stops shipping
+    /// and can neither vote nor be promoted.
+    pub fn partition(&mut self, i: usize) {
+        if let Some(node) = self.nodes.get_mut(i) {
+            node.partitioned = true;
+        }
+    }
+
+    /// Arms a media fault on replica `i`: its next shipped archive copy
+    /// lands corrupted (see [`StandbyServer::arm_ship_corruption`]).
+    pub fn arm_ship_corruption(&mut self, i: usize) {
+        if let Some(node) = self.nodes.get_mut(i) {
+            node.standby.arm_ship_corruption();
+        }
+    }
+
+    /// The first replica that is following normally (not promoted, dead,
+    /// partitioned, or broken) — the deterministic target for
+    /// replica-directed faults.
+    pub fn first_followable(&self) -> Option<usize> {
+        (0..self.nodes.len()).find(|&i| {
+            self.promoted != Some(i)
+                && !self.nodes[i].dead
+                && !self.nodes[i].partitioned
+                && self.nodes[i].broken.is_none()
+        })
+    }
+
+    /// Ships and applies along the topology: fan-out nodes pull from
+    /// `primary` (or from the promoted replica after a failover), cascaded
+    /// nodes pull from their upstream's retained copies. A node whose
+    /// shipping breaks (corrupt copy, redo gap) is frozen — it keeps
+    /// voting with whatever it has applied — rather than failing the run.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on stand-by storage errors; broken shipping is recorded
+    /// per node, not propagated.
+    // tidy-entry(recovery)
+    pub fn sync_all(&mut self, primary: &DbServer) -> DbResult<()> {
+        self.sync_all_inner(Some(primary))
+    }
+
+    /// Ships and applies archives on every follower after a promotion:
+    /// the promoted node is the shipping source, so no external primary
+    /// is involved. Same failure handling as [`ReplicaSet::sync_all`].
+    ///
+    /// # Errors
+    ///
+    /// Fails only on stand-by storage errors.
+    // tidy-entry(recovery)
+    pub fn sync_followers(&mut self) -> DbResult<()> {
+        self.sync_all_inner(None)
+    }
+
+    fn sync_all_inner(&mut self, primary: Option<&DbServer>) -> DbResult<()> {
+        for i in 0..self.nodes.len() {
+            let Some(node) = self.nodes.get(i) else { continue };
+            if self.promoted == Some(i) || node.dead || node.partitioned || node.broken.is_some()
+            {
+                continue;
+            }
+            let result = match node.upstream {
+                Some(j) if j != i && self.promoted == Some(j) => {
+                    let (node, upstream) = pair_mut(&mut self.nodes, i, j);
+                    node.standby.sync(upstream.standby.server())
+                }
+                Some(j) if j != i => {
+                    let (node, upstream) = pair_mut(&mut self.nodes, i, j);
+                    node.standby.sync_from_standby(&upstream.standby)
+                }
+                _ => match primary {
+                    Some(p) => match self.nodes.get_mut(i) {
+                        Some(n) => n.standby.sync(p),
+                        None => continue,
+                    },
+                    None => continue,
+                },
+            };
+            match result {
+                Ok(()) => {}
+                Err(DbError::Recovery(
+                    reason @ (RecoveryError::ShippedArchiveCorrupt { .. }
+                    | RecoveryError::ArchiveGap { .. }),
+                )) => {
+                    // The node cannot advance until re-instantiated; it
+                    // stays enrolled (and voting) with a frozen
+                    // applied_seq, so quorum math still counts it.
+                    if let Some(n) = self.nodes.get_mut(i) {
+                        n.broken = Some(reason);
+                    }
+                }
+                Err(other) => return Err(other),
+            }
+        }
+        Ok(())
+    }
+
+    /// Shipping-failure reason for replica `i`, if its shipping broke:
+    /// distinguishes a redo gap from media corruption in reports.
+    pub fn broken_reason(&self, i: usize) -> Option<&RecoveryError> {
+        self.nodes.get(i).and_then(|n| n.broken.as_ref())
+    }
+
+    /// Kills the promoted replica's machine (the double-fault scenario:
+    /// the newly promoted node dies too). Follow with
+    /// [`ReplicaSet::fail_over`]`(None)` to promote a survivor.
+    ///
+    /// # Errors
+    ///
+    /// Fails when no replica is promoted.
+    pub fn kill_promoted(&mut self) -> DbResult<SimTime> {
+        let Some(k) = self.promoted else {
+            return Err(DbError::BadAdminCommand("no promoted replica to kill".into()));
+        };
+        let node = self
+            .nodes
+            .get_mut(k)
+            .ok_or_else(|| DbError::Unrecoverable(format!("replica {k} vanished from the set")))?;
+        node.standby.server_mut().shutdown_abort()?;
+        node.dead = true;
+        Ok(self.clock.now())
+    }
+
+    /// Runs the failover controller after the primary is suspected dead.
+    ///
+    /// `old_primary` is the external primary (first failover) or `None`
+    /// when the dead primary is the set's own promoted replica (double
+    /// fault). The controller ships the dead primary's surviving archives
+    /// one final time, counts votes — every live, unpartitioned stand-by
+    /// observes the failure; the quorum denominator is every enrolled
+    /// stand-by, partitioned or not — and, if the policy's quorum rule
+    /// passes, promotes the most-advanced `applied_seq` (ties broken by
+    /// the lowest replica id). [`FailoverPolicy::AutoWithFencing`]
+    /// force-kills a still-open old primary first. Survivors are
+    /// re-instantiated from a fresh backup of the new primary.
+    ///
+    /// Returns `Ok(None)` when no quorum or no candidate exists (the
+    /// service stays down), otherwise the instant the new primary accepts
+    /// work.
+    ///
+    /// # Errors
+    ///
+    /// Fails on storage errors while promoting or resyncing.
+    // tidy-entry(recovery)
+    pub fn fail_over(&mut self, mut old_primary: Option<&mut DbServer>) -> DbResult<Option<SimTime>> {
+        if old_primary.is_none() && self.promoted.is_none() {
+            return Err(DbError::BadAdminCommand("no primary to fail over from".into()));
+        }
+        // Final ship: whatever the dead primary archived before dying is
+        // still on its (surviving) archive disks; the current online group
+        // is the redo gap and is lost.
+        self.sync_all_inner(old_primary.as_deref())?;
+        // Votes and quorum. Enrolled stand-bys = not promoted, not dead.
+        let standbys: Vec<usize> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|&(i, n)| self.promoted != Some(i) && !n.dead)
+            .map(|(i, _)| i)
+            .collect();
+        let votes = standbys
+            .iter()
+            .filter(|&&i| self.nodes.get(i).is_some_and(|n| !n.partitioned))
+            .count();
+        let total = standbys.len();
+        let quorum_ok = match self.policy {
+            FailoverPolicy::Manual => votes > 0,
+            FailoverPolicy::AutoQuorum | FailoverPolicy::AutoWithFencing => votes * 2 > total,
+        };
+        if !quorum_ok {
+            return Ok(None);
+        }
+        // Detection delay and (for the fencing policy) STONITH.
+        match self.policy {
+            FailoverPolicy::Manual => {}
+            FailoverPolicy::AutoQuorum => self.clock.advance(HEARTBEAT_TIMEOUT),
+            FailoverPolicy::AutoWithFencing => {
+                self.clock.advance(HEARTBEAT_TIMEOUT);
+                if let Some(p) = old_primary.take() {
+                    if p.is_open() {
+                        p.shutdown_abort()?;
+                    }
+                }
+                self.clock.advance(FENCE_ROUND_TRIP);
+            }
+        }
+        // Candidate: most-advanced applied_seq, ties to the lowest id.
+        let mut candidate: Option<usize> = None;
+        for &i in &standbys {
+            let Some(n) = self.nodes.get(i) else { continue };
+            if n.partitioned {
+                continue;
+            }
+            let better = match candidate.and_then(|c| self.nodes.get(c)) {
+                None => true,
+                Some(c) => n.standby.applied_seq() > c.standby.applied_seq(),
+            };
+            if better {
+                candidate = Some(i);
+            }
+        }
+        let Some(k) = candidate else { return Ok(None) };
+        let now = self.clock.now();
+        let promoted_node = self
+            .nodes
+            .get_mut(k)
+            .ok_or_else(|| DbError::Unrecoverable(format!("replica {k} vanished from the set")))?;
+        promoted_node.standby.server_mut().events.record(
+            now,
+            EngineEvent::FailoverStarted { votes: votes as u64, replicas: total as u64 },
+        );
+        let ready = promoted_node.standby.activate()?;
+        let applied = promoted_node.standby.applied_seq();
+        promoted_node
+            .standby
+            .server_mut()
+            .events
+            .record(ready, EngineEvent::ReplicaPromoted { replica: k as u64, applied_seq: applied });
+        self.promoted = Some(k);
+        self.failovers += 1;
+        // Survivors to re-enroll behind the new primary.
+        let survivors: Vec<usize> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|&(i, n)| i != k && !n.dead && !n.partitioned)
+            .map(|(i, _)| i)
+            .collect();
+        if !survivors.is_empty() {
+            // A fresh backup of the new primary: survivors re-instantiate
+            // from it. Backgrounded — the new primary serves clients from
+            // `ready`; re-protecting the set only keeps the disks busy.
+            let source = self
+                .nodes
+                .get_mut(k)
+                .ok_or_else(|| DbError::Unrecoverable(format!("replica {k} vanished from the set")))?;
+            source.standby.server_mut().take_cold_backup_in_background()?;
+            for i in survivors {
+                self.resync_node(i, k)?;
+            }
+        }
+        Ok(Some(ready))
+    }
+
+    /// Re-enrolls the repaired old primary's machine as a fresh stand-by
+    /// of the current primary (re-imaged from a new backup — the copy it
+    /// diverged from is discarded, exactly what a DBA does after fencing).
+    /// Returns the new replica's index.
+    ///
+    /// # Errors
+    ///
+    /// Fails when no replica is promoted, or on storage errors.
+    // tidy-entry(recovery)
+    pub fn failback(&mut self) -> DbResult<usize> {
+        let Some(k) = self.promoted else {
+            return Err(DbError::BadAdminCommand("failback requires a promoted primary".into()));
+        };
+        {
+            let node = self
+                .nodes
+                .get_mut(k)
+                .ok_or_else(|| DbError::Unrecoverable(format!("replica {k} vanished from the set")))?;
+            node.standby.server_mut().take_cold_backup()?;
+        }
+        let idx = self.nodes.len();
+        let name = format!("STANDBY{}", self.next_name);
+        self.next_name += 1;
+        let source = self
+            .nodes
+            .get(k)
+            .ok_or_else(|| DbError::Unrecoverable(format!("replica {k} vanished from the set")))?
+            .standby
+            .server();
+        let mut standby = StandbyServer::instantiate(
+            source,
+            &name,
+            Arc::clone(&self.clock),
+            self.layout.clone(),
+            self.config.clone(),
+        )?;
+        standby
+            .server_mut()
+            .events
+            .record(self.clock.now(), EngineEvent::FailbackComplete { replica: idx as u64 });
+        if let Some(observer) = self.observer.as_mut() {
+            observer(standby.server_mut(), &name);
+        }
+        self.nodes.push(ReplicaNode {
+            standby,
+            name,
+            upstream: Some(k),
+            ship_lag: SimDuration::ZERO,
+            apply_delay: SimDuration::ZERO,
+            partitioned: false,
+            dead: false,
+            broken: None,
+        });
+        Ok(idx)
+    }
+
+    /// Re-instantiates survivor `i` from the promoted replica `k`'s fresh
+    /// backup and points its shipping at the new primary.
+    fn resync_node(&mut self, i: usize, k: usize) -> DbResult<()> {
+        if i == k {
+            return Ok(());
+        }
+        let name = self
+            .nodes
+            .get(i)
+            .ok_or_else(|| DbError::Unrecoverable(format!("replica {i} vanished from the set")))?
+            .name
+            .clone();
+        let source = self
+            .nodes
+            .get(k)
+            .ok_or_else(|| DbError::Unrecoverable(format!("replica {k} vanished from the set")))?
+            .standby
+            .server();
+        let mut standby = StandbyServer::instantiate_in_background(
+            source,
+            &name,
+            Arc::clone(&self.clock),
+            self.layout.clone(),
+            self.config.clone(),
+        )?;
+        let node = self
+            .nodes
+            .get_mut(i)
+            .ok_or_else(|| DbError::Unrecoverable(format!("replica {i} vanished from the set")))?;
+        standby.set_lags(node.ship_lag, node.apply_delay);
+        let applied = standby.applied_seq();
+        standby
+            .server_mut()
+            .events
+            .record(self.clock.now(), EngineEvent::ReplicaResync { replica: i as u64, applied_seq: applied });
+        if let Some(observer) = self.observer.as_mut() {
+            observer(standby.server_mut(), &name);
+        }
+        node.standby = standby;
+        node.upstream = Some(k);
+        node.broken = None;
+        Ok(())
+    }
+}
+
+/// Disjoint mutable/shared access to two different nodes.
+fn pair_mut(nodes: &mut [ReplicaNode], i: usize, j: usize) -> (&mut ReplicaNode, &ReplicaNode) {
+    if i < j {
+        let (lo, hi) = nodes.split_at_mut(j);
+        // tidy-allow(panic-freedom): i < j = lo.len() and hi is non-empty because j indexes nodes
+        (&mut lo[i], &hi[0])
+    } else {
+        let (lo, hi) = nodes.split_at_mut(i);
+        // tidy-allow(panic-freedom): j < i = lo.len() (callers never pass i == j) and hi is non-empty because i indexes nodes
+        (&mut hi[0], &lo[j])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::IndexDef;
+    use crate::row::{Row, Value};
+    use crate::types::ObjectId;
+
+    fn cfg(redo_kb: u64) -> InstanceConfig {
+        InstanceConfig::builder()
+            .redo_file_bytes(redo_kb * 1024)
+            .redo_groups(3)
+            .checkpoint_timeout_secs(60)
+            .archive_mode(true)
+            .cache_blocks(64)
+            .build()
+    }
+
+    fn primary_with_data() -> (DbServer, ObjectId) {
+        let clock = SimClock::shared();
+        let mut p = DbServer::on_fresh_disks("PRIM", clock, DiskLayout::four_disk(), cfg(64));
+        p.create_database().unwrap();
+        p.create_user("tpcc").unwrap();
+        p.create_tablespace("TPCC", 2, 512).unwrap();
+        let t = p
+            .create_table(
+                "T",
+                "tpcc",
+                "TPCC",
+                vec![IndexDef { name: "PK".into(), cols: vec![0], unique: true, ordered: true }],
+            )
+            .unwrap();
+        let s = p.connect().unwrap();
+        for i in 0..10 {
+            p.insert(s, t, Row::new(vec![Value::U64(i), Value::from("seed")])).unwrap();
+            p.commit(s).unwrap();
+        }
+        p.take_cold_backup().unwrap();
+        (p, t)
+    }
+
+    fn replica_set(p: &DbServer, topology: &ReplicaTopology, policy: FailoverPolicy) -> ReplicaSet {
+        ReplicaSet::instantiate(
+            p,
+            topology,
+            policy,
+            Arc::clone(p.clock()),
+            DiskLayout::four_disk(),
+            cfg(64),
+        )
+        .unwrap()
+    }
+
+    fn run_workload(p: &mut DbServer, t: ObjectId, rs: &mut ReplicaSet, from: u64, to: u64) {
+        let s = p.connect().unwrap();
+        for i in from..to {
+            p.insert(s, t, Row::new(vec![Value::U64(i), Value::from("workload-row-payload")]))
+                .unwrap();
+            p.commit(s).unwrap();
+            rs.sync_all(p).unwrap();
+        }
+    }
+
+    #[test]
+    fn quorum_failover_promotes_most_advanced_and_resyncs_survivor() {
+        let (mut p, t) = primary_with_data();
+        let mut rs = replica_set(&p, &ReplicaTopology::fan_out(2), FailoverPolicy::AutoQuorum);
+        run_workload(&mut p, t, &mut rs, 100, 300);
+        assert!(rs.node(0).unwrap().archives_shipped > 0);
+        p.shutdown_abort().unwrap();
+        let ready = rs.fail_over(Some(&mut p)).unwrap().expect("quorum of 2/2 must promote");
+        assert_eq!(rs.promoted(), Some(0), "equal applied_seq ties break to the lowest id");
+        assert_eq!(rs.failovers(), 1);
+        assert_eq!(rs.status(1), Some(ReplicaStatus::Following), "survivor follows the new primary");
+        // The survivor was re-instantiated and its counters show it.
+        let promoted_stats = rs.node(0).unwrap().server().events().derived();
+        assert_eq!(promoted_stats.failovers, 1);
+        assert_eq!(promoted_stats.promotions, 1);
+        let survivor_stats = rs.node(1).unwrap().server().events().derived();
+        assert_eq!(survivor_stats.replica_resyncs, 1);
+        // The new primary accepts work from `ready` on.
+        assert!(ready >= SimTime::ZERO);
+        let srv = rs.active_mut().unwrap();
+        let s = srv.connect().unwrap();
+        srv.insert(s, t, Row::new(vec![Value::U64(9_000), Value::from("after")])).unwrap();
+        srv.commit(s).unwrap();
+    }
+
+    #[test]
+    fn double_fault_promotes_the_survivor() {
+        let (mut p, t) = primary_with_data();
+        let mut rs = replica_set(&p, &ReplicaTopology::fan_out(2), FailoverPolicy::AutoQuorum);
+        run_workload(&mut p, t, &mut rs, 100, 300);
+        p.shutdown_abort().unwrap();
+        rs.fail_over(Some(&mut p)).unwrap().expect("first failover");
+        let first = rs.promoted().unwrap();
+        // Drive some work on the new primary so the survivor follows it.
+        {
+            let srv = rs.active_mut().unwrap();
+            let s = srv.connect().unwrap();
+            for i in 1_000..1_050 {
+                srv.insert(s, t, Row::new(vec![Value::U64(i), Value::from("second-epoch")])).unwrap();
+                srv.commit(s).unwrap();
+            }
+        }
+        rs.sync_all_inner(None).unwrap();
+        // The promoted node dies too.
+        rs.kill_promoted().unwrap();
+        let ready = rs.fail_over(None).unwrap().expect("1/1 survivor quorum must promote");
+        assert_ne!(rs.promoted(), Some(first));
+        assert_eq!(rs.failovers(), 2);
+        assert!(ready >= SimTime::ZERO);
+        let srv = rs.active_mut().unwrap();
+        let s = srv.connect().unwrap();
+        srv.insert(s, t, Row::new(vec![Value::U64(9_001), Value::from("third-epoch")])).unwrap();
+        srv.commit(s).unwrap();
+    }
+
+    #[test]
+    fn partitioned_replica_denies_quorum_but_not_a_manual_operator() {
+        let (mut p, t) = primary_with_data();
+        let mut rs = replica_set(&p, &ReplicaTopology::fan_out(2), FailoverPolicy::AutoQuorum);
+        run_workload(&mut p, t, &mut rs, 100, 200);
+        rs.partition(1);
+        p.shutdown_abort().unwrap();
+        assert!(
+            rs.fail_over(Some(&mut p)).unwrap().is_none(),
+            "1 vote of 2 enrolled stand-bys is not a majority"
+        );
+        assert_eq!(rs.failovers(), 0);
+
+        // Same scenario under a manual operator: the operator promotes the
+        // reachable stand-by regardless of quorum.
+        let (mut p2, t2) = primary_with_data();
+        let mut rs2 = replica_set(&p2, &ReplicaTopology::fan_out(2), FailoverPolicy::Manual);
+        run_workload(&mut p2, t2, &mut rs2, 100, 200);
+        rs2.partition(1);
+        p2.shutdown_abort().unwrap();
+        assert!(rs2.fail_over(Some(&mut p2)).unwrap().is_some());
+        assert_eq!(rs2.status(1), Some(ReplicaStatus::Partitioned), "isolated node is left behind");
+    }
+
+    #[test]
+    fn cascaded_chain_follows_and_fails_over() {
+        let (mut p, t) = primary_with_data();
+        let mut rs = replica_set(&p, &ReplicaTopology::cascade(2), FailoverPolicy::AutoQuorum);
+        run_workload(&mut p, t, &mut rs, 100, 300);
+        // The tail ships a copy only once the head's copy has landed on the
+        // head's archive disk (charged ship latency), so let the simulated
+        // transfer drain before inspecting the chain.
+        p.clock().advance(SimDuration::from_secs(5));
+        rs.sync_all(&p).unwrap();
+        assert!(rs.node(0).unwrap().archives_shipped > 0, "chain head ships from the primary");
+        assert!(rs.node(1).unwrap().archives_shipped > 0, "chain tail ships from the head");
+        assert!(
+            rs.node(1).unwrap().applied_seq() <= rs.node(0).unwrap().applied_seq(),
+            "the tail can never be ahead of its upstream"
+        );
+        p.shutdown_abort().unwrap();
+        rs.fail_over(Some(&mut p)).unwrap().expect("cascade promotes its most advanced node");
+        assert_eq!(rs.promoted(), Some(0), "the chain head is most advanced");
+        assert_eq!(rs.status(1), Some(ReplicaStatus::Following));
+    }
+
+    #[test]
+    fn corrupt_shipped_archive_freezes_the_node_and_quorum_picks_the_healthy_one() {
+        let (mut p, t) = primary_with_data();
+        let mut rs = replica_set(&p, &ReplicaTopology::fan_out(2), FailoverPolicy::AutoQuorum);
+        run_workload(&mut p, t, &mut rs, 100, 200);
+        rs.arm_ship_corruption(0);
+        run_workload(&mut p, t, &mut rs, 200, 400);
+        assert_eq!(rs.status(0), Some(ReplicaStatus::Broken));
+        assert!(matches!(
+            rs.broken_reason(0),
+            Some(RecoveryError::ShippedArchiveCorrupt { .. })
+        ));
+        assert!(
+            rs.node(0).unwrap().applied_seq() < rs.node(1).unwrap().applied_seq(),
+            "the broken node froze while the healthy one advanced"
+        );
+        p.shutdown_abort().unwrap();
+        rs.fail_over(Some(&mut p)).unwrap().expect("2 votes of 2: broken nodes still vote");
+        assert_eq!(rs.promoted(), Some(1), "most-advanced applied_seq beats the lower id");
+        assert_eq!(rs.status(0), Some(ReplicaStatus::Following), "resync heals the broken node");
+    }
+
+    #[test]
+    fn fencing_policy_kills_a_still_open_primary_before_promoting() {
+        let (mut p, t) = primary_with_data();
+        let mut rs = replica_set(&p, &ReplicaTopology::fan_out(2), FailoverPolicy::AutoWithFencing);
+        run_workload(&mut p, t, &mut rs, 100, 200);
+        // The primary is only *suspected* dead (e.g. partitioned away from
+        // the clients) — it is still running.
+        assert!(p.is_open());
+        rs.fail_over(Some(&mut p)).unwrap().expect("fencing failover");
+        assert!(!p.is_open(), "STONITH must have force-killed the old primary");
+    }
+
+    #[test]
+    fn failback_enrolls_a_new_standby_behind_the_promoted_primary() {
+        let (mut p, t) = primary_with_data();
+        let mut rs = replica_set(&p, &ReplicaTopology::fan_out(1), FailoverPolicy::Manual);
+        run_workload(&mut p, t, &mut rs, 100, 300);
+        p.shutdown_abort().unwrap();
+        rs.fail_over(Some(&mut p)).unwrap().expect("manual failover");
+        let idx = rs.failback().unwrap();
+        assert_eq!(idx, 1);
+        assert_eq!(rs.status(idx), Some(ReplicaStatus::Following));
+        assert_eq!(rs.node(idx).unwrap().server().events().derived().failbacks, 1);
+        // The failback node follows the new primary's redo.
+        {
+            let srv = rs.active_mut().unwrap();
+            let s = srv.connect().unwrap();
+            for i in 2_000..2_200 {
+                srv.insert(s, t, Row::new(vec![Value::U64(i), Value::from("post-failback-load")]))
+                    .unwrap();
+                srv.commit(s).unwrap();
+            }
+        }
+        rs.sync_all_inner(None).unwrap();
+        assert!(rs.node(idx).unwrap().archives_shipped > 0, "failback node ships from the promoted");
+        // And it can itself be promoted when the new primary dies.
+        rs.kill_promoted().unwrap();
+        rs.fail_over(None).unwrap().expect("failback node takes over");
+        assert_eq!(rs.promoted(), Some(idx));
+    }
+
+    #[test]
+    fn topology_constructors_and_names() {
+        assert!(ReplicaTopology::none().is_empty());
+        assert_eq!(ReplicaTopology::single().len(), 1);
+        assert_eq!(ReplicaTopology::single().name(), "single");
+        let f = ReplicaTopology::fan_out(3);
+        assert_eq!(f.name(), "fanout3");
+        assert!(f.specs().iter().all(|s| s.upstream.is_none()));
+        let c = ReplicaTopology::cascade(3);
+        assert_eq!(c.name(), "cascade3");
+        assert_eq!(
+            c.specs().iter().map(|s| s.upstream).collect::<Vec<_>>(),
+            vec![None, Some(0), Some(1)]
+        );
+        let lagged = ReplicaTopology::fan_out(2).lag(
+            1,
+            SimDuration::from_millis(50),
+            SimDuration::from_secs(2),
+        );
+        assert_eq!(lagged.specs()[1].ship_lag, SimDuration::from_millis(50));
+        assert_eq!(FailoverPolicy::AutoWithFencing.name(), "auto_fencing");
+    }
+
+    #[test]
+    fn lagged_replica_trails_its_unlagged_peer() {
+        let (mut p, t) = primary_with_data();
+        let topo = ReplicaTopology::fan_out(2).lag(
+            1,
+            SimDuration::from_secs(30),
+            SimDuration::from_secs(30),
+        );
+        let mut rs = replica_set(&p, &topo, FailoverPolicy::AutoQuorum);
+        run_workload(&mut p, t, &mut rs, 100, 300);
+        assert!(
+            rs.node(1).unwrap().applied_seq() <= rs.node(0).unwrap().applied_seq(),
+            "a heavily lagged replica can never be ahead"
+        );
+        p.shutdown_abort().unwrap();
+        rs.fail_over(Some(&mut p)).unwrap().expect("quorum");
+        assert_eq!(rs.promoted(), Some(0), "the unlagged replica wins promotion");
+    }
+}

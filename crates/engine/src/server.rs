@@ -2231,6 +2231,23 @@ impl DbServer {
     ///
     /// Fails if the instance is down or a copy fails.
     pub fn take_cold_backup(&mut self) -> DbResult<()> {
+        self.take_cold_backup_inner(true)
+    }
+
+    /// Backgrounded cold backup: the copies keep the disks busy (later
+    /// I/O queues behind them) but the caller's timeline is not blocked —
+    /// the backup is simply *complete* at a future instant. Used after a
+    /// failover, where the new primary must serve clients immediately
+    /// while the DBA re-protects it.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the instance is down or a copy fails.
+    pub fn take_cold_backup_in_background(&mut self) -> DbResult<()> {
+        self.take_cold_backup_inner(false)
+    }
+
+    fn take_cold_backup_inner(&mut self, advance_clock: bool) -> DbResult<()> {
         self.poll();
         // Cold means cold: no client may be mid-transaction while the
         // datafiles are copied.
@@ -2265,16 +2282,18 @@ impl DbServer {
                 pieces.insert(*no, piece);
             }
         }
-        self.clock.advance_to(last);
+        if advance_clock {
+            self.clock.advance_to(last);
+        }
         let backup = BackupSet {
-            taken_at: self.clock.now(),
+            taken_at: last,
             position,
             scn,
             catalog: snapshot,
             pieces,
             nominal_bytes_per_file: nominal_per_file,
         };
-        self.events.record(self.clock.now(), backup.event());
+        self.events.record(last, backup.event());
         self.backup = Some(backup);
         Ok(())
     }

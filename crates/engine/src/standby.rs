@@ -17,6 +17,7 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+use bytes::Bytes;
 use recobench_sim::{SimClock, SimDuration, SimTime};
 use recobench_vfs::{FileKind, IoKind};
 
@@ -32,6 +33,18 @@ use crate::server::DbServer;
 use crate::txn::UndoOp;
 use crate::types::{RedoAddr, Scn, TxnId};
 
+/// A shipped archive retained on the stand-by's archive disk so a
+/// downstream (cascaded) stand-by can ship from here instead of from the
+/// primary.
+#[derive(Debug, Clone)]
+pub(crate) struct ShippedArchive {
+    pub(crate) segments: Vec<Bytes>,
+    pub(crate) bytes: u64,
+    /// Instant the copy finished landing on this stand-by's archive disk
+    /// (a downstream stand-by can ship it from then on).
+    pub(crate) ready_at: SimTime,
+}
+
 /// A stand-by server in managed recovery.
 #[derive(Debug)]
 pub struct StandbyServer {
@@ -42,6 +55,17 @@ pub struct StandbyServer {
     max_scn: Scn,
     max_txn: u64,
     activated: bool,
+    /// Shipped copies retained for cascaded downstream stand-bys.
+    pub(crate) received: BTreeMap<u64, ShippedArchive>,
+    /// Highest commit SCN seen in applied redo: the exact boundary of the
+    /// committed prefix this stand-by would open with.
+    last_commit_scn: Scn,
+    /// Extra network/link lag added to every ship (topology tuning).
+    ship_lag: SimDuration,
+    /// Extra delay before each archive's background apply begins.
+    apply_delay: SimDuration,
+    /// When armed, the next shipped copy lands corrupted (fault injection).
+    corrupt_next_ship: bool,
     /// Records applied so far (reporting).
     pub records_applied: u64,
     /// Archives shipped so far (reporting).
@@ -62,6 +86,36 @@ impl StandbyServer {
         clock: Arc<SimClock>,
         layout: DiskLayout,
         config: InstanceConfig,
+    ) -> DbResult<StandbyServer> {
+        Self::instantiate_inner(primary, name, clock, layout, config, true)
+    }
+
+    /// Backgrounded instantiation: the restore keeps both machines' disks
+    /// busy but does not block the caller's timeline — the stand-by is
+    /// simply unable to apply redo until the restore's completion instant.
+    /// Used to re-sync survivors behind a just-promoted primary that must
+    /// keep serving clients.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the primary has no backup.
+    pub fn instantiate_in_background(
+        primary: &DbServer,
+        name: &str,
+        clock: Arc<SimClock>,
+        layout: DiskLayout,
+        config: InstanceConfig,
+    ) -> DbResult<StandbyServer> {
+        Self::instantiate_inner(primary, name, clock, layout, config, false)
+    }
+
+    fn instantiate_inner(
+        primary: &DbServer,
+        name: &str,
+        clock: Arc<SimClock>,
+        layout: DiskLayout,
+        config: InstanceConfig,
+        advance_clock: bool,
     ) -> DbResult<StandbyServer> {
         let backup = primary
             .backup()
@@ -111,7 +165,9 @@ impl StandbyServer {
             )?;
             last = last.max(d);
         }
-        clock.advance_to(last);
+        if advance_clock {
+            clock.advance_to(last);
+        }
         server.datafile_total = catalog.datafiles.len();
         // Control file: checkpoint at the backup position; redo groups for
         // life after activation.
@@ -129,7 +185,7 @@ impl StandbyServer {
         control.checkpoints = vec![CkptRecord {
             position: backup.position,
             scn: backup.scn,
-            complete_at: clock.now(),
+            complete_at: last,
             catalog: snapshot,
         }];
         control.clean_shutdown = false;
@@ -141,11 +197,16 @@ impl StandbyServer {
         Ok(StandbyServer {
             server,
             applied_seq: backup.position.seq.saturating_sub(1),
-            apply_done_at: clock.now(),
+            apply_done_at: last,
             live: BTreeMap::new(),
             max_scn: backup.scn,
             max_txn: 0,
             activated: false,
+            received: BTreeMap::new(),
+            last_commit_scn: backup.scn,
+            ship_lag: SimDuration::ZERO,
+            apply_delay: SimDuration::ZERO,
+            corrupt_next_ship: false,
             records_applied: 0,
             archives_shipped: 0,
         })
@@ -172,6 +233,28 @@ impl StandbyServer {
         self.applied_seq
     }
 
+    /// Highest commit SCN contained in the redo applied so far: on
+    /// activation this stand-by opens with exactly the commits at or below
+    /// this SCN (plus the backup it was instantiated from).
+    pub fn last_commit_scn(&self) -> Scn {
+        self.last_commit_scn
+    }
+
+    /// Tunes this stand-by's topology lags: `ship_lag` is extra network
+    /// latency added to every archive ship, `apply_delay` postpones each
+    /// archive's background apply.
+    pub fn set_lags(&mut self, ship_lag: SimDuration, apply_delay: SimDuration) {
+        self.ship_lag = ship_lag;
+        self.apply_delay = apply_delay;
+    }
+
+    /// Arms a media fault: the next shipped archive copy lands corrupted,
+    /// so its decode fails with
+    /// [`RecoveryError::ShippedArchiveCorrupt`](crate::error::RecoveryError::ShippedArchiveCorrupt).
+    pub fn arm_ship_corruption(&mut self) {
+        self.corrupt_next_ship = true;
+    }
+
     /// Ships and applies every primary archive completed by now, in
     /// sequence order. Call periodically (the benchmark driver does so
     /// between transactions).
@@ -190,7 +273,7 @@ impl StandbyServer {
             let Ok(control) = primary.control_ref() else { break };
             let Some(loc) = control.seq(next) else { break };
             let (Some(archive), Some(done_at)) = (loc.archive, loc.archive_done_at) else { break };
-            if done_at > now {
+            if done_at + self.ship_lag > now {
                 break;
             }
             // Ship: read on the primary's archive disk, network latency,
@@ -202,27 +285,99 @@ impl StandbyServer {
                 let _ = pfs.charge_io(primary.layout.archive_disk, IoKind::Read, bytes, done_at)?;
                 (segments, bytes)
             };
-            let ship_done = {
-                let mut fs = self.server.fs.lock();
-                let arrived = done_at + self.server.config.costs.standby_ship_latency;
-                fs.charge_io(self.server.layout.archive_disk, IoKind::Write, bytes, arrived)?
-            };
-            self.archives_shipped += 1;
-            // Apply in the background: serialized after previous applies.
-            let overhead = self.server.config.costs.redo_overhead_bytes;
-            let records = decode_stream(&segments, overhead)
-                .map_err(|_| DbError::Unrecoverable(format!("shipped log seq {next} is corrupt")))?;
-            let apply_start = ship_done.max(self.apply_done_at);
-            let nrecords = records.len() as u64;
-            let cpu = self.server.config.costs.cpu_apply_record * nrecords;
-            self.apply_done_at = apply_start + cpu;
-            self.apply_records(next, &records, apply_start)?;
-            self.applied_seq = next;
-            self.server.events.record(
-                self.apply_done_at,
-                EngineEvent::StandbyArchiveApplied { seq: next, records: nrecords },
-            );
+            self.ingest(next, segments, bytes, done_at)?;
         }
+        Ok(())
+    }
+
+    /// Ships and applies archives from an **upstream stand-by** (cascaded
+    /// topology): reads the upstream's retained shipped copies instead of
+    /// the primary's archive disk, so the primary carries no extra I/O for
+    /// deep chains.
+    ///
+    /// # Errors
+    ///
+    /// [`RecoveryError::ArchiveGap`](crate::error::RecoveryError::ArchiveGap)
+    /// when the upstream has applied past the needed sequence but no
+    /// longer holds a shippable copy (a redo gap this stand-by cannot
+    /// close without re-instantiation); otherwise stand-by storage errors.
+    // tidy-entry(recovery)
+    pub fn sync_from_standby(&mut self, upstream: &StandbyServer) -> DbResult<()> {
+        if self.activated {
+            return Ok(());
+        }
+        let now = self.server.clock.now();
+        loop {
+            let next = self.applied_seq + 1;
+            let Some(copy) = upstream.received.get(&next) else {
+                if upstream.applied_seq >= next {
+                    return Err(RecoveryError::ArchiveGap { seq: next }.into());
+                }
+                break;
+            };
+            if copy.ready_at + self.ship_lag > now {
+                break;
+            }
+            let (segments, bytes, available_at) = (copy.segments.clone(), copy.bytes, copy.ready_at);
+            {
+                let mut ufs = upstream.server.fs().lock();
+                let _ = ufs.charge_io(
+                    upstream.server.layout.archive_disk,
+                    IoKind::Read,
+                    bytes,
+                    available_at,
+                )?;
+            }
+            self.ingest(next, segments, bytes, available_at)?;
+        }
+        Ok(())
+    }
+
+    /// Lands one shipped archive on this stand-by: charges the archive-disk
+    /// write (after the configured ship lag), decodes, applies in the
+    /// background and retains the copy for any downstream stand-by.
+    fn ingest(
+        &mut self,
+        next: u64,
+        mut segments: Vec<Bytes>,
+        bytes: u64,
+        available_at: SimTime,
+    ) -> DbResult<()> {
+        let ship_done = {
+            let mut fs = self.server.fs.lock();
+            let arrived =
+                available_at + self.server.config.costs.standby_ship_latency + self.ship_lag;
+            fs.charge_io(self.server.layout.archive_disk, IoKind::Write, bytes, arrived)?
+        };
+        self.archives_shipped += 1;
+        if self.corrupt_next_ship {
+            self.corrupt_next_ship = false;
+            if let Some(first) = segments.first_mut() {
+                let mut broken = first.as_ref().to_vec();
+                // Flip the first record's op tag (after the scn + txn
+                // u64s); a flipped tag is never a valid opcode, so the
+                // decode below reliably rejects the copy.
+                if let Some(b) = broken.get_mut(16) {
+                    *b ^= 0xFF;
+                }
+                *first = Bytes::from(broken);
+            }
+        }
+        // Apply in the background: serialized after previous applies.
+        let overhead = self.server.config.costs.redo_overhead_bytes;
+        let records = decode_stream(&segments, overhead)
+            .map_err(|_| RecoveryError::ShippedArchiveCorrupt { seq: next })?;
+        let apply_start = ship_done.max(self.apply_done_at) + self.apply_delay;
+        let nrecords = records.len() as u64;
+        let cpu = self.server.config.costs.cpu_apply_record * nrecords;
+        self.apply_done_at = apply_start + cpu;
+        self.apply_records(next, &records, apply_start)?;
+        self.applied_seq = next;
+        self.received.insert(next, ShippedArchive { segments, bytes, ready_at: ship_done });
+        self.server.events.record(
+            self.apply_done_at,
+            EngineEvent::StandbyArchiveApplied { seq: next, records: nrecords },
+        );
         Ok(())
     }
 
@@ -238,6 +393,9 @@ impl StandbyServer {
         self.max_scn = self.max_scn.max(rec.scn);
         if let Some(t) = rec.txn {
             self.max_txn = self.max_txn.max(t.0);
+        }
+        if matches!(rec.op, RedoOp::Commit) {
+            self.last_commit_scn = self.last_commit_scn.max(rec.scn);
         }
         match (&rec.op, rec.txn) {
             (RedoOp::Commit, Some(t)) | (RedoOp::Rollback, Some(t)) => {
@@ -567,6 +725,63 @@ mod tests {
         let err =
             StandbyServer::instantiate(&p, "S2", clock, DiskLayout::four_disk(), cfg(64)).unwrap_err();
         assert!(matches!(err, DbError::Unrecoverable(_)));
+    }
+
+    #[test]
+    fn corrupt_ship_surfaces_a_typed_recovery_error() {
+        let (mut p, t) = primary_with_data();
+        let clock = Arc::clone(p.clock());
+        let mut sb =
+            StandbyServer::instantiate(&p, "STBY", clock, DiskLayout::four_disk(), cfg(64)).unwrap();
+        sb.arm_ship_corruption();
+        let s = p.connect().unwrap();
+        let mut hit = None;
+        for i in 100..300 {
+            p.insert(s, t, Row::new(vec![Value::U64(i), Value::from("workload-row-payload")]))
+                .unwrap();
+            p.commit(s).unwrap();
+            if let Err(e) = sb.sync(&p) {
+                hit = Some(e);
+                break;
+            }
+        }
+        match hit {
+            Some(DbError::Recovery(RecoveryError::ShippedArchiveCorrupt { seq })) => {
+                assert!(seq >= 1);
+            }
+            other => panic!("expected a typed shipped-archive corruption, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cascaded_standby_follows_through_its_upstream() {
+        let (mut p, t) = primary_with_data();
+        let clock = Arc::clone(p.clock());
+        let mut sb1 =
+            StandbyServer::instantiate(&p, "SB1", Arc::clone(&clock), DiskLayout::four_disk(), cfg(64))
+                .unwrap();
+        let mut sb2 =
+            StandbyServer::instantiate(&p, "SB2", Arc::clone(&clock), DiskLayout::four_disk(), cfg(64))
+                .unwrap();
+        let s = p.connect().unwrap();
+        for i in 100..300 {
+            p.insert(s, t, Row::new(vec![Value::U64(i), Value::from("workload-row-payload")]))
+                .unwrap();
+            p.commit(s).unwrap();
+            sb1.sync(&p).unwrap();
+            sb2.sync_from_standby(&sb1).unwrap();
+        }
+        assert!(sb1.archives_shipped > 0, "upstream must have shipped archives");
+        // Let the downstream catch up to everything the upstream retains.
+        clock.advance(SimDuration::from_secs(5));
+        sb2.sync_from_standby(&sb1).unwrap();
+        assert_eq!(sb2.applied_seq(), sb1.applied_seq(), "cascade catches up to its upstream");
+        assert!(sb2.last_commit_scn() > Scn::ZERO);
+        // The downstream activates into a working primary.
+        p.shutdown_abort().unwrap();
+        sb2.activate().unwrap();
+        let rows = sb2.server().peek_scan(t).unwrap();
+        assert!(rows.len() >= 10, "backup rows present on the cascaded stand-by");
     }
 
     #[test]

@@ -55,6 +55,20 @@ pub struct EngineStats {
     /// Stored blocks whose CRC failed verification (silent corruption
     /// caught by the checksum layer).
     pub checksum_mismatches: u64,
+    /// Failovers begun by the replica-set controller (quorum reached or
+    /// operator-decided).
+    #[serde(default)]
+    pub failovers: u64,
+    /// Stand-bys promoted to primary.
+    #[serde(default)]
+    pub promotions: u64,
+    /// Surviving stand-bys re-instantiated behind a newly promoted
+    /// primary.
+    #[serde(default)]
+    pub replica_resyncs: u64,
+    /// Repaired ex-primaries re-enrolled as stand-bys.
+    #[serde(default)]
+    pub failbacks: u64,
 }
 
 impl EngineStats {
@@ -94,6 +108,10 @@ impl EngineStats {
             lock_wait_micros: self.lock_wait_micros.saturating_sub(earlier.lock_wait_micros),
             deadlocks: self.deadlocks.saturating_sub(earlier.deadlocks),
             checksum_mismatches: self.checksum_mismatches.saturating_sub(earlier.checksum_mismatches),
+            failovers: self.failovers.saturating_sub(earlier.failovers),
+            promotions: self.promotions.saturating_sub(earlier.promotions),
+            replica_resyncs: self.replica_resyncs.saturating_sub(earlier.replica_resyncs),
+            failbacks: self.failbacks.saturating_sub(earlier.failbacks),
         }
     }
 }

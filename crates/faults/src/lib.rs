@@ -21,5 +21,6 @@ pub use injector::{FaultInjector, FaultOutcome, FaultPlan, FaultTarget, Injectio
 pub use scenario::{DoubleFaultOutcome, DoubleFaultPlan, Sabotage};
 pub use schedule::{FaultSchedule, ScheduledFault, TortureFaultKind};
 pub use taxonomy::{
-    FaultClass, FaultType, OperatorFaultType, Portability, RecoveryKind, StorageFaultType,
+    FaultClass, FaultType, OperatorFaultType, Portability, RecoveryKind, ReplicaFaultType,
+    StorageFaultType,
 };

@@ -12,11 +12,12 @@
 //! {"seed":7,"duration_secs":300,"faults":[{"fault":"shutdown_abort","at_secs":42}]}
 //! ```
 
-use crate::taxonomy::{FaultType, StorageFaultType};
+use crate::taxonomy::{FaultType, ReplicaFaultType, StorageFaultType};
 use recobench_sim::SimRng;
 
 /// What to inject: one of the paper's six operator faults, a raw
-/// instance kill, or a storage-hardware fault armed on the vfs.
+/// instance kill, a storage-hardware fault armed on the vfs, or a
+/// replica-set fault aimed at the stand-by apparatus.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TortureFaultKind {
     /// One of the six operator fault types of the paper's experiments,
@@ -33,6 +34,10 @@ pub enum TortureFaultKind {
     /// write error, or latency) plus the appropriate media/crash
     /// procedure.
     Storage(StorageFaultType),
+    /// A replica-set fault (engine `ReplicaSet`): kill the primary or the
+    /// newly promoted node, corrupt a shipped archive copy, or partition
+    /// a stand-by. Recovery is failover/resync rather than restore.
+    Replica(ReplicaFaultType),
 }
 
 impl TortureFaultKind {
@@ -52,8 +57,10 @@ impl TortureFaultKind {
         ]
     }
 
-    /// Every kind including the five storage-hardware faults.
-    pub fn all_extended() -> [TortureFaultKind; 12] {
+    /// Every kind including the five storage-hardware faults and the four
+    /// replica-set faults, appended in that order so the slice layout
+    /// stays `[legacy 7][storage 5][replica 4]` for corpus stability.
+    pub fn all_extended() -> [TortureFaultKind; 16] {
         [
             TortureFaultKind::Operator(FaultType::ShutdownAbort),
             TortureFaultKind::Operator(FaultType::DeleteDatafile),
@@ -67,6 +74,10 @@ impl TortureFaultKind {
             TortureFaultKind::Storage(StorageFaultType::BitRot),
             TortureFaultKind::Storage(StorageFaultType::DiskFull),
             TortureFaultKind::Storage(StorageFaultType::SlowIo),
+            TortureFaultKind::Replica(ReplicaFaultType::KillPrimary),
+            TortureFaultKind::Replica(ReplicaFaultType::KillPromoted),
+            TortureFaultKind::Replica(ReplicaFaultType::CorruptShippedArchive),
+            TortureFaultKind::Replica(ReplicaFaultType::PartitionReplica),
         ]
     }
 
@@ -78,6 +89,16 @@ impl TortureFaultKind {
             TortureFaultKind::Storage(StorageFaultType::BitRot),
             TortureFaultKind::Storage(StorageFaultType::DiskFull),
             TortureFaultKind::Storage(StorageFaultType::SlowIo),
+        ]
+    }
+
+    /// The four replica-set kinds (the `--faultload replica` pool).
+    pub fn replica() -> [TortureFaultKind; 4] {
+        [
+            TortureFaultKind::Replica(ReplicaFaultType::KillPrimary),
+            TortureFaultKind::Replica(ReplicaFaultType::KillPromoted),
+            TortureFaultKind::Replica(ReplicaFaultType::CorruptShippedArchive),
+            TortureFaultKind::Replica(ReplicaFaultType::PartitionReplica),
         ]
     }
 
@@ -94,6 +115,7 @@ impl TortureFaultKind {
             TortureFaultKind::Operator(FaultType::DeleteUsersObject) => "delete_users_object",
             TortureFaultKind::InstanceKill => "instance_kill",
             TortureFaultKind::Storage(s) => s.name(),
+            TortureFaultKind::Replica(r) => r.name(),
         }
     }
 
@@ -162,6 +184,23 @@ impl FaultSchedule {
         min_at: u64,
     ) -> FaultSchedule {
         Self::random_from(rng, &TortureFaultKind::storage(), n_faults, duration_secs, min_at)
+    }
+
+    /// Like [`FaultSchedule::random`] but drawing only from the four
+    /// replica-set fault kinds — the `--faultload replica` pool.
+    pub fn random_replica(
+        rng: &mut SimRng,
+        n_faults: usize,
+        duration_secs: u64,
+        min_at: u64,
+    ) -> FaultSchedule {
+        Self::random_from(rng, &TortureFaultKind::replica(), n_faults, duration_secs, min_at)
+    }
+
+    /// Whether any scheduled fault targets the replica set — the torture
+    /// runner provisions stand-bys only when one does.
+    pub fn has_replica_faults(&self) -> bool {
+        self.faults.iter().any(|f| matches!(f.kind, TortureFaultKind::Replica(_)))
     }
 
     /// Draws a random schedule from an explicit kind pool. The draw order
@@ -445,9 +484,40 @@ mod tests {
         let legacy = TortureFaultKind::all();
         let extended = TortureFaultKind::all_extended();
         assert_eq!(legacy.len(), 7, "historical seeds depend on a 7-kind pool");
-        assert_eq!(extended.len(), 12);
+        assert_eq!(extended.len(), 16);
         assert_eq!(&extended[..7], &legacy[..], "legacy kinds keep their draw order");
-        assert_eq!(&extended[7..], &TortureFaultKind::storage()[..]);
+        assert_eq!(&extended[7..12], &TortureFaultKind::storage()[..]);
+        assert_eq!(&extended[12..], &TortureFaultKind::replica()[..]);
+    }
+
+    #[test]
+    fn replica_schedule_json_round_trips_and_is_detected() {
+        let schedule = FaultSchedule {
+            seed: 13,
+            duration_secs: 180,
+            faults: vec![
+                ScheduledFault {
+                    kind: TortureFaultKind::Replica(ReplicaFaultType::KillPrimary),
+                    at_secs: 40,
+                },
+                ScheduledFault {
+                    kind: TortureFaultKind::Replica(ReplicaFaultType::KillPromoted),
+                    at_secs: 90,
+                },
+            ],
+        };
+        let json = schedule.to_json();
+        assert!(json.contains("\"fault\":\"kill_primary\""));
+        assert!(json.contains("\"fault\":\"kill_promoted\""));
+        let parsed = FaultSchedule::from_json(&json).unwrap();
+        assert_eq!(parsed, schedule);
+        assert_eq!(parsed.to_json(), json);
+        assert!(schedule.has_replica_faults());
+        assert!(!FaultSchedule::quiet(1, 60).has_replica_faults());
+
+        let mut rng = SimRng::seed_from(3);
+        let drawn = FaultSchedule::random_replica(&mut rng, 6, 200, 20);
+        assert!(drawn.faults.iter().all(|f| matches!(f.kind, TortureFaultKind::Replica(_))));
     }
 
     #[test]

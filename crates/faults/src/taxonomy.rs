@@ -419,6 +419,107 @@ impl StorageFaultType {
     }
 }
 
+/// Replica-set fault types: node and shipping failures a high-availability
+/// operator has to survive when running stand-by replicas behind the
+/// primary (engine `ReplicaSet`). They extend the paper's single-server
+/// faultload to the replicated deployments §5.3 motivates.
+///
+/// Replica faults resolve with *complete* recovery from the client's point
+/// of view only when failover succeeds with no acknowledged commit left
+/// behind on the dead primary; otherwise the tail between the promoted
+/// node's last applied commit and the crash is sacrificed — the same
+/// incomplete-recovery shape as the paper's Table 4, but decided by
+/// replication lag rather than by a restore stop point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReplicaFaultType {
+    /// Kill the primary instance outright; the replica set must detect it
+    /// and promote a stand-by (quorum or operator decision).
+    KillPrimary,
+    /// Kill the *newly promoted* node after a failover — the classic
+    /// double fault. Requires a prior [`ReplicaFaultType::KillPrimary`] in
+    /// the same schedule to have any effect.
+    KillPromoted,
+    /// Corrupt the next archived log copy shipped to a stand-by: the copy
+    /// fails decode on arrival and the stand-by freezes (typed
+    /// `ShippedArchiveCorrupt`), keeping its vote but losing candidacy as
+    /// it falls behind.
+    CorruptShippedArchive,
+    /// Partition a stand-by from the rest of the set: it stops receiving
+    /// archives and cannot vote in quorum decisions until healed.
+    PartitionReplica,
+}
+
+impl ReplicaFaultType {
+    /// All four, in a fixed order.
+    pub fn all() -> [ReplicaFaultType; 4] {
+        [
+            ReplicaFaultType::KillPrimary,
+            ReplicaFaultType::KillPromoted,
+            ReplicaFaultType::CorruptShippedArchive,
+            ReplicaFaultType::PartitionReplica,
+        ]
+    }
+
+    /// Stable snake_case name used in schedule JSON and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReplicaFaultType::KillPrimary => "kill_primary",
+            ReplicaFaultType::KillPromoted => "kill_promoted",
+            ReplicaFaultType::CorruptShippedArchive => "corrupt_shipped_archive",
+            ReplicaFaultType::PartitionReplica => "partition_replica",
+        }
+    }
+
+    /// Human-readable description of the failure.
+    pub fn description(self) -> &'static str {
+        match self {
+            ReplicaFaultType::KillPrimary => "kill the primary; the replica set must fail over",
+            ReplicaFaultType::KillPromoted => {
+                "kill the newly promoted node after failover (double fault)"
+            }
+            ReplicaFaultType::CorruptShippedArchive => {
+                "corrupt the next shipped archive copy on a stand-by"
+            }
+            ReplicaFaultType::PartitionReplica => {
+                "partition a stand-by away from the set (no archives, no vote)"
+            }
+        }
+    }
+
+    /// The taxonomy class the fault maps into: all four are failures of
+    /// the recovery machinery itself (the stand-by apparatus the paper
+    /// files under recovery-mechanisms administration).
+    pub fn class(self) -> FaultClass {
+        FaultClass::RecoveryMechanismsAdministration
+    }
+
+    /// Whether committed history can be lost. Killing an instance is
+    /// recoverable in full as long as a sufficiently caught-up stand-by
+    /// wins promotion; shipping corruption and partitions damage only the
+    /// replica, never acknowledged history.
+    pub fn recovery_kind(self) -> RecoveryKind {
+        match self {
+            ReplicaFaultType::KillPrimary | ReplicaFaultType::KillPromoted => {
+                RecoveryKind::Incomplete
+            }
+            ReplicaFaultType::CorruptShippedArchive | ReplicaFaultType::PartitionReplica => {
+                RecoveryKind::Complete
+            }
+        }
+    }
+}
+
+impl fmt::Display for ReplicaFaultType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ReplicaFaultType::KillPrimary => "Kill primary",
+            ReplicaFaultType::KillPromoted => "Kill promoted node",
+            ReplicaFaultType::CorruptShippedArchive => "Corrupt shipped archive",
+            ReplicaFaultType::PartitionReplica => "Partition replica",
+        })
+    }
+}
+
 impl fmt::Display for StorageFaultType {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(match self {
@@ -514,6 +615,25 @@ mod tests {
             assert!(!s.to_string().is_empty());
             assert!(s.name().chars().all(|c| c.is_ascii_lowercase() || c == '_'));
         }
+    }
+
+    #[test]
+    fn replica_faults_classify_as_recovery_mechanisms() {
+        assert_eq!(ReplicaFaultType::all().len(), 4);
+        for r in ReplicaFaultType::all() {
+            assert_eq!(r.class(), FaultClass::RecoveryMechanismsAdministration);
+            assert!(!r.name().is_empty());
+            assert!(!r.description().is_empty());
+            assert!(!r.to_string().is_empty());
+            assert!(r.name().chars().all(|c| c.is_ascii_lowercase() || c == '_'));
+        }
+        // Node kills can lose the acked tail (replication lag); shipping
+        // faults damage only the replica.
+        assert_eq!(ReplicaFaultType::KillPrimary.recovery_kind(), RecoveryKind::Incomplete);
+        assert_eq!(
+            ReplicaFaultType::CorruptShippedArchive.recovery_kind(),
+            RecoveryKind::Complete
+        );
     }
 
     #[test]

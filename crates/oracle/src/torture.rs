@@ -33,9 +33,12 @@
 use std::sync::{Arc, Mutex};
 
 use recobench_core::{apply_margin_cutoff, RecoveryConfig};
-use recobench_engine::{DbResult, DbServer, DiskLayout, Scn};
+use recobench_engine::{
+    DbResult, DbServer, DiskLayout, FailoverPolicy, ReplicaSet, ReplicaTopology, Scn,
+};
 use recobench_faults::{
-    FaultInjector, FaultPlan, FaultSchedule, RecoveryKind, ScheduledFault, TortureFaultKind,
+    FaultInjector, FaultPlan, FaultSchedule, RecoveryKind, ReplicaFaultType, ScheduledFault,
+    TortureFaultKind,
 };
 use recobench_sim::{SimClock, SimDuration, SimRng, SimTime};
 use recobench_tpcc::{
@@ -60,6 +63,13 @@ pub struct TortureOptions {
     pub datafiles: u32,
     /// Blocks per datafile.
     pub blocks_per_file: u64,
+    /// Replica topology behind the primary. Empty (the default) means no
+    /// stand-bys — unless the schedule contains replica faults, in which
+    /// case the runner auto-provisions a two-node fan-out so the faults
+    /// have something to hit.
+    pub topology: ReplicaTopology,
+    /// Failover policy for the replica set.
+    pub policy: FailoverPolicy,
     /// Test-only engine sabotage: silently skip this many applicable
     /// row-change records during redo replay (see
     /// `DbServer::sabotage_skip_redo_records`). The oracle must catch the
@@ -78,6 +88,8 @@ impl Default for TortureOptions {
             driver: DriverConfig::default(),
             datafiles: 8,
             blocks_per_file: 768,
+            topology: ReplicaTopology::none(),
+            policy: FailoverPolicy::AutoQuorum,
             #[cfg(any(test, feature = "sabotage"))]
             sabotage_skip_redo: 0,
         }
@@ -128,6 +140,12 @@ pub struct TortureOutcome {
     /// At least one recovery procedure failed; the differential check is
     /// skipped (unavailability is the reported outcome, not corruption).
     pub unrecoverable: bool,
+    /// Failovers performed by the replica set (0 without stand-bys).
+    pub failovers: u64,
+    /// Acknowledged commits sacrificed by failovers: the primary acked
+    /// them but no shipped archive carried them to the promoted node
+    /// before the kill (replication lag made the recovery incomplete).
+    pub lost_commits: u64,
 }
 
 impl TortureOutcome {
@@ -164,8 +182,12 @@ impl TortureRunner {
     pub fn run(&self, schedule: &FaultSchedule) -> DbResult<TortureOutcome> {
         let clock = SimClock::shared();
         let icfg = self.opts.config.to_instance_config(self.opts.archive);
-        let mut srv =
-            DbServer::on_fresh_disks("TORTURE", Arc::clone(&clock), DiskLayout::four_disk(), icfg);
+        let mut srv = DbServer::on_fresh_disks(
+            "TORTURE",
+            Arc::clone(&clock),
+            DiskLayout::four_disk(),
+            icfg.clone(),
+        );
         srv.create_database()?;
         let mut rng = SimRng::seed_from(schedule.seed);
         let schema = create_schema(
@@ -180,6 +202,28 @@ impl TortureRunner {
         if self.opts.sabotage_skip_redo > 0 {
             srv.sabotage_skip_redo_records(self.opts.sabotage_skip_redo);
         }
+        // Stand-bys behind the primary: the configured topology, or an
+        // auto-provisioned two-node fan-out when the schedule targets a
+        // replica set nobody configured.
+        let topo = if !self.opts.topology.is_empty() {
+            self.opts.topology.clone()
+        } else if schedule.has_replica_faults() {
+            ReplicaTopology::fan_out(2)
+        } else {
+            ReplicaTopology::none()
+        };
+        let mut replica: Option<ReplicaSet> = if topo.is_empty() {
+            None
+        } else {
+            Some(ReplicaSet::instantiate(
+                &srv,
+                &topo,
+                self.opts.policy,
+                Arc::clone(&clock),
+                DiskLayout::four_disk(),
+                icfg,
+            )?)
+        };
         let model = Arc::new(Mutex::new(RefModel::from_server(&srv)?));
         {
             let model = Arc::clone(&model);
@@ -195,6 +239,7 @@ impl TortureRunner {
         let mut reports: Vec<FaultReport> = Vec::new();
         let mut spans_us: Vec<(u64, u64)> = Vec::new();
         let mut unrecoverable = false;
+        let mut lost_commits = 0u64;
         // Rolling (time, SCN) trail for the PITR margin cutoff, exactly
         // as `Experiment::run` samples it.
         let mut scn_trail: Vec<(SimTime, Scn)> = Vec::new();
@@ -219,10 +264,12 @@ impl TortureRunner {
                         f,
                         overtaken,
                         &mut srv,
+                        &mut replica,
                         &mut driver,
                         &model,
                         &scn_trail,
                         &mut spans_us,
+                        &mut lost_commits,
                     );
                     unrecoverable |= report.unrecoverable;
                     last_ready = report.ready_at.or(last_ready);
@@ -235,11 +282,29 @@ impl TortureRunner {
                 clock.advance_to(end);
                 break;
             }
-            driver.step(&mut srv);
-            if srv.is_open() {
-                match scn_trail.last() {
-                    Some((_, last)) if *last == srv.current_scn() => {}
-                    _ => scn_trail.push((clock.now(), srv.current_scn())),
+            {
+                // After a failover the promoted stand-by serves clients;
+                // before one (and without stand-bys) the primary does.
+                let active: &mut DbServer = match replica.as_mut() {
+                    Some(rs) if rs.promoted().is_some() => match rs.active_mut() {
+                        Some(s) => s,
+                        None => &mut srv,
+                    },
+                    _ => &mut srv,
+                };
+                driver.step(active);
+                if active.is_open() {
+                    match scn_trail.last() {
+                        Some((_, last)) if *last == active.current_scn() => {}
+                        _ => scn_trail.push((clock.now(), active.current_scn())),
+                    }
+                }
+            }
+            if let Some(rs) = replica.as_mut() {
+                if rs.promoted().is_some() {
+                    rs.sync_followers()?;
+                } else if srv.is_open() {
+                    rs.sync_all(&srv)?;
                 }
             }
         }
@@ -264,12 +329,28 @@ impl TortureRunner {
         // Drain in-flight terminals: the differential oracle compares
         // committed state, so an open transaction or a parked lock wait
         // must not linger into the diff.
-        driver.quiesce(&mut srv);
+        {
+            let active: &mut DbServer = match replica.as_mut() {
+                Some(rs) if rs.promoted().is_some() => match rs.active_mut() {
+                    Some(s) => s,
+                    None => &mut srv,
+                },
+                _ => &mut srv,
+            };
+            driver.quiesce(active);
+        }
         let timeline = driver.availability_timeline(t0, end);
-        let divergences = if unrecoverable || !srv.is_open() {
+        let active_ref: &DbServer = match replica
+            .as_ref()
+            .and_then(|rs| rs.promoted().and_then(|k| rs.node(k)))
+        {
+            Some(standby) => standby.server(),
+            None => &srv,
+        };
+        let divergences = if unrecoverable || !active_ref.is_open() {
             Vec::new()
         } else {
-            diff_states(&srv, &model.lock().unwrap())?
+            diff_states(active_ref, &model.lock().unwrap())?
         };
         let commits = model.lock().unwrap().acked_commits();
         Ok(TortureOutcome {
@@ -281,6 +362,8 @@ impl TortureRunner {
             attempted: driver.attempted(),
             commits,
             unrecoverable,
+            failovers: replica.as_ref().map_or(0, ReplicaSet::failovers),
+            lost_commits,
         })
     }
 
@@ -291,10 +374,12 @@ impl TortureRunner {
         f: ScheduledFault,
         overtaken: bool,
         srv: &mut DbServer,
+        replica: &mut Option<ReplicaSet>,
         driver: &mut TpccDriver,
         model: &Arc<Mutex<RefModel>>,
         scn_trail: &[(SimTime, Scn)],
         spans_us: &mut Vec<(u64, u64)>,
+        lost_commits: &mut u64,
     ) -> FaultReport {
         let mut report = FaultReport {
             scheduled: f,
@@ -304,7 +389,28 @@ impl TortureRunner {
             unrecoverable: false,
             skipped: None,
         };
+        // Once the primary has been failed away from, the legacy fault
+        // kinds would hit the retired machine — skip them rather than
+        // pretend the dead node's backups and datafiles still matter.
+        if replica.as_ref().is_some_and(|r| r.promoted().is_some())
+            && !matches!(f.kind, TortureFaultKind::Replica(_))
+        {
+            report.skipped = Some("primary failed over; fault targets the retired node".to_string());
+            return report;
+        }
         match f.kind {
+            TortureFaultKind::Replica(r) => {
+                self.one_replica_fault(
+                    r,
+                    &mut report,
+                    srv,
+                    replica,
+                    driver,
+                    model,
+                    spans_us,
+                    lost_commits,
+                );
+            }
             TortureFaultKind::InstanceKill => {
                 if !srv.is_open() {
                     report.skipped = Some("instance already down".to_string());
@@ -387,6 +493,142 @@ impl TortureRunner {
             }
         }
         report
+    }
+
+    /// Injects one replica-set fault. Node kills trigger a failover (the
+    /// quorum decides under the configured policy); shipping faults arm
+    /// damage on a stand-by and let the run continue — the primary never
+    /// notices, only the replica set's health changes.
+    #[allow(clippy::too_many_arguments)]
+    fn one_replica_fault(
+        &self,
+        r: ReplicaFaultType,
+        report: &mut FaultReport,
+        srv: &mut DbServer,
+        replica: &mut Option<ReplicaSet>,
+        driver: &mut TpccDriver,
+        model: &Arc<Mutex<RefModel>>,
+        spans_us: &mut Vec<(u64, u64)>,
+        lost_commits: &mut u64,
+    ) {
+        let Some(rs) = replica.as_mut() else {
+            report.skipped = Some("no replica set provisioned".to_string());
+            return;
+        };
+        match r {
+            ReplicaFaultType::KillPrimary => {
+                if rs.promoted().is_some() {
+                    report.skipped = Some("primary already failed over".to_string());
+                    return;
+                }
+                if !srv.is_open() {
+                    report.skipped = Some("instance already down".to_string());
+                    return;
+                }
+                let at = srv.clock().now();
+                if let Err(e) = srv.shutdown_abort() {
+                    report.skipped = Some(format!("kill failed: {e}"));
+                    return;
+                }
+                report.injected_at = Some(at);
+                driver.record_outage(at);
+                Self::promote(rs, Some(srv), at, report, driver, model, spans_us, lost_commits);
+            }
+            ReplicaFaultType::KillPromoted => {
+                if rs.promoted().is_none() {
+                    report.skipped =
+                        Some("no promoted node to kill (needs a prior kill_primary)".to_string());
+                    return;
+                }
+                let at = match rs.kill_promoted() {
+                    Ok(at) => at,
+                    Err(e) => {
+                        report.skipped = Some(format!("kill failed: {e}"));
+                        return;
+                    }
+                };
+                report.injected_at = Some(at);
+                driver.record_outage(at);
+                Self::promote(rs, None, at, report, driver, model, spans_us, lost_commits);
+            }
+            ReplicaFaultType::CorruptShippedArchive => match rs.first_followable() {
+                Some(i) => {
+                    rs.arm_ship_corruption(i);
+                    // No outage: the primary keeps serving; only the
+                    // targeted stand-by freezes when the bad copy lands.
+                    report.injected_at = Some(srv.clock().now());
+                    report.ready_at = Some(srv.clock().now());
+                }
+                None => report.skipped = Some("no followable replica to corrupt".to_string()),
+            },
+            ReplicaFaultType::PartitionReplica => match rs.first_followable() {
+                Some(i) => {
+                    rs.partition(i);
+                    report.injected_at = Some(srv.clock().now());
+                    report.ready_at = Some(srv.clock().now());
+                }
+                None => report.skipped = Some("no followable replica to partition".to_string()),
+            },
+        }
+    }
+
+    /// Runs a failover and reconciles the reference model with the
+    /// promoted node: in-doubt transactions are settled against its state
+    /// first, then the model is truncated to the promoted node's last
+    /// applied commit — everything past it is the acked-but-unshipped
+    /// tail the failover sacrificed, and it is *specified* as lost.
+    #[allow(clippy::too_many_arguments)]
+    fn promote(
+        rs: &mut ReplicaSet,
+        old_primary: Option<&mut DbServer>,
+        at: SimTime,
+        report: &mut FaultReport,
+        driver: &mut TpccDriver,
+        model: &Arc<Mutex<RefModel>>,
+        spans_us: &mut Vec<(u64, u64)>,
+        lost_commits: &mut u64,
+    ) {
+        match rs.fail_over(old_primary) {
+            Ok(Some(ready)) => {
+                let (Some(stop), Some(k)) = (rs.promoted_last_commit_scn(), rs.promoted()) else {
+                    report.unrecoverable = true;
+                    return;
+                };
+                let Some(promoted) = rs.node(k) else {
+                    report.unrecoverable = true;
+                    return;
+                };
+                {
+                    let mut m = model.lock().unwrap();
+                    // Transactions open at the kill never acked; probe the
+                    // promoted node to settle them (at `stop`, so a
+                    // resolved commit survives the truncation below).
+                    for txn in m.open_txn_ids() {
+                        if m.resolve_in_doubt(promoted.server(), txn, stop).is_err() {
+                            report.unrecoverable = true;
+                            return;
+                        }
+                    }
+                    let before = m.surviving_commits();
+                    m.truncate_to(stop.next());
+                    *lost_commits += before.saturating_sub(m.surviving_commits());
+                }
+                // The DML tap follows the service: from here on the
+                // promoted node feeds the model, not the dead machine.
+                if let Some(active) = rs.active_mut() {
+                    let model = Arc::clone(model);
+                    active.set_dml_tap(move |change| model.lock().unwrap().observe(change));
+                }
+                // Terminals lose their sessions and reconnect to the
+                // promoted node on their next transaction.
+                driver.sever_all(ready);
+                spans_us.push((at.as_micros(), ready.as_micros()));
+                report.ready_at = Some(ready);
+            }
+            // Quorum denied (or no survivor): the service stays down.
+            Ok(None) => report.unrecoverable = true,
+            Err(_) => report.unrecoverable = true,
+        }
     }
 
     /// Injects one storage fault and drives its recovery. The five kinds

@@ -10,14 +10,22 @@
 //!   sabotage), the oracle must **catch** the corruption and the shrinker
 //!   must reduce the schedule to a tiny reproducer, deterministically.
 
+use recobench_core::RecoveryConfig;
+use recobench_engine::{FailoverPolicy, ReplicaTopology};
 use recobench_faults::{
-    FaultSchedule, FaultType, ScheduledFault, StorageFaultType, TortureFaultKind,
+    FaultSchedule, FaultType, ReplicaFaultType, ScheduledFault, StorageFaultType,
+    TortureFaultKind,
 };
 use recobench_oracle::{shrink_schedule, TortureOptions, TortureOutcome, TortureRunner};
 use recobench_sim::SimRng;
+use recobench_tpcc::DriverConfig;
 
 fn op(fault: FaultType, at_secs: u64) -> ScheduledFault {
     ScheduledFault { kind: TortureFaultKind::Operator(fault), at_secs }
+}
+
+fn replica(r: ReplicaFaultType, at_secs: u64) -> ScheduledFault {
+    ScheduledFault { kind: TortureFaultKind::Replica(r), at_secs }
 }
 
 fn storage(s: StorageFaultType, at_secs: u64) -> ScheduledFault {
@@ -309,4 +317,104 @@ fn merged_outage_returns_after_the_last_recovery_span() {
         service_return >= last_end,
         "service return ({service_return}) precedes the last recovery end ({last_end})"
     );
+}
+
+/// The replica-set acceptance run: a contended 8-terminal TPC-C load over
+/// a two-stand-by fan-out under auto-quorum, the primary killed mid-load
+/// and then the newly promoted node killed too (double fault). Both kills
+/// must promote, service must resume on the survivor, and the survivor's
+/// state must match the model exactly — any acked tail the failovers
+/// sacrificed is *specified* as lost, not diverged.
+#[test]
+fn double_fault_failover_matches_model_under_contention() {
+    let opts = TortureOptions {
+        config: RecoveryConfig::named("F1G3T1").expect("known configuration"),
+        driver: DriverConfig { terminals: 8, ..DriverConfig::default() },
+        topology: ReplicaTopology::fan_out(2),
+        policy: FailoverPolicy::AutoQuorum,
+        ..TortureOptions::default()
+    };
+    let runner = TortureRunner::new(opts);
+    let schedule = sched(
+        61,
+        300,
+        vec![
+            replica(ReplicaFaultType::KillPrimary, 80),
+            replica(ReplicaFaultType::KillPromoted, 160),
+        ],
+    );
+    let a = runner.run(&schedule).unwrap();
+    assert_clean(&a);
+    assert_eq!(a.failovers, 2, "both kills must promote a survivor: {:?}", a.faults);
+    for f in &a.faults {
+        assert!(f.injected_at.is_some(), "both kills must inject: {f:?}");
+        assert!(f.ready_at.is_some(), "both failovers must complete: {f:?}");
+    }
+    assert_eq!(a.recovery_spans_us.len(), 2, "one recovery window per failover");
+    assert!(a.commits > 0, "terminals must commit across both failovers");
+    assert!(
+        a.timeline.service_return_us.is_some(),
+        "service must return after the double fault"
+    );
+    // Byte-identical rerun: replica sets must not cost determinism.
+    let b = runner.run(&schedule).unwrap();
+    assert_eq!(a, b, "same schedule, same topology ⇒ identical outcome");
+}
+
+/// Shipping faults against the replica set never interrupt the primary:
+/// a corrupted shipped archive freezes one stand-by and a partition
+/// isolates another, but the service keeps running, the state matches,
+/// and no failover (and no recovery window) happens.
+#[test]
+fn replica_shipping_faults_degrade_the_set_without_an_outage() {
+    let opts = TortureOptions {
+        topology: ReplicaTopology::fan_out(2),
+        policy: FailoverPolicy::AutoQuorum,
+        ..TortureOptions::default()
+    };
+    let runner = TortureRunner::new(opts);
+    let schedule = sched(
+        33,
+        180,
+        vec![
+            replica(ReplicaFaultType::CorruptShippedArchive, 40),
+            replica(ReplicaFaultType::PartitionReplica, 90),
+        ],
+    );
+    let outcome = runner.run(&schedule).unwrap();
+    assert_clean(&outcome);
+    assert_eq!(outcome.failovers, 0, "shipping faults must not trigger failover");
+    assert!(outcome.recovery_spans_us.is_empty(), "no outage, no recovery window");
+    assert_eq!(outcome.timeline.first_error_us, None, "the primary never hiccups");
+    for f in &outcome.faults {
+        assert!(f.injected_at.is_some(), "both faults must inject: {f:?}");
+    }
+}
+
+/// Without a configured topology, a schedule containing replica faults
+/// auto-provisions a two-node fan-out — the corpus-replay path.
+#[test]
+fn replica_faults_auto_provision_a_fan_out() {
+    let schedule = sched(5, 200, vec![replica(ReplicaFaultType::KillPrimary, 60)]);
+    let outcome = TortureRunner::default().run(&schedule).unwrap();
+    assert_clean(&outcome);
+    assert_eq!(outcome.failovers, 1, "the kill must promote: {:?}", outcome.faults);
+    assert!(outcome.faults[0].ready_at.is_some());
+}
+
+/// A cascaded chain behind the primary fails over too: the chain head is
+/// the most advanced node and wins promotion, and the chain tail resyncs
+/// behind it.
+#[test]
+fn cascaded_chain_fails_over_and_matches_model() {
+    let opts = TortureOptions {
+        topology: ReplicaTopology::cascade(2),
+        policy: FailoverPolicy::AutoQuorum,
+        ..TortureOptions::default()
+    };
+    let runner = TortureRunner::new(opts);
+    let schedule = sched(9, 240, vec![replica(ReplicaFaultType::KillPrimary, 100)]);
+    let outcome = runner.run(&schedule).unwrap();
+    assert_clean(&outcome);
+    assert_eq!(outcome.failovers, 1, "the chain must promote: {:?}", outcome.faults);
 }
